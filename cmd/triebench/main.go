@@ -1,0 +1,469 @@
+// Command triebench drives the experiment sweeps of EXPERIMENTS.md and
+// prints one table per experiment, mirroring the benchmark suite in
+// bench_test.go but with explicit parameter sweeps and a fixed op budget so
+// runs are comparable across machines.
+//
+// Usage:
+//
+//	triebench -experiment all
+//	triebench -experiment c5 -ops 200000 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitstrie"
+	"repro/internal/core"
+	"repro/internal/efrb"
+	"repro/internal/harness"
+	"repro/internal/locktrie"
+	"repro/internal/relaxed"
+	"repro/internal/skiplist"
+	"repro/internal/versioned"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2 or all")
+		ops        = flag.Int("ops", 100000, "operations per measurement")
+		workers    = flag.Int("workers", 4, "default worker count")
+		seed       = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*experiment, *ops, *workers, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "triebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, ops, workers int, seed int64) error {
+	runners := map[string]func(int, int, int64) error{
+		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5,
+		"c6": expC6, "c7": expC7, "a1": expA1, "a2": expA2,
+	}
+	if experiment == "all" {
+		for _, id := range []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7", "a1", "a2"} {
+			if err := runners[id](ops, workers, seed); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := runners[experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return fn(ops, workers, seed)
+}
+
+func mustTrie(u int64) *core.Trie {
+	tr, err := core.New(u)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// expC1: Search latency vs universe size (claim: O(1), flat in steps).
+func expC1(ops, _ int, seed int64) error {
+	fmt.Println("== C1: Search cost vs universe size (claim: O(1) steps) ==")
+	tab := harness.NewTable("u", "ns/op")
+	for _, exp := range []uint{8, 12, 16, 20, 22} {
+		u := int64(1) << exp
+		tr := mustTrie(u)
+		for k := int64(0); k < u; k += 2 {
+			tr.Insert(k)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]int64, 4096)
+		for i := range keys {
+			keys[i] = rng.Int63n(u)
+		}
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			tr.Search(keys[i&4095])
+		}
+		tab.AddRow(fmt.Sprintf("2^%d", exp), float64(time.Since(t0).Nanoseconds())/float64(ops))
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// expC2: solo Insert/Delete/Predecessor vs log u (claim: linear in log u).
+func expC2(ops, _ int, seed int64) error {
+	fmt.Println("== C2: solo update/predecessor cost vs log u (claim: Θ(log u)) ==")
+	tab := harness.NewTable("u", "log u", "ins+del ns/op", "pred ns/op")
+	for _, exp := range []uint{8, 12, 16, 20} {
+		u := int64(1) << exp
+		tr := mustTrie(u)
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]int64, 4096)
+		for i := range keys {
+			keys[i] = rng.Int63n(u)
+		}
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			k := keys[i&4095]
+			tr.Insert(k)
+			tr.Delete(k)
+		}
+		upd := float64(time.Since(t0).Nanoseconds()) / float64(ops)
+		for k := int64(0); k < u; k += 16 {
+			tr.Insert(k)
+		}
+		t1 := time.Now()
+		for i := 0; i < ops; i++ {
+			tr.Predecessor(keys[i&4095])
+		}
+		pred := float64(time.Since(t1).Nanoseconds()) / float64(ops)
+		tab.AddRow(fmt.Sprintf("2^%d", exp), exp, upd, pred)
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// expC3: engine steps per op vs worker count on a hot range.
+func expC3(ops, _ int, seed int64) error {
+	fmt.Println("== C3: steps/op vs contention (claim: O(ċ² + log u) amortized) ==")
+	const u = int64(1 << 16)
+	tab := harness.NewTable("workers", "ops/s", "cas/op", "bitreads/op", "notifies/op")
+	for _, g := range []int{1, 2, 4, 8} {
+		tr := mustTrie(u)
+		stats := &core.Stats{}
+		tr.SetStats(stats)
+		bstats := &bitstrie.Stats{}
+		tr.Bits().SetStats(bstats)
+		res, err := harness.Run(tr, harness.Config{
+			Workers:      g,
+			OpsPerWorker: ops / g,
+			Mix:          workload.MixUpdateHeavy,
+			Dist:         workload.HotRange{U: u, HotLo: u / 2, HotWidth: 64, HotPct: 80},
+			Seed:         seed,
+		})
+		if err != nil {
+			return err
+		}
+		n := float64(res.Ops)
+		tab.AddRow(g, res.Throughput,
+			float64(bstats.CASAttempts.Load())/n,
+			float64(bstats.BitReads.Load())/n,
+			float64(stats.Notifications.Load())/n)
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// expC4: throughput of the NON-stalling workers while one adversary
+// repeatedly stalls inside its operation — inside the critical section for
+// the lock-based trie (via InsertStalled), anywhere for the lock-free trie
+// (a stalled goroutine cannot block others no matter where it stops). This
+// is the operational meaning of lock-freedom.
+func expC4(_, workers int, seed int64) error {
+	fmt.Println("== C4: bystander throughput under an in-operation staller (claim: lock-freedom) ==")
+	const (
+		u      = int64(1 << 12)
+		window = 300 * time.Millisecond
+		pause  = 2 * time.Millisecond
+	)
+	if workers < 2 {
+		workers = 2
+	}
+	tab := harness.NewTable("impl", "baseline ops/s", "with staller ops/s", "retained %")
+
+	type stallable struct {
+		name    string
+		mk      func() harness.Set
+		staller func(s harness.Set, stop <-chan struct{})
+	}
+	impls := []stallable{
+		{
+			name: "lockfree-trie",
+			mk:   func() harness.Set { return mustTrie(u) },
+			staller: func(s harness.Set, stop <-chan struct{}) {
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						s.Insert(1)
+						time.Sleep(pause) // stalled wherever the scheduler left it
+					}
+				}
+			},
+		},
+		{
+			name: "rwlock-trie",
+			mk:   func() harness.Set { s, _ := locktrie.New(u); return s },
+			staller: func(s harness.Set, stop <-chan struct{}) {
+				lt, ok := s.(*locktrie.Trie)
+				if !ok {
+					return
+				}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						lt.InsertStalled(1, func() { time.Sleep(pause) })
+					}
+				}
+			},
+		},
+	}
+
+	measure := func(impl stallable, withStaller bool) float64 {
+		s := impl.mk()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if withStaller {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				impl.staller(s, stop)
+			}()
+		}
+		var total int64
+		var counts sync.WaitGroup
+		for w := 0; w < workers-1; w++ {
+			counts.Add(1)
+			go func(id int) {
+				defer counts.Done()
+				rng := rand.New(rand.NewSource(seed + int64(id)))
+				n := int64(0)
+				for {
+					select {
+					case <-stop:
+						atomicAdd(&total, n)
+						return
+					default:
+						k := 2 + rng.Int63n(u-2)
+						if rng.Intn(2) == 0 {
+							s.Insert(k)
+						} else {
+							s.Delete(k)
+						}
+						n++
+					}
+				}
+			}(w)
+		}
+		time.Sleep(window)
+		close(stop)
+		counts.Wait()
+		wg.Wait()
+		return float64(total) / window.Seconds()
+	}
+
+	for _, impl := range impls {
+		base := measure(impl, false)
+		stalled := measure(impl, true)
+		tab.AddRow(impl.name, base, stalled, 100*stalled/base)
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// atomicAdd avoids importing sync/atomic at every call site above.
+func atomicAdd(p *int64, v int64) { atomic.AddInt64(p, v) }
+
+// expC5: throughput vs baselines across mixes.
+func expC5(ops, workers int, seed int64) error {
+	fmt.Println("== C5: throughput vs baselines (ops/s) ==")
+	const u = int64(1 << 16)
+	impls := []struct {
+		name string
+		mk   func() harness.Set
+	}{
+		{"lockfree-trie", func() harness.Set { return mustTrie(u) }},
+		{"rwlock-trie", func() harness.Set { s, _ := locktrie.New(u); return s }},
+		{"versioned-cas-trie", func() harness.Set { s, _ := versioned.New(u); return s }},
+		{"lockfree-skiplist", func() harness.Set { s, _ := skiplist.New(u, 42); return s }},
+		{"lockfree-bst", func() harness.Set { s, _ := efrb.New(u); return s }},
+	}
+	mixes := []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"update-heavy", workload.MixUpdateHeavy},
+		{"read-heavy", workload.MixReadHeavy},
+		{"pred-heavy", workload.MixPredHeavy},
+	}
+	tab := harness.NewTable("impl", "update-heavy", "read-heavy", "pred-heavy")
+	for _, impl := range impls {
+		row := []any{impl.name}
+		for _, m := range mixes {
+			s := impl.mk()
+			res, err := harness.Run(s, harness.Config{
+				Workers: workers, OpsPerWorker: ops / workers,
+				Mix: m.mix, Dist: workload.Uniform{U: u}, Seed: seed, Prefill: u / 8,
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, res.Throughput)
+		}
+		tab.AddRow(row...)
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// expC6: RelaxedPredecessor ⊥-rate vs churn.
+func expC6(ops, _ int, seed int64) error {
+	fmt.Println("== C6: RelaxedPredecessor ⊥-rate vs update churn ==")
+	const u = int64(1 << 10)
+	tab := harness.NewTable("churn goroutines", "bottom-rate %")
+	for _, churners := range []int{0, 1, 2, 4} {
+		tr, err := relaxed.New(u)
+		if err != nil {
+			return err
+		}
+		tr.Insert(1)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < churners; c++ {
+			wg.Add(1)
+			go func(s int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(s))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						k := u/2 + rng.Int63n(u/4)
+						tr.Insert(k)
+						tr.Delete(k)
+					}
+				}
+			}(seed + int64(c))
+		}
+		bottoms := 0
+		for i := 0; i < ops; i++ {
+			if _, ok := tr.Predecessor(u - 1); !ok {
+				bottoms++
+			}
+		}
+		close(stop)
+		wg.Wait()
+		tab.AddRow(churners, 100*float64(bottoms)/float64(ops))
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// expC7: peak announcement-list occupancy vs workers.
+func expC7(ops, _ int, seed int64) error {
+	fmt.Println("== C7: peak announcement occupancy vs workers (claim: O(ċ)) ==")
+	const u = int64(1 << 12)
+	tab := harness.NewTable("workers", "peak U-ALL", "peak P-ALL")
+	for _, g := range []int{1, 2, 4, 8} {
+		tr := mustTrie(u)
+		stop := make(chan struct{})
+		var maxU, maxP int
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if n := tr.AnnouncedUpdates(); n > maxU {
+						maxU = n
+					}
+					if n := tr.AnnouncedPredecessors(); n > maxP {
+						maxP = n
+					}
+				}
+			}
+		}()
+		_, err := harness.Run(tr, harness.Config{
+			Workers: g, OpsPerWorker: ops / g,
+			Mix: workload.MixUpdateHeavy, Dist: workload.Uniform{U: u}, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		close(stop)
+		<-done
+		tab.AddRow(g, maxU, maxP)
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// expA1: second-CAS rescues under delete contention. The rescue needs an
+// outdated delete poised at its CAS while a newer same-key delete races
+// past — rare by construction (that is the point of the two-attempt rule),
+// so we report per 10k operations on a tiny, fully contended universe.
+func expA1(ops, _ int, seed int64) error {
+	fmt.Println("== A1: second CAS attempt rescues (DeleteBinaryTrie, per 10k ops) ==")
+	const u = int64(8)
+	tab := harness.NewTable("workers", "2nd-CAS rescues/10k", "CAS failures/10k")
+	for _, g := range []int{2, 4, 8} {
+		tr := mustTrie(u)
+		bstats := &bitstrie.Stats{}
+		tr.Bits().SetStats(bstats)
+		res, err := harness.Run(tr, harness.Config{
+			Workers: g, OpsPerWorker: ops / g,
+			Mix:  workload.MixUpdateOnly,
+			Dist: workload.Uniform{U: u},
+			Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		per10k := 10000 / float64(res.Ops)
+		tab.AddRow(g, float64(bstats.SecondCASSuccess.Load())*per10k,
+			float64(bstats.CASFailures.Load())*per10k)
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// expA2: update latency vs parked predecessor announcements.
+func expA2(ops, _ int, seed int64) error {
+	fmt.Println("== A2: update cost vs announced predecessors (notify cost) ==")
+	const u = int64(1 << 12)
+	tab := harness.NewTable("parked preds", "ins+del ns/op")
+	for _, parked := range []int{0, 2, 8, 16} {
+		tr := mustTrie(u)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for p := 0; p < parked; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						tr.Predecessor(u - 1)
+					}
+				}
+			}()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			k := rng.Int63n(u / 2)
+			tr.Insert(k)
+			tr.Delete(k)
+		}
+		elapsed := time.Since(t0)
+		close(stop)
+		wg.Wait()
+		tab.AddRow(parked, float64(elapsed.Nanoseconds())/float64(ops))
+	}
+	fmt.Println(tab)
+	return nil
+}

@@ -1,0 +1,75 @@
+package lockfreetrie_test
+
+import (
+	"fmt"
+
+	lockfreetrie "repro"
+)
+
+// The basic lifecycle: create a trie over a bounded universe, insert keys,
+// query membership and predecessors.
+func ExampleNew() {
+	tr, err := lockfreetrie.New(1024)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tr.Insert(42)
+	tr.Insert(100)
+	ok, _ := tr.Contains(42)
+	fmt.Println(ok)
+	// Output: true
+}
+
+func ExampleTrie_Predecessor() {
+	tr, _ := lockfreetrie.New(256)
+	for _, k := range []int64{10, 20, 30} {
+		tr.Insert(k)
+	}
+	p, _ := tr.Predecessor(25) // largest key < 25
+	fmt.Println(p)
+	p, _ = tr.Predecessor(10) // nothing below 10
+	fmt.Println(p)
+	// Output:
+	// 20
+	// -1
+}
+
+func ExampleTrie_Floor() {
+	tr, _ := lockfreetrie.New(64)
+	tr.Insert(7)
+	f, _ := tr.Floor(7) // 7 itself is present
+	fmt.Println(f)
+	f, _ = tr.Floor(9) // falls back to the predecessor
+	fmt.Println(f)
+	// Output:
+	// 7
+	// 7
+}
+
+func ExampleTrie_Max() {
+	tr, _ := lockfreetrie.New(64)
+	m, _ := tr.Max() // empty
+	fmt.Println(m)
+	tr.Insert(3)
+	tr.Insert(61)
+	m, _ = tr.Max()
+	fmt.Println(m)
+	// Output:
+	// -1
+	// 61
+}
+
+// The wait-free relaxed variant: predecessor may abstain under concurrent
+// updates (ok=false) but is exact whenever the queried range is quiescent.
+func ExampleNewRelaxed() {
+	rx, _ := lockfreetrie.NewRelaxed(128)
+	rx.Insert(5)
+	pred, ok, _ := rx.Predecessor(10)
+	fmt.Println(pred, ok)
+	succ, ok, _ := rx.Successor(5)
+	fmt.Println(succ, ok)
+	// Output:
+	// 5 true
+	// -1 true
+}

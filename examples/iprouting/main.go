@@ -1,0 +1,192 @@
+// IP routing: longest-prefix-style next-hop lookup built on predecessor
+// queries — the application the paper's introduction cites ("data structures
+// supporting Predecessor ... have applications in IP routing [19]").
+//
+// The routing table holds disjoint address blocks on a 16-bit "mini
+// internet". Each block is keyed by its start address in the trie, with the
+// block metadata in a sharded side table. A lookup is Floor(addr) followed
+// by a range check — O(log u) with zero locks — while route flaps (withdraw
+// + announce) run concurrently from several goroutines.
+//
+//	go run ./examples/iprouting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	lockfreetrie "repro"
+)
+
+const universe = 1 << 16 // 16-bit addresses: 0.0 – 255.255
+
+// route is one address block [Start, Start+Size) with a next hop.
+type route struct {
+	Start   int64
+	Size    int64
+	NextHop string
+}
+
+// table is a concurrent routing table: a lock-free trie of block starts
+// plus an atomic side map from start to route metadata.
+type table struct {
+	starts *lockfreetrie.Trie
+	routes sync.Map // int64 → *route
+}
+
+func newTable() (*table, error) {
+	tr, err := lockfreetrie.New(universe)
+	if err != nil {
+		return nil, err
+	}
+	return &table{starts: tr}, nil
+}
+
+// announce installs a route. The metadata goes in before the start key so a
+// concurrent lookup that sees the key always finds the route.
+func (t *table) announce(r *route) error {
+	t.routes.Store(r.Start, r)
+	return t.starts.Insert(r.Start)
+}
+
+// withdraw removes the block starting at start.
+func (t *table) withdraw(start int64) error {
+	if err := t.starts.Delete(start); err != nil {
+		return err
+	}
+	t.routes.Delete(start)
+	return nil
+}
+
+// lookup returns the next hop for addr, or "" if no route covers it.
+func (t *table) lookup(addr int64) (string, error) {
+	start, err := t.starts.Floor(addr)
+	if err != nil {
+		return "", err
+	}
+	if start < 0 {
+		return "", nil
+	}
+	v, ok := t.routes.Load(start)
+	if !ok {
+		return "", nil // withdrawn between Floor and Load: no route
+	}
+	r := v.(*route)
+	if addr >= r.Start+r.Size {
+		return "", nil // addr falls in the gap after the block
+	}
+	return r.NextHop, nil
+}
+
+func fmtAddr(a int64) string { return fmt.Sprintf("%d.%d", a>>8, a&0xff) }
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	t, err := newTable()
+	if err != nil {
+		return err
+	}
+
+	// Static backbone: /8-ish blocks (256 addresses each) over the lower
+	// half of the space.
+	for i := int64(0); i < 128; i++ {
+		if err := t.announce(&route{
+			Start:   i * 512,
+			Size:    256,
+			NextHop: fmt.Sprintf("core-%d", i%4),
+		}); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("initial lookups:")
+	for _, addr := range []int64{0, 300, 515, 65000} {
+		hop, err := t.lookup(addr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-9s -> %q\n", fmtAddr(addr), hop)
+	}
+
+	// Concurrent route flaps on the upper half while lookups hammer the
+	// whole space.
+	var (
+		wg        sync.WaitGroup
+		lookups   atomic.Int64
+		misses    atomic.Int64
+		flapCount atomic.Int64
+	)
+	stop := make(chan struct{})
+	for f := 0; f < 2; f++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := 1<<15 + rng.Int63n(1<<14)*2 // even starts, upper half
+				r := &route{Start: start, Size: 2, NextHop: fmt.Sprintf("edge-%d", seed)}
+				if err := t.announce(r); err != nil {
+					log.Println(err)
+					return
+				}
+				flapCount.Add(1)
+				if err := t.withdraw(start); err != nil {
+					log.Println(err)
+					return
+				}
+			}
+		}(int64(f + 1))
+	}
+	for l := 0; l < 2; l++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed * 97))
+			for i := 0; i < 50000; i++ {
+				addr := rng.Int63n(universe)
+				hop, err := t.lookup(addr)
+				if err != nil {
+					log.Println(err)
+					return
+				}
+				lookups.Add(1)
+				if hop == "" {
+					misses.Add(1)
+				}
+			}
+		}(int64(l + 1))
+	}
+	// Lookup goroutines finish on their own; then stop the flappers.
+	done := make(chan struct{})
+	go func() { defer close(done); wg.Wait() }()
+	go func() {
+		// Stop flapping once lookups complete.
+		for lookups.Load() < 100000 {
+		}
+		close(stop)
+	}()
+	<-done
+
+	fmt.Printf("\nran %d lookups (%d unrouted) against %d concurrent route flaps\n",
+		lookups.Load(), misses.Load(), flapCount.Load())
+
+	hop, err := t.lookup(515)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steady route still intact: %s -> %q\n", fmtAddr(515), hop)
+	return nil
+}

@@ -1,0 +1,157 @@
+// Order book: best-bid / best-ask tracking over a tick grid using two
+// tries. Bids need the highest price ≤ the spread (Max/Floor); asks need
+// the LOWEST price, which the trie serves through a mirror trick — store
+// ask prices negated (key = maxTick − price) so that Max on the mirrored
+// trie is Min on real prices. Makers post and cancel price levels
+// concurrently while a sampler reads the spread without locks.
+//
+//	go run ./examples/orderbook
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	lockfreetrie "repro"
+)
+
+const maxTick = 1 << 14 // prices in [0, 16384) ticks
+
+// book holds occupied bid and ask price levels.
+type book struct {
+	bids *lockfreetrie.Trie // keys are prices
+	asks *lockfreetrie.Trie // keys are maxTick−1−price (mirrored)
+}
+
+func newBook() (*book, error) {
+	bids, err := lockfreetrie.New(maxTick)
+	if err != nil {
+		return nil, err
+	}
+	asks, err := lockfreetrie.New(maxTick)
+	if err != nil {
+		return nil, err
+	}
+	return &book{bids: bids, asks: asks}, nil
+}
+
+func mirror(price int64) int64 { return maxTick - 1 - price }
+
+// postBid / postAsk mark a price level occupied.
+func (b *book) postBid(price int64) error { return b.bids.Insert(price) }
+func (b *book) postAsk(price int64) error { return b.asks.Insert(mirror(price)) }
+
+// cancelBid / cancelAsk clear a price level.
+func (b *book) cancelBid(price int64) error { return b.bids.Delete(price) }
+func (b *book) cancelAsk(price int64) error { return b.asks.Delete(mirror(price)) }
+
+// bestBid returns the highest bid, or −1.
+func (b *book) bestBid() (int64, error) { return b.bids.Max() }
+
+// bestAsk returns the lowest ask, or −1.
+func (b *book) bestAsk() (int64, error) {
+	m, err := b.asks.Max()
+	if err != nil || m < 0 {
+		return m, err
+	}
+	return mirror(m), nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	bk, err := newBook()
+	if err != nil {
+		return err
+	}
+
+	// Seed a resting book around mid price 8192: bids below, asks above.
+	const mid = int64(8192)
+	for d := int64(1); d <= 50; d++ {
+		if err := bk.postBid(mid - 10*d); err != nil {
+			return err
+		}
+		if err := bk.postAsk(mid + 10*d); err != nil {
+			return err
+		}
+	}
+	bb, _ := bk.bestBid()
+	ba, _ := bk.bestAsk()
+	fmt.Printf("resting book: best bid %d, best ask %d, spread %d\n", bb, ba, ba-bb)
+
+	// Makers churn levels near the top of the book; a sampler reads the
+	// spread concurrently and checks it never inverts against the resting
+	// levels (resting top-of-book is never cancelled, so bid ≥ 8182 and
+	// ask ≤ 8202 always hold).
+	var (
+		wg       sync.WaitGroup
+		posts    atomic.Int64
+		inverted atomic.Int64
+		samples  atomic.Int64
+	)
+	stop := make(chan struct{})
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Flash levels strictly inside the resting spread.
+				bid := mid - 9 + rng.Int63n(5) // 8183..8187
+				ask := mid + 5 + rng.Int63n(5) // 8197..8201
+				if err := bk.postBid(bid); err != nil {
+					log.Println(err)
+					return
+				}
+				if err := bk.postAsk(ask); err != nil {
+					log.Println(err)
+					return
+				}
+				posts.Add(2)
+				bk.cancelBid(bid)
+				bk.cancelAsk(ask)
+			}
+		}(int64(m + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40000; i++ {
+			bb, err := bk.bestBid()
+			if err != nil {
+				log.Println(err)
+				return
+			}
+			ba, err := bk.bestAsk()
+			if err != nil {
+				log.Println(err)
+				return
+			}
+			samples.Add(1)
+			if bb >= ba {
+				inverted.Add(1) // crossed book would be a consistency bug
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+
+	bb, _ = bk.bestBid()
+	ba, _ = bk.bestAsk()
+	fmt.Printf("after %d flash posts and %d spread samples:\n", posts.Load(), samples.Load())
+	fmt.Printf("  crossed-book observations: %d (want 0)\n", inverted.Load())
+	fmt.Printf("  final best bid %d, best ask %d\n", bb, ba)
+	return nil
+}

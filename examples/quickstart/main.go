@@ -1,0 +1,83 @@
+// Quickstart: the smallest useful tour of the lock-free binary trie API —
+// membership, predecessor queries and concurrent updates.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	lockfreetrie "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A trie over the universe {0,…,1023}. Memory is Θ(universe), so pick
+	// the smallest power of two that covers your keys.
+	tr, err := lockfreetrie.New(1024)
+	if err != nil {
+		return err
+	}
+
+	// Single-goroutine basics.
+	for _, k := range []int64{42, 100, 767} {
+		if err := tr.Insert(k); err != nil {
+			return err
+		}
+	}
+	present, err := tr.Contains(100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Contains(100) = %v\n", present)
+
+	p, err := tr.Predecessor(500) // largest key < 500
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Predecessor(500) = %d\n", p) // 100
+
+	if err := tr.Delete(100); err != nil {
+		return err
+	}
+	p, _ = tr.Predecessor(500)
+	fmt.Printf("Predecessor(500) after Delete(100) = %d\n", p) // 42
+
+	// Concurrent use: no locks, no setup — just share the *Trie.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 100; i++ {
+				if err := tr.Insert(base*100 + i); err != nil {
+					log.Println(err)
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+
+	max, _ := tr.Max()
+	fmt.Printf("after concurrent inserts: Max() = %d\n", max)
+
+	// The wait-free relaxed variant: predecessor may abstain under
+	// concurrent updates (ok=false) but is exact at quiescence.
+	rx, err := lockfreetrie.NewRelaxed(256)
+	if err != nil {
+		return err
+	}
+	rx.Insert(7)
+	if pred, ok, _ := rx.Predecessor(10); ok {
+		fmt.Printf("relaxed Predecessor(10) = %d\n", pred)
+	}
+	return nil
+}

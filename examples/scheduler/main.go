@@ -1,0 +1,168 @@
+// Scheduler: a concurrent max-priority task scheduler built on the trie —
+// the priority-queue application the paper's introduction motivates ("Data
+// structures supporting Predecessor can be used to design efficient
+// priority queues").
+//
+// The trie holds the set of priorities that currently have runnable tasks;
+// per-priority FIFO buckets hold the tasks themselves. Workers repeatedly
+// take the highest occupied priority (Max = Predecessor from the top) and
+// drain its bucket. Producers and workers run concurrently with no locks
+// around the priority structure.
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	lockfreetrie "repro"
+)
+
+const (
+	priorities = 1024
+	producers  = 3
+	workers    = 4
+	totalTasks = 3000
+)
+
+// task is one unit of work.
+type task struct {
+	id       int64
+	priority int64
+}
+
+// scheduler pairs the priority trie with per-priority FIFO buckets.
+type scheduler struct {
+	prios   *lockfreetrie.Trie
+	buckets []chan task
+}
+
+func newScheduler() (*scheduler, error) {
+	tr, err := lockfreetrie.New(priorities)
+	if err != nil {
+		return nil, err
+	}
+	s := &scheduler{prios: tr, buckets: make([]chan task, priorities)}
+	for i := range s.buckets {
+		s.buckets[i] = make(chan task, totalTasks)
+	}
+	return s, nil
+}
+
+// submit enqueues the task and marks its priority occupied. The bucket push
+// happens first so a worker that sees the priority always finds a task or a
+// benign empty bucket.
+func (s *scheduler) submit(t task) error {
+	s.buckets[t.priority] <- t
+	return s.prios.Insert(t.priority)
+}
+
+// take returns the runnable task with the highest priority, or ok=false if
+// the scheduler appears empty.
+func (s *scheduler) take() (task, bool, error) {
+	for attempts := 0; attempts < priorities; attempts++ {
+		p, err := s.prios.Max()
+		if err != nil {
+			return task{}, false, err
+		}
+		if p < 0 {
+			return task{}, false, nil
+		}
+		select {
+		case t := <-s.buckets[p]:
+			return t, true, nil
+		default:
+			// Bucket drained: retire the priority, then re-mark it if a
+			// concurrent submit raced in behind our check.
+			if err := s.prios.Delete(p); err != nil {
+				return task{}, false, err
+			}
+			if len(s.buckets[p]) > 0 {
+				if err := s.prios.Insert(p); err != nil {
+					return task{}, false, err
+				}
+			}
+		}
+	}
+	return task{}, false, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	s, err := newScheduler()
+	if err != nil {
+		return err
+	}
+
+	var (
+		produced atomic.Int64
+		consumed atomic.Int64
+		hiCount  atomic.Int64 // tasks with priority ≥ 768 seen by workers
+		wg       sync.WaitGroup
+	)
+
+	// Producers: skew toward low priorities so high-priority arrivals are
+	// rare and must visibly jump the queue.
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				id := produced.Add(1)
+				if id > totalTasks {
+					return
+				}
+				prio := rng.Int63n(256) // bulk: low priority
+				if rng.Intn(20) == 0 {
+					prio = 768 + rng.Int63n(256) // occasional urgent task
+				}
+				if err := s.submit(task{id: id, priority: prio}); err != nil {
+					log.Println(err)
+					return
+				}
+			}
+		}(int64(p + 1))
+	}
+
+	// Workers: drain until all tasks are consumed.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < totalTasks {
+				t, ok, err := s.take()
+				if err != nil {
+					log.Println(err)
+					return
+				}
+				if !ok {
+					continue // empty at the moment; producers may still run
+				}
+				if t.priority >= 768 {
+					hiCount.Add(1)
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("scheduled %d tasks across %d workers\n", consumed.Load(), workers)
+	fmt.Printf("urgent tasks (priority ≥ 768) processed: %d\n", hiCount.Load())
+	p, err := s.prios.Max()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("remaining occupied priorities after drain: Max() = %d (want -1)\n", p)
+	return nil
+}

@@ -1,0 +1,122 @@
+// Telemetry: a latency watermark tracker on the WAIT-FREE relaxed trie.
+// High-rate producers record request latencies (bucketed to ms) with
+// strictly bounded per-record work — the §4 guarantee: O(log u) worst-case
+// steps, no helping, no retry loops — while a monitor polls the current
+// min/max watermarks with queries that may abstain during heavy churn
+// (ok=false) rather than delay producers. At shutdown the monitor's
+// queries are exact.
+//
+// This is the trade the relaxed trie offers versus the full lock-free
+// trie: producers get hard step bounds; the reader accepts best-effort
+// answers under fire and exact answers at quiescence.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	lockfreetrie "repro"
+)
+
+const maxLatencyMs = 1 << 12 // bucket space: 0…4095 ms
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lat, err := lockfreetrie.NewRelaxed(maxLatencyMs)
+	if err != nil {
+		return err
+	}
+
+	var (
+		recorded  atomic.Int64
+		abstained atomic.Int64
+		samples   atomic.Int64
+		wgProd    sync.WaitGroup
+		wgMon     sync.WaitGroup
+	)
+	stop := make(chan struct{})
+
+	// Producers: record log-normal-ish latencies. Each Insert is wait-free
+	// O(log u) — a producer can never be dragged into helping a slow peer.
+	for p := 0; p < 3; p++ {
+		wgProd.Add(1)
+		go func(seed int64) {
+			defer wgProd.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 60000; i++ {
+				ms := int64(2)
+				for rng.Intn(4) != 0 && ms < maxLatencyMs/2 {
+					ms *= 2 // geometric tail
+				}
+				ms += rng.Int63n(ms)
+				if err := lat.Insert(ms); err != nil {
+					log.Println(err)
+					return
+				}
+				recorded.Add(1)
+			}
+		}(int64(p + 1))
+	}
+
+	// Monitor: poll the watermarks. Successor(0) ≈ fastest bucket,
+	// Predecessor(max) ≈ slowest bucket; under churn either may abstain.
+	wgMon.Add(1)
+	go func() {
+		defer wgMon.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			samples.Add(1)
+			if _, ok, err := lat.Successor(0); err != nil {
+				log.Println(err)
+				return
+			} else if !ok {
+				abstained.Add(1)
+			}
+			if _, ok, err := lat.Predecessor(maxLatencyMs - 1); err != nil {
+				log.Println(err)
+				return
+			} else if !ok {
+				abstained.Add(1)
+			}
+		}
+	}()
+
+	wgProd.Wait()
+	close(stop)
+	wgMon.Wait()
+
+	// Quiescent: the relaxed spec now guarantees exact answers.
+	fastest, ok, err := lat.Successor(0)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("quiescent Successor abstained — spec violation")
+	}
+	slowest, ok, err := lat.Predecessor(maxLatencyMs - 1)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("quiescent Predecessor abstained — spec violation")
+	}
+	fmt.Printf("recorded %d latency samples across 3 wait-free producers\n", recorded.Load())
+	fmt.Printf("monitor polled %d times; %d abstentions under churn (expected, best-effort)\n",
+		samples.Load(), abstained.Load())
+	fmt.Printf("quiescent watermarks: fastest %d ms, slowest %d ms\n", fastest, slowest)
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package alist implements the announcement linked lists of the lock-free
+// binary trie (paper §5.1): the update announcement list U-ALL (sorted by
+// ascending key) and the reverse update announcement list RU-ALL (sorted by
+// descending key, ties in insertion order). Both are Harris-style lock-free
+// linked lists with logical deletion via marked successor references.
+//
+// Cells are allocated per insertion rather than embedded in update nodes
+// because a helper may re-insert an update node after its owner already
+// removed it (paper lines 135–136, HelpActivate); Remove therefore unlinks
+// every cell that carries the given update node.
+package alist
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/unode"
+)
+
+// Sentinel keys. The U-ALL head sentinel has key −∞ and its tail +∞; the
+// RU-ALL is reversed (paper §5.1 note on sentinels).
+const (
+	KeyNegInf int64 = math.MinInt64
+	KeyPosInf int64 = math.MaxInt64
+)
+
+// Cell is one list node. Key and Upd are immutable; the successor reference
+// carries the deletion mark (Harris's algorithm, modeled as an immutable ref
+// struct swapped by CAS, the Go equivalent of AtomicMarkableReference).
+type Cell struct {
+	// Key orders the cell. Sentinel cells have Upd == nil.
+	Key int64
+	// Upd is the announced update node.
+	Upd *unode.UpdateNode
+
+	next atomic.Pointer[ref]
+}
+
+type ref struct {
+	next   *Cell
+	marked bool
+}
+
+// Next returns the successor cell, whether or not this cell is marked. The
+// RU-ALL traversal follows cells one at a time through the atomic-copy slot
+// and tolerates logically deleted cells (their successor pointers stay
+// valid), exactly like the paper's traversal.
+func (c *Cell) Next() *Cell {
+	r := c.next.Load()
+	if r == nil {
+		return nil
+	}
+	return r.next
+}
+
+// Marked reports whether the cell has been logically deleted.
+func (c *Cell) Marked() bool {
+	r := c.next.Load()
+	return r != nil && r.marked
+}
+
+// List is a lock-free sorted linked list of update-node cells with sentinel
+// head and tail. If Descending is set, cells are sorted by decreasing key
+// (RU-ALL); otherwise by increasing key (U-ALL). Equal keys appear in
+// insertion order in both directions.
+type List struct {
+	head       *Cell
+	tail       *Cell
+	descending bool
+}
+
+// New returns an empty list. descending selects RU-ALL order.
+func New(descending bool) *List {
+	headKey, tailKey := KeyNegInf, KeyPosInf
+	if descending {
+		headKey, tailKey = KeyPosInf, KeyNegInf
+	}
+	l := &List{
+		head:       &Cell{Key: headKey},
+		tail:       &Cell{Key: tailKey},
+		descending: descending,
+	}
+	l.head.next.Store(&ref{next: l.tail})
+	return l
+}
+
+// Head returns the head sentinel; traversals start at Head().Next().
+func (l *List) Head() *Cell {
+	return l.head
+}
+
+// precedes reports whether a cell with key a stays strictly before a new
+// cell with key b, so that equal keys insert after existing ones.
+func (l *List) precedes(a, b int64) bool {
+	if l.descending {
+		return a >= b
+	}
+	return a <= b
+}
+
+// search returns adjacent unmarked cells (pred, succ) such that pred is the
+// last cell preceding key and succ the first not preceding it, physically
+// unlinking any marked cells encountered (Harris search).
+func (l *List) search(key int64) (pred *Cell, predRef *ref, succ *Cell) {
+retry:
+	for {
+		pred = l.head
+		predRef = pred.next.Load()
+		cur := predRef.next
+		for {
+			curRef := cur.next.Load()
+			for curRef != nil && curRef.marked {
+				// Unlink the marked cell. On failure the neighborhood
+				// changed; restart.
+				if !pred.next.CompareAndSwap(predRef, &ref{next: curRef.next}) {
+					continue retry
+				}
+				predRef = pred.next.Load()
+				if predRef.marked {
+					continue retry
+				}
+				cur = predRef.next
+				curRef = cur.next.Load()
+			}
+			if cur == l.tail || !l.precedes(cur.Key, key) {
+				return pred, predRef, cur
+			}
+			pred, predRef = cur, curRef
+			cur = curRef.next
+		}
+	}
+}
+
+// Insert adds a new cell for u (key u.Key) after all cells with equal key
+// and returns the cell. Duplicate cells for the same update node are
+// permitted (helper re-insertion).
+func (l *List) Insert(u *unode.UpdateNode) *Cell {
+	cell := &Cell{Key: u.Key, Upd: u}
+	for {
+		pred, predRef, succ := l.search(u.Key)
+		if predRef.marked || predRef.next != succ {
+			continue
+		}
+		cell.next.Store(&ref{next: succ})
+		if pred.next.CompareAndSwap(predRef, &ref{next: cell}) {
+			return cell
+		}
+	}
+}
+
+// Remove logically deletes every cell carrying u and physically unlinks
+// them. It returns the number of cells removed. Removing an absent node is
+// a no-op returning 0.
+func (l *List) Remove(u *unode.UpdateNode) int {
+	removed := 0
+	for {
+		cell := l.findCell(u)
+		if cell == nil {
+			return removed
+		}
+		for {
+			r := cell.next.Load()
+			if r.marked {
+				break // someone else marked it; look for another cell
+			}
+			if cell.next.CompareAndSwap(r, &ref{next: r.next, marked: true}) {
+				removed++
+				break
+			}
+		}
+		// Physically unlink via a search around the key.
+		l.search(u.Key)
+	}
+}
+
+// findCell scans the key's region for an unmarked cell carrying u.
+func (l *List) findCell(u *unode.UpdateNode) *Cell {
+	cur := l.head.Next()
+	for cur != nil && cur != l.tail && l.precedes(cur.Key, u.Key) {
+		if cur.Upd == u && !cur.Marked() {
+			return cur
+		}
+		cur = cur.Next()
+	}
+	return nil
+}
+
+// Contains reports whether an unmarked cell for u is currently linked.
+// Intended for tests and metrics.
+func (l *List) Contains(u *unode.UpdateNode) bool {
+	return l.findCell(u) != nil
+}
+
+// Len counts unmarked non-sentinel cells. O(n); for tests and metrics only.
+func (l *List) Len() int {
+	n := 0
+	for cur := l.head.Next(); cur != nil && cur != l.tail; cur = cur.Next() {
+		if !cur.Marked() {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns the keys of unmarked cells in list order. For tests.
+func (l *List) Keys() []int64 {
+	var keys []int64
+	for cur := l.head.Next(); cur != nil && cur != l.tail; cur = cur.Next() {
+		if !cur.Marked() {
+			keys = append(keys, cur.Key)
+		}
+	}
+	return keys
+}

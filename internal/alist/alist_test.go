@@ -1,0 +1,265 @@
+package alist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/unode"
+)
+
+func ins(key int64) *unode.UpdateNode { return unode.NewIns(key) }
+
+func TestEmptyList(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		l := New(desc)
+		if got := l.Len(); got != 0 {
+			t.Errorf("descending=%v: Len() = %d, want 0", desc, got)
+		}
+		if l.Head().Next().Upd != nil {
+			t.Errorf("descending=%v: head.Next() should be tail sentinel", desc)
+		}
+	}
+}
+
+func TestInsertAscendingOrder(t *testing.T) {
+	l := New(false)
+	for _, k := range []int64{5, 1, 9, 3, 7} {
+		l.Insert(ins(k))
+	}
+	want := []int64{1, 3, 5, 7, 9}
+	got := l.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInsertDescendingOrder(t *testing.T) {
+	l := New(true)
+	for _, k := range []int64{5, 1, 9, 3, 7} {
+		l.Insert(ins(k))
+	}
+	want := []int64{9, 7, 5, 3, 1}
+	got := l.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDuplicateKeysFIFO: the paper requires an update node to be added
+// "after every update node with the same key" in both lists.
+func TestDuplicateKeysFIFO(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		l := New(desc)
+		first, second, third := ins(4), ins(4), ins(4)
+		l.Insert(first)
+		l.Insert(second)
+		l.Insert(third)
+		var got []*unode.UpdateNode
+		for c := l.Head().Next(); c != nil && c.Upd != nil; c = c.Next() {
+			got = append(got, c.Upd)
+		}
+		if len(got) != 3 || got[0] != first || got[1] != second || got[2] != third {
+			t.Errorf("descending=%v: duplicate order not FIFO", desc)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	l := New(false)
+	a, b, c := ins(1), ins(2), ins(3)
+	l.Insert(a)
+	l.Insert(b)
+	l.Insert(c)
+	if n := l.Remove(b); n != 1 {
+		t.Fatalf("Remove(b) = %d, want 1", n)
+	}
+	if l.Contains(b) {
+		t.Fatal("b still present after Remove")
+	}
+	got := l.Keys()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Keys() = %v, want [1 3]", got)
+	}
+	if n := l.Remove(b); n != 0 {
+		t.Fatalf("second Remove(b) = %d, want 0", n)
+	}
+}
+
+// TestRemoveAllDuplicates: Remove must unlink every cell for the node,
+// which is what the owner does after helpers re-inserted it.
+func TestRemoveAllDuplicates(t *testing.T) {
+	l := New(false)
+	u := ins(5)
+	l.Insert(u)
+	l.Insert(u)
+	l.Insert(u)
+	if n := l.Remove(u); n != 3 {
+		t.Fatalf("Remove = %d, want 3", n)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", l.Len())
+	}
+}
+
+func TestReinsertAfterRemove(t *testing.T) {
+	l := New(false)
+	u := ins(6)
+	l.Insert(u)
+	l.Remove(u)
+	l.Insert(u) // helper re-inserts: must get a fresh cell, list stays valid
+	if !l.Contains(u) {
+		t.Fatal("node absent after re-insert")
+	}
+	if n := l.Remove(u); n != 1 {
+		t.Fatalf("Remove after re-insert = %d, want 1", n)
+	}
+}
+
+// TestQuickSortedness: arbitrary insert sequences yield a sorted list with
+// all inserted keys present.
+func TestQuickSortedness(t *testing.T) {
+	f := func(keys []int16, desc bool) bool {
+		l := New(desc)
+		for _, k := range keys {
+			l.Insert(ins(int64(k)))
+		}
+		got := l.Keys()
+		if len(got) != len(keys) {
+			return false
+		}
+		want := make([]int64, len(keys))
+		for i, k := range keys {
+			want[i] = int64(k)
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if desc {
+				return want[i] > want[j]
+			}
+			return want[i] < want[j]
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentInsertRemove hammers the list from multiple goroutines and
+// checks the final state matches the surviving set, list stays sorted, and
+// no node is lost.
+func TestConcurrentInsertRemove(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		l := New(desc)
+		const goroutines = 8
+		const perG = 300
+		var wg sync.WaitGroup
+		keep := make([][]*unode.UpdateNode, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(id + 1)))
+				for i := 0; i < perG; i++ {
+					u := ins(int64(rng.Intn(64)))
+					l.Insert(u)
+					if rng.Intn(2) == 0 {
+						l.Remove(u)
+					} else {
+						keep[id] = append(keep[id], u)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		var wantCount int
+		for _, ks := range keep {
+			for _, u := range ks {
+				if !l.Contains(u) {
+					t.Fatalf("descending=%v: surviving node %v missing", desc, u)
+				}
+				wantCount++
+			}
+		}
+		if got := l.Len(); got != wantCount {
+			t.Fatalf("descending=%v: Len() = %d, want %d", desc, got, wantCount)
+		}
+		keys := l.Keys()
+		for i := 1; i < len(keys); i++ {
+			inOrder := keys[i-1] <= keys[i]
+			if desc {
+				inOrder = keys[i-1] >= keys[i]
+			}
+			if !inOrder {
+				t.Fatalf("descending=%v: keys out of order: %v", desc, keys)
+			}
+		}
+	}
+}
+
+// TestConcurrentRemoveSameNode: concurrent removers of one node remove it
+// exactly once in total.
+func TestConcurrentRemoveSameNode(t *testing.T) {
+	l := New(false)
+	u := ins(9)
+	l.Insert(u)
+	const removers = 8
+	var wg sync.WaitGroup
+	total := make([]int, removers)
+	start := make(chan struct{})
+	for r := 0; r < removers; r++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			<-start
+			total[idx] = l.Remove(u)
+		}(r)
+	}
+	close(start)
+	wg.Wait()
+	sum := 0
+	for _, n := range total {
+		sum += n
+	}
+	if sum != 1 {
+		t.Fatalf("total removals = %d, want 1", sum)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", l.Len())
+	}
+}
+
+// TestTraversalThroughMarkedCells: a traverser standing on a removed cell
+// can still reach the rest of the list (the paper's RU-ALL traversal relies
+// on this).
+func TestTraversalThroughMarkedCells(t *testing.T) {
+	l := New(false)
+	a, b, c := ins(1), ins(2), ins(3)
+	l.Insert(a)
+	cellB := l.Insert(b)
+	l.Insert(c)
+	l.Remove(b)
+	if !cellB.Marked() {
+		t.Fatal("cell b should be marked")
+	}
+	// From the marked cell we must still reach c and then the tail.
+	n := cellB.Next()
+	if n == nil || n.Key != 3 {
+		t.Fatalf("marked cell successor = %v, want key 3", n)
+	}
+}

@@ -1,0 +1,110 @@
+// Package atomicx provides the single-writer multi-reader atomic-copy
+// primitive the paper's RU-ALL traversal relies on (§5.2: "Each time pOp
+// reads a pointer to the next node in the RU-ALL, pOp atomically copies this
+// pointer into pNode.RuallPosition. Single-writer atomic copy can be
+// implemented from CAS with O(1) worst-case step complexity [7]").
+//
+// The implementation uses a copy descriptor with helping: the owner posts a
+// descriptor holding the source-read function, and the first process (owner
+// or reader) that resolves it performs the source read and installs the
+// result with CAS. Between posting and resolution no process can observe a
+// stale value — every reader helps resolve first — so the copy linearizes at
+// the source read performed by the winning resolver. Figure 8 of the paper
+// shows the interleaving this prevents.
+package atomicx
+
+import "sync/atomic"
+
+// Slot is a single-writer multi-reader cell holding a *T. The zero value
+// holds nil; call Store before sharing to set an initial value. Only one
+// goroutine (the owner) may call Store and Copy; any goroutine may call Read.
+type Slot[T any] struct {
+	cell atomic.Pointer[slotCell[T]]
+}
+
+// slotCell is either a resolved value (read == nil) or an unresolved copy
+// descriptor (read != nil). Descriptors are never reused, so pointer
+// identity is a safe CAS witness.
+type slotCell[T any] struct {
+	val  *T
+	read func() *T
+}
+
+// Store publishes v as the slot's value. Owner only; it must not race with
+// an unresolved Copy by the same owner (the owner's Copy resolves before
+// returning, so sequential owner code is always safe).
+func (s *Slot[T]) Store(v *T) {
+	s.cell.Store(&slotCell[T]{val: v})
+}
+
+// Read returns the current value, helping resolve an in-flight Copy if one
+// is posted. It never returns a value older than the latest completed Store
+// or Copy.
+func (s *Slot[T]) Read() *T {
+	c := s.cell.Load()
+	if c == nil {
+		return nil
+	}
+	if c.read == nil {
+		return c.val
+	}
+	return s.resolve(c)
+}
+
+// Copy atomically performs *dst = read() where dst is this slot: the read of
+// the source and the write to the slot appear to happen at a single instant.
+// read must be a side-effect-free load of the source location. Copy returns
+// the value that was copied. Owner only.
+func (s *Slot[T]) Copy(read func() *T) *T {
+	d := &slotCell[T]{read: read}
+	// The owner is the only writer, so the current cell is resolved and the
+	// descriptor install cannot fail against another writer — only against
+	// a concurrent reader helping an... there is none (resolved cell), so a
+	// plain Store suffices. We still publish with Store for clarity.
+	s.cell.Store(d)
+	return s.resolve(d)
+}
+
+// resolve completes descriptor d: the first successful CAS installs the
+// value obtained by the winner's source read, which is the copy's
+// linearization point. Losers return the winner's value.
+func (s *Slot[T]) resolve(d *slotCell[T]) *T {
+	v := d.read()
+	if s.cell.CompareAndSwap(d, &slotCell[T]{val: v}) {
+		return v
+	}
+	// Another helper resolved d first (or, for readers, the owner already
+	// moved on to a newer cell). Re-read; the cell now reflects a state at
+	// least as new as d's resolution.
+	c := s.cell.Load()
+	if c == nil || c.read == nil {
+		if c == nil {
+			return nil
+		}
+		return c.val
+	}
+	// A newer descriptor was posted by the owner after d resolved; helping
+	// it is equally correct and keeps Read wait-free in two steps, because
+	// the owner posts at most one descriptor at a time and our second CAS
+	// failing means that one resolved too.
+	v2 := c.read()
+	if s.cell.CompareAndSwap(c, &slotCell[T]{val: v2}) {
+		return v2
+	}
+	c = s.cell.Load()
+	for c != nil && c.read != nil {
+		// Only reachable if the owner keeps posting; each iteration helps
+		// one descriptor, and the owner blocks on its own resolve, so this
+		// loop runs at most once more in practice. Kept as a loop for
+		// robustness rather than correctness.
+		v3 := c.read()
+		if s.cell.CompareAndSwap(c, &slotCell[T]{val: v3}) {
+			return v3
+		}
+		c = s.cell.Load()
+	}
+	if c == nil {
+		return nil
+	}
+	return c.val
+}

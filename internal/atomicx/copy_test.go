@@ -1,0 +1,192 @@
+package atomicx
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSlotStoreRead(t *testing.T) {
+	var s Slot[int]
+	if got := s.Read(); got != nil {
+		t.Fatalf("zero slot Read() = %v, want nil", got)
+	}
+	v := new(int)
+	*v = 42
+	s.Store(v)
+	if got := s.Read(); got != v {
+		t.Fatalf("Read() = %v, want %v", got, v)
+	}
+}
+
+func TestSlotCopyReturnsSourceValue(t *testing.T) {
+	var s Slot[int]
+	src := new(int)
+	*src = 7
+	var srcPtr atomic.Pointer[int]
+	srcPtr.Store(src)
+	got := s.Copy(srcPtr.Load)
+	if got != src {
+		t.Fatalf("Copy returned %v, want %v", got, src)
+	}
+	if s.Read() != src {
+		t.Fatalf("slot after Copy = %v, want %v", s.Read(), src)
+	}
+}
+
+// TestSlotCopyAtomicity is the Figure 8 property: a reader that observes the
+// slot during an in-flight copy must observe either the pre-copy value or
+// the value the copy resolved to — never an intermediate stale source value.
+// We model a chain src -> a -> b: the owner copies src into the slot while
+// writers advance src from a to b. Every Read must return a value that was
+// stored in src at some point at or after the copy was posted, or the
+// pre-copy slot value.
+func TestSlotCopyAtomicity(t *testing.T) {
+	const rounds = 5000
+	var s Slot[int64]
+	var src atomic.Pointer[int64]
+
+	pre := new(int64)
+	*pre = -1
+	for round := 0; round < rounds; round++ {
+		a := new(int64)
+		*a = int64(round * 2)
+		b := new(int64)
+		*b = int64(round*2 + 1)
+		src.Store(a)
+		s.Store(pre)
+
+		var wg sync.WaitGroup
+		wg.Add(3)
+		var observed atomic.Pointer[int64]
+		go func() { // owner
+			defer wg.Done()
+			s.Copy(src.Load)
+		}()
+		go func() { // concurrent source writer
+			defer wg.Done()
+			src.Store(b)
+		}()
+		go func() { // reader
+			defer wg.Done()
+			observed.Store(s.Read())
+		}()
+		wg.Wait()
+
+		got := observed.Load()
+		if got != pre && got != a && got != b {
+			t.Fatalf("round %d: reader saw %v, want pre/a/b", round, got)
+		}
+		final := s.Read()
+		if final != a && final != b {
+			t.Fatalf("round %d: final slot %v, want a or b", round, final)
+		}
+	}
+}
+
+// TestSlotReadHelpsResolve: a reader arriving while a descriptor is posted
+// resolves it and agrees with the owner on the copied value.
+func TestSlotReadHelpsResolve(t *testing.T) {
+	var s Slot[int]
+	v1 := new(int)
+	*v1 = 1
+	s.Store(v1)
+
+	src := new(int)
+	*src = 99
+	var srcPtr atomic.Pointer[int]
+	srcPtr.Store(src)
+
+	const readers = 4
+	var wg sync.WaitGroup
+	results := make([]*int, readers)
+	start := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			<-start
+			results[idx] = s.Read()
+		}(r)
+	}
+	var ownerGot *int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		ownerGot = s.Copy(srcPtr.Load)
+	}()
+	close(start)
+	wg.Wait()
+
+	if ownerGot != src {
+		t.Fatalf("owner Copy = %v, want %v", ownerGot, src)
+	}
+	for i, r := range results {
+		if r != v1 && r != src {
+			t.Fatalf("reader %d saw %v, want v1 or src", i, r)
+		}
+	}
+	if s.Read() != src {
+		t.Fatalf("final = %v, want src", s.Read())
+	}
+}
+
+// TestSlotSequentialTraversal mimics the RU-ALL usage pattern: the owner
+// walks a linked chain by repeatedly copying node.next into the slot, while
+// readers sample the slot. Readers must only ever see nodes of the chain in
+// walk order (monotone progress).
+func TestSlotSequentialTraversal(t *testing.T) {
+	type node struct {
+		id   int
+		next atomic.Pointer[node]
+	}
+	const chainLen = 200
+	nodes := make([]*node, chainLen)
+	for i := range nodes {
+		nodes[i] = &node{id: i}
+	}
+	for i := 0; i < chainLen-1; i++ {
+		nodes[i].next.Store(nodes[i+1])
+	}
+
+	var s Slot[node]
+	s.Store(nodes[0])
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := s.Read()
+				if n == nil {
+					continue
+				}
+				if n.id < last {
+					t.Errorf("non-monotone read: %d after %d", n.id, last)
+					return
+				}
+				last = n.id
+			}
+		}()
+	}
+
+	cur := nodes[0]
+	for cur.next.Load() != nil {
+		cur = s.Copy(cur.next.Load)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := s.Read(); got == nil || got.id != chainLen-1 {
+		t.Fatalf("final slot = %v, want last node", got)
+	}
+}

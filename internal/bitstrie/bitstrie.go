@@ -1,0 +1,349 @@
+// Package bitstrie implements the wait-free interpreted-bit machinery of the
+// relaxed binary trie (paper §4.2–4.4): the array of binary trie nodes, the
+// InterpretedBit computation (paper lines 22–27), InsertBinaryTrie (38–46),
+// DeleteBinaryTrie (58–72) and RelaxedPredecessor (73–90).
+//
+// The engine is parameterized by an Oracle that resolves latest[x] lookups,
+// because the relaxed trie (§4) and the lock-free trie (§5) implement
+// FindLatest and FirstActivated differently (paper §4.4.1: "The
+// implementation of these helper functions ... will be replaced with a
+// different implementation when we consider the lock-free binary trie").
+//
+// Trie layout: the paper's arrays D_0..D_b form a perfect binary tree; we
+// store them heap-indexed in one slice (index 1 = root, children 2i/2i+1,
+// leaf for key x at 2^b + x). A node's height is b − depth, computable from
+// the index, so a trie node is exactly one atomic pointer: dNodePtr.
+package bitstrie
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/unode"
+)
+
+// Oracle resolves the latest-list operations the engine depends on.
+//
+// FindLatest returns the first activated update node in the latest[x] list;
+// it must materialize and return the dummy DEL node if no operation ever
+// updated x. FirstActivated reports whether n is currently the first
+// activated update node in latest[n.Key].
+type Oracle interface {
+	FindLatest(x int64) *unode.UpdateNode
+	FirstActivated(n *unode.UpdateNode) bool
+}
+
+// Stats carries optional step counters for the complexity experiments
+// (EXPERIMENTS.md C3, A1). All fields are atomic; a nil *Stats disables
+// collection.
+type Stats struct {
+	// BitReads counts InterpretedBit evaluations.
+	BitReads atomic.Int64
+	// CASAttempts / CASFailures count dNodePtr CAS operations in
+	// DeleteBinaryTrie.
+	CASAttempts atomic.Int64
+	CASFailures atomic.Int64
+	// SecondCASSuccess counts deletes whose first dNodePtr CAS failed but
+	// whose second succeeded — the situations where the paper's
+	// two-attempt rule (lines 66–70) rescued the delete.
+	SecondCASSuccess atomic.Int64
+	// MinWrites counts lower1Boundary MinWrite operations by inserts.
+	MinWrites atomic.Int64
+	// TraversalSteps counts trie-node visits by RelaxedPredecessor.
+	TraversalSteps atomic.Int64
+}
+
+// Trie is the interpreted-bit engine over universe {0,…,U()−1}.
+type Trie struct {
+	b      int   // ⌈log2 u⌉, height of the root
+	size   int64 // 2^b, number of leaves
+	oracle Oracle
+	stats  *Stats
+
+	// singleCASAttempt disables the second CAS attempt of DeleteBinaryTrie
+	// for the A1 ablation. Never set in production use.
+	singleCASAttempt bool
+
+	// beforeCAS, when non-nil, runs before each dNodePtr CAS attempt in
+	// DeleteBinaryTrie. Test instrumentation for deterministic
+	// interleavings (e.g. the outdated-delete scenario of Lemma 4.14).
+	beforeCAS func(node int64, attempt int)
+
+	nodes []trieNode // heap-indexed, len 2*size; index 0 unused
+}
+
+type trieNode struct {
+	dNodePtr atomic.Pointer[unode.UpdateNode]
+}
+
+// New builds the engine for a universe of u keys (u ≥ 2; rounded up to the
+// next power of two) using the given oracle.
+func New(u int64, oracle Oracle) (*Trie, error) {
+	if u < 2 {
+		return nil, fmt.Errorf("bitstrie: universe size %d, need at least 2", u)
+	}
+	if u > 1<<32 {
+		return nil, fmt.Errorf("bitstrie: universe size %d exceeds 2^32", u)
+	}
+	b := bits.Len64(uint64(u - 1))
+	size := int64(1) << uint(b)
+	return &Trie{
+		b:      b,
+		size:   size,
+		oracle: oracle,
+		nodes:  make([]trieNode, 2*size),
+	}, nil
+}
+
+// SetStats attaches step counters (may be nil to disable). Not safe to call
+// concurrently with operations.
+func (t *Trie) SetStats(s *Stats) { t.stats = s }
+
+// SetSingleCASAttempt enables the A1 ablation (one dNodePtr CAS attempt
+// instead of the paper's two). Tests and benchmarks only.
+func (t *Trie) SetSingleCASAttempt(on bool) { t.singleCASAttempt = on }
+
+// SetBeforeCASHook installs test instrumentation invoked before every
+// dNodePtr CAS attempt in DeleteBinaryTrie (attempt is 1 or 2). Pass nil to
+// remove. Tests only; not safe to change concurrently with operations.
+func (t *Trie) SetBeforeCASHook(hook func(node int64, attempt int)) { t.beforeCAS = hook }
+
+// B returns b = ⌈log2 u⌉, the height of the root.
+func (t *Trie) B() int { return t.b }
+
+// U returns the padded universe size 2^b.
+func (t *Trie) U() int64 { return t.size }
+
+// --- index arithmetic -------------------------------------------------------
+
+func (t *Trie) leafIndex(x int64) int64 { return t.size + x }
+func parent(i int64) int64              { return i >> 1 }
+func leftChild(i int64) int64           { return i << 1 }
+func rightChild(i int64) int64          { return i<<1 | 1 }
+func sibling(i int64) int64             { return i ^ 1 }
+func isLeftChild(i int64) bool          { return i&1 == 0 }
+
+// height of node i: b − depth, where depth = ⌊log2 i⌋.
+func (t *Trie) height(i int64) int {
+	return t.b - (bits.Len64(uint64(i)) - 1)
+}
+
+// leafKey returns the key of leaf index i.
+func (t *Trie) leafKey(i int64) int64 { return i - t.size }
+
+// leftmostKey returns the smallest key in the subtrie rooted at i; it is the
+// conceptual key of the virtual dummy DEL node a nil dNodePtr stands for.
+func (t *Trie) leftmostKey(i int64) int64 {
+	return (i << uint(t.height(i))) - t.size
+}
+
+// depKey returns the key whose latest list the interpreted bit of node i
+// depends on: dNodePtr's key, or the leftmost leaf key when dNodePtr is
+// still the initial (virtual dummy) nil.
+func (t *Trie) depKey(i int64) int64 {
+	if d := t.nodes[i].dNodePtr.Load(); d != nil {
+		return d.Key
+	}
+	return t.leftmostKey(i)
+}
+
+// --- InterpretedBit (paper lines 22–27) -------------------------------------
+
+// InterpretedBit computes the interpreted bit of node index i. If the bit is
+// stable throughout the call it returns that value (Lemmas 4.16, 4.17).
+func (t *Trie) InterpretedBit(i int64) int {
+	if t.stats != nil {
+		t.stats.BitReads.Add(1)
+	}
+	uNode := t.oracle.FindLatest(t.depKey(i))
+	if uNode.Kind == unode.Ins {
+		return 1
+	}
+	h := t.height(i)
+	if h <= int(uNode.Upper0Boundary.Load()) {
+		if h < uNode.Lower1Boundary.Read() && t.oracle.FirstActivated(uNode) {
+			return 0
+		}
+	}
+	return 1
+}
+
+// InterpretedBitOfLeaf is a convenience for tests and trieviz.
+func (t *Trie) InterpretedBitOfLeaf(x int64) int { return t.InterpretedBit(t.leafIndex(x)) }
+
+// --- InsertBinaryTrie (paper lines 38–46) -----------------------------------
+
+// InsertBinaryTrie walks from the parent of iNode's leaf to the root and
+// ensures each node on the path has interpreted bit 1, by lowering the
+// lower1Boundary of the DEL node the trie node depends on. Wait-free: at
+// most b iterations with a constant number of steps each.
+func (t *Trie) InsertBinaryTrie(iNode *unode.UpdateNode) {
+	for i := parent(t.leafIndex(iNode.Key)); i >= 1; i = parent(i) {
+		uNode := t.oracle.FindLatest(t.depKey(i))
+		if uNode.Kind != unode.Del {
+			continue
+		}
+		d := t.nodes[i].dNodePtr.Load()
+		// Paper line 42. With a nil dNodePtr (virtual dummy), the second
+		// disjunct is true because a dummy has upper0Boundary = b ≥ height.
+		if d != uNode && t.height(i) > int(uNode.Upper0Boundary.Load()) {
+			continue
+		}
+		iNode.Target.Store(uNode)
+		if !t.oracle.FirstActivated(iNode) {
+			return
+		}
+		if h := t.height(i); h < uNode.Lower1Boundary.Read() {
+			if t.stats != nil {
+				t.stats.MinWrites.Add(1)
+			}
+			uNode.Lower1Boundary.MinWrite(h)
+		}
+	}
+}
+
+// --- DeleteBinaryTrie (paper lines 58–72) -----------------------------------
+
+// DeleteBinaryTrie walks from dNode's leaf toward the root, setting
+// interpreted bits to 0 while both children of the current node read 0. The
+// two CAS attempts per level (lines 66 and 70) prevent outdated deletes from
+// interfering with the latest one (see Lemma 4.14). Wait-free: at most b
+// iterations, constant steps each.
+func (t *Trie) DeleteBinaryTrie(dNode *unode.UpdateNode) {
+	i := t.leafIndex(dNode.Key)
+	for i > 1 { // while t is not the root
+		if t.InterpretedBit(sibling(i)) == 1 || t.InterpretedBit(i) == 1 {
+			return
+		}
+		i = parent(i)
+		d := t.nodes[i].dNodePtr.Load()
+		if !t.oracle.FirstActivated(dNode) {
+			return
+		}
+		if dNode.Stop.Load() || dNode.Lower1Boundary.Read() != t.b+1 {
+			return
+		}
+		if !t.casDNodePtr(i, d, dNode, 1) {
+			if t.singleCASAttempt {
+				return // A1 ablation: paper's first attempt only
+			}
+			d = t.nodes[i].dNodePtr.Load()
+			if !t.oracle.FirstActivated(dNode) {
+				return
+			}
+			if dNode.Stop.Load() || dNode.Lower1Boundary.Read() != t.b+1 {
+				return
+			}
+			if !t.casDNodePtr(i, d, dNode, 2) {
+				return
+			}
+			if t.stats != nil {
+				t.stats.SecondCASSuccess.Add(1)
+			}
+		}
+		if t.InterpretedBit(leftChild(i)) == 1 || t.InterpretedBit(rightChild(i)) == 1 {
+			return
+		}
+		dNode.Upper0Boundary.Store(int32(t.height(i)))
+	}
+}
+
+func (t *Trie) casDNodePtr(i int64, old, new *unode.UpdateNode, attempt int) bool {
+	if t.beforeCAS != nil {
+		t.beforeCAS(i, attempt)
+	}
+	if t.stats != nil {
+		t.stats.CASAttempts.Add(1)
+	}
+	ok := t.nodes[i].dNodePtr.CompareAndSwap(old, new)
+	if !ok && t.stats != nil {
+		t.stats.CASFailures.Add(1)
+	}
+	return ok
+}
+
+// --- RelaxedPredecessor (paper lines 73–90) ---------------------------------
+
+// ErrBottom distinguishes the ⊥ result: concurrent updates prevented the
+// traversal from completing. Callers of the relaxed trie receive it as the
+// ok=false return.
+//
+// RelaxedPredecessor returns (key, true) on a completed traversal — key is
+// −1 if no key smaller than y was found — and (0, false) for ⊥.
+func (t *Trie) RelaxedPredecessor(y int64) (int64, bool) {
+	i := t.leafIndex(y)
+	// Ascend while we are a left child or the left sibling's bit is 0.
+	for isLeftChild(i) || t.InterpretedBit(sibling(i)) == 0 {
+		if t.stats != nil {
+			t.stats.TraversalSteps.Add(1)
+		}
+		i = parent(i)
+		if i == 1 {
+			return -1, true
+		}
+	}
+	// Descend the right-most path of 1-bits starting at the left sibling.
+	i = sibling(i)
+	for t.height(i) > 0 {
+		if t.stats != nil {
+			t.stats.TraversalSteps.Add(1)
+		}
+		switch {
+		case t.InterpretedBit(rightChild(i)) == 1:
+			i = rightChild(i)
+		case t.InterpretedBit(leftChild(i)) == 1:
+			i = leftChild(i)
+		default:
+			// Both children read 0 under a node that read 1: a concurrent
+			// update is mid-flight here (paper line 88).
+			return 0, false
+		}
+	}
+	return t.leafKey(i), true
+}
+
+// RelaxedSuccessor is the mirror image of RelaxedPredecessor: it returns
+// the smallest key greater than y under the same relaxed specification
+// ((key, true) on success, (−1, true) when no key above y is visible,
+// (0, false) for ⊥ under interference). The paper only states the
+// predecessor algorithm; the mirror swaps left/right everywhere and is an
+// extension of this reproduction.
+func (t *Trie) RelaxedSuccessor(y int64) (int64, bool) {
+	i := t.leafIndex(y)
+	// Ascend while we are a right child or the right sibling's bit is 0.
+	for !isLeftChild(i) || t.InterpretedBit(sibling(i)) == 0 {
+		if t.stats != nil {
+			t.stats.TraversalSteps.Add(1)
+		}
+		i = parent(i)
+		if i == 1 {
+			return -1, true
+		}
+	}
+	// Descend the left-most path of 1-bits starting at the right sibling.
+	i = sibling(i)
+	for t.height(i) > 0 {
+		if t.stats != nil {
+			t.stats.TraversalSteps.Add(1)
+		}
+		switch {
+		case t.InterpretedBit(leftChild(i)) == 1:
+			i = leftChild(i)
+		case t.InterpretedBit(rightChild(i)) == 1:
+			i = rightChild(i)
+		default:
+			return 0, false
+		}
+	}
+	return t.leafKey(i), true
+}
+
+// DNodePtr exposes node i's dNodePtr for tests and trieviz.
+func (t *Trie) DNodePtr(i int64) *unode.UpdateNode { return t.nodes[i].dNodePtr.Load() }
+
+// LeafIndex exposes the leaf index of key x for tests and trieviz.
+func (t *Trie) LeafIndex(x int64) int64 { return t.leafIndex(x) }
+
+// Height exposes the height of node index i for tests and trieviz.
+func (t *Trie) Height(i int64) int { return t.height(i) }

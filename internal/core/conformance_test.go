@@ -1,0 +1,14 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/settest"
+)
+
+func factory(u int64) (settest.Set, error) { return core.New(u) }
+
+func TestSequentialConformance(t *testing.T) { settest.RunSequential(t, factory, 64) }
+func TestEdgeCases(t *testing.T)             { settest.RunEdgeCases(t, factory, 32) }
+func TestConcurrentConformance(t *testing.T) { settest.RunConcurrent(t, factory, 256, 8, 1200) }

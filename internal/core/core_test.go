@@ -1,0 +1,421 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func newTrie(t testing.TB, u int64) *core.Trie {
+	t.Helper()
+	tr, err := core.New(u)
+	if err != nil {
+		t.Fatalf("New(%d): %v", u, err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := core.New(1); err == nil {
+		t.Error("New(1) should fail")
+	}
+	tr := newTrie(t, 100)
+	if tr.U() != 128 || tr.B() != 7 {
+		t.Errorf("U=%d B=%d, want 128/7", tr.U(), tr.B())
+	}
+}
+
+func TestEmptyTrie(t *testing.T) {
+	tr := newTrie(t, 8)
+	for x := int64(0); x < 8; x++ {
+		if tr.Search(x) {
+			t.Errorf("Search(%d) = true on empty trie", x)
+		}
+		if got := tr.Predecessor(x); got != -1 {
+			t.Errorf("Predecessor(%d) = %d, want -1", x, got)
+		}
+	}
+}
+
+func TestInsertSearchDelete(t *testing.T) {
+	tr := newTrie(t, 16)
+	tr.Insert(5)
+	if !tr.Search(5) {
+		t.Fatal("Search(5) = false after insert")
+	}
+	tr.Insert(5)
+	if !tr.Search(5) {
+		t.Fatal("double insert broke Search")
+	}
+	tr.Delete(5)
+	if tr.Search(5) {
+		t.Fatal("Search(5) = true after delete")
+	}
+	tr.Delete(5)
+	if tr.Search(5) {
+		t.Fatal("double delete broke Search")
+	}
+}
+
+func TestPredecessorSequential(t *testing.T) {
+	tr := newTrie(t, 64)
+	for _, k := range []int64{0, 3, 17, 40, 62} {
+		tr.Insert(k)
+	}
+	tests := []struct {
+		y, want int64
+	}{
+		{0, -1}, {1, 0}, {3, 0}, {4, 3}, {17, 3}, {18, 17},
+		{40, 17}, {41, 40}, {62, 40}, {63, 62},
+	}
+	for _, tt := range tests {
+		if got := tr.Predecessor(tt.y); got != tt.want {
+			t.Errorf("Predecessor(%d) = %d, want %d", tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestPredecessorAfterChurn(t *testing.T) {
+	tr := newTrie(t, 32)
+	for k := int64(0); k < 32; k++ {
+		tr.Insert(k)
+	}
+	for k := int64(0); k < 32; k += 2 {
+		tr.Delete(k)
+	}
+	// Odd keys remain.
+	for y := int64(0); y < 32; y++ {
+		want := y - 1
+		if want%2 == 0 {
+			want--
+		}
+		if want < 0 {
+			want = -1
+		}
+		if got := tr.Predecessor(y); got != want {
+			t.Errorf("Predecessor(%d) = %d, want %d", y, got, want)
+		}
+	}
+}
+
+// checkQuiescent verifies membership and exact predecessors against a
+// reference set once no operations are running.
+func checkQuiescent(t *testing.T, tr *core.Trie, present map[int64]bool) {
+	t.Helper()
+	for y := int64(0); y < tr.U(); y++ {
+		if got := tr.Search(y); got != present[y] {
+			t.Fatalf("Search(%d) = %v, want %v", y, got, present[y])
+		}
+		want := int64(-1)
+		for k := y - 1; k >= 0; k-- {
+			if present[k] {
+				want = k
+				break
+			}
+		}
+		if got := tr.Predecessor(y); got != want {
+			t.Fatalf("Predecessor(%d) = %d, want %d", y, got, want)
+		}
+	}
+}
+
+func TestQuickAgainstReference(t *testing.T) {
+	const u = 32
+	type op struct {
+		Kind byte
+		Key  uint8
+	}
+	f := func(ops []op) bool {
+		tr := newTrie(t, u)
+		ref := map[int64]bool{}
+		for _, o := range ops {
+			k := int64(o.Key % u)
+			switch o.Kind % 4 {
+			case 0:
+				tr.Insert(k)
+				ref[k] = true
+			case 1:
+				tr.Delete(k)
+				delete(ref, k)
+			case 2:
+				if tr.Search(k) != ref[k] {
+					return false
+				}
+			case 3:
+				want := int64(-1)
+				for c := k - 1; c >= 0; c-- {
+					if ref[c] {
+						want = c
+						break
+					}
+				}
+				if tr.Predecessor(k) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAnnouncementsDrain: after operations finish, the announcement lists
+// must be empty (space bound O(u + ċ²) depends on this).
+func TestAnnouncementsDrain(t *testing.T) {
+	tr := newTrie(t, 64)
+	for k := int64(0); k < 64; k++ {
+		tr.Insert(k)
+	}
+	for k := int64(0); k < 64; k++ {
+		tr.Delete(k)
+	}
+	tr.Predecessor(63)
+	if got := tr.AnnouncedUpdates(); got != 0 {
+		t.Errorf("U-ALL occupancy = %d, want 0 at quiescence", got)
+	}
+	if got := tr.AnnouncedPredecessors(); got != 0 {
+		t.Errorf("P-ALL occupancy = %d, want 0 at quiescence", got)
+	}
+}
+
+func TestConcurrentDisjointRanges(t *testing.T) {
+	const (
+		u          = 256
+		goroutines = 8
+		opsPerG    = 1500
+	)
+	tr := newTrie(t, u)
+	var wg sync.WaitGroup
+	finals := make([]map[int64]bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id + 1)))
+			lo := int64(id) * (u / goroutines)
+			hi := lo + (u / goroutines)
+			final := map[int64]bool{}
+			for i := 0; i < opsPerG; i++ {
+				k := lo + rng.Int63n(hi-lo)
+				switch rng.Intn(5) {
+				case 0, 1:
+					tr.Insert(k)
+					final[k] = true
+				case 2:
+					tr.Delete(k)
+					delete(final, k)
+				case 3:
+					tr.Search(k)
+				case 4:
+					y := lo + rng.Int63n(hi-lo)
+					if got := tr.Predecessor(y); got >= y {
+						t.Errorf("Predecessor(%d) = %d ≥ y", y, got)
+						return
+					}
+				}
+			}
+			finals[id] = final
+		}(g)
+	}
+	wg.Wait()
+
+	present := map[int64]bool{}
+	for _, final := range finals {
+		for k := range final {
+			present[k] = true
+		}
+	}
+	checkQuiescent(t, tr, present)
+	if got := tr.AnnouncedUpdates(); got != 0 {
+		t.Errorf("U-ALL occupancy = %d, want 0", got)
+	}
+	if got := tr.AnnouncedPredecessors(); got != 0 {
+		t.Errorf("P-ALL occupancy = %d, want 0", got)
+	}
+}
+
+// TestConcurrentSameKeyChurn: insert/delete churn on one key with
+// concurrent predecessor queries above it; predecessor answers must always
+// be the churned key or −1, and the structure must be exact afterwards.
+func TestConcurrentSameKeyChurn(t *testing.T) {
+	tr := newTrie(t, 16)
+	const rounds = 800
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			tr.Insert(5)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			tr.Delete(5)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if got := tr.Predecessor(9); got != -1 && got != 5 {
+				t.Errorf("Predecessor(9) = %d, want -1 or 5", got)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	tr.Insert(5)
+	checkQuiescent(t, tr, map[int64]bool{5: true})
+	tr.Delete(5)
+	checkQuiescent(t, tr, map[int64]bool{})
+}
+
+// TestConcurrentPredecessorWithStableFloor: key 2 is always present; the
+// churn happens strictly above the query point, so Predecessor(4) must
+// always return at least 2 — it can never miss the stable floor.
+func TestConcurrentPredecessorWithStableFloor(t *testing.T) {
+	tr := newTrie(t, 64)
+	tr.Insert(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := 8 + rng.Int63n(48)
+				if rng.Intn(2) == 0 {
+					tr.Insert(k)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(int64(g + 7))
+	}
+	for i := 0; i < 4000; i++ {
+		if got := tr.Predecessor(4); got != 2 {
+			t.Errorf("Predecessor(4) = %d, want 2 (stable floor)", got)
+			break
+		}
+		if got := tr.Predecessor(6); got != 2 {
+			t.Errorf("Predecessor(6) = %d, want 2 (churn is above)", got)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentPredecessorBelowChurn: churn strictly below the floor key;
+// queries between floor and churn must always see the floor... here churn
+// is in (8,16) and the floor is 20: Predecessor(32) must always be ≥ 20.
+func TestConcurrentPredecessorMonotoneFloor(t *testing.T) {
+	tr := newTrie(t, 64)
+	tr.Insert(20)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := 8 + rng.Int63n(8)
+				if rng.Intn(2) == 0 {
+					tr.Insert(k)
+				} else {
+					tr.Delete(k)
+				}
+			}
+		}(int64(g + 3))
+	}
+	for i := 0; i < 4000; i++ {
+		if got := tr.Predecessor(32); got < 20 {
+			t.Errorf("Predecessor(32) = %d, want ≥ 20 (20 always present)", got)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDeleteEmbedsPredecessors exercises the embedded-predecessor path:
+// deletes racing with predecessor queries that are forced into the ⊥ branch
+// by heavy churn inside one subtree.
+func TestDeleteEmbedsPredecessors(t *testing.T) {
+	tr := newTrie(t, 32)
+	tr.Insert(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Insert(12)
+				tr.Insert(13)
+				tr.Delete(12)
+				tr.Delete(13)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Insert(14)
+				tr.Delete(14)
+			}
+		}
+	}()
+	for i := 0; i < 6000; i++ {
+		got := tr.Predecessor(20)
+		if got < 1 {
+			t.Errorf("Predecessor(20) = %d, want ≥ 1 (1 always present)", got)
+			break
+		}
+		if got > 14 {
+			t.Errorf("Predecessor(20) = %d, impossible value", got)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := tr.AnnouncedPredecessors(); got != 0 {
+		t.Errorf("P-ALL occupancy = %d, want 0 (embedded announcements leak?)", got)
+	}
+}
+
+func TestStatsCollected(t *testing.T) {
+	tr := newTrie(t, 32)
+	stats := &core.Stats{}
+	tr.SetStats(stats)
+	tr.Insert(3)
+	tr.Predecessor(10)
+	tr.Delete(3)
+	if stats.UallTraversalSteps.Load() == 0 {
+		t.Error("expected UallTraversalSteps > 0")
+	}
+}

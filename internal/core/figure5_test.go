@@ -1,0 +1,39 @@
+package core_test
+
+import "testing"
+
+// TestFigure5 reproduces the structure of paper Figure 5: the lock-free
+// binary trie representing S = {0, 1, 3} over U = {0,…,3}. The first
+// activated update node of latest[0], latest[1], latest[3] is an INS node,
+// latest[2]'s is a DEL node, and the interpreted bits follow.
+func TestFigure5(t *testing.T) {
+	tr := newTrie(t, 4)
+	for _, k := range []int64{0, 1, 3} {
+		tr.Insert(k)
+	}
+	wantMembers := map[int64]bool{0: true, 1: true, 2: false, 3: true}
+	for k, want := range wantMembers {
+		if got := tr.Search(k); got != want {
+			t.Errorf("Search(%d) = %v, want %v", k, got, want)
+		}
+	}
+	bits := tr.Bits()
+	wantBits := map[int64]int{
+		1: 1,                   // root
+		2: 1,                   // covers {0,1}
+		3: 1,                   // covers {2,3}
+		4: 1, 5: 1, 6: 0, 7: 1, // leaves 0..3
+	}
+	for idx, want := range wantBits {
+		if got := bits.InterpretedBit(idx); got != want {
+			t.Errorf("InterpretedBit(%d) = %d, want %d", idx, got, want)
+		}
+	}
+	// Figure 5 queries that follow from the structure.
+	preds := map[int64]int64{0: -1, 1: 0, 2: 1, 3: 1}
+	for y, want := range preds {
+		if got := tr.Predecessor(y); got != want {
+			t.Errorf("Predecessor(%d) = %d, want %d", y, got, want)
+		}
+	}
+}

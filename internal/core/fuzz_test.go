@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relaxed"
+	"repro/internal/seqtrie"
+)
+
+// FuzzSequentialAgainstReference: any byte-driven op sequence leaves the
+// lock-free trie, the relaxed trie and the sequential reference in exact
+// agreement on membership, predecessor and (for the tries that have it)
+// successor.
+func FuzzSequentialAgainstReference(f *testing.F) {
+	f.Add([]byte{0, 17, 64, 3, 129, 200, 255, 8})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add([]byte{250, 100, 50, 25, 12, 6, 3, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const u = 32
+		lf, err := core.New(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := relaxed.New(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := seqtrie.New(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range data {
+			k := int64(b % u)
+			switch (b / u) % 4 {
+			case 0, 1:
+				lf.Insert(k)
+				rx.Insert(k)
+				ref.Insert(k)
+			case 2:
+				lf.Delete(k)
+				rx.Delete(k)
+				ref.Delete(k)
+			case 3:
+				if got, want := lf.Search(k), ref.Search(k); got != want {
+					t.Fatalf("core.Search(%d) = %v, want %v", k, got, want)
+				}
+				wantPred := ref.Predecessor(k)
+				if got := lf.Predecessor(k); got != wantPred {
+					t.Fatalf("core.Predecessor(%d) = %d, want %d", k, got, wantPred)
+				}
+				gotR, ok := rx.Predecessor(k)
+				if !ok || gotR != wantPred {
+					t.Fatalf("relaxed.Predecessor(%d) = (%d,%v), want (%d,true)",
+						k, gotR, ok, wantPred)
+				}
+				wantSucc := ref.Successor(k)
+				gotS, ok := rx.Successor(k)
+				if !ok || gotS != wantSucc {
+					t.Fatalf("relaxed.Successor(%d) = (%d,%v), want (%d,true)",
+						k, gotS, ok, wantSucc)
+				}
+			}
+		}
+		// Full final sweep: every key agrees.
+		for k := int64(0); k < u; k++ {
+			if got, want := lf.Search(k), ref.Search(k); got != want {
+				t.Fatalf("final core.Search(%d) = %v, want %v", k, got, want)
+			}
+			if got, want := lf.Predecessor(k), ref.Predecessor(k); got != want {
+				t.Fatalf("final core.Predecessor(%d) = %d, want %d", k, got, want)
+			}
+		}
+	})
+}

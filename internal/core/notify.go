@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/alist"
+	"repro/internal/unode"
+)
+
+// traverseUall collects the update nodes with key < x that are announced in
+// the U-ALL and currently first activated in their latest lists (paper
+// lines 137–145). INS nodes land in ins, DEL nodes in del. Keys of ins are
+// in S at some configuration during the traversal, keys of del are absent
+// at some configuration (Lemma 5.16).
+func (t *Trie) traverseUall(x int64) (ins, del []*unode.UpdateNode) {
+	for c := t.uall.Head().Next(); c != nil && c.Key < x; c = c.Next() {
+		if t.stats != nil {
+			t.stats.UallTraversalSteps.Add(1)
+		}
+		u := c.Upd
+		if u == nil {
+			continue // sentinel
+		}
+		if u.Status.Load() != unode.StatusInactive && t.firstActivated(u) {
+			if u.Kind == unode.Ins {
+				ins = append(ins, u)
+			} else {
+				del = append(del, u)
+			}
+		}
+	}
+	return ins, del
+}
+
+// notifyPredOps notifies every announced predecessor operation about uNode
+// (paper lines 146–155). It first scans the whole U-ALL so that each
+// notification can carry updateNodeMax — the INS node with the largest key
+// below the predecessor's key — which covers inserts that are linearized
+// after the predecessor finished its own U-ALL traversal (Figure 9). It
+// stops as soon as uNode is no longer the first activated node for its key.
+func (t *Trie) notifyPredOps(uNode *unode.UpdateNode) {
+	ins, _ := t.traverseUall(alist.KeyPosInf) // line 147
+	t.pall.forEach(func(pNode *PredNode) bool {
+		if !t.firstActivated(uNode) { // line 149
+			return false
+		}
+		n := &notifyNode{
+			key:             uNode.Key,
+			updateNode:      uNode,
+			updateNodeMax:   maxInsBelow(ins, pNode.key),
+			notifyThreshold: ruallPosKey(pNode),
+		}
+		return t.sendNotification(n, pNode) // line 155
+	})
+}
+
+// ruallPosKey reads the key of the RU-ALL cell the predecessor operation is
+// currently visiting (paper line 154); +∞ before its traversal starts, −∞
+// after it finishes.
+func ruallPosKey(pNode *PredNode) int64 {
+	cell := pNode.ruallPos.Read()
+	if cell == nil {
+		return alist.KeyPosInf // defensive: not yet initialized
+	}
+	return cell.Key
+}
+
+// maxInsBelow returns the INS node with the largest key strictly below
+// bound, or nil (the paper's ⊥) if none (paper line 153).
+func maxInsBelow(ins []*unode.UpdateNode, bound int64) *unode.UpdateNode {
+	var best *unode.UpdateNode
+	for _, n := range ins {
+		if n.Key < bound && (best == nil || n.Key > best.Key) {
+			best = n
+		}
+	}
+	return best
+}
+
+// sendNotification prepends nNode to pNode's notify list with CAS (paper
+// lines 156–161), re-validating that the update node is still first
+// activated before every attempt. Returns false if the sender should stop
+// notifying.
+func (t *Trie) sendNotification(nNode *notifyNode, pNode *PredNode) bool {
+	for {
+		head := pNode.notifyHead.Load()
+		nNode.next = head
+		if !t.firstActivated(nNode.updateNode) { // line 160
+			return false
+		}
+		if pNode.notifyHead.CompareAndSwap(head, nNode) { // line 161
+			if t.stats != nil {
+				t.stats.Notifications.Add(1)
+			}
+			return true
+		}
+	}
+}

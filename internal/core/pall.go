@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/alist"
+	"repro/internal/atomicx"
+	"repro/internal/unode"
+)
+
+// PredNode is a predecessor announcement (paper lines 105–108). One is
+// created per PredHelper instance — standalone Predecessor operations make
+// one, Delete operations make two (their embedded predecessors) that stay
+// announced until the Delete finishes.
+type PredNode struct {
+	// key is the predecessor operation's input key y (immutable).
+	key int64
+	// notifyHead is the insert-only notify list (paper line 107); update
+	// operations prepend notify nodes with CAS.
+	notifyHead atomic.Pointer[notifyNode]
+	// ruallPos publishes the RU-ALL cell this operation is currently
+	// visiting (paper line 108). Written only by the owner via atomic copy;
+	// read by updaters computing notify thresholds.
+	ruallPos atomicx.Slot[alist.Cell]
+
+	// next/marked form the P-ALL link (lock-free list with logical
+	// deletion; insertions only at the head).
+	next atomic.Pointer[predRef]
+}
+
+type predRef struct {
+	next   *PredNode
+	marked bool
+}
+
+// Key returns the announced key (tests and trieviz).
+func (p *PredNode) Key() int64 { return p.key }
+
+// notifyNode is one notification (paper lines 109–113). All fields are
+// immutable once the node is published by the CAS in sendNotification.
+type notifyNode struct {
+	key             int64
+	updateNode      *unode.UpdateNode
+	updateNodeMax   *unode.UpdateNode // INS node with largest key < pNode.key seen in U-ALL; may be nil (⊥)
+	notifyThreshold int64
+	next            *notifyNode
+}
+
+// newPredNode builds an announcement for key y with ruallPos pointing at
+// the RU-ALL head sentinel (key +∞), per paper line 108.
+func newPredNode(y int64, ruallHead *alist.Cell) *PredNode {
+	p := &PredNode{key: y}
+	p.ruallPos.Store(ruallHead)
+	p.next.Store(&predRef{})
+	return p
+}
+
+// pall is the predecessor announcement list: a lock-free linked list with
+// head insertion and logical deletion. The zero value must be initialized
+// with init.
+type pall struct {
+	head PredNode // sentinel; never marked
+}
+
+func (l *pall) init() {
+	l.head.next.Store(&predRef{})
+}
+
+// insert links n at the head of the list.
+func (l *pall) insert(n *PredNode) {
+	for {
+		r := l.head.next.Load()
+		n.next.Store(&predRef{next: r.next})
+		if l.head.next.CompareAndSwap(r, &predRef{next: n}) {
+			return
+		}
+	}
+}
+
+// remove marks n deleted and physically unlinks marked nodes. Removing a
+// node twice is a harmless no-op.
+func (l *pall) remove(n *PredNode) {
+	for {
+		r := n.next.Load()
+		if r.marked {
+			break
+		}
+		if n.next.CompareAndSwap(r, &predRef{next: r.next, marked: true}) {
+			break
+		}
+	}
+	l.cleanup()
+}
+
+// cleanup unlinks every marked node it can reach. Restarting on CAS failure
+// keeps it lock-free; the list length is bounded by point contention so the
+// scan is O(ċ).
+func (l *pall) cleanup() {
+retry:
+	for {
+		pred := &l.head
+		predRef0 := pred.next.Load()
+		if predRef0.marked {
+			return // unreachable for the sentinel, defensive
+		}
+		cur := predRef0.next
+		for cur != nil {
+			curRef := cur.next.Load()
+			if curRef.marked {
+				if !pred.next.CompareAndSwap(predRef0, &predRef{next: curRef.next}) {
+					continue retry
+				}
+				predRef0 = pred.next.Load()
+				if predRef0.marked {
+					continue retry
+				}
+				cur = predRef0.next
+				continue
+			}
+			pred, predRef0 = cur, curRef
+			cur = curRef.next
+		}
+		return
+	}
+}
+
+// forEach visits the unmarked nodes from newest to oldest, stopping early if
+// f returns false.
+func (l *pall) forEach(f func(*PredNode) bool) {
+	r := l.head.next.Load()
+	for cur := r.next; cur != nil; {
+		curRef := cur.next.Load()
+		if !curRef.marked {
+			if !f(cur) {
+				return
+			}
+		}
+		cur = curRef.next
+	}
+}
+
+// snapshotAfter returns the announcement nodes following p in list order
+// (newest→oldest), including marked ones — the paper's sequence Q (lines
+// 210–214) prepends them, so "earliest in Q" is the LAST element here.
+func snapshotAfter(p *PredNode) []*PredNode {
+	var q []*PredNode
+	r := p.next.Load()
+	for cur := r.next; cur != nil; {
+		q = append(q, cur)
+		cur = cur.next.Load().next
+	}
+	return q
+}
+
+// len counts unmarked nodes (metrics; O(n)).
+func (l *pall) len() int {
+	n := 0
+	l.forEach(func(*PredNode) bool { n++; return true })
+	return n
+}

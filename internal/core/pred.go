@@ -1,0 +1,300 @@
+package core
+
+import (
+	"repro/internal/alist"
+	"repro/internal/unode"
+)
+
+// predHelper performs all of a Predecessor(y) operation except removing its
+// announcement (paper lines 207–252). Delete uses it directly for its two
+// embedded predecessor operations, whose announcements must outlive the
+// helper (paper §5.2). It returns the predecessor value and the
+// announcement node for the caller to remove.
+func (t *Trie) predHelper(y int64) (int64, *PredNode) {
+	// --- Announce (lines 208–214) ---------------------------------------
+	pNode := newPredNode(y, t.ruall.Head())
+	t.pall.insert(pNode)
+	q := snapshotAfter(pNode) // newest→oldest; the paper's Q reversed
+
+	// --- Traverse the RU-ALL (line 215) ---------------------------------
+	iruall, druall := t.traverseRUall(pNode)
+
+	// --- Traverse the relaxed binary trie (line 216) ---------------------
+	r0, r0ok := t.bits.RelaxedPredecessor(y)
+
+	// --- Traverse the U-ALL (line 217) -----------------------------------
+	iuall, duall := t.traverseUall(y)
+
+	// --- Collect notifications (lines 218–227) ---------------------------
+	inotify, dnotify := collectNotifications(pNode, y, iruall, druall)
+
+	// --- r1: best announced/notified candidate (line 228) ----------------
+	r1 := int64(-1)
+	for _, u := range iuall {
+		r1 = maxKey(r1, u.Key)
+	}
+	for _, u := range inotify {
+		r1 = maxKey(r1, u.Key)
+	}
+	for _, u := range duall {
+		if !containsNode(druall, u) {
+			r1 = maxKey(r1, u.Key)
+		}
+	}
+	for _, u := range dnotify {
+		if !containsNode(druall, u) {
+			r1 = maxKey(r1, u.Key)
+		}
+	}
+
+	// --- ⊥ recovery (lines 230–251) ---------------------------------------
+	r0val := int64(-1)
+	switch {
+	case r0ok:
+		r0val = r0
+	case len(druall) > 0:
+		if t.stats != nil {
+			t.stats.BottomCases.Add(1)
+		}
+		r0val = t.bottomCase(pNode, q, druall, y)
+	}
+
+	return maxKey(r0val, r1), pNode // line 252
+}
+
+// collectNotifications filters this operation's notify list (paper lines
+// 218–227). An INS notification is accepted when its threshold — our
+// RU-ALL position when the notifier stamped it — had already passed its key
+// (≤); a DEL notification needs strict passage (<), because a delete seen
+// at exactly its key may have been linearized before we started. A
+// notification stamped after our RU-ALL traversal finished (threshold −∞)
+// whose update node we did NOT meet in the RU-ALL also vouches for its
+// updateNodeMax (the Figure 9 forwarding).
+func collectNotifications(pNode *PredNode, y int64, iruall, druall []*unode.UpdateNode) (inotify, dnotify []*unode.UpdateNode) {
+	for n := pNode.notifyHead.Load(); n != nil; n = n.next {
+		if n.key >= y {
+			continue
+		}
+		if n.updateNode.Kind == unode.Ins {
+			if n.notifyThreshold <= n.key { // line 221
+				inotify = append(inotify, n.updateNode)
+			}
+		} else if n.notifyThreshold < n.key { // line 224
+			dnotify = append(dnotify, n.updateNode)
+		}
+		if n.notifyThreshold == alist.KeyNegInf && // line 226
+			!containsNode(iruall, n.updateNode) &&
+			!containsNode(druall, n.updateNode) &&
+			n.updateNodeMax != nil {
+			inotify = append(inotify, n.updateNodeMax) // line 227
+		}
+	}
+	return inotify, dnotify
+}
+
+// traverseRUall walks the RU-ALL from high keys to low, publishing the
+// current position through the atomic-copy slot so that updaters can stamp
+// notify thresholds (paper lines 257–269). It returns the INS and DEL nodes
+// with key < pNode.key that were first activated when visited; their update
+// operations were linearized before — or shortly after — the start of this
+// predecessor operation.
+func (t *Trie) traverseRUall(pNode *PredNode) (ins, del []*unode.UpdateNode) {
+	y := pNode.key
+	cur := pNode.ruallPos.Read() // head sentinel, key +∞
+	for cur != nil && cur.Key != alist.KeyNegInf {
+		if t.stats != nil {
+			t.stats.RuallTraversalSteps.Add(1)
+		}
+		src := cur
+		next := pNode.ruallPos.Copy(src.Next) // line 262: atomic copy
+		cur = next
+		if cur == nil {
+			break // defensive: severed tail, treat as end
+		}
+		if cur.Key < y && cur.Upd != nil {
+			u := cur.Upd
+			if u.Status.Load() != unode.StatusInactive && t.firstActivated(u) { // line 265
+				if u.Kind == unode.Ins {
+					ins = append(ins, u)
+				} else {
+					del = append(del, u)
+				}
+			}
+		}
+	}
+	return ins, del
+}
+
+// bottomCase computes a candidate return value when the relaxed-trie
+// traversal returned ⊥ and Druall is non-empty (paper lines 231–251 and
+// Definition 5.1). It reconstructs, from the notify lists of this operation
+// and of the earliest-announced embedded predecessor among Druall's deletes,
+// a chain of delete hand-offs, and returns the largest surviving sink.
+func (t *Trie) bottomCase(pNode *PredNode, q []*PredNode, druall []*unode.UpdateNode, y int64) int64 {
+	// predNodes: first-embedded-predecessor announcements of Druall's
+	// deletes (line 232).
+	predNodes := make(map[*PredNode]bool, len(druall))
+	for _, d := range druall {
+		if pn, ok := d.DelPredNode.(*PredNode); ok && pn != nil {
+			predNodes[pn] = true
+		}
+	}
+
+	// pNode′: the member of predNodes announced earliest, i.e. occurring
+	// latest in our newest→oldest snapshot (lines 233–234).
+	var pPrime *PredNode
+	for i := len(q) - 1; i >= 0; i-- {
+		if predNodes[q[i]] {
+			pPrime = q[i]
+			break
+		}
+	}
+
+	// L1: update nodes that notified pNode′, oldest notification first,
+	// deduplicated keeping the newest occurrence's position (lines 231–236:
+	// traverse newest→oldest, prepend if not already present).
+	var l1 []*unode.UpdateNode
+	if pPrime != nil {
+		l1 = collectNotifiedUpdates(pPrime, y, nil)
+	}
+
+	// L2: update nodes that notified us before we finished the RU-ALL
+	// traversal (threshold ≥ key), oldest first; while traversing, remove
+	// every notifying update node from L1 (lines 237–241).
+	removed := make(map[*unode.UpdateNode]bool)
+	var l2 []*unode.UpdateNode
+	{
+		seen := make(map[*unode.UpdateNode]bool)
+		var rev []*unode.UpdateNode
+		for n := pNode.notifyHead.Load(); n != nil; n = n.next {
+			if n.key >= y {
+				continue
+			}
+			removed[n.updateNode] = true                           // line 239
+			if n.notifyThreshold >= n.key && !seen[n.updateNode] { // line 240
+				seen[n.updateNode] = true
+				rev = append(rev, n.updateNode)
+			}
+		}
+		l2 = reverseNodes(rev)
+	}
+
+	// L = (L1 − removed) ++ L2, then drop DEL nodes that are not the last
+	// update node in L with their key (lines 242–243).
+	var l []*unode.UpdateNode
+	for _, u := range l1 {
+		if !removed[u] {
+			l = append(l, u)
+		}
+	}
+	l = append(l, l2...)
+	l = dropSupersededDels(l)
+
+	// Definition 5.1: vertices are keys; each DEL node in L contributes the
+	// edge key → delPred2. Each vertex has at most one outgoing edge and
+	// edges strictly decrease, so reachability is chain-following.
+	edge := make(map[int64]int64, len(l))
+	for _, u := range l {
+		if u.Kind == unode.Del {
+			if dp2 := u.DelPred2.Load(); dp2 != unode.NoKey {
+				edge[u.Key] = dp2
+			}
+		}
+	}
+
+	// X: starting points — delPred of Druall's deletes and keys of INS
+	// nodes in L (lines 247–248).
+	start := make(map[int64]bool, len(druall)+len(l))
+	for _, d := range druall {
+		start[d.DelPred] = true
+	}
+	for _, u := range l {
+		if u.Kind == unode.Ins {
+			start[u.Key] = true
+		}
+	}
+
+	// R: sinks reachable from X, minus keys deleted before we started
+	// (lines 249–250); result is the largest member (line 251).
+	deletedKeys := make(map[int64]bool, len(druall))
+	for _, d := range druall {
+		deletedKeys[d.Key] = true
+	}
+	best := int64(-1)
+	for x := range start {
+		w := x
+		for {
+			next, ok := edge[w]
+			if !ok {
+				break // w is a sink
+			}
+			w = next
+		}
+		if !deletedKeys[w] {
+			best = maxKey(best, w)
+		}
+	}
+	return best
+}
+
+// collectNotifiedUpdates returns the update nodes that notified p with key
+// below y, oldest notification first, deduplicated on first (newest)
+// occurrence. filter, when non-nil, limits accepted notify nodes.
+func collectNotifiedUpdates(p *PredNode, y int64, filter func(*notifyNode) bool) []*unode.UpdateNode {
+	seen := make(map[*unode.UpdateNode]bool)
+	var rev []*unode.UpdateNode
+	for n := p.notifyHead.Load(); n != nil; n = n.next {
+		if n.key >= y {
+			continue
+		}
+		if filter != nil && !filter(n) {
+			continue
+		}
+		if !seen[n.updateNode] {
+			seen[n.updateNode] = true
+			rev = append(rev, n.updateNode)
+		}
+	}
+	return reverseNodes(rev)
+}
+
+// dropSupersededDels removes DEL nodes that are not the last update node in
+// l carrying their key (paper line 243), so each key has at most one DEL —
+// the most recent hand-off.
+func dropSupersededDels(l []*unode.UpdateNode) []*unode.UpdateNode {
+	lastIdx := make(map[int64]int, len(l))
+	for i, u := range l {
+		lastIdx[u.Key] = i
+	}
+	out := l[:0]
+	for i, u := range l {
+		if u.Kind == unode.Del && lastIdx[u.Key] != i {
+			continue
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+func reverseNodes(s []*unode.UpdateNode) []*unode.UpdateNode {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+	return s
+}
+
+func containsNode(s []*unode.UpdateNode, n *unode.UpdateNode) bool {
+	for _, x := range s {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+func maxKey(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,322 @@
+// Package efrb implements the lock-free leaf-oriented binary search tree of
+// Ellen, Fatourou, Ruppert and van Breugel ("Non-blocking binary search
+// trees", PODC 2010) — reference [23] of the paper, described in §3 as "the
+// first provably correct lock-free implementation of an unbalanced binary
+// search tree using CAS".
+//
+// The technique reproduced here is the one the paper contrasts its own
+// helping style against: every update flags a constant number of nodes with
+// an operation record before performing a single child-pointer CAS, and any
+// process that encounters a flag helps that operation to completion.
+//
+//   - Insert: IFLAG the parent, swing its child pointer to a freshly built
+//     internal node, unflag.
+//   - Delete: DFLAG the grandparent, MARK the parent (permanently), swing
+//     the grandparent's child to the sibling, unflag. A failed mark
+//     backtracks by unflagging the grandparent.
+//
+// All keys live at leaves; internal nodes are routing nodes whose left
+// subtree holds keys strictly smaller than their key. Two sentinel keys
+// (∞₁ < ∞₂) pad the right spine. As an unbalanced tree its height is O(n)
+// worst case; the comparison experiments use random keys.
+package efrb
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Update states (the EFRB state ∈ {CLEAN, IFLAG, DFLAG, MARK}).
+const (
+	stateClean uint8 = iota
+	stateIFlag
+	stateDFlag
+	stateMark
+)
+
+const (
+	inf1 = math.MaxInt64 - 1
+	inf2 = math.MaxInt64
+)
+
+// updateRec is the (state, info) pair CAS'd as one unit; a nil pointer in
+// tnode.update reads as CLEAN with no record.
+type updateRec struct {
+	state uint8
+	info  any // *insertInfo or *deleteInfo
+}
+
+// tnode is a tree node; leaves have leaf=true and never change.
+type tnode struct {
+	key    int64
+	leaf   bool
+	update atomic.Pointer[updateRec]
+	left   atomic.Pointer[tnode]
+	right  atomic.Pointer[tnode]
+}
+
+// insertInfo is the operation record of an Insert (EFRB IInfo).
+type insertInfo struct {
+	p           *tnode
+	newInternal *tnode
+	l           *tnode
+}
+
+// deleteInfo is the operation record of a Delete (EFRB DInfo).
+type deleteInfo struct {
+	gp, p, l *tnode
+	pupdate  *updateRec
+}
+
+// Tree is the lock-free BST over int64 keys in [0, u). Safe for concurrent
+// use.
+type Tree struct {
+	root *tnode
+	u    int64
+}
+
+// New returns an empty tree for keys {0,…,u−1}.
+func New(u int64) (*Tree, error) {
+	if u < 2 {
+		return nil, fmt.Errorf("efrb: universe size %d, need at least 2", u)
+	}
+	root := &tnode{key: inf2}
+	root.left.Store(&tnode{key: inf1, leaf: true})
+	root.right.Store(&tnode{key: inf2, leaf: true})
+	return &Tree{root: root, u: u}, nil
+}
+
+// U returns the universe size.
+func (t *Tree) U() int64 { return t.u }
+
+// search is the EFRB Search: returns the grandparent, parent and leaf on
+// k's search path plus the update records read at gp and p BEFORE reading
+// their child pointers (the ordering the helping protocol depends on).
+func (t *Tree) search(k int64) (gp, p, l *tnode, pupdate, gpupdate *updateRec) {
+	l = t.root
+	for !l.leaf {
+		gp, p = p, l
+		gpupdate = pupdate
+		pupdate = p.update.Load()
+		if k < l.key {
+			l = p.left.Load()
+		} else {
+			l = p.right.Load()
+		}
+	}
+	return gp, p, l, pupdate, gpupdate
+}
+
+// Search reports membership of x.
+func (t *Tree) Search(x int64) bool {
+	_, _, l, _, _ := t.search(x)
+	return l.key == x
+}
+
+func stateOf(u *updateRec) uint8 {
+	if u == nil {
+		return stateClean
+	}
+	return u.state
+}
+
+// Insert adds x; no-op if present. Lock-free.
+func (t *Tree) Insert(x int64) {
+	newLeaf := &tnode{key: x, leaf: true}
+	for {
+		_, p, l, pupdate, _ := t.search(x)
+		if l.key == x {
+			return // already present
+		}
+		if stateOf(pupdate) != stateClean {
+			t.help(pupdate)
+			continue
+		}
+		// Build the replacement internal node over {x, l.key}.
+		newInternal := &tnode{key: maxInt64(x, l.key)}
+		other := &tnode{key: l.key, leaf: true}
+		if newLeaf.key < other.key {
+			newInternal.left.Store(newLeaf)
+			newInternal.right.Store(other)
+		} else {
+			newInternal.left.Store(other)
+			newInternal.right.Store(newLeaf)
+		}
+		op := &insertInfo{p: p, newInternal: newInternal, l: l}
+		flag := &updateRec{state: stateIFlag, info: op}
+		if p.update.CompareAndSwap(pupdate, flag) {
+			t.helpInsert(op)
+			return
+		}
+		t.help(p.update.Load())
+	}
+}
+
+// helpInsert completes an IFLAG'd insert: child CAS then unflag.
+func (t *Tree) helpInsert(op *insertInfo) {
+	t.casChild(op.p, op.l, op.newInternal)
+	// Unflag: only the exact flag record is replaced.
+	cur := op.p.update.Load()
+	if cur != nil && cur.state == stateIFlag && cur.info == any(op) {
+		op.p.update.CompareAndSwap(cur, &updateRec{state: stateClean, info: op})
+	}
+}
+
+// Delete removes x; no-op if absent. Lock-free.
+func (t *Tree) Delete(x int64) {
+	for {
+		gp, p, l, pupdate, gpupdate := t.search(x)
+		if l.key != x {
+			return // absent
+		}
+		if stateOf(gpupdate) != stateClean {
+			t.help(gpupdate)
+			continue
+		}
+		if stateOf(pupdate) != stateClean {
+			t.help(pupdate)
+			continue
+		}
+		op := &deleteInfo{gp: gp, p: p, l: l, pupdate: pupdate}
+		flag := &updateRec{state: stateDFlag, info: op}
+		if gp.update.CompareAndSwap(gpupdate, flag) {
+			if t.helpDelete(op) {
+				return
+			}
+		} else {
+			t.help(gp.update.Load())
+		}
+	}
+}
+
+// helpDelete tries to MARK the parent; on success the delete is committed
+// and finished by helpMarked. On failure (someone else won p's update
+// word) it helps the winner and backtracks by unflagging the grandparent.
+func (t *Tree) helpDelete(op *deleteInfo) bool {
+	mark := &updateRec{state: stateMark, info: op}
+	if op.p.update.CompareAndSwap(op.pupdate, mark) {
+		t.helpMarked(op)
+		return true
+	}
+	cur := op.p.update.Load()
+	if cur != nil && cur.state == stateMark && cur.info == any(op) {
+		// Another helper already marked for this very operation.
+		t.helpMarked(op)
+		return true
+	}
+	t.help(cur)
+	// Backtrack: remove our DFLAG so the grandparent is usable again.
+	gpCur := op.gp.update.Load()
+	if gpCur != nil && gpCur.state == stateDFlag && gpCur.info == any(op) {
+		op.gp.update.CompareAndSwap(gpCur, &updateRec{state: stateClean, info: op})
+	}
+	return false
+}
+
+// helpMarked finishes a committed delete: splice the sibling into the
+// grandparent and unflag it.
+func (t *Tree) helpMarked(op *deleteInfo) {
+	// The sibling of l under p.
+	var sibling *tnode
+	if r := op.p.right.Load(); r == op.l {
+		sibling = op.p.left.Load()
+	} else {
+		sibling = r
+	}
+	t.casChild(op.gp, op.p, sibling)
+	cur := op.gp.update.Load()
+	if cur != nil && cur.state == stateDFlag && cur.info == any(op) {
+		op.gp.update.CompareAndSwap(cur, &updateRec{state: stateClean, info: op})
+	}
+}
+
+// help dispatches on an operation record found in someone's update word.
+func (t *Tree) help(u *updateRec) {
+	if u == nil {
+		return
+	}
+	switch u.state {
+	case stateIFlag:
+		if op, ok := u.info.(*insertInfo); ok {
+			t.helpInsert(op)
+		}
+	case stateMark:
+		if op, ok := u.info.(*deleteInfo); ok {
+			t.helpMarked(op)
+		}
+	case stateDFlag:
+		if op, ok := u.info.(*deleteInfo); ok {
+			t.helpDelete(op)
+		}
+	}
+}
+
+// casChild swings parent's child pointer from old to new on the side new
+// belongs (EFRB CAS-Child).
+func (t *Tree) casChild(parent, old, new *tnode) {
+	if new.key < parent.key {
+		parent.left.CompareAndSwap(old, new)
+	} else {
+		parent.right.CompareAndSwap(old, new)
+	}
+}
+
+// Predecessor returns the largest key smaller than y, or −1. It walks the
+// search path remembering the last left subtree passed on the right, then
+// descends that subtree's right spine — the standard leaf-oriented BST
+// predecessor. Baseline-grade consistency (like the skip-list baseline):
+// exact at quiescence, best-effort under concurrent restructuring.
+func (t *Tree) Predecessor(y int64) int64 {
+	var cand *tnode
+	cur := t.root
+	for !cur.leaf {
+		if cur.key >= y {
+			// Right subtree keys ≥ cur.key ≥ y: everything useful is left.
+			cur = cur.left.Load()
+			continue
+		}
+		// cur.key < y: the whole left subtree (keys < cur.key) qualifies;
+		// the right subtree may hold keys in [cur.key, y).
+		cand = cur.left.Load()
+		cur = cur.right.Load()
+	}
+	if cur.key < y && cur.key < inf1 {
+		return cur.key
+	}
+	if cand == nil {
+		return -1
+	}
+	for !cand.leaf {
+		cand = cand.right.Load()
+	}
+	if cand.key < y && cand.key < inf1 {
+		return cand.key
+	}
+	return -1
+}
+
+// Len counts the keys; O(n), for tests.
+func (t *Tree) Len() int {
+	var walk func(n *tnode) int
+	walk = func(n *tnode) int {
+		if n == nil {
+			return 0
+		}
+		if n.leaf {
+			if n.key < inf1 {
+				return 1
+			}
+			return 0
+		}
+		return walk(n.left.Load()) + walk(n.right.Load())
+	}
+	return walk(t.root)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package efrb_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/efrb"
+	"repro/internal/settest"
+)
+
+func factory(u int64) (settest.Set, error) { return efrb.New(u) }
+
+func TestSequentialConformance(t *testing.T) { settest.RunSequential(t, factory, 64) }
+func TestEdgeCases(t *testing.T)             { settest.RunEdgeCases(t, factory, 32) }
+func TestConcurrent(t *testing.T)            { settest.RunConcurrent(t, factory, 256, 8, 1200) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := efrb.New(1); err == nil {
+		t.Error("New(1) should fail")
+	}
+	tr, err := efrb.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.U() != 64 {
+		t.Errorf("U = %d, want 64", tr.U())
+	}
+}
+
+func TestLen(t *testing.T) {
+	tr, err := efrb.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("empty Len = %d", tr.Len())
+	}
+	for _, k := range []int64{5, 1, 9, 5} {
+		tr.Insert(k)
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	tr.Delete(1)
+	tr.Delete(1)
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+// TestConcurrentSameKeyChurn exercises the IFLAG/DFLAG/MARK helping
+// protocol on a single contended key with concurrent membership reads.
+func TestConcurrentSameKeyChurn(t *testing.T) {
+	tr, err := efrb.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			tr.Insert(7)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			tr.Delete(7)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			tr.Search(7)
+			tr.Predecessor(9)
+		}
+	}()
+	wg.Wait()
+	tr.Insert(7)
+	if !tr.Search(7) || tr.Len() != 1 {
+		t.Fatalf("after churn: Search=%v Len=%d", tr.Search(7), tr.Len())
+	}
+	tr.Delete(7)
+	if tr.Search(7) || tr.Len() != 0 {
+		t.Fatalf("after drain: Search=%v Len=%d", tr.Search(7), tr.Len())
+	}
+}
+
+// TestConcurrentNeighborDeletes: deletes whose flag targets overlap
+// (parent/grandparent of adjacent leaves) must all complete via helping.
+func TestConcurrentNeighborDeletes(t *testing.T) {
+	for round := 0; round < 150; round++ {
+		tr, err := efrb.New(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := int64(0); k < 16; k++ {
+			tr.Insert(k)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for k := int64(0); k < 16; k++ {
+			wg.Add(1)
+			go func(key int64) {
+				defer wg.Done()
+				<-start
+				tr.Delete(key)
+			}(k)
+		}
+		close(start)
+		wg.Wait()
+		if got := tr.Len(); got != 0 {
+			t.Fatalf("round %d: Len = %d after deleting everything", round, got)
+		}
+		if got := tr.Predecessor(31); got != -1 {
+			t.Fatalf("round %d: Predecessor(31) = %d, want -1", round, got)
+		}
+	}
+}
+
+// TestStableFloorUnderChurn: churn above the floor never hides it from
+// predecessor queries.
+func TestStableFloorUnderChurn(t *testing.T) {
+	tr, err := efrb.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Insert(40)
+				tr.Delete(40)
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		if got := tr.Predecessor(10); got != 2 {
+			t.Errorf("Predecessor(10) = %d, want 2", got)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

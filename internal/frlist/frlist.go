@@ -1,0 +1,281 @@
+// Package frlist implements the lock-free linked list of Fomitchev and
+// Ruppert ("Lock-free linked lists and skip lists", PODC 2004) — reference
+// [28] of the paper, cited as the list implementation with the best
+// amortized step complexity (O(L(op) + ċ(op))) and the design the paper's
+// own announcement lists descend from.
+//
+// Mechanics reproduced faithfully:
+//
+//   - each node's successor reference carries two bits: MARKED (this node
+//     is logically deleted) and FLAGGED (the successor is pinned because it
+//     is about to be deleted);
+//   - a deleter first FLAGS the predecessor's reference, then sets the
+//     victim's BACKLINK to the predecessor, MARKS the victim, and finally
+//     unlinks it (removing the flag);
+//   - operations that bump into a flag help that deletion finish, and
+//     recover after helping by walking BACKLINKS instead of restarting from
+//     the head — the source of the amortized bound.
+//
+// The list doubles as a dynamic set with predecessor queries, so it plugs
+// into the shared conformance suite and serves as the O(n) baseline the
+// paper's O(log u) trie is measured against.
+package frlist
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// node is one list cell. succ is the marked/flagged successor reference;
+// backlink points to the node's predecessor at deletion time.
+type node struct {
+	key      int64
+	succ     atomic.Pointer[succRef]
+	backlink atomic.Pointer[node]
+}
+
+// succRef bundles the successor pointer with the mark and flag bits; it is
+// immutable and swapped whole by CAS (the Go rendering of a tagged word).
+type succRef struct {
+	next    *node
+	marked  bool
+	flagged bool
+}
+
+// List is a lock-free sorted linked list over int64 keys in [0, u). Safe
+// for concurrent use.
+type List struct {
+	head *node
+	tail *node
+	u    int64
+}
+
+// New returns an empty list for keys {0,…,u−1}.
+func New(u int64) (*List, error) {
+	if u < 2 {
+		return nil, fmt.Errorf("frlist: universe size %d, need at least 2", u)
+	}
+	head := &node{key: math.MinInt64}
+	tail := &node{key: math.MaxInt64}
+	head.succ.Store(&succRef{next: tail})
+	tail.succ.Store(&succRef{})
+	return &List{head: head, tail: tail, u: u}, nil
+}
+
+// U returns the universe size.
+func (l *List) U() int64 { return l.u }
+
+// searchFrom returns adjacent nodes (curr, next) with curr.key ≤ k <
+// next.key, starting at start, helping finish deletions of marked nodes it
+// passes (Fomitchev–Ruppert SearchFrom).
+func (l *List) searchFrom(k int64, start *node) (*node, *node) {
+	curr := start
+	next := curr.succ.Load().next
+	for next.key <= k {
+		// Skip over nodes whose successor is marked (they are being
+		// deleted): help unlink before stepping.
+		for {
+			nr := next.succ.Load()
+			if !nr.marked {
+				break
+			}
+			l.tryMark(next) // ensure fully marked (idempotent)
+			l.helpMarked(curr, next)
+			next = curr.succ.Load().next
+			if next.key > k {
+				return curr, next
+			}
+		}
+		if next.key <= k {
+			curr = next
+			next = curr.succ.Load().next
+		}
+	}
+	return curr, next
+}
+
+// Search reports membership of x.
+func (l *List) Search(x int64) bool {
+	curr, _ := l.searchFrom(x, l.head)
+	return curr.key == x && !curr.succ.Load().marked
+}
+
+// Insert adds x; no-op if present. Lock-free.
+func (l *List) Insert(x int64) {
+	prev, next := l.searchFrom(x, l.head)
+	for {
+		if prev.key == x {
+			return // already present
+		}
+		pr := prev.succ.Load()
+		switch {
+		case pr.flagged:
+			// The successor is being deleted; help, then retry around the
+			// same neighborhood.
+			l.helpFlagged(prev, pr.next)
+		case pr.marked:
+			// prev itself was deleted under us: CASing its reference would
+			// hang the new node off a dead branch. Back up first.
+			for prev.succ.Load().marked {
+				b := prev.backlink.Load()
+				if b == nil {
+					prev = l.head
+					break
+				}
+				prev = b
+			}
+		case pr.next != next:
+			// The window moved between search and load; re-search below.
+		default:
+			n := &node{key: x}
+			n.succ.Store(&succRef{next: next})
+			if prev.succ.CompareAndSwap(pr, &succRef{next: n}) {
+				return
+			}
+			// CAS failed: the neighborhood changed. If prev got marked,
+			// back up along backlinks (the FR recovery that avoids
+			// restarting from the head).
+			pr = prev.succ.Load()
+			if pr.flagged {
+				l.helpFlagged(prev, pr.next)
+			}
+			for prev.succ.Load().marked {
+				b := prev.backlink.Load()
+				if b == nil {
+					prev = l.head
+					break
+				}
+				prev = b
+			}
+		}
+		prev, next = l.searchFrom(x, prev)
+	}
+}
+
+// Delete removes x; no-op if absent. Lock-free.
+func (l *List) Delete(x int64) {
+	prev, _ := l.searchFrom(x-1, l.head)
+	for {
+		next := prev.succ.Load().next
+		if next.key != x {
+			return // absent
+		}
+		target, flagged := l.tryFlag(prev, next)
+		if flagged {
+			l.helpFlagged(target, next)
+			return
+		}
+		if target == nil {
+			return // node vanished while flagging
+		}
+		prev = target
+	}
+}
+
+// tryFlag attempts to set the flag on prev's reference to target. It
+// returns (pred, true) when the reference is flagged (by us or a helper)
+// with pred being the flagging predecessor, or (pred, false) to retry from
+// pred, or (nil, false) when target is no longer reachable.
+func (l *List) tryFlag(prev, target *node) (*node, bool) {
+	for {
+		pr := prev.succ.Load()
+		if pr.next == target && pr.flagged {
+			return prev, true // someone else flagged it
+		}
+		if pr.next == target && !pr.marked {
+			if prev.succ.CompareAndSwap(pr, &succRef{next: target, flagged: true}) {
+				return prev, true
+			}
+			continue // re-examine
+		}
+		// prev no longer points cleanly at target: if prev is marked,
+		// back up; then re-search for target's predecessor.
+		for prev.succ.Load().marked {
+			b := prev.backlink.Load()
+			if b == nil {
+				prev = l.head
+				break
+			}
+			prev = b
+		}
+		var next *node
+		prev, next = l.searchFrom(target.key-1, prev)
+		if next != target {
+			return nil, false // target already deleted
+		}
+	}
+}
+
+// helpFlagged completes the deletion pinned by prev's flag on del: set the
+// backlink, mark, unlink.
+func (l *List) helpFlagged(prev, del *node) {
+	del.backlink.Store(prev)
+	if !del.succ.Load().marked {
+		l.tryMark(del)
+	}
+	l.helpMarked(prev, del)
+}
+
+// tryMark sets del's mark bit, helping any flagged successor first.
+func (l *List) tryMark(del *node) {
+	for {
+		sr := del.succ.Load()
+		if sr.marked {
+			return
+		}
+		if sr.flagged {
+			l.helpFlagged(del, sr.next)
+			continue
+		}
+		if del.succ.CompareAndSwap(sr, &succRef{next: sr.next, marked: true}) {
+			return
+		}
+	}
+}
+
+// helpMarked physically unlinks the marked del from prev, clearing the
+// flag. Unlinking is always safe: del is logically deleted, and the new
+// reference preserves prev's own mark bit so a deleted predecessor cannot
+// be resurrected.
+func (l *List) helpMarked(prev, del *node) {
+	next := del.succ.Load().next
+	for {
+		pr := prev.succ.Load()
+		if pr.next != del {
+			return // already unlinked
+		}
+		if prev.succ.CompareAndSwap(pr, &succRef{next: next, marked: pr.marked}) {
+			return
+		}
+	}
+}
+
+// Predecessor returns the largest key smaller than y, or −1.
+func (l *List) Predecessor(y int64) int64 {
+	curr, _ := l.searchFrom(y-1, l.head)
+	// Walk back over logically deleted nodes: a marked curr may have been
+	// deleted before we arrived; its backlink chain leads to live ground.
+	for curr != l.head && curr.succ.Load().marked {
+		b := curr.backlink.Load()
+		if b == nil {
+			break
+		}
+		curr = b
+	}
+	if curr == l.head {
+		return -1
+	}
+	return curr.key
+}
+
+// Len counts live nodes; O(n), for tests.
+func (l *List) Len() int {
+	n := 0
+	for cur := l.head.succ.Load().next; cur != l.tail; cur = cur.succ.Load().next {
+		if !cur.succ.Load().marked {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package frlist_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/frlist"
+	"repro/internal/settest"
+)
+
+func factory(u int64) (settest.Set, error) { return frlist.New(u) }
+
+func TestSequentialConformance(t *testing.T) { settest.RunSequential(t, factory, 64) }
+func TestEdgeCases(t *testing.T)             { settest.RunEdgeCases(t, factory, 32) }
+func TestConcurrent(t *testing.T)            { settest.RunConcurrent(t, factory, 128, 8, 600) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := frlist.New(1); err == nil {
+		t.Error("New(1) should fail")
+	}
+	l, err := frlist.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.U() != 64 {
+		t.Errorf("U = %d, want 64", l.U())
+	}
+}
+
+func TestLen(t *testing.T) {
+	l, err := frlist.New(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{9, 1, 5, 5} {
+		l.Insert(k)
+	}
+	if got := l.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	l.Delete(5)
+	l.Delete(5)
+	if got := l.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+// TestConcurrentSameKeyChurn: the flag/mark/backlink dance must survive
+// insert-delete collisions on one key.
+func TestConcurrentSameKeyChurn(t *testing.T) {
+	l, err := frlist.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			l.Insert(7)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			l.Delete(7)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			l.Search(7)
+			l.Predecessor(9)
+		}
+	}()
+	wg.Wait()
+	l.Insert(7)
+	if !l.Search(7) || l.Len() != 1 {
+		t.Fatalf("after churn: Search=%v Len=%d", l.Search(7), l.Len())
+	}
+	if got := l.Predecessor(9); got != 7 {
+		t.Fatalf("Predecessor(9) = %d, want 7", got)
+	}
+	l.Delete(7)
+	if l.Search(7) || l.Len() != 0 {
+		t.Fatalf("after drain: Search=%v Len=%d", l.Search(7), l.Len())
+	}
+}
+
+// TestConcurrentNeighborDeletes: deleting adjacent keys concurrently
+// exercises flag contention on shared predecessors.
+func TestConcurrentNeighborDeletes(t *testing.T) {
+	for round := 0; round < 100; round++ {
+		l, err := frlist.New(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := int64(0); k < 8; k++ {
+			l.Insert(k)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for k := int64(0); k < 8; k++ {
+			wg.Add(1)
+			go func(key int64) {
+				defer wg.Done()
+				<-start
+				l.Delete(key)
+			}(k)
+		}
+		close(start)
+		wg.Wait()
+		if got := l.Len(); got != 0 {
+			t.Fatalf("round %d: Len = %d after deleting everything", round, got)
+		}
+		if got := l.Predecessor(15); got != -1 {
+			t.Fatalf("round %d: Predecessor(15) = %d, want -1", round, got)
+		}
+	}
+}
+
+// TestStableFloorUnderChurn mirrors the trie test: churn above the floor
+// never hides it.
+func TestStableFloorUnderChurn(t *testing.T) {
+	l, err := frlist.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Insert(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				l.Insert(40)
+				l.Delete(40)
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		if got := l.Predecessor(10); got != 2 {
+			t.Errorf("Predecessor(10) = %d, want 2", got)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,197 @@
+// Package harness runs concurrent workloads against any dynamic-set
+// implementation and reports throughput and derived metrics. It powers the
+// EXPERIMENTS.md sweeps (cmd/triebench) and the root-level benchmarks.
+//
+// The harness pre-generates one deterministic operation stream per worker,
+// starts all workers on a barrier, runs for a fixed operation count, and
+// reports wall-clock throughput. A stall injector can suspend a subset of
+// workers mid-run to demonstrate lock-free progress (experiment C4).
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Set is the common dynamic-set interface the harness drives.
+type Set interface {
+	Search(x int64) bool
+	Insert(x int64)
+	Delete(x int64)
+	Predecessor(y int64) int64
+}
+
+// Config describes one measurement run.
+type Config struct {
+	// Workers is the number of concurrent goroutines.
+	Workers int
+	// OpsPerWorker is the number of operations each worker executes.
+	OpsPerWorker int
+	// Mix is the operation mix.
+	Mix workload.Mix
+	// Dist generates keys.
+	Dist workload.KeyDist
+	// Seed makes streams deterministic; worker i uses Seed+i.
+	Seed int64
+	// Prefill inserts keys 0,…,Prefill−1 before measuring.
+	Prefill int64
+	// StallEvery, when > 0, makes worker 0 sleep StallDuration after every
+	// StallEvery operations — the stalled-process experiment (C4). With a
+	// lock-free structure other workers keep committing; with a lock-based
+	// one they stall behind the sleeper if it parks holding the lock.
+	StallEvery    int
+	StallDuration time.Duration
+}
+
+// Result is one measurement.
+type Result struct {
+	// Ops is the total number of operations executed.
+	Ops int
+	// Elapsed is the wall-clock duration of the measured phase.
+	Elapsed time.Duration
+	// Throughput is operations per second.
+	Throughput float64
+}
+
+// String renders the result for reports.
+func (r Result) String() string {
+	return fmt.Sprintf("%d ops in %v (%.0f ops/s)", r.Ops, r.Elapsed.Round(time.Microsecond), r.Throughput)
+}
+
+// Run executes the configured workload against s and returns the
+// measurement.
+func Run(s Set, cfg Config) (Result, error) {
+	if cfg.Workers <= 0 || cfg.OpsPerWorker <= 0 {
+		return Result{}, fmt.Errorf("harness: workers=%d opsPerWorker=%d must be positive",
+			cfg.Workers, cfg.OpsPerWorker)
+	}
+	if err := cfg.Mix.Validate(); err != nil {
+		return Result{}, err
+	}
+	// Prefill in shuffled order: sequential insertion order is a
+	// pathological input for unbalanced-tree baselines (it degenerates the
+	// EFRB BST to a list) and would skew comparisons with an artifact.
+	if cfg.Prefill > 0 {
+		keys := make([]int64, cfg.Prefill)
+		for i := range keys {
+			keys[i] = int64(i)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		for _, k := range keys {
+			s.Insert(k)
+		}
+	}
+	// Pre-generate streams outside the measured region.
+	streams := make([][]workload.Op, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		gen, err := workload.NewGenerator(cfg.Mix, cfg.Dist, cfg.Seed+int64(w))
+		if err != nil {
+			return Result{}, err
+		}
+		streams[w] = gen.Fill(cfg.OpsPerWorker)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int, ops []workload.Op) {
+			defer wg.Done()
+			<-start
+			for i, op := range ops {
+				if cfg.StallEvery > 0 && id == 0 && i > 0 && i%cfg.StallEvery == 0 {
+					time.Sleep(cfg.StallDuration)
+				}
+				apply(s, op)
+			}
+		}(w, streams[w])
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	total := cfg.Workers * cfg.OpsPerWorker
+	return Result{
+		Ops:        total,
+		Elapsed:    elapsed,
+		Throughput: float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+func apply(s Set, op workload.Op) {
+	switch op.Kind {
+	case workload.OpInsert:
+		s.Insert(op.Key)
+	case workload.OpDelete:
+		s.Delete(op.Key)
+	case workload.OpSearch:
+		s.Search(op.Key)
+	case workload.OpPredecessor:
+		s.Predecessor(op.Key)
+	}
+}
+
+// Table is a minimal aligned-column printer for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := ""
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			s += fmt.Sprintf("%-*s", widths[i]+2, c)
+		}
+		return s + "\n"
+	}
+	out += line(t.header)
+	for i, w := range widths {
+		_ = i
+		for j := 0; j < w; j++ {
+			out += "-"
+		}
+		out += "  "
+	}
+	out += "\n"
+	for _, row := range t.rows {
+		out += line(row)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/locktrie"
+	"repro/internal/workload"
+)
+
+func TestRunValidation(t *testing.T) {
+	tr, err := core.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(tr, Config{Workers: 0, OpsPerWorker: 1, Mix: workload.MixReadHeavy,
+		Dist: workload.Uniform{U: 64}}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := Run(tr, Config{Workers: 1, OpsPerWorker: 1, Mix: workload.Mix{},
+		Dist: workload.Uniform{U: 64}}); err == nil {
+		t.Error("invalid mix accepted")
+	}
+}
+
+func TestRunCore(t *testing.T) {
+	tr, err := core.New(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, Config{
+		Workers:      4,
+		OpsPerWorker: 2000,
+		Mix:          workload.MixUpdateHeavy,
+		Dist:         workload.Uniform{U: 256},
+		Seed:         1,
+		Prefill:      64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 8000 {
+		t.Errorf("Ops = %d, want 8000", res.Ops)
+	}
+	if res.Throughput <= 0 {
+		t.Error("non-positive throughput")
+	}
+	if !strings.Contains(res.String(), "ops/s") {
+		t.Error("String() missing throughput")
+	}
+}
+
+func TestRunWithStalls(t *testing.T) {
+	tr, err := locktrie.New(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, Config{
+		Workers:       2,
+		OpsPerWorker:  50,
+		Mix:           workload.MixUpdateOnly,
+		Dist:          workload.Uniform{U: 128},
+		Seed:          2,
+		StallEvery:    10,
+		StallDuration: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed < 4*time.Millisecond {
+		t.Errorf("stalls not applied: elapsed %v", res.Elapsed)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("col1", "column2")
+	tab.AddRow("a", 1.5)
+	tab.AddRow("longer", 42)
+	out := tab.String()
+	if !strings.Contains(out, "col1") || !strings.Contains(out, "1.50") ||
+		!strings.Contains(out, "longer") || !strings.Contains(out, "42") {
+		t.Errorf("table output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}

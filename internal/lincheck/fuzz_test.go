@@ -1,0 +1,133 @@
+package lincheck
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// decodeHistory turns fuzz bytes into a small overlapping history. Each op
+// consumes 3 bytes: kind/key, result, and an overlap amount that stretches
+// its return time over the following ops. Histories stay ≤ 6 ops so the
+// brute-force oracle below stays cheap.
+func decodeHistory(data []byte) []Op {
+	const maxOps = 6
+	n := len(data) / 3
+	if n > maxOps {
+		n = maxOps
+	}
+	ops := make([]Op, 0, n)
+	ts := uint64(1)
+	var pendingEnd []uint64
+	for i := 0; i < n; i++ {
+		kind := OpKind(data[3*i]%4) + 1
+		key := int64(data[3*i] / 4 % 8)
+		result := int64(data[3*i+1] % 10)
+		if result > 7 {
+			result = -1
+		}
+		overlap := uint64(data[3*i+2] % 4)
+		inv := ts
+		ts++
+		ret := ts + overlap*2
+		ts = ret + 1
+		pendingEnd = append(pendingEnd, ret)
+		ops = append(ops, Op{Kind: kind, Key: key, Result: result, Invoke: inv, Return: ret})
+	}
+	_ = pendingEnd
+	return ops
+}
+
+// bruteForceCheck enumerates every permutation of ops consistent with the
+// real-time order and replays it — the trivially correct oracle.
+func bruteForceCheck(ops []Op) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	used := make([]bool, n)
+	var rec func(state uint64, done int, maxRet uint64) bool
+	rec = func(state uint64, done int, _ uint64) bool {
+		if done == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// ops[i] may go next iff no unlinearized op returned before
+			// its invocation.
+			ok := true
+			for j := 0; j < n; j++ {
+				if !used[j] && ops[j].Return < ops[i].Invoke {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			newState, res := applySet(state, ops[i])
+			if hasResult(ops[i].Kind) && res != ops[i].Result {
+				continue
+			}
+			used[i] = true
+			if rec(newState, done+1, 0) {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0, 0, 0)
+}
+
+// FuzzCheckMatchesBruteForce: the WGL checker agrees with exhaustive
+// permutation search on every generated history.
+func FuzzCheckMatchesBruteForce(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 9, 1, 1, 18, 0, 2})
+	f.Add([]byte{2, 1, 0})                   // single search
+	f.Add([]byte{0, 0, 3, 2, 1, 3, 1, 0, 3}) // ins/search/del overlap
+	f.Add([]byte{3, 5, 1, 0, 0, 0, 3, 3, 2, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeHistory(data)
+		res, err := Check(ops)
+		if err != nil {
+			t.Fatalf("Check error on generated history: %v", err)
+		}
+		want := bruteForceCheck(ops)
+		if res.Ok != want {
+			t.Fatalf("Check = %v, brute force = %v, history %v", res.Ok, want, ops)
+		}
+		if res.Ok {
+			// The witness must replay.
+			state := uint64(0)
+			for _, i := range res.Linearization {
+				var r int64
+				state, r = applySet(state, ops[i])
+				if hasResult(ops[i].Kind) && r != ops[i].Result {
+					t.Fatalf("invalid witness at %v", ops[i])
+				}
+			}
+		}
+	})
+}
+
+// TestApplySetPredecessorBitMath pins the bit arithmetic applySet uses.
+func TestApplySetPredecessorBitMath(t *testing.T) {
+	state := uint64(0)
+	for _, k := range []int64{2, 5, 9} {
+		state, _ = applySet(state, Op{Kind: OpInsert, Key: k})
+	}
+	if bits.OnesCount64(state) != 3 {
+		t.Fatalf("state has %d bits", bits.OnesCount64(state))
+	}
+	tests := []struct{ y, want int64 }{
+		{0, -1}, {2, -1}, {3, 2}, {5, 2}, {6, 5}, {9, 5}, {10, 9}, {63, 9},
+	}
+	for _, tt := range tests {
+		_, got := applySet(state, Op{Kind: OpPredecessor, Key: tt.y})
+		if got != tt.want {
+			t.Errorf("pred(%d) = %d, want %d", tt.y, got, tt.want)
+		}
+	}
+}

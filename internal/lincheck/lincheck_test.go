@@ -1,0 +1,204 @@
+package lincheck
+
+import (
+	"sync"
+	"testing"
+)
+
+// seqOps builds a sequential (non-overlapping) history from (kind,key,result)
+// triples.
+func seqOps(triples [][3]int64) []Op {
+	ops := make([]Op, len(triples))
+	ts := uint64(0)
+	for i, tr := range triples {
+		ts++
+		inv := ts
+		ts++
+		ops[i] = Op{Kind: OpKind(tr[0]), Key: tr[1], Result: tr[2], Invoke: inv, Return: ts}
+	}
+	return ops
+}
+
+func mustCheck(t *testing.T, ops []Op) Result {
+	t.Helper()
+	res, err := Check(ops)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !mustCheck(t, nil).Ok {
+		t.Error("empty history must be linearizable")
+	}
+}
+
+func TestSequentialValid(t *testing.T) {
+	ops := seqOps([][3]int64{
+		{int64(OpSearch), 3, 0},
+		{int64(OpInsert), 3, 0},
+		{int64(OpSearch), 3, 1},
+		{int64(OpPredecessor), 5, 3},
+		{int64(OpDelete), 3, 0},
+		{int64(OpSearch), 3, 0},
+		{int64(OpPredecessor), 5, -1},
+	})
+	if !mustCheck(t, ops).Ok {
+		t.Error("valid sequential history rejected")
+	}
+}
+
+func TestSequentialInvalidSearch(t *testing.T) {
+	ops := seqOps([][3]int64{
+		{int64(OpSearch), 3, 1}, // true before any insert: impossible
+		{int64(OpInsert), 3, 0},
+	})
+	if mustCheck(t, ops).Ok {
+		t.Error("impossible sequential history accepted")
+	}
+}
+
+func TestSequentialInvalidPredecessor(t *testing.T) {
+	ops := seqOps([][3]int64{
+		{int64(OpInsert), 2, 0},
+		{int64(OpPredecessor), 5, 4}, // 4 was never inserted
+	})
+	if mustCheck(t, ops).Ok {
+		t.Error("impossible predecessor result accepted")
+	}
+}
+
+func TestConcurrentReorderAllowed(t *testing.T) {
+	// Search(3)=1 overlaps Insert(3): linearizable by putting the insert
+	// first.
+	ops := []Op{
+		{Kind: OpInsert, Key: 3, Invoke: 1, Return: 4},
+		{Kind: OpSearch, Key: 3, Result: 1, Invoke: 2, Return: 3},
+	}
+	if !mustCheck(t, ops).Ok {
+		t.Error("overlapping insert/search rejected")
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// Search(3)=1 strictly after Delete(3) strictly after Insert(3):
+	// cannot reorder, must be rejected.
+	ops := []Op{
+		{Kind: OpInsert, Key: 3, Invoke: 1, Return: 2},
+		{Kind: OpDelete, Key: 3, Invoke: 3, Return: 4},
+		{Kind: OpSearch, Key: 3, Result: 1, Invoke: 5, Return: 6},
+	}
+	if mustCheck(t, ops).Ok {
+		t.Error("real-time violation accepted")
+	}
+}
+
+func TestPredecessorConcurrentWindow(t *testing.T) {
+	// Predecessor(9)=5 overlapping Insert(5): fine. Predecessor(9)=7 with
+	// no insert of 7 anywhere: impossible.
+	valid := []Op{
+		{Kind: OpInsert, Key: 5, Invoke: 1, Return: 5},
+		{Kind: OpPredecessor, Key: 9, Result: 5, Invoke: 2, Return: 4},
+	}
+	if !mustCheck(t, valid).Ok {
+		t.Error("valid overlapping predecessor rejected")
+	}
+	invalid := []Op{
+		{Kind: OpInsert, Key: 5, Invoke: 1, Return: 5},
+		{Kind: OpPredecessor, Key: 9, Result: 7, Invoke: 2, Return: 4},
+	}
+	if mustCheck(t, invalid).Ok {
+		t.Error("impossible overlapping predecessor accepted")
+	}
+}
+
+func TestStalePredecessorRejected(t *testing.T) {
+	// Insert(3), Insert(5) complete; then Predecessor(9) strictly later
+	// must return 5, not 3.
+	ops := []Op{
+		{Kind: OpInsert, Key: 3, Invoke: 1, Return: 2},
+		{Kind: OpInsert, Key: 5, Invoke: 3, Return: 4},
+		{Kind: OpPredecessor, Key: 9, Result: 3, Invoke: 5, Return: 6},
+	}
+	if mustCheck(t, ops).Ok {
+		t.Error("stale predecessor result accepted")
+	}
+}
+
+func TestWitnessOrderIsValid(t *testing.T) {
+	ops := []Op{
+		{Kind: OpInsert, Key: 1, Invoke: 1, Return: 6},
+		{Kind: OpInsert, Key: 2, Invoke: 2, Return: 5},
+		{Kind: OpPredecessor, Key: 9, Result: 2, Invoke: 3, Return: 4},
+	}
+	res := mustCheck(t, ops)
+	if !res.Ok {
+		t.Fatal("history should be linearizable")
+	}
+	// Replay the witness and confirm results.
+	state := uint64(0)
+	for _, i := range res.Linearization {
+		var got int64
+		state, got = applySet(state, ops[i])
+		if hasResult(ops[i].Kind) && got != ops[i].Result {
+			t.Fatalf("witness order invalid at op %v", ops[i])
+		}
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	if _, err := Check([]Op{{Kind: OpInsert, Key: 70, Invoke: 1, Return: 2}}); err == nil {
+		t.Error("key out of range accepted")
+	}
+	if _, err := Check([]Op{{Kind: OpInsert, Key: 1, Invoke: 2, Return: 2}}); err == nil {
+		t.Error("Invoke ≥ Return accepted")
+	}
+	big := make([]Op, 65)
+	for i := range big {
+		big[i] = Op{Kind: OpInsert, Key: 1, Invoke: uint64(2*i + 1), Return: uint64(2*i + 2)}
+	}
+	if _, err := Check(big); err == nil {
+		t.Error("oversized history accepted")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(k int64) {
+			defer wg.Done()
+			inv := r.Begin()
+			r.End(OpInsert, k, 0, inv)
+		}(int64(g))
+	}
+	wg.Wait()
+	ops := r.History()
+	if len(ops) != 4 {
+		t.Fatalf("recorded %d ops, want 4", len(ops))
+	}
+	for _, op := range ops {
+		if op.Invoke >= op.Return {
+			t.Errorf("op %v has bad timestamps", op)
+		}
+	}
+	if !mustCheck(t, ops).Ok {
+		t.Error("recorded insert-only history must linearize")
+	}
+}
+
+func TestCheckOrExplain(t *testing.T) {
+	ok, msg, err := CheckOrExplain(seqOps([][3]int64{{int64(OpSearch), 3, 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || msg == "" {
+		t.Error("expected failure with explanation")
+	}
+	ok, msg, err = CheckOrExplain(nil)
+	if err != nil || !ok || msg != "" {
+		t.Error("empty history should pass silently")
+	}
+}

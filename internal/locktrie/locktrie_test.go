@@ -1,0 +1,27 @@
+package locktrie_test
+
+import (
+	"testing"
+
+	"repro/internal/locktrie"
+	"repro/internal/settest"
+)
+
+func factory(u int64) (settest.Set, error) { return locktrie.New(u) }
+
+func TestSequentialConformance(t *testing.T) { settest.RunSequential(t, factory, 64) }
+func TestEdgeCases(t *testing.T)             { settest.RunEdgeCases(t, factory, 32) }
+func TestConcurrent(t *testing.T)            { settest.RunConcurrent(t, factory, 256, 8, 1500) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := locktrie.New(0); err == nil {
+		t.Error("New(0) should fail")
+	}
+	tr, err := locktrie.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.U() != 64 {
+		t.Errorf("U = %d, want 64", tr.U())
+	}
+}

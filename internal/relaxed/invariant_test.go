@@ -1,0 +1,105 @@
+package relaxed_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/relaxed"
+)
+
+// checkInterpretedBitInvariant asserts the quiescent form of properties IB0
+// and IB1 (paper Lemmas 4.21 and 4.26): with no active update operations,
+// the interpreted bit of EVERY trie node equals the OR of the memberships
+// of the leaves in its subtree.
+func checkInterpretedBitInvariant(t *testing.T, tr *relaxed.Trie, present map[int64]bool) {
+	t.Helper()
+	bits := tr.Bits()
+	u := tr.U()
+	// Leaves.
+	for k := int64(0); k < u; k++ {
+		want := 0
+		if present[k] {
+			want = 1
+		}
+		if got := bits.InterpretedBitOfLeaf(k); got != want {
+			t.Fatalf("leaf %d bit = %d, want %d", k, got, want)
+		}
+	}
+	// Internal nodes, bottom-up by index math: node i covers leaves
+	// [leftmost, leftmost + 2^height).
+	for i := int64(1); i < u; i++ {
+		h := bits.Height(i)
+		span := int64(1) << uint(h)
+		lo := (i << uint(h)) - u
+		want := 0
+		for k := lo; k < lo+span; k++ {
+			if present[k] {
+				want = 1
+				break
+			}
+		}
+		if got := bits.InterpretedBit(i); got != want {
+			t.Fatalf("node %d (height %d, leaves [%d,%d)) bit = %d, want %d",
+				i, h, lo, lo+span, got, want)
+		}
+	}
+}
+
+// TestInterpretedBitInvariantSequential: IB0/IB1 hold after every op of a
+// random sequential run.
+func TestInterpretedBitInvariantSequential(t *testing.T) {
+	tr := newTrie(t, 32)
+	rng := rand.New(rand.NewSource(13))
+	present := map[int64]bool{}
+	for step := 0; step < 400; step++ {
+		k := rng.Int63n(32)
+		if rng.Intn(2) == 0 {
+			tr.Insert(k)
+			present[k] = true
+		} else {
+			tr.Delete(k)
+			delete(present, k)
+		}
+		checkInterpretedBitInvariant(t, tr, present)
+	}
+}
+
+// TestInterpretedBitInvariantAfterConcurrency: IB0/IB1 hold at quiescence
+// after arbitrary concurrent histories (the paper's properties are exactly
+// the "no active operation" special case).
+func TestInterpretedBitInvariantAfterConcurrency(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		tr := newTrie(t, 64)
+		var wg sync.WaitGroup
+		finals := make([]map[int64]bool, 4)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*100 + id)))
+				lo := int64(id) * 16
+				final := map[int64]bool{}
+				for i := 0; i < 500; i++ {
+					k := lo + rng.Int63n(16)
+					if rng.Intn(2) == 0 {
+						tr.Insert(k)
+						final[k] = true
+					} else {
+						tr.Delete(k)
+						delete(final, k)
+					}
+				}
+				finals[id] = final
+			}(g)
+		}
+		wg.Wait()
+		present := map[int64]bool{}
+		for _, f := range finals {
+			for k := range f {
+				present[k] = true
+			}
+		}
+		checkInterpretedBitInvariant(t, tr, present)
+	}
+}

@@ -1,0 +1,164 @@
+// Package relaxed implements the wait-free relaxed binary trie of paper §4:
+// a dynamic set over {0,…,u−1} with strongly linearizable TrieInsert,
+// TrieDelete and TrieSearch, and the non-linearizable RelaxedPredecessor
+// whose specification (§4.1) allows ⊥ only while concurrent updates
+// interfere.
+//
+// All operations are wait-free: Search is O(1), the others O(log u)
+// worst-case steps. latest[x] is a single atomic pointer per key (the §4
+// latest "list" has length one); update nodes are active on creation
+// (paper §4.4.1).
+package relaxed
+
+import (
+	"sync/atomic"
+
+	"repro/internal/bitstrie"
+	"repro/internal/unode"
+)
+
+// Trie is a relaxed binary trie. Create instances with New; the zero value
+// is not usable.
+type Trie struct {
+	b      int
+	u      int64
+	latest []atomic.Pointer[unode.UpdateNode]
+	bits   *bitstrie.Trie
+}
+
+// New returns an empty relaxed binary trie over the universe {0,…,u−1}
+// (u ≥ 2, padded to the next power of two).
+func New(u int64) (*Trie, error) {
+	t := &Trie{}
+	bt, err := bitstrie.New(u, (*oracle)(t))
+	if err != nil {
+		return nil, err
+	}
+	t.b = bt.B()
+	t.u = bt.U()
+	t.latest = make([]atomic.Pointer[unode.UpdateNode], t.u)
+	t.bits = bt
+	return t, nil
+}
+
+// U returns the (padded) universe size.
+func (t *Trie) U() int64 { return t.u }
+
+// B returns ⌈log2 u⌉.
+func (t *Trie) B() int { return t.b }
+
+// Bits exposes the interpreted-bit engine for tests, stats and trieviz.
+func (t *Trie) Bits() *bitstrie.Trie { return t.bits }
+
+// oracle adapts Trie to bitstrie.Oracle without exporting the methods on
+// Trie itself.
+type oracle Trie
+
+var _ bitstrie.Oracle = (*oracle)(nil)
+
+// FindLatest returns the update node pointed to by latest[x] (paper lines
+// 13–14), materializing the dummy DEL node on first touch (DESIGN.md).
+func (o *oracle) FindLatest(x int64) *unode.UpdateNode {
+	return (*Trie)(o).findLatest(x)
+}
+
+// FirstActivated reports whether n is pointed to by latest[n.Key] (paper
+// lines 19–21). All §4 update nodes are considered active.
+func (o *oracle) FirstActivated(n *unode.UpdateNode) bool {
+	return (*Trie)(o).latest[n.Key].Load() == n
+}
+
+func (t *Trie) findLatest(x int64) *unode.UpdateNode {
+	if p := t.latest[x].Load(); p != nil {
+		return p
+	}
+	// Materialize the dummy DEL node for x; the loser's allocation is
+	// dropped and the winner is re-read, so all processes agree.
+	t.latest[x].CompareAndSwap(nil, unode.NewDummyDel(x, t.b))
+	return t.latest[x].Load()
+}
+
+// Search reports whether x is in the set (paper lines 15–18). O(1): one
+// read of latest[x]. An untouched key is absent without materializing its
+// dummy.
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Search(x int64) bool {
+	p := t.latest[x].Load()
+	return p != nil && p.Kind == unode.Ins
+}
+
+// Insert adds x to the set (paper lines 28–37, TrieInsert). Wait-free,
+// O(log u) worst-case steps.
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Insert(x int64) {
+	dNode := t.findLatest(x)
+	if dNode.Kind != unode.Del {
+		return // x already in S
+	}
+	iNode := unode.NewIns(x)
+	iNode.Status.Store(unode.StatusActive) // §4: nodes are created active
+	// Paper line 34: dNode.latestNext.target.stop ← true, ignoring ⊥ links.
+	// This stops the Delete operation that the previously linearized
+	// Insert(x) was asked to stop, in case that Insert crashed between
+	// setting target and performing its MinWrite.
+	if ln := dNode.LatestNext.Load(); ln != nil {
+		if tg := ln.Target.Load(); tg != nil {
+			tg.Stop.Store(true)
+		}
+	}
+	if !t.latest[x].CompareAndSwap(dNode, iNode) {
+		return // another TrieInsert(x) linearized first (Lemma 4.3)
+	}
+	t.bits.InsertBinaryTrie(iNode)
+}
+
+// Delete removes x from the set (paper lines 47–57, TrieDelete). Wait-free,
+// O(log u) worst-case steps.
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Delete(x int64) {
+	iNode := t.findLatest(x)
+	if iNode.Kind != unode.Ins {
+		return // x not in S
+	}
+	dNode := unode.NewDel(x, t.b)
+	dNode.Status.Store(unode.StatusActive)
+	dNode.LatestNext.Store(iNode)
+	if !t.latest[x].CompareAndSwap(iNode, dNode) {
+		return // another TrieDelete(x) linearized first (Lemma 4.4)
+	}
+	// Paper line 55: stop the Delete whose DEL node the replaced Insert was
+	// attacking; the Insert will not finish its MinWrite on our behalf.
+	if tg := iNode.Target.Load(); tg != nil {
+		tg.Stop.Store(true)
+	}
+	t.bits.DeleteBinaryTrie(dNode)
+}
+
+// Successor returns the smallest key greater than y under the mirrored
+// relaxed specification: (k, true) when k was present during the call,
+// (−1, true) when no key above y was visible, (0, false) for ⊥ under
+// concurrent interference. Wait-free, O(log u) worst-case steps. This
+// operation is an extension beyond the paper (which states only
+// Predecessor); the algorithm is the exact mirror.
+//
+// Precondition: 0 ≤ y < U().
+func (t *Trie) Successor(y int64) (int64, bool) {
+	return t.bits.RelaxedSuccessor(y)
+}
+
+// Predecessor returns the largest key smaller than y that it could prove
+// present, following §4.1's specification:
+//
+//   - (k, true): k ∈ S at some point during the call, k < y; if there were
+//     no concurrent updates on keys in (k, y), k is THE predecessor of y.
+//   - (−1, true): no key below y was visible.
+//   - (0, false): ⊥ — a concurrent update on some key in (k, y) prevented
+//     the traversal from completing.
+//
+// Precondition: 0 ≤ y < U().
+func (t *Trie) Predecessor(y int64) (int64, bool) {
+	return t.bits.RelaxedPredecessor(y)
+}

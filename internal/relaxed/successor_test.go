@@ -1,0 +1,154 @@
+package relaxed_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSuccessorSequential(t *testing.T) {
+	tr := newTrie(t, 64)
+	for _, k := range []int64{0, 3, 17, 40, 62} {
+		tr.Insert(k)
+	}
+	tests := []struct {
+		y, want int64
+	}{
+		{0, 3}, {1, 3}, {2, 3}, {3, 17}, {16, 17}, {17, 40},
+		{39, 40}, {40, 62}, {61, 62}, {62, -1}, {63, -1},
+	}
+	for _, tt := range tests {
+		got, ok := tr.Successor(tt.y)
+		if !ok {
+			t.Errorf("Successor(%d) = ⊥ at quiescence", tt.y)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Successor(%d) = %d, want %d", tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestSuccessorEmpty(t *testing.T) {
+	tr := newTrie(t, 16)
+	for y := int64(0); y < 16; y++ {
+		got, ok := tr.Successor(y)
+		if !ok || got != -1 {
+			t.Errorf("Successor(%d) = (%d,%v), want (-1,true)", y, got, ok)
+		}
+	}
+}
+
+// TestSuccessorQuickAgainstReference mirrors the predecessor property test.
+func TestSuccessorQuickAgainstReference(t *testing.T) {
+	const u = 32
+	type op struct {
+		Kind byte
+		Key  uint8
+	}
+	f := func(ops []op) bool {
+		tr := newTrie(t, u)
+		ref := map[int64]bool{}
+		for _, o := range ops {
+			k := int64(o.Key % u)
+			switch o.Kind % 3 {
+			case 0:
+				tr.Insert(k)
+				ref[k] = true
+			case 1:
+				tr.Delete(k)
+				delete(ref, k)
+			case 2:
+				want := int64(-1)
+				for c := k + 1; c < u; c++ {
+					if ref[c] {
+						want = c
+						break
+					}
+				}
+				got, ok := tr.Successor(k)
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSuccessorPredecessorDuality: for any quiescent set and any y,
+// Successor(Predecessor(y)) walks back to the first set key below... more
+// precisely, if p = Predecessor(y) ≥ 0 and there is no set key in (p, y),
+// then Successor(p) is either y (if y ∈ S) or > y or -1.
+func TestSuccessorPredecessorDuality(t *testing.T) {
+	tr := newTrie(t, 128)
+	rng := rand.New(rand.NewSource(11))
+	present := map[int64]bool{}
+	for i := 0; i < 60; i++ {
+		k := rng.Int63n(128)
+		tr.Insert(k)
+		present[k] = true
+	}
+	for y := int64(0); y < 128; y++ {
+		p, ok := tr.Predecessor(y)
+		if !ok {
+			t.Fatalf("Predecessor(%d) = ⊥", y)
+		}
+		if p < 0 {
+			continue
+		}
+		s, ok := tr.Successor(p)
+		if !ok {
+			t.Fatalf("Successor(%d) = ⊥", p)
+		}
+		// The successor of y's predecessor is the first set key after p,
+		// which must be ≥ the first set key ≥ y... and if y itself is in S
+		// it is exactly y when no key lies in (p, y).
+		if present[y] && s != y {
+			// only valid when no set key in (p,y), which Predecessor
+			// already guarantees.
+			t.Fatalf("Successor(Predecessor(%d)=%d) = %d, want %d", y, p, s, y)
+		}
+		if s != -1 && s <= p {
+			t.Fatalf("Successor(%d) = %d not greater", p, s)
+		}
+	}
+}
+
+// TestSuccessorConcurrentStableCeiling: key 60 always present; churn below
+// the query point must never hide it.
+func TestSuccessorConcurrentStableCeiling(t *testing.T) {
+	tr := newTrie(t, 64)
+	tr.Insert(60)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Insert(5)
+				tr.Delete(5)
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		if got, ok := tr.Successor(30); ok && got != 60 {
+			t.Errorf("Successor(30) = %d, want 60", got)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	got, ok := tr.Successor(30)
+	if !ok || got != 60 {
+		t.Fatalf("quiescent Successor(30) = (%d,%v), want (60,true)", got, ok)
+	}
+}

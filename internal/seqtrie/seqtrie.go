@@ -1,0 +1,155 @@
+// Package seqtrie implements the sequential binary trie of paper §1: a
+// dynamic set over {0,…,u−1} stored as b+1 bit arrays D_0..D_b forming a
+// perfect binary tree. Search is O(1); Insert, Delete and Predecessor are
+// O(log u) worst case; space is Θ(u).
+//
+// It is the reference semantics for every concurrent implementation in this
+// repository, the substrate of the lock-based baseline (internal/locktrie)
+// and the subject of Figure 1.
+package seqtrie
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Trie is a sequential binary trie. Not safe for concurrent use; wrap it
+// (see internal/locktrie) for shared access.
+type Trie struct {
+	b    int
+	size int64
+	bit  []byte // heap-indexed: 1 = root, children 2i/2i+1, leaf x at size+x
+	n    int64  // number of keys present
+}
+
+// New returns an empty trie over {0,…,u−1} (u ≥ 2, padded to a power of
+// two).
+func New(u int64) (*Trie, error) {
+	if u < 2 {
+		return nil, fmt.Errorf("seqtrie: universe size %d, need at least 2", u)
+	}
+	if u > 1<<32 {
+		return nil, fmt.Errorf("seqtrie: universe size %d exceeds 2^32", u)
+	}
+	b := bits.Len64(uint64(u - 1))
+	size := int64(1) << uint(b)
+	return &Trie{b: b, size: size, bit: make([]byte, 2*size)}, nil
+}
+
+// U returns the padded universe size.
+func (t *Trie) U() int64 { return t.size }
+
+// B returns ⌈log2 u⌉.
+func (t *Trie) B() int { return t.b }
+
+// Len returns the number of keys in the set.
+func (t *Trie) Len() int64 { return t.n }
+
+// Search reports membership of x. O(1): one array read.
+func (t *Trie) Search(x int64) bool { return t.bit[t.size+x] == 1 }
+
+// Insert adds x, setting the bits on the leaf-to-root path to 1.
+func (t *Trie) Insert(x int64) {
+	i := t.size + x
+	if t.bit[i] == 1 {
+		return
+	}
+	t.n++
+	for ; i >= 1 && t.bit[i] == 0; i >>= 1 {
+		t.bit[i] = 1
+	}
+}
+
+// Delete removes x, clearing each ancestor whose children are both 0.
+func (t *Trie) Delete(x int64) {
+	i := t.size + x
+	if t.bit[i] == 0 {
+		return
+	}
+	t.n--
+	t.bit[i] = 0
+	for i >>= 1; i >= 1; i >>= 1 {
+		if t.bit[2*i] == 1 || t.bit[2*i+1] == 1 {
+			return
+		}
+		t.bit[i] = 0
+	}
+}
+
+// Predecessor returns the largest key smaller than y, or −1 (paper §1
+// algorithm: ascend until a left sibling holds 1, then descend its
+// right-most 1-path).
+func (t *Trie) Predecessor(y int64) int64 {
+	i := t.size + y
+	for i&1 == 0 || t.bit[i^1] == 0 {
+		i >>= 1
+		if i == 1 {
+			return -1
+		}
+	}
+	i ^= 1 // left sibling with bit 1
+	for i < t.size {
+		if t.bit[2*i+1] == 1 {
+			i = 2*i + 1
+		} else {
+			i = 2 * i
+		}
+	}
+	return i - t.size
+}
+
+// Successor returns the smallest key greater than y, or −1. The mirror of
+// Predecessor; used by the priority-queue example.
+func (t *Trie) Successor(y int64) int64 {
+	i := t.size + y
+	for i&1 == 1 || t.bit[i^1] == 0 {
+		i >>= 1
+		if i == 1 {
+			return -1
+		}
+	}
+	i ^= 1 // right sibling with bit 1
+	for i < t.size {
+		if t.bit[2*i] == 1 {
+			i = 2 * i
+		} else {
+			i = 2*i + 1
+		}
+	}
+	return i - t.size
+}
+
+// Min returns the smallest key in the set, or −1 if empty.
+func (t *Trie) Min() int64 {
+	if t.bit[1] == 0 {
+		return -1
+	}
+	i := int64(1)
+	for i < t.size {
+		if t.bit[2*i] == 1 {
+			i = 2 * i
+		} else {
+			i = 2*i + 1
+		}
+	}
+	return i - t.size
+}
+
+// Max returns the largest key in the set, or −1 if empty.
+func (t *Trie) Max() int64 {
+	if t.bit[1] == 0 {
+		return -1
+	}
+	i := int64(1)
+	for i < t.size {
+		if t.bit[2*i+1] == 1 {
+			i = 2*i + 1
+		} else {
+			i = 2 * i
+		}
+	}
+	return i - t.size
+}
+
+// Bit exposes a raw tree bit for tests and trieviz (index 1 = root).
+func (t *Trie) Bit(i int64) byte { return t.bit[i] }

@@ -1,0 +1,105 @@
+package seqtrie_test
+
+import (
+	"testing"
+
+	"repro/internal/seqtrie"
+	"repro/internal/settest"
+)
+
+func factory(u int64) (settest.Set, error) { return seqtrie.New(u) }
+
+func TestSequentialConformance(t *testing.T) { settest.RunSequential(t, factory, 64) }
+func TestEdgeCases(t *testing.T)             { settest.RunEdgeCases(t, factory, 32) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := seqtrie.New(1); err == nil {
+		t.Error("New(1) should fail")
+	}
+	tr, err := seqtrie.New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.U() != 128 || tr.B() != 7 {
+		t.Errorf("U=%d B=%d, want 128/7", tr.U(), tr.B())
+	}
+}
+
+// TestFigure1 reproduces the paper's Figure 1: the binary trie for
+// S = {0, 2} over U = {0, 1, 2, 3}. Root 1; left child 1 (covers 0,1);
+// right child 1 (covers 2,3); leaves 1,0,1,0.
+func TestFigure1(t *testing.T) {
+	tr, err := seqtrie.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert(0)
+	tr.Insert(2)
+	wantBits := map[int64]byte{
+		1: 1, // root (D0)
+		2: 1, // D1[0]
+		3: 1, // D1[1]
+		4: 1, // D2[00] = leaf 0
+		5: 0, // D2[01]
+		6: 1, // D2[10] = leaf 2
+		7: 0, // D2[11]
+	}
+	for idx, want := range wantBits {
+		if got := tr.Bit(idx); got != want {
+			t.Errorf("Bit(%d) = %d, want %d", idx, got, want)
+		}
+	}
+	// Figure 1 queries: Predecessor(3) = 2, Predecessor(2) = 0,
+	// Predecessor(1) = 0, Predecessor(0) = −1.
+	wantPred := []int64{-1, 0, 0, 2}
+	for y, want := range wantPred {
+		if got := tr.Predecessor(int64(y)); got != want {
+			t.Errorf("Predecessor(%d) = %d, want %d", y, got, want)
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	tr, _ := seqtrie.New(16)
+	if tr.Len() != 0 {
+		t.Fatal("empty Len != 0")
+	}
+	tr.Insert(3)
+	tr.Insert(3)
+	tr.Insert(5)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	tr.Delete(3)
+	tr.Delete(3)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestSuccessorMinMax(t *testing.T) {
+	tr, _ := seqtrie.New(32)
+	if tr.Min() != -1 || tr.Max() != -1 {
+		t.Fatal("empty Min/Max should be -1")
+	}
+	if tr.Successor(0) != -1 {
+		t.Fatal("empty Successor should be -1")
+	}
+	for _, k := range []int64{4, 9, 20, 31} {
+		tr.Insert(k)
+	}
+	if got := tr.Min(); got != 4 {
+		t.Errorf("Min = %d, want 4", got)
+	}
+	if got := tr.Max(); got != 31 {
+		t.Errorf("Max = %d, want 31", got)
+	}
+	succTests := []struct{ y, want int64 }{
+		{0, 4}, {4, 9}, {9, 20}, {20, 31}, {31, -1}, {30, 31},
+	}
+	for _, tt := range succTests {
+		if got := tr.Successor(tt.y); got != tt.want {
+			t.Errorf("Successor(%d) = %d, want %d", tt.y, got, tt.want)
+		}
+	}
+}

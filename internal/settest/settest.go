@@ -1,0 +1,175 @@
+// Package settest provides a reusable conformance suite for the dynamic-set
+// implementations in this repository. Every concurrent set (the lock-free
+// trie, the relaxed trie driven at quiescence, and the three baselines) runs
+// the same sequential semantics checks and the same concurrent
+// disjoint-range stress with quiescent verification.
+package settest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Set is the common dynamic-set-with-predecessor interface.
+type Set interface {
+	Search(x int64) bool
+	Insert(x int64)
+	Delete(x int64)
+	Predecessor(y int64) int64
+}
+
+// Factory creates an empty set over {0,…,u−1}.
+type Factory func(u int64) (Set, error)
+
+// RunSequential exercises single-threaded semantics against a map-based
+// reference with deterministic pseudo-random workloads.
+func RunSequential(t *testing.T, newSet Factory, u int64) {
+	t.Helper()
+	s, err := newSet(u)
+	if err != nil {
+		t.Fatalf("factory(%d): %v", u, err)
+	}
+	ref := make(map[int64]bool, u)
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 4000; step++ {
+		k := rng.Int63n(u)
+		switch rng.Intn(4) {
+		case 0:
+			s.Insert(k)
+			ref[k] = true
+		case 1:
+			s.Delete(k)
+			delete(ref, k)
+		case 2:
+			if got := s.Search(k); got != ref[k] {
+				t.Fatalf("step %d: Search(%d) = %v, want %v", step, k, got, ref[k])
+			}
+		case 3:
+			want := int64(-1)
+			for c := k - 1; c >= 0; c-- {
+				if ref[c] {
+					want = c
+					break
+				}
+			}
+			if got := s.Predecessor(k); got != want {
+				t.Fatalf("step %d: Predecessor(%d) = %d, want %d", step, k, got, want)
+			}
+		}
+	}
+}
+
+// RunEdgeCases exercises boundary keys and empty/full states.
+func RunEdgeCases(t *testing.T, newSet Factory, u int64) {
+	t.Helper()
+	s, err := newSet(u)
+	if err != nil {
+		t.Fatalf("factory(%d): %v", u, err)
+	}
+	if s.Search(0) || s.Search(u-1) {
+		t.Fatal("empty set reports membership")
+	}
+	if got := s.Predecessor(u - 1); got != -1 {
+		t.Fatalf("Predecessor on empty = %d, want -1", got)
+	}
+	s.Insert(0)
+	s.Insert(u - 1)
+	if !s.Search(0) || !s.Search(u-1) {
+		t.Fatal("boundary keys missing after insert")
+	}
+	if got := s.Predecessor(u - 1); got != 0 {
+		t.Fatalf("Predecessor(%d) = %d, want 0", u-1, got)
+	}
+	if got := s.Predecessor(1); got != 0 {
+		t.Fatalf("Predecessor(1) = %d, want 0", got)
+	}
+	if got := s.Predecessor(0); got != -1 {
+		t.Fatalf("Predecessor(0) = %d, want -1", got)
+	}
+	s.Delete(0)
+	if got := s.Predecessor(u - 1); got != -1 {
+		t.Fatalf("Predecessor(%d) = %d, want -1 after delete", u-1, got)
+	}
+	// Fill and drain completely.
+	for k := int64(0); k < u; k++ {
+		s.Insert(k)
+	}
+	for y := int64(1); y < u; y++ {
+		if got := s.Predecessor(y); got != y-1 {
+			t.Fatalf("full set: Predecessor(%d) = %d, want %d", y, got, y-1)
+		}
+	}
+	for k := int64(0); k < u; k++ {
+		s.Delete(k)
+	}
+	for y := int64(0); y < u; y++ {
+		if s.Search(y) {
+			t.Fatalf("drained set still contains %d", y)
+		}
+	}
+}
+
+// RunConcurrent drives goroutines over disjoint key ranges and verifies the
+// quiescent state exactly, plus sanity of concurrent predecessor answers.
+func RunConcurrent(t *testing.T, newSet Factory, u int64, goroutines, opsPerG int) {
+	t.Helper()
+	s, err := newSet(u)
+	if err != nil {
+		t.Fatalf("factory(%d): %v", u, err)
+	}
+	var wg sync.WaitGroup
+	finals := make([]map[int64]bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)*31 + 5))
+			lo := int64(id) * (u / int64(goroutines))
+			hi := lo + u/int64(goroutines)
+			final := map[int64]bool{}
+			for i := 0; i < opsPerG; i++ {
+				k := lo + rng.Int63n(hi-lo)
+				switch rng.Intn(5) {
+				case 0, 1:
+					s.Insert(k)
+					final[k] = true
+				case 2:
+					s.Delete(k)
+					delete(final, k)
+				case 3:
+					s.Search(k)
+				case 4:
+					y := lo + rng.Int63n(hi-lo)
+					if got := s.Predecessor(y); got >= y {
+						t.Errorf("Predecessor(%d) = %d ≥ y", y, got)
+						return
+					}
+				}
+			}
+			finals[id] = final
+		}(g)
+	}
+	wg.Wait()
+	present := map[int64]bool{}
+	for _, final := range finals {
+		for k := range final {
+			present[k] = true
+		}
+	}
+	for y := int64(0); y < u; y++ {
+		if got := s.Search(y); got != present[y] {
+			t.Fatalf("quiescent Search(%d) = %v, want %v", y, got, present[y])
+		}
+		want := int64(-1)
+		for k := y - 1; k >= 0; k-- {
+			if present[k] {
+				want = k
+				break
+			}
+		}
+		if got := s.Predecessor(y); got != want {
+			t.Fatalf("quiescent Predecessor(%d) = %d, want %d", y, got, want)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package skiplist implements a lock-free skip list with a Predecessor
+// operation, in the style of Fomitchev–Ruppert / Herlihy–Shavit ([28] and
+// [44] in the paper's related work): logical deletion via marked successor
+// references at every level, with the bottom level authoritative.
+//
+// It is the "general-purpose ordered set" baseline for experiment C5: its
+// expected O(log n) paths adapt to the set size rather than the universe,
+// but Search costs O(log n) (the trie's is O(1)) and randomization makes
+// its worst case linear.
+package skiplist
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+const maxLevel = 24
+
+// node is a skip-list tower. next[l] carries the Harris mark for level l.
+type node struct {
+	key  int64
+	next []atomic.Pointer[ref]
+}
+
+type ref struct {
+	next   *node
+	marked bool
+}
+
+// List is a lock-free skip list over int64 keys in [0, u). Safe for
+// concurrent use.
+type List struct {
+	head *node
+	tail *node
+	u    int64
+	seed atomic.Uint64
+}
+
+// New returns an empty skip list for keys {0,…,u−1}. The seed makes tower
+// heights deterministic per instance, for reproducible benchmarks.
+func New(u int64, seed uint64) (*List, error) {
+	if u < 2 {
+		return nil, fmt.Errorf("skiplist: universe size %d, need at least 2", u)
+	}
+	head := &node{key: -1, next: make([]atomic.Pointer[ref], maxLevel)}
+	tail := &node{key: 1 << 62, next: make([]atomic.Pointer[ref], maxLevel)}
+	for l := 0; l < maxLevel; l++ {
+		head.next[l].Store(&ref{next: tail})
+	}
+	s := &List{head: head, tail: tail, u: u}
+	s.seed.Store(seed | 1)
+	return s, nil
+}
+
+// U returns the universe size.
+func (s *List) U() int64 { return s.u }
+
+// randomLevel draws a geometric height from a splitmix64 step of the
+// per-list seed; lock-free and allocation-free.
+func (s *List) randomLevel() int {
+	x := s.seed.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	lvl := bits.TrailingZeros64(x|1<<(maxLevel-1)) + 1
+	if lvl > maxLevel {
+		lvl = maxLevel
+	}
+	return lvl
+}
+
+// find returns the predecessors and successors of key at every level,
+// unlinking marked nodes it passes (Harris find).
+func (s *List) find(key int64) (preds, succs []*node) {
+	preds = make([]*node, maxLevel)
+	succs = make([]*node, maxLevel)
+retry:
+	for {
+		pred := s.head
+		for level := maxLevel - 1; level >= 0; level-- {
+			predRef := pred.next[level].Load()
+			cur := predRef.next
+			for {
+				curRef := cur.next[level].Load()
+				for curRef != nil && curRef.marked {
+					if !pred.next[level].CompareAndSwap(predRef, &ref{next: curRef.next}) {
+						continue retry
+					}
+					predRef = pred.next[level].Load()
+					if predRef.marked {
+						continue retry
+					}
+					cur = predRef.next
+					curRef = cur.next[level].Load()
+				}
+				if cur.key < key {
+					pred, predRef = cur, curRef
+					cur = curRef.next
+				} else {
+					break
+				}
+			}
+			preds[level] = pred
+			succs[level] = cur
+		}
+		return preds, succs
+	}
+}
+
+// Search reports membership of x. Expected O(log n); wait-free traversal.
+func (s *List) Search(x int64) bool {
+	pred := s.head
+	for level := maxLevel - 1; level >= 0; level-- {
+		cur := pred.next[level].Load().next
+		for cur.key < x {
+			pred = cur
+			cur = cur.next[level].Load().next
+		}
+		if cur.key == x {
+			r := cur.next[0].Load()
+			return r == nil || !r.marked
+		}
+	}
+	return false
+}
+
+// Insert adds x; no-op if present. Lock-free.
+func (s *List) Insert(x int64) {
+	topLevel := s.randomLevel()
+	for {
+		preds, succs := s.find(x)
+		if succs[0].key == x {
+			return // already present (an in-progress delete counts as present until unlinked)
+		}
+		n := &node{key: x, next: make([]atomic.Pointer[ref], topLevel)}
+		for l := 0; l < topLevel; l++ {
+			n.next[l].Store(&ref{next: succs[l]})
+		}
+		predRef := preds[0].next[0].Load()
+		if predRef.marked || predRef.next != succs[0] {
+			continue
+		}
+		if !preds[0].next[0].CompareAndSwap(predRef, &ref{next: n}) {
+			continue
+		}
+		// Link the upper levels best-effort; failures are repaired by find.
+		for l := 1; l < topLevel; l++ {
+			for {
+				nr := n.next[l].Load()
+				if nr.marked {
+					return // concurrently deleted; stop linking
+				}
+				pr := preds[l].next[l].Load()
+				if pr.marked || pr.next != succs[l] || nr.next != succs[l] {
+					preds, succs = s.find(x)
+					if succs[0] != n {
+						return // deleted and replaced
+					}
+					if !n.next[l].CompareAndSwap(nr, &ref{next: succs[l]}) {
+						return
+					}
+					continue
+				}
+				if preds[l].next[l].CompareAndSwap(pr, &ref{next: n}) {
+					break
+				}
+			}
+		}
+		return
+	}
+}
+
+// Delete removes x; no-op if absent. Lock-free.
+func (s *List) Delete(x int64) {
+	_, succs := s.find(x)
+	if succs[0].key != x {
+		return
+	}
+	victim := succs[0]
+	// Mark from the top level down; level 0 is the linearization point.
+	for l := len(victim.next) - 1; l >= 1; l-- {
+		for {
+			r := victim.next[l].Load()
+			if r.marked {
+				break
+			}
+			if victim.next[l].CompareAndSwap(r, &ref{next: r.next, marked: true}) {
+				break
+			}
+		}
+	}
+	for {
+		r := victim.next[0].Load()
+		if r.marked {
+			return // another delete won
+		}
+		if victim.next[0].CompareAndSwap(r, &ref{next: r.next, marked: true}) {
+			s.find(x) // physically unlink
+			return
+		}
+	}
+}
+
+// Predecessor returns the largest key smaller than y, or −1.
+func (s *List) Predecessor(y int64) int64 {
+	pred := s.head
+	for level := maxLevel - 1; level >= 0; level-- {
+		cur := pred.next[level].Load().next
+		for cur.key < y {
+			pred = cur
+			cur = cur.next[level].Load().next
+		}
+	}
+	if pred == s.head {
+		return -1
+	}
+	return pred.key
+}
+
+// Len counts present keys; O(n), for tests.
+func (s *List) Len() int {
+	n := 0
+	for cur := s.head.next[0].Load().next; cur != s.tail; {
+		r := cur.next[0].Load()
+		if !r.marked {
+			n++
+		}
+		cur = r.next
+	}
+	return n
+}

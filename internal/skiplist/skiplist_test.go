@@ -1,0 +1,104 @@
+package skiplist_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/settest"
+	"repro/internal/skiplist"
+)
+
+func factory(u int64) (settest.Set, error) { return skiplist.New(u, 42) }
+
+func TestSequentialConformance(t *testing.T) { settest.RunSequential(t, factory, 64) }
+func TestEdgeCases(t *testing.T)             { settest.RunEdgeCases(t, factory, 32) }
+func TestConcurrent(t *testing.T)            { settest.RunConcurrent(t, factory, 256, 8, 1200) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := skiplist.New(1, 1); err == nil {
+		t.Error("New(1) should fail")
+	}
+}
+
+func TestLen(t *testing.T) {
+	s, err := skiplist.New(64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{5, 1, 9} {
+		s.Insert(k)
+	}
+	s.Insert(5) // duplicate
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	s.Delete(1)
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+// TestConcurrentChurnOneKey: insert/delete churn on a single key with
+// concurrent membership probes; final state must be exact.
+func TestConcurrentChurnOneKey(t *testing.T) {
+	s, err := skiplist.New(32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			s.Insert(9)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			s.Delete(9)
+		}
+	}()
+	wg.Wait()
+	s.Insert(9)
+	if !s.Search(9) || s.Len() != 1 {
+		t.Fatalf("state after churn: Search=%v Len=%d", s.Search(9), s.Len())
+	}
+	s.Delete(9)
+	if s.Search(9) || s.Len() != 0 {
+		t.Fatalf("state after drain: Search=%v Len=%d", s.Search(9), s.Len())
+	}
+}
+
+// TestPredecessorStableFloor: concurrent churn above the query never hides
+// the stable floor key.
+func TestPredecessorStableFloor(t *testing.T) {
+	s, err := skiplist.New(64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Insert(30)
+				s.Delete(30)
+			}
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		if got := s.Predecessor(10); got != 2 {
+			t.Errorf("Predecessor(10) = %d, want 2", got)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

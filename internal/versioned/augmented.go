@@ -1,0 +1,116 @@
+package versioned
+
+// Augmented queries enabled by the per-node counts. Every query reads the
+// root exactly once, so each answers against one consistent snapshot and
+// is trivially linearizable — the selling point of the version-node
+// technique the paper contrasts itself with in §3.
+
+// Size returns the number of keys in the set. O(1): one root read.
+func (t *Trie) Size() int64 {
+	if root := t.root.Load(); root != nil {
+		return root.count
+	}
+	return 0
+}
+
+// Rank returns the number of keys strictly smaller than y. O(log u).
+func (t *Trie) Rank(y int64) int64 {
+	cur := t.root.Load()
+	var rank int64
+	for level := t.b - 1; level >= 0 && cur != nil; level-- {
+		if y&(1<<uint(level)) == 0 {
+			cur = cur.left
+			continue
+		}
+		if cur.left != nil {
+			rank += cur.left.count
+		}
+		cur = cur.right
+	}
+	return rank
+}
+
+// RangeCount returns the number of keys k with lo ≤ k < hi (0 if lo ≥ hi).
+// Bounds are clamped to [0, U()]. O(log u), one snapshot.
+func (t *Trie) RangeCount(lo, hi int64) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.size {
+		hi = t.size
+	}
+	if lo >= hi {
+		return 0
+	}
+	// Two ranks against the SAME snapshot: both walks on one root read.
+	root := t.root.Load()
+	hiRank := rankIn(root, t.b, hi)
+	if hi == t.size && root != nil {
+		hiRank = root.count // rank past the last key = everything
+	}
+	return hiRank - rankIn(root, t.b, lo)
+}
+
+func rankIn(root *node, b int, y int64) int64 {
+	cur := root
+	var rank int64
+	for level := b - 1; level >= 0 && cur != nil; level-- {
+		if y&(1<<uint(level)) == 0 {
+			cur = cur.left
+			continue
+		}
+		if cur.left != nil {
+			rank += cur.left.count
+		}
+		cur = cur.right
+	}
+	return rank
+}
+
+// Select returns the k-th smallest key (0-based), or −1 if k is out of
+// range. O(log u), one snapshot.
+func (t *Trie) Select(k int64) int64 {
+	cur := t.root.Load()
+	if cur == nil || k < 0 || k >= cur.count {
+		return -1
+	}
+	var key int64
+	for level := t.b - 1; level >= 0; level-- {
+		var leftCount int64
+		if cur.left != nil {
+			leftCount = cur.left.count
+		}
+		if k < leftCount {
+			cur = cur.left
+		} else {
+			k -= leftCount
+			key |= 1 << uint(level)
+			cur = cur.right
+		}
+	}
+	return key
+}
+
+// Keys returns every key in ascending order from one consistent snapshot.
+// O(u) worst case; O(n log u) for sparse sets.
+func (t *Trie) Keys() []int64 {
+	root := t.root.Load()
+	if root == nil {
+		return nil
+	}
+	keys := make([]int64, 0, root.count)
+	var walk func(n *node, prefix int64, level int)
+	walk = func(n *node, prefix int64, level int) {
+		if n == nil {
+			return
+		}
+		if level < 0 {
+			keys = append(keys, prefix)
+			return
+		}
+		walk(n.left, prefix, level-1)
+		walk(n.right, prefix|1<<uint(level), level-1)
+	}
+	walk(root, 0, t.b-1)
+	return keys
+}

@@ -1,0 +1,189 @@
+package versioned_test
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/versioned"
+)
+
+func newAug(t testing.TB, u int64) *versioned.Trie {
+	t.Helper()
+	tr, err := versioned.New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSizeEmptyAndGrowth(t *testing.T) {
+	tr := newAug(t, 64)
+	if got := tr.Size(); got != 0 {
+		t.Fatalf("empty Size = %d", got)
+	}
+	tr.Insert(5)
+	tr.Insert(5) // duplicate: no growth
+	tr.Insert(9)
+	if got := tr.Size(); got != 2 {
+		t.Fatalf("Size = %d, want 2", got)
+	}
+	tr.Delete(5)
+	tr.Delete(5)
+	if got := tr.Size(); got != 1 {
+		t.Fatalf("Size = %d, want 1", got)
+	}
+}
+
+func TestRankSelectRangeCount(t *testing.T) {
+	tr := newAug(t, 64)
+	keys := []int64{3, 9, 17, 40, 62}
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	rankTests := []struct{ y, want int64 }{
+		{0, 0}, {3, 0}, {4, 1}, {9, 1}, {10, 2}, {41, 4}, {63, 5},
+	}
+	for _, tt := range rankTests {
+		if got := tr.Rank(tt.y); got != tt.want {
+			t.Errorf("Rank(%d) = %d, want %d", tt.y, got, tt.want)
+		}
+	}
+	for i, want := range keys {
+		if got := tr.Select(int64(i)); got != want {
+			t.Errorf("Select(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := tr.Select(-1); got != -1 {
+		t.Errorf("Select(-1) = %d, want -1", got)
+	}
+	if got := tr.Select(5); got != -1 {
+		t.Errorf("Select(5) = %d, want -1", got)
+	}
+	rcTests := []struct{ lo, hi, want int64 }{
+		{0, 64, 5}, {3, 10, 2}, {4, 9, 0}, {9, 9, 0}, {10, 4, 0}, {17, 63, 3},
+	}
+	for _, tt := range rcTests {
+		if got := tr.RangeCount(tt.lo, tt.hi); got != tt.want {
+			t.Errorf("RangeCount(%d,%d) = %d, want %d", tt.lo, tt.hi, got, tt.want)
+		}
+	}
+	got := tr.Keys()
+	if len(got) != len(keys) {
+		t.Fatalf("Keys() = %v", got)
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("Keys() = %v, want %v", got, keys)
+		}
+	}
+}
+
+// TestAugmentedQuickAgainstReference: random op sequences keep all
+// augmented queries consistent with a sorted-slice reference.
+func TestAugmentedQuickAgainstReference(t *testing.T) {
+	const u = 64
+	type op struct {
+		Kind byte
+		Key  uint8
+	}
+	f := func(ops []op) bool {
+		tr, err := versioned.New(u)
+		if err != nil {
+			return false
+		}
+		ref := map[int64]bool{}
+		for _, o := range ops {
+			k := int64(o.Key % u)
+			switch o.Kind % 2 {
+			case 0:
+				tr.Insert(k)
+				ref[k] = true
+			case 1:
+				tr.Delete(k)
+				delete(ref, k)
+			}
+		}
+		var sorted []int64
+		for k := range ref {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if tr.Size() != int64(len(sorted)) {
+			return false
+		}
+		for i, k := range sorted {
+			if tr.Select(int64(i)) != k {
+				return false
+			}
+			if tr.Rank(k) != int64(i) {
+				return false
+			}
+		}
+		keys := tr.Keys()
+		if len(keys) != len(sorted) {
+			return false
+		}
+		for i := range sorted {
+			if keys[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotAtomicity: under churn that keeps the set size invariant
+// (insert one key, delete another, in pairs), Size/Keys/Select must always
+// see a consistent snapshot — Size equals len(Keys) sampled in one call
+// chain... each individual query is one snapshot, and sizes oscillate by
+// at most the in-flight window.
+func TestSnapshotAtomicity(t *testing.T) {
+	tr := newAug(t, 256)
+	for k := int64(0); k < 64; k++ {
+		tr.Insert(k)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				k := 64 + rng.Int63n(64)
+				tr.Insert(k)
+				tr.Delete(k)
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		n := tr.Size()
+		if n < 64 || n > 65 {
+			t.Errorf("Size = %d, want 64 or 65", n)
+			break
+		}
+		keys := tr.Keys()
+		if len(keys) < 64 || len(keys) > 65 {
+			t.Errorf("len(Keys) = %d, want 64 or 65", len(keys))
+			break
+		}
+		// Keys from one snapshot must be strictly ascending.
+		for j := 1; j < len(keys); j++ {
+			if keys[j] <= keys[j-1] {
+				t.Errorf("snapshot keys not ascending at %d: %v", j, keys[j-1:j+1])
+				return
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

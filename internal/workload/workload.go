@@ -1,0 +1,173 @@
+// Package workload generates deterministic operation streams for the
+// benchmark harness: operation mixes (insert/delete/search/predecessor
+// ratios) and key distributions (uniform, zipf-skewed, clustered hot
+// range). Determinism — same seed, same stream — makes the EXPERIMENTS.md
+// numbers reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind enumerates generated operation types.
+type OpKind uint8
+
+const (
+	// OpInsert adds the key.
+	OpInsert OpKind = iota + 1
+	// OpDelete removes the key.
+	OpDelete
+	// OpSearch queries membership.
+	OpSearch
+	// OpPredecessor queries the predecessor.
+	OpPredecessor
+)
+
+// Mix is an operation mix in percent; fields must sum to 100.
+type Mix struct {
+	InsertPct, DeletePct, SearchPct, PredecessorPct int
+}
+
+// Validate checks the percentages.
+func (m Mix) Validate() error {
+	sum := m.InsertPct + m.DeletePct + m.SearchPct + m.PredecessorPct
+	if sum != 100 {
+		return fmt.Errorf("workload: mix sums to %d, want 100", sum)
+	}
+	return nil
+}
+
+// Standard mixes used across the experiment suite (C3, C5).
+var (
+	// MixUpdateHeavy is 50% updates, 25% searches, 25% predecessors.
+	MixUpdateHeavy = Mix{InsertPct: 25, DeletePct: 25, SearchPct: 25, PredecessorPct: 25}
+	// MixReadHeavy is 90% searches.
+	MixReadHeavy = Mix{InsertPct: 5, DeletePct: 5, SearchPct: 90}
+	// MixPredHeavy is predecessor-dominated.
+	MixPredHeavy = Mix{InsertPct: 10, DeletePct: 10, SearchPct: 10, PredecessorPct: 70}
+	// MixUpdateOnly alternates inserts and deletes.
+	MixUpdateOnly = Mix{InsertPct: 50, DeletePct: 50}
+)
+
+// KeyDist generates keys in [0, u).
+type KeyDist interface {
+	// Next returns the next key.
+	Next(rng *rand.Rand) int64
+	// Name labels the distribution in reports.
+	Name() string
+}
+
+// Uniform draws keys uniformly from [0, u).
+type Uniform struct{ U int64 }
+
+// Next implements KeyDist.
+func (d Uniform) Next(rng *rand.Rand) int64 { return rng.Int63n(d.U) }
+
+// Name implements KeyDist.
+func (d Uniform) Name() string { return "uniform" }
+
+// Zipf draws keys with a zipfian skew (s = 1.2) over [0, u), mapping rank 0
+// to the middle of the universe outward so hotness is not correlated with
+// key order.
+type Zipf struct {
+	U    int64
+	zipf *rand.Zipf
+}
+
+// NewZipf builds a zipf distribution; the generator is bound to seed.
+func NewZipf(u int64, seed int64) *Zipf {
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), 1.2, 1, uint64(u-1))
+	return &Zipf{U: u, zipf: z}
+}
+
+// Next implements KeyDist. The internal zipf source is deterministic and
+// the caller's rng is unused, keeping streams reproducible per generator.
+func (d *Zipf) Next(*rand.Rand) int64 {
+	rank := int64(d.zipf.Uint64())
+	// Spread ranks around the middle: 0 → u/2, 1 → u/2+1, 2 → u/2−1, …
+	offset := (rank + 1) / 2
+	if rank%2 == 1 {
+		offset = -offset
+	}
+	k := d.U/2 + offset
+	if k < 0 {
+		k = 0
+	}
+	if k >= d.U {
+		k = d.U - 1
+	}
+	return k
+}
+
+// Name implements KeyDist.
+func (d *Zipf) Name() string { return "zipf" }
+
+// HotRange draws keys from a narrow hot range with probability HotPct/100,
+// otherwise uniformly — the contention knob for experiment C3 (point
+// contention concentrates where keys collide).
+type HotRange struct {
+	U        int64
+	HotLo    int64
+	HotWidth int64
+	HotPct   int
+}
+
+// Next implements KeyDist.
+func (d HotRange) Next(rng *rand.Rand) int64 {
+	if rng.Intn(100) < d.HotPct {
+		return d.HotLo + rng.Int63n(d.HotWidth)
+	}
+	return rng.Int63n(d.U)
+}
+
+// Name implements KeyDist.
+func (d HotRange) Name() string { return "hotrange" }
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  int64
+}
+
+// Generator produces a deterministic stream of operations.
+type Generator struct {
+	mix  Mix
+	dist KeyDist
+	rng  *rand.Rand
+}
+
+// NewGenerator builds a generator; identical arguments give identical
+// streams.
+func NewGenerator(mix Mix, dist KeyDist, seed int64) (*Generator, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{mix: mix, dist: dist, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	p := g.rng.Intn(100)
+	var kind OpKind
+	switch {
+	case p < g.mix.InsertPct:
+		kind = OpInsert
+	case p < g.mix.InsertPct+g.mix.DeletePct:
+		kind = OpDelete
+	case p < g.mix.InsertPct+g.mix.DeletePct+g.mix.SearchPct:
+		kind = OpSearch
+	default:
+		kind = OpPredecessor
+	}
+	return Op{Kind: kind, Key: g.dist.Next(g.rng)}
+}
+
+// Fill generates n operations into a fresh slice.
+func (g *Generator) Fill(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = g.Next()
+	}
+	return ops
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMixValidate(t *testing.T) {
+	if err := (Mix{InsertPct: 50, DeletePct: 50}).Validate(); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+	if err := (Mix{InsertPct: 50, DeletePct: 40}).Validate(); err == nil {
+		t.Error("invalid mix accepted")
+	}
+	for _, m := range []Mix{MixUpdateHeavy, MixReadHeavy, MixPredHeavy, MixUpdateOnly} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("standard mix %+v invalid: %v", m, err)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, err := NewGenerator(MixUpdateHeavy, Uniform{U: 64}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(MixUpdateHeavy, Uniform{U: 64}, 7)
+	a := g1.Fill(500)
+	b := g2.Fill(500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	g, err := NewGenerator(Mix{InsertPct: 70, DeletePct: 10, SearchPct: 10, PredecessorPct: 10},
+		Uniform{U: 64}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpKind]int{}
+	const n = 10000
+	for _, op := range g.Fill(n) {
+		counts[op.Kind]++
+	}
+	if got := counts[OpInsert]; got < n*60/100 || got > n*80/100 {
+		t.Errorf("insert fraction = %d/%d, want ≈70%%", got, n)
+	}
+}
+
+func TestGeneratorRejectsBadMix(t *testing.T) {
+	if _, err := NewGenerator(Mix{InsertPct: 5}, Uniform{U: 8}, 1); err == nil {
+		t.Error("bad mix accepted")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	d := Uniform{U: 16}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		k := d.Next(rng)
+		if k < 0 || k >= 16 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+	if d.Name() != "uniform" {
+		t.Error("name mismatch")
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	d := NewZipf(1024, 5)
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := d.Next(rng)
+		if k < 0 || k >= 1024 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// The hottest key must dominate: zipf s=1.2 puts a large constant
+	// fraction on rank 0 (mapped to u/2).
+	if counts[512] < n/10 {
+		t.Errorf("hottest key frequency = %d/%d, want ≥ 10%%", counts[512], n)
+	}
+	if d.Name() != "zipf" {
+		t.Error("name mismatch")
+	}
+}
+
+func TestHotRange(t *testing.T) {
+	d := HotRange{U: 1024, HotLo: 100, HotWidth: 8, HotPct: 90}
+	rng := rand.New(rand.NewSource(3))
+	hot := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := d.Next(rng)
+		if k < 0 || k >= 1024 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k >= 100 && k < 108 {
+			hot++
+		}
+	}
+	if hot < n*85/100 {
+		t.Errorf("hot fraction = %d/%d, want ≥ 85%%", hot, n)
+	}
+	if d.Name() != "hotrange" {
+		t.Error("name mismatch")
+	}
+}

@@ -1,0 +1,86 @@
+package lockfreetrie
+
+import (
+	"fmt"
+
+	"repro/internal/relaxed"
+)
+
+// Relaxed is the paper's §4 wait-free relaxed binary trie: updates and
+// membership are strongly linearizable and wait-free (O(log u) worst-case
+// steps), but Predecessor may abstain while concurrent updates interfere.
+// It is the right structure when bounded per-operation work matters more
+// than always-answering queries (e.g. real-time producers with a
+// best-effort scanner). The full Trie builds on it.
+type Relaxed struct {
+	inner *relaxed.Trie
+}
+
+// NewRelaxed returns an empty relaxed trie over {0,…,universe−1} (same
+// bounds as New).
+func NewRelaxed(universe int64) (*Relaxed, error) {
+	r, err := relaxed.New(universe)
+	if err != nil {
+		return nil, fmt.Errorf("lockfreetrie: %w", err)
+	}
+	return &Relaxed{inner: r}, nil
+}
+
+// Universe returns the padded universe size.
+func (t *Relaxed) Universe() int64 { return t.inner.U() }
+
+func (t *Relaxed) check(x int64) error {
+	if x < 0 || x >= t.inner.U() {
+		return &KeyRangeError{Key: x, Universe: t.inner.U()}
+	}
+	return nil
+}
+
+// Contains reports whether x is in the set. O(1) worst-case steps.
+func (t *Relaxed) Contains(x int64) (bool, error) {
+	if err := t.check(x); err != nil {
+		return false, err
+	}
+	return t.inner.Search(x), nil
+}
+
+// Insert adds x to the set. Wait-free, O(log u) worst-case steps.
+func (t *Relaxed) Insert(x int64) error {
+	if err := t.check(x); err != nil {
+		return err
+	}
+	t.inner.Insert(x)
+	return nil
+}
+
+// Delete removes x from the set. Wait-free, O(log u) worst-case steps.
+func (t *Relaxed) Delete(x int64) error {
+	if err := t.check(x); err != nil {
+		return err
+	}
+	t.inner.Delete(x)
+	return nil
+}
+
+// Predecessor returns the largest key smaller than y. ok=false means the
+// query abstained because concurrent updates on keys in (result, y)
+// interfered; when every key in that range is quiescent the answer is exact
+// (−1 for "no predecessor"). Wait-free, O(log u) worst-case steps.
+func (t *Relaxed) Predecessor(y int64) (pred int64, ok bool, err error) {
+	if err := t.check(y); err != nil {
+		return -1, false, err
+	}
+	pred, ok = t.inner.Predecessor(y)
+	return pred, ok, nil
+}
+
+// Successor returns the smallest key greater than y, with the mirrored
+// abstention semantics of Predecessor (−1 means "no successor"). An
+// extension beyond the paper. Wait-free, O(log u) worst-case steps.
+func (t *Relaxed) Successor(y int64) (succ int64, ok bool, err error) {
+	if err := t.check(y); err != nil {
+		return -1, false, err
+	}
+	succ, ok = t.inner.Successor(y)
+	return succ, ok, nil
+}

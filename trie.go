@@ -1,0 +1,173 @@
+// Package lockfreetrie is a lock-free binary trie for dynamic sets of
+// integer keys with predecessor queries, reproducing "A Lock-free Binary
+// Trie" (Jeremy Ko, ICDCS 2024 / arXiv:2405.06208).
+//
+// The trie stores a set S ⊆ {0,…,u−1} and supports, for any number of
+// concurrent goroutines without locks:
+//
+//   - Contains(x): O(1) worst-case steps,
+//   - Insert(x), Delete(x), Predecessor(y): O(ċ² + log u) amortized steps,
+//     where ċ is the operation's point contention.
+//
+// All operations are linearizable. The package also exposes the paper's §4
+// building block as Relaxed: a wait-free trie whose predecessor query may
+// abstain (return ok=false) while updates are in flight, but answers
+// exactly whenever the relevant keys are quiescent.
+//
+// # Quick start
+//
+//	tr, err := lockfreetrie.New(1 << 20)
+//	if err != nil { ... }
+//	tr.Insert(42)
+//	tr.Insert(1000)
+//	p, _ := tr.Predecessor(500) // p == 42
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package lockfreetrie
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MaxUniverse bounds the universe size (space is Θ(u)).
+const MaxUniverse = int64(1) << 32
+
+// KeyRangeError reports a key outside [0, Universe()).
+type KeyRangeError struct {
+	Key      int64
+	Universe int64
+}
+
+// Error implements error.
+func (e *KeyRangeError) Error() string {
+	return fmt.Sprintf("lockfreetrie: key %d outside universe [0, %d)", e.Key, e.Universe)
+}
+
+// Trie is a lock-free linearizable binary trie. All methods are safe for
+// concurrent use by any number of goroutines. Create instances with New.
+type Trie struct {
+	core *core.Trie
+}
+
+// New returns an empty trie over the universe {0,…,universe−1}. universe
+// must be at least 2 and at most MaxUniverse; it is padded to the next
+// power of two (visible via Universe()). Memory is Θ(universe).
+func New(universe int64) (*Trie, error) {
+	c, err := core.New(universe)
+	if err != nil {
+		return nil, fmt.Errorf("lockfreetrie: %w", err)
+	}
+	return &Trie{core: c}, nil
+}
+
+// Universe returns the padded universe size 2^⌈log₂ u⌉.
+func (t *Trie) Universe() int64 { return t.core.U() }
+
+func (t *Trie) check(x int64) error {
+	if x < 0 || x >= t.core.U() {
+		return &KeyRangeError{Key: x, Universe: t.core.U()}
+	}
+	return nil
+}
+
+// Contains reports whether x is in the set. O(1) worst-case steps.
+func (t *Trie) Contains(x int64) (bool, error) {
+	if err := t.check(x); err != nil {
+		return false, err
+	}
+	return t.core.Search(x), nil
+}
+
+// Insert adds x to the set; inserting a present key is a no-op.
+func (t *Trie) Insert(x int64) error {
+	if err := t.check(x); err != nil {
+		return err
+	}
+	t.core.Insert(x)
+	return nil
+}
+
+// Delete removes x from the set; deleting an absent key is a no-op.
+func (t *Trie) Delete(x int64) error {
+	if err := t.check(x); err != nil {
+		return err
+	}
+	t.core.Delete(x)
+	return nil
+}
+
+// Predecessor returns the largest key in the set strictly smaller than y,
+// or −1 if there is none.
+func (t *Trie) Predecessor(y int64) (int64, error) {
+	if err := t.check(y); err != nil {
+		return -1, err
+	}
+	return t.core.Predecessor(y), nil
+}
+
+// Floor returns the largest key ≤ x in the set, or −1 if there is none.
+// Composed from Contains and Predecessor; each leg is linearizable, and the
+// composition is linearizable when x is not being concurrently removed.
+func (t *Trie) Floor(x int64) (int64, error) {
+	if err := t.check(x); err != nil {
+		return -1, err
+	}
+	if t.core.Search(x) {
+		return x, nil
+	}
+	return t.core.Predecessor(x), nil
+}
+
+// Max returns the largest key in the set, or −1 if the set is empty.
+func (t *Trie) Max() (int64, error) {
+	return t.Floor(t.core.U() - 1)
+}
+
+// Range calls fn on every key in [lo, hi], from the largest down to the
+// smallest, stopping early if fn returns false. It is built from
+// linearizable Floor/Predecessor steps, so each visited key was present at
+// some instant during the scan, but the scan as a whole is weakly
+// consistent (like sync.Map.Range): keys inserted or deleted mid-scan may
+// or may not be visited. For an atomic snapshot use the versioned trie in
+// internal/versioned.
+func (t *Trie) Range(lo, hi int64, fn func(key int64) bool) error {
+	if err := t.check(lo); err != nil {
+		return err
+	}
+	if err := t.check(hi); err != nil {
+		return err
+	}
+	k, err := t.Floor(hi)
+	if err != nil {
+		return err
+	}
+	for k >= lo && k >= 0 {
+		if !fn(k) {
+			return nil
+		}
+		if k == 0 {
+			return nil
+		}
+		k = t.core.Predecessor(k)
+	}
+	return nil
+}
+
+// Keys returns the keys in [lo, hi] in ascending order under the same
+// weak-consistency contract as Range.
+func (t *Trie) Keys(lo, hi int64) ([]int64, error) {
+	var out []int64
+	err := t.Range(lo, hi, func(k int64) bool {
+		out = append(out, k)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, nil
+}

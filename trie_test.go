@@ -1,0 +1,166 @@
+package lockfreetrie_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	lockfreetrie "repro"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := lockfreetrie.New(1); err == nil {
+		t.Error("New(1) should fail")
+	}
+	tr, err := lockfreetrie.New(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Universe() != 1024 {
+		t.Errorf("Universe = %d, want 1024", tr.Universe())
+	}
+}
+
+func TestKeyRangeErrors(t *testing.T) {
+	tr, err := lockfreetrie.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kre *lockfreetrie.KeyRangeError
+	if err := tr.Insert(16); !errors.As(err, &kre) {
+		t.Errorf("Insert(16) error = %v, want KeyRangeError", err)
+	}
+	if kre.Key != 16 || kre.Universe != 16 {
+		t.Errorf("KeyRangeError fields = %+v", kre)
+	}
+	if err := tr.Insert(-1); err == nil {
+		t.Error("Insert(-1) should fail")
+	}
+	if err := tr.Delete(99); err == nil {
+		t.Error("Delete(99) should fail")
+	}
+	if _, err := tr.Contains(-2); err == nil {
+		t.Error("Contains(-2) should fail")
+	}
+	if _, err := tr.Predecessor(16); err == nil {
+		t.Error("Predecessor(16) should fail")
+	}
+	if kre.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestBasicLifecycle(t *testing.T) {
+	tr, err := lockfreetrie.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInsert := func(k int64) {
+		t.Helper()
+		if err := tr.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustInsert(10)
+	mustInsert(20)
+	mustInsert(30)
+	if got, _ := tr.Contains(20); !got {
+		t.Error("Contains(20) = false")
+	}
+	if got, _ := tr.Predecessor(25); got != 20 {
+		t.Errorf("Predecessor(25) = %d, want 20", got)
+	}
+	if got, _ := tr.Floor(20); got != 20 {
+		t.Errorf("Floor(20) = %d, want 20", got)
+	}
+	if got, _ := tr.Floor(19); got != 10 {
+		t.Errorf("Floor(19) = %d, want 10", got)
+	}
+	if got, _ := tr.Max(); got != 30 {
+		t.Errorf("Max = %d, want 30", got)
+	}
+	if err := tr.Delete(30); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.Max(); got != 20 {
+		t.Errorf("Max after delete = %d, want 20", got)
+	}
+	tr.Delete(10)
+	tr.Delete(20)
+	if got, _ := tr.Max(); got != -1 {
+		t.Errorf("Max on empty = %d, want -1", got)
+	}
+}
+
+func TestConcurrentFacade(t *testing.T) {
+	tr, err := lockfreetrie.New(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 32; i++ {
+				k := base*32 + i
+				if err := tr.Insert(k); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tr.Predecessor(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	for k := int64(0); k < 128; k++ {
+		if got, _ := tr.Contains(k); !got {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+}
+
+func TestRelaxedFacade(t *testing.T) {
+	tr, err := lockfreetrie.NewRelaxed(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Universe() != 32 {
+		t.Errorf("Universe = %d, want 32", tr.Universe())
+	}
+	if err := tr.Insert(5); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.Contains(5); !got {
+		t.Error("Contains(5) = false")
+	}
+	pred, ok, err := tr.Predecessor(10)
+	if err != nil || !ok || pred != 5 {
+		t.Errorf("Predecessor(10) = (%d,%v,%v), want (5,true,nil)", pred, ok, err)
+	}
+	if err := tr.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	pred, ok, _ = tr.Predecessor(10)
+	if !ok || pred != -1 {
+		t.Errorf("Predecessor(10) = (%d,%v), want (-1,true)", pred, ok)
+	}
+	if _, _, err := tr.Predecessor(99); err == nil {
+		t.Error("Predecessor(99) should fail")
+	}
+	if err := tr.Insert(-1); err == nil {
+		t.Error("Insert(-1) should fail")
+	}
+	if _, err := tr.Contains(64); err == nil {
+		t.Error("Contains(64) should fail")
+	}
+	if err := tr.Delete(64); err == nil {
+		t.Error("Delete(64) should fail")
+	}
+	if _, err := lockfreetrie.NewRelaxed(0); err == nil {
+		t.Error("NewRelaxed(0) should fail")
+	}
+}
