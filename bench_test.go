@@ -21,6 +21,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/locktrie"
 	"repro/internal/relaxed"
+	"repro/internal/sharded"
 	"repro/internal/skiplist"
 	"repro/internal/versioned"
 	"repro/internal/workload"
@@ -209,6 +210,7 @@ func BenchmarkMixedThroughput(b *testing.B) {
 		mk   func() harness.Set
 	}{
 		{"lockfree-trie", func() harness.Set { return mustCore(u) }},
+		{"sharded-trie-16", func() harness.Set { return mustSharded(u, 16) }},
 		{"rwlock-trie", func() harness.Set { return mustLock(u) }},
 		{"versioned-cas-trie", func() harness.Set { return mustVersioned(u) }},
 		{"lockfree-skiplist", func() harness.Set { return mustSkip(u) }},
@@ -369,6 +371,61 @@ func BenchmarkAuxSpaceVsContention(b *testing.B) {
 	}
 }
 
+// --- S1: sharding breaks the global announcement-list bottleneck -------------
+//
+// Workers update disjoint key bands (the embarrassingly-parallel regime).
+// Unsharded, every operation still announces on the one U-ALL/RU-ALL/P-ALL,
+// so each op traverses and notifies the announcements other workers parked
+// there; sharded with k ≥ workers, each worker's announcements stay on its
+// own shard's lists, which also removes the cache-line ping-pong when
+// workers run on separate CPUs.
+func BenchmarkShardedDisjointUpdates(b *testing.B) {
+	const u = int64(1 << 16)
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{2, 8} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				s := mustSharded(u, shards)
+				band := u / int64(workers)
+				runParallelOps(b, workers, func(id int, rng *rand.Rand) {
+					k := int64(id)*band + rng.Int63n(band)
+					switch rng.Intn(4) {
+					case 0:
+						s.Insert(k)
+					case 1:
+						s.Delete(k)
+					case 2:
+						s.Search(k)
+					default:
+						s.Predecessor(k)
+					}
+				})
+			})
+		}
+	}
+}
+
+// --- S2: the price of sharding — cross-shard predecessor stitching -----------
+//
+// Worst case for the fallback scan: a sparse set (only low keys present)
+// with predecessor queries from the top of the universe, forcing a validated
+// scan over all k shards. Measures the O(k) summary-scan overhead the
+// WithShards documentation warns about.
+func BenchmarkShardedCrossShardPredecessor(b *testing.B) {
+	const u = int64(1 << 16)
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := mustSharded(u, shards)
+			s.Insert(1)
+			s.Insert(2)
+			keys := randomKeys(u/2, 1<<12, 11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Predecessor(u/2 + keys[i&(len(keys)-1)])
+			}
+		})
+	}
+}
+
 // --- A1: how often the second CAS attempt rescues a delete -------------------
 
 func BenchmarkDeleteCASAttempts(b *testing.B) {
@@ -431,6 +488,14 @@ func BenchmarkNotifyCostVsPredecessors(b *testing.B) {
 
 func mustCore(u int64) *core.Trie {
 	tr, err := core.New(u)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+func mustSharded(u int64, k int) *sharded.Trie {
+	tr, err := sharded.New(u, k)
 	if err != nil {
 		panic(err)
 	}

@@ -7,13 +7,17 @@
 //
 //	triebench -experiment all
 //	triebench -experiment c5 -ops 200000 -workers 4
+//	triebench -experiment s1 -shards 16 -json BENCH_shards.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/locktrie"
 	"repro/internal/relaxed"
+	"repro/internal/sharded"
 	"repro/internal/skiplist"
 	"repro/internal/versioned"
 	"repro/internal/workload"
@@ -31,23 +36,31 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2 or all")
+		experiment = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,s1, or all (the paper-claim sweeps c1–a2; s1 runs only when named, since it raises -ops/-workers to its measurement floors and rewrites the -json artifact)")
 		ops        = flag.Int("ops", 100000, "operations per measurement")
 		workers    = flag.Int("workers", 4, "default worker count")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		shards     = flag.Int("shards", 16, "high shard count for the s1 sharding sweep")
+		jsonPath   = flag.String("json", "BENCH_shards.json", "s1 trajectory output path (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *ops, *workers, *seed); err != nil {
+	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "triebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, ops, workers int, seed int64) error {
+func run(experiment string, ops, workers int, seed int64, shards int, jsonPath string) error {
 	runners := map[string]func(int, int, int64) error{
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5,
 		"c6": expC6, "c7": expC7, "a1": expA1, "a2": expA2,
+		"s1": func(ops, workers int, seed int64) error {
+			return expS1(ops, workers, seed, shards, jsonPath)
+		},
 	}
+	// "all" covers the paper-claim sweeps; s1 is opt-in because it enforces
+	// its own ops/workers floors (minutes, not seconds) and overwrites the
+	// recorded BENCH_shards.json trajectory point.
 	if experiment == "all" {
 		for _, id := range []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7", "a1", "a2"} {
 			if err := runners[id](ops, workers, seed); err != nil {
@@ -426,6 +439,157 @@ func expA1(ops, _ int, seed int64) error {
 			float64(bstats.CASFailures.Load())*per10k)
 	}
 	fmt.Println(tab)
+	return nil
+}
+
+// s1Reps is the repetition count per (workload, shard count) configuration
+// of experiment S1; the median repetition is reported.
+const s1Reps = 5
+
+// s1Result is one (workload, shard count) measurement of the sharding sweep.
+type s1Result struct {
+	Shards    int     `json:"shards"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// s1Workload groups the shard-count sweep for one key distribution.
+type s1Workload struct {
+	Dist    string     `json:"dist"`
+	Mix     string     `json:"mix"`
+	Results []s1Result `json:"results"`
+	Speedup float64    `json:"speedup_high_vs_1"`
+}
+
+// s1Report is the BENCH_shards.json trajectory point.
+type s1Report struct {
+	Experiment string       `json:"experiment"`
+	Timestamp  string       `json:"timestamp"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Universe   int64        `json:"universe"`
+	Goroutines int          `json:"goroutines"`
+	Ops        int          `json:"ops"`
+	HighShards int          `json:"high_shards"`
+	Workloads  []s1Workload `json:"workloads"`
+}
+
+// expS1: sharding sweep — k=1 vs k=highShards at ≥ 8 goroutines on
+// update-heavy disjoint-band, uniform and hotrange workloads. The disjoint
+// bands are the announcement-list-bottleneck regime the sharded layer
+// exists for: workers never collide on keys, so all remaining contention is
+// the shared U-ALL/RU-ALL/P-ALL traffic that sharding splits. On a
+// single-core host (the report records GOMAXPROCS/NumCPU) the measured
+// relief comes from shorter announcement-list traversals and notify scans,
+// not cache-line transfer; hotrange is expected to show no benefit at any
+// core count since its hot keys map to a single shard. Writes the
+// BENCH_shards.json trajectory point unless -json is empty.
+func expS1(ops, workers int, seed int64, highShards int, jsonPath string) error {
+	const u = int64(1 << 16)
+	// The announcement-list tax grows with the number of operations parked
+	// mid-announcement, so the sweep needs enough goroutines to keep the
+	// lists populated; 16 comfortably exceeds the experiment's ≥8 floor.
+	if workers < 16 {
+		fmt.Printf("s1: raising -workers to 16 (announcement lists need that much overlap)\n")
+		workers = 16
+	}
+	// It also needs each measurement to run for many scheduler slices per
+	// goroutine: below ~1s of wall clock the goroutines run nearly
+	// back-to-back, announcement lists stay empty, and the experiment
+	// measures warm-up instead of the contended steady state.
+	if ops < 800000 {
+		fmt.Printf("s1: raising -ops to 800000 (shorter runs measure warm-up, not steady state)\n")
+		ops = 800000
+	}
+	fmt.Printf("== S1: sharded vs unsharded throughput (ops/s, %d goroutines, update-heavy) ==\n", workers)
+	dists := []struct {
+		name    string
+		dist    workload.KeyDist
+		distFor func(w int) workload.KeyDist
+	}{
+		{name: "disjoint", distFor: func(w int) workload.KeyDist {
+			band := u / int64(workers)
+			return workload.Band{Lo: int64(w) * band, Width: band}
+		}},
+		{name: "uniform", dist: workload.Uniform{U: u}},
+		{name: "hotrange", dist: workload.HotRange{U: u, HotLo: u / 2, HotWidth: 64, HotPct: 80}},
+	}
+	report := s1Report{
+		Experiment: "s1-sharding",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Universe:   u,
+		Goroutines: workers,
+		Ops:        ops,
+		HighShards: highShards,
+	}
+	// One measurement: fresh trie, half-full prefill (so deletes and
+	// predecessors do real work from the first operation — a winning Delete
+	// runs two embedded predecessor operations, the announcement-heavy path
+	// sharding exists to relieve), then the timed run.
+	measure := func(k int, d int) (float64, error) {
+		tr, err := sharded.New(u, k)
+		if err != nil {
+			return 0, err
+		}
+		for key := int64(0); key < u; key += 2 {
+			tr.Insert(key)
+		}
+		res, err := harness.Run(tr, harness.Config{
+			Workers:      workers,
+			OpsPerWorker: ops / workers,
+			Mix:          workload.MixUpdateHeavy,
+			Dist:         dists[d].dist,
+			DistFor:      dists[d].distFor,
+			Seed:         seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Throughput, nil
+	}
+	// Per configuration, report the median of s1Reps repetitions,
+	// interleaving the shard counts so slow machine phases (GC, noisy
+	// neighbours on shared runners) penalize both sides equally. The
+	// median, not the best: run-to-run variance here is dominated by
+	// scheduling luck — whether preemptions park operations mid-
+	// announcement — which IS the contention under study, and best-of
+	// would select exactly the baseline runs where it failed to manifest.
+	tab := harness.NewTable("dist", "k=1 ops/s", fmt.Sprintf("k=%d ops/s", highShards), "speedup")
+	for d := range dists {
+		wl := s1Workload{Dist: dists[d].name, Mix: "update-heavy"}
+		samples := map[int][]float64{}
+		for rep := 0; rep < s1Reps; rep++ {
+			for _, k := range []int{1, highShards} {
+				tput, err := measure(k, d)
+				if err != nil {
+					return err
+				}
+				samples[k] = append(samples[k], tput)
+			}
+		}
+		med := func(v []float64) float64 {
+			sort.Float64s(v)
+			return v[len(v)/2]
+		}
+		lo, hi := med(samples[1]), med(samples[highShards])
+		wl.Results = []s1Result{{Shards: 1, OpsPerSec: lo}, {Shards: highShards, OpsPerSec: hi}}
+		wl.Speedup = hi / lo
+		report.Workloads = append(report.Workloads, wl)
+		tab.AddRow(dists[d].name, lo, hi, wl.Speedup)
+	}
+	fmt.Println(tab)
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
 	return nil
 }
 

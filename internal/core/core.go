@@ -117,10 +117,20 @@ func (t *Trie) Search(x int64) bool {
 // O(ċ² + log u) steps.
 //
 // Precondition: 0 ≤ x < U().
-func (t *Trie) Insert(x int64) {
+func (t *Trie) Insert(x int64) { t.Add(x) }
+
+// Add is Insert reporting whether this operation performed the
+// absent→present transition, i.e. whether its update node won the latest[x]
+// CAS and became the linearization point. False means x was already present
+// or a concurrent update on x intervened (in which case that operation
+// reports the transition instead). The occupancy counters of the sharded
+// layer hang off this result.
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Add(x int64) bool {
 	dNode := t.findLatest(x)
 	if dNode.Kind != unode.Del {
-		return // x already in S
+		return false // x already in S
 	}
 	iNode := unode.NewIns(x)
 	iNode.LatestNext.Store(dNode)
@@ -135,7 +145,7 @@ func (t *Trie) Insert(x int64) {
 	dNode.LatestNext.Store(nil) // line 169: reopen the latest[x] list
 	if !t.latest[x].CompareAndSwap(dNode, iNode) {
 		t.helpActivate(t.latest[x].Load()) // line 171
-		return
+		return false
 	}
 	t.uall.Insert(iNode) // line 173
 	t.ruall.Insert(iNode)
@@ -146,16 +156,23 @@ func (t *Trie) Insert(x int64) {
 	iNode.Completed.Store(true)            // line 178
 	t.uall.Remove(iNode)                   // line 179
 	t.ruall.Remove(iNode)
+	return true
 }
 
 // Delete removes x from the set (paper lines 181–206). Lock-free; amortized
 // O(ċ² + c̃ + log u) steps.
 //
 // Precondition: 0 ≤ x < U().
-func (t *Trie) Delete(x int64) {
+func (t *Trie) Delete(x int64) { t.Remove(x) }
+
+// Remove is Delete reporting whether this operation performed the
+// present→absent transition (the mirror of Add).
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Remove(x int64) bool {
 	iNode := t.findLatest(x)
 	if iNode.Kind != unode.Ins {
-		return // x not in S
+		return false // x not in S
 	}
 	delPred, pNode1 := t.predHelper(x) // line 184: first embedded predecessor
 	dNode := unode.NewDel(x, t.b)
@@ -167,7 +184,7 @@ func (t *Trie) Delete(x int64) {
 	if !t.latest[x].CompareAndSwap(iNode, dNode) {
 		t.helpActivate(t.latest[x].Load()) // line 193
 		t.pall.remove(pNode1)              // line 194
-		return
+		return false
 	}
 	t.uall.Insert(dNode) // line 196
 	t.ruall.Insert(dNode)
@@ -187,6 +204,7 @@ func (t *Trie) Delete(x int64) {
 	t.ruall.Remove(dNode)
 	t.pall.remove(pNode1) // line 206
 	t.pall.remove(pNode2)
+	return true
 }
 
 // Predecessor returns the largest key in the set smaller than y, or −1 if

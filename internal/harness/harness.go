@@ -35,6 +35,9 @@ type Config struct {
 	Mix workload.Mix
 	// Dist generates keys.
 	Dist workload.KeyDist
+	// DistFor, when non-nil, overrides Dist with a per-worker distribution
+	// (e.g. disjoint workload.Bands for the sharding experiment S1).
+	DistFor func(worker int) workload.KeyDist
 	// Seed makes streams deterministic; worker i uses Seed+i.
 	Seed int64
 	// Prefill inserts keys 0,…,Prefill−1 before measuring.
@@ -89,7 +92,11 @@ func Run(s Set, cfg Config) (Result, error) {
 	// Pre-generate streams outside the measured region.
 	streams := make([][]workload.Op, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		gen, err := workload.NewGenerator(cfg.Mix, cfg.Dist, cfg.Seed+int64(w))
+		dist := cfg.Dist
+		if cfg.DistFor != nil {
+			dist = cfg.DistFor(w)
+		}
+		gen, err := workload.NewGenerator(cfg.Mix, dist, cfg.Seed+int64(w))
 		if err != nil {
 			return Result{}, err
 		}

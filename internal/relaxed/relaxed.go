@@ -92,10 +92,18 @@ func (t *Trie) Search(x int64) bool {
 // O(log u) worst-case steps.
 //
 // Precondition: 0 ≤ x < U().
-func (t *Trie) Insert(x int64) {
+func (t *Trie) Insert(x int64) { t.Add(x) }
+
+// Add is Insert reporting whether this operation performed the
+// absent→present transition (its INS node won the latest[x] CAS, Lemma
+// 4.3). False means x was already present or a concurrent update on x
+// linearized first. The sharded layer's occupancy counters hang off this.
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Add(x int64) bool {
 	dNode := t.findLatest(x)
 	if dNode.Kind != unode.Del {
-		return // x already in S
+		return false // x already in S
 	}
 	iNode := unode.NewIns(x)
 	iNode.Status.Store(unode.StatusActive) // §4: nodes are created active
@@ -109,25 +117,32 @@ func (t *Trie) Insert(x int64) {
 		}
 	}
 	if !t.latest[x].CompareAndSwap(dNode, iNode) {
-		return // another TrieInsert(x) linearized first (Lemma 4.3)
+		return false // another TrieInsert(x) linearized first (Lemma 4.3)
 	}
 	t.bits.InsertBinaryTrie(iNode)
+	return true
 }
 
 // Delete removes x from the set (paper lines 47–57, TrieDelete). Wait-free,
 // O(log u) worst-case steps.
 //
 // Precondition: 0 ≤ x < U().
-func (t *Trie) Delete(x int64) {
+func (t *Trie) Delete(x int64) { t.Remove(x) }
+
+// Remove is Delete reporting whether this operation performed the
+// present→absent transition (the mirror of Add, Lemma 4.4).
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Remove(x int64) bool {
 	iNode := t.findLatest(x)
 	if iNode.Kind != unode.Ins {
-		return // x not in S
+		return false // x not in S
 	}
 	dNode := unode.NewDel(x, t.b)
 	dNode.Status.Store(unode.StatusActive)
 	dNode.LatestNext.Store(iNode)
 	if !t.latest[x].CompareAndSwap(iNode, dNode) {
-		return // another TrieDelete(x) linearized first (Lemma 4.4)
+		return false // another TrieDelete(x) linearized first (Lemma 4.4)
 	}
 	// Paper line 55: stop the Delete whose DEL node the replaced Insert was
 	// attacking; the Insert will not finish its MinWrite on our behalf.
@@ -135,6 +150,7 @@ func (t *Trie) Delete(x int64) {
 		tg.Stop.Store(true)
 	}
 	t.bits.DeleteBinaryTrie(dNode)
+	return true
 }
 
 // Successor returns the smallest key greater than y under the mirrored

@@ -1,0 +1,43 @@
+package sharded_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/settest"
+	"repro/internal/sharded"
+)
+
+// shardCounts is the matrix the whole suite runs against: unsharded (the
+// reference behaviour), lightly sharded, and heavily sharded relative to
+// the test universes (u=64 at k=16 leaves shards only 4 keys wide, so
+// cross-shard stitching dominates).
+var shardCounts = []int{1, 4, 16}
+
+func factory(k int) settest.Factory {
+	return func(u int64) (settest.Set, error) { return sharded.New(u, k) }
+}
+
+func TestSequentialConformance(t *testing.T) {
+	for _, k := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			settest.RunSequential(t, factory(k), 64)
+		})
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	for _, k := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			settest.RunEdgeCases(t, factory(k), 64)
+		})
+	}
+}
+
+func TestConcurrentConformance(t *testing.T) {
+	for _, k := range shardCounts {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			settest.RunConcurrent(t, factory(k), 256, 8, 1200)
+		})
+	}
+}

@@ -1,0 +1,304 @@
+// Package sharded partitions the universe {0,…,u−1} into a power-of-two
+// number of contiguous shards, each backed by an independent core trie with
+// its own U-ALL/RU-ALL/P-ALL announcement lists. Operations on disjoint key
+// ranges then announce on disjoint cache lines, removing the global
+// announcement-list hotspot that caps multicore throughput of the unsharded
+// trie (DESIGN.md §Sharding).
+//
+// Each shard additionally maintains a lock-free occupancy summary — three
+// padded per-shard atomics updated only on that shard's fast paths:
+//
+//   - count: an over-approximation of the shard's cardinality. A winning
+//     Insert increments BEFORE its core operation and a winning Delete
+//     decrements AFTER its core operation (a losing Insert rolls its
+//     increment back), so at every instant count ≥ |S ∩ shard| and
+//     count == 0 proves the shard empty at the instant of the read. This is
+//     what lets Predecessor, Floor, Max, Range and Keys skip empty shards
+//     instead of paying a full per-shard traversal.
+//   - pending: the number of in-flight updates (incremented before, and
+//     decremented after, every update attempt).
+//   - version: the number of completed winning updates.
+//
+// Cross-shard Predecessor stitches shards together: it queries the owning
+// shard and, when that shard holds no key below y, falls back to the max of
+// the nearest lower non-empty shard. The fallback validates its scan against
+// the pending/version pair (see Predecessor) so the common case is strictly
+// linearizable, and retries — each retry forced by another operation's
+// completed progress — otherwise.
+package sharded
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// MaxShards bounds the shard count (each shard costs Θ(u/k) space plus a
+// padded header; the summary scan is O(k)).
+const MaxShards = 1 << 16
+
+// ScanRetries bounds Predecessor's fallback validation loop. Validation
+// fails only when a concurrent update announced or completed in a scanned
+// lower shard mid-scan, so every retry is forced by system-wide progress
+// and the loop is lock-free; the bound exists so a pathological churn
+// storm (or a writer parked mid-update for the whole sequence) degrades to
+// the documented weakly-consistent answer instead of unbounded latency. A
+// variable, not a constant, so the linearizability tests can raise it far
+// enough that an OS-preempted writer always resumes within the spin,
+// making the weak path unreachable under test schedulers.
+var ScanRetries = 64
+
+// shard is one partition: an independent core trie plus its occupancy
+// summary. Padded to 128 bytes (two cache lines, clear of the adjacent-line
+// prefetcher) so neighbouring shards' counters never false-share.
+type shard struct {
+	trie    *core.Trie
+	count   atomic.Int64 // cardinality over-approximation (≥ |S ∩ shard|)
+	pending atomic.Int64 // in-flight updates
+	version atomic.Int64 // completed winning updates
+	_       [96]byte
+}
+
+// max returns the largest key in the shard (local coordinates), or −1. Two
+// core operations; callers that need atomicity run it inside the validated
+// window of Predecessor's fallback.
+func (s *shard) max(width int64) int64 {
+	if s.trie.Search(width - 1) {
+		return width - 1
+	}
+	return s.trie.Predecessor(width - 1)
+}
+
+// Trie is the sharded lock-free binary trie. Create with New; the zero
+// value is not usable. All methods are safe for concurrent use.
+type Trie struct {
+	u         int64 // padded universe size
+	k         int   // shard count
+	width     int64 // u / k, keys per shard
+	shardBits uint  // log2(width)
+	shards    []shard
+}
+
+// geometry validates (u, k) and returns the padded universe, shard width
+// and width's log2. Shared by New and NewRelaxed.
+func geometry(u int64, k int) (pu, width int64, shardBits uint, err error) {
+	if k < 1 || k > MaxShards || k&(k-1) != 0 {
+		return 0, 0, 0, fmt.Errorf("sharded: shard count %d must be a power of two in [1, %d]", k, MaxShards)
+	}
+	if u < 2 {
+		return 0, 0, 0, fmt.Errorf("sharded: universe %d must be at least 2", u)
+	}
+	pu = int64(1) << uint(bits.Len64(uint64(u-1)))
+	if int64(k) > pu/2 {
+		return 0, 0, 0, fmt.Errorf("sharded: %d shards over universe %d leave shards of width < 2", k, pu)
+	}
+	width = pu / int64(k)
+	return pu, width, uint(bits.Len64(uint64(width)) - 1), nil
+}
+
+// New returns an empty sharded trie over {0,…,u−1} (u ≥ 2, padded to the
+// next power of two) split into k contiguous shards. k must be a power of
+// two with 1 ≤ k ≤ min(MaxShards, paddedU/2), so every shard spans at least
+// two keys.
+func New(u int64, k int) (*Trie, error) {
+	pu, width, shardBits, err := geometry(u, k)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trie{
+		u:         pu,
+		k:         k,
+		width:     width,
+		shardBits: shardBits,
+		shards:    make([]shard, k),
+	}
+	for i := range t.shards {
+		c, err := core.New(t.width)
+		if err != nil {
+			return nil, err
+		}
+		t.shards[i].trie = c
+	}
+	return t, nil
+}
+
+// U returns the (padded) universe size.
+func (t *Trie) U() int64 { return t.u }
+
+// Shards returns the shard count.
+func (t *Trie) Shards() int { return t.k }
+
+// ShardWidth returns the number of keys per shard.
+func (t *Trie) ShardWidth() int64 { return t.width }
+
+// Shard returns the core trie backing shard i (tests, stats, trieviz).
+func (t *Trie) Shard(i int) *core.Trie { return t.shards[i].trie }
+
+// Occupancy returns shard i's cardinality over-approximation; exact at
+// quiescence.
+func (t *Trie) Occupancy(i int) int64 { return t.shards[i].count.Load() }
+
+// Len returns the summed occupancy summary — an O(k) cardinality estimate,
+// exact at quiescence.
+func (t *Trie) Len() int64 {
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].count.Load()
+	}
+	return n
+}
+
+// home splits x into its shard and local coordinates.
+func (t *Trie) home(x int64) (*shard, int64) {
+	return &t.shards[x>>t.shardBits], x & (t.width - 1)
+}
+
+// Search reports whether x is in the set. O(1) worst-case; exactly the
+// owning shard's linearizable Search.
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Search(x int64) bool {
+	sh, lx := t.home(x)
+	return sh.trie.Search(lx)
+}
+
+// Insert adds x to the set; linearized at the owning shard's Insert. The
+// count increment precedes the core operation (and is rolled back on a lost
+// race) so count never under-approximates the shard's cardinality.
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Insert(x int64) {
+	sh, lx := t.home(x)
+	sh.pending.Add(1)
+	sh.count.Add(1)
+	if sh.trie.Add(lx) {
+		sh.version.Add(1)
+	} else {
+		sh.count.Add(-1)
+	}
+	sh.pending.Add(-1)
+}
+
+// Delete removes x from the set; linearized at the owning shard's Delete.
+// The count decrement follows the core operation, preserving the
+// over-approximation invariant.
+//
+// Precondition: 0 ≤ x < U().
+func (t *Trie) Delete(x int64) {
+	sh, lx := t.home(x)
+	sh.pending.Add(1)
+	if sh.trie.Remove(lx) {
+		sh.count.Add(-1)
+		sh.version.Add(1)
+	}
+	sh.pending.Add(-1)
+}
+
+// Predecessor returns the largest key in the set strictly smaller than y,
+// or −1 if there is none.
+//
+// When the owning shard holds a key below y the answer is that shard's
+// linearizable Predecessor and nothing else is touched. Otherwise the
+// fallback scans lower shards for the nearest non-empty one (skipping
+// shards whose count reads 0 — safe, because count over-approximates) and
+// validates the scan: it snapshots the lower shards' version counters
+// before re-querying the owning shard, and accepts only if afterwards
+// every scanned lower shard still shows its snapshot version and zero
+// pending updates. Acceptance proves the scanned lower shards were
+// constant from snapshot to validation, so every lower-shard observation
+// also held at the instant the owning-shard re-query linearized (which
+// itself proved shard j empty below y), and the operation linearizes
+// there. The owning shard is deliberately NOT validated — its updates at
+// keys ≥ y are irrelevant, and a key < y appearing there after the
+// re-query orders after the linearization point. Rejection means a
+// concurrent update announced or completed in a scanned lower shard —
+// system-wide progress — and the scan retries, keeping the operation
+// lock-free. Only after ScanRetries consecutive failed validations — an
+// update parked mid-flight in a scanned lower shard, or fresh updates
+// completing in them, across every round — is the last scan's answer
+// returned under Range's weak-consistency contract: the returned key was
+// present at some instant during the call and no examined shard held a
+// larger key below y when examined.
+//
+// Precondition: 0 ≤ y < U().
+func (t *Trie) Predecessor(y int64) int64 {
+	j := int(y >> t.shardBits)
+	ly := y & (t.width - 1)
+	if ly > 0 {
+		if p := t.shards[j].trie.Predecessor(ly); p >= 0 {
+			return int64(j)<<t.shardBits | p
+		}
+	}
+	if j == 0 {
+		return -1
+	}
+	return t.predFallback(j, ly)
+}
+
+// predFallback implements the validated cross-shard scan of Predecessor.
+func (t *Trie) predFallback(j int, ly int64) int64 {
+	vsnap := make([]int64, j)
+	best := int64(-1)
+	for attempt := 0; attempt < ScanRetries; attempt++ {
+		for i := 0; i < j; i++ {
+			vsnap[i] = t.shards[i].version.Load()
+		}
+		// Re-examine the owning shard inside the snapshot window: a hit is a
+		// single linearizable core operation and needs no validation.
+		if ly > 0 {
+			if p := t.shards[j].trie.Predecessor(ly); p >= 0 {
+				return int64(j)<<t.shardBits | p
+			}
+		}
+		ans, low := int64(-1), -1
+		for i := j - 1; i >= 0; i-- {
+			sh := &t.shards[i]
+			if sh.count.Load() == 0 {
+				continue // provably empty at the instant of the read
+			}
+			if m := sh.max(t.width); m >= 0 {
+				ans, low = int64(i)<<t.shardBits|m, i
+				break
+			}
+		}
+		best = ans
+		if low < 0 {
+			low = 0
+		}
+		valid := true
+		for i := low; i < j; i++ {
+			sh := &t.shards[i]
+			if sh.pending.Load() != 0 || sh.version.Load() != vsnap[i] {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			return ans
+		}
+		// No yield here: handing the processor to a spinning writer parks
+		// this query for whole scheduler slices. The retry loop stays hot —
+		// a preempted writer either resumes within the budget (version
+		// changes, rescan sees its update) or the call degrades to the
+		// documented weak answer.
+	}
+	return best
+}
+
+// Max returns the largest key in the set, or −1 if the set is empty, by
+// scanning shards from the top and skipping provably empty ones. Composed
+// of linearizable per-shard steps under Range's weak-consistency contract.
+func (t *Trie) Max() int64 {
+	for i := t.k - 1; i >= 0; i-- {
+		sh := &t.shards[i]
+		if sh.count.Load() == 0 {
+			continue
+		}
+		if m := sh.max(t.width); m >= 0 {
+			return int64(i)<<t.shardBits | m
+		}
+	}
+	return -1
+}

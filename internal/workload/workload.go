@@ -103,6 +103,21 @@ func (d *Zipf) Next(*rand.Rand) int64 {
 // Name implements KeyDist.
 func (d *Zipf) Name() string { return "zipf" }
 
+// Band draws keys uniformly from [Lo, Lo+Width). Give each worker its own
+// band (harness.Config.DistFor) to build disjoint-range workloads — the
+// zero-key-contention regime where sharding's announcement-list split pays
+// off (experiment S1).
+type Band struct {
+	Lo    int64
+	Width int64
+}
+
+// Next implements KeyDist.
+func (d Band) Next(rng *rand.Rand) int64 { return d.Lo + rng.Int63n(d.Width) }
+
+// Name implements KeyDist.
+func (d Band) Name() string { return "band" }
+
 // HotRange draws keys from a narrow hot range with probability HotPct/100,
 // otherwise uniformly — the contention knob for experiment C3 (point
 // contention concentrates where keys collide).

@@ -4,7 +4,19 @@ import (
 	"fmt"
 
 	"repro/internal/relaxed"
+	"repro/internal/sharded"
 )
+
+// relaxedSet is the backend contract shared by the unsharded relaxed trie
+// and its sharded façade.
+type relaxedSet interface {
+	Search(x int64) bool
+	Insert(x int64)
+	Delete(x int64)
+	Predecessor(y int64) (int64, bool)
+	Successor(y int64) (int64, bool)
+	U() int64
+}
 
 // Relaxed is the paper's §4 wait-free relaxed binary trie: updates and
 // membership are strongly linearizable and wait-free (O(log u) worst-case
@@ -13,25 +25,48 @@ import (
 // than always-answering queries (e.g. real-time producers with a
 // best-effort scanner). The full Trie builds on it.
 type Relaxed struct {
-	inner *relaxed.Trie
+	set    relaxedSet
+	shards int
 }
 
 // NewRelaxed returns an empty relaxed trie over {0,…,universe−1} (same
-// bounds as New).
-func NewRelaxed(universe int64) (*Relaxed, error) {
-	r, err := relaxed.New(universe)
+// bounds as New). WithShards(k) partitions the universe across k
+// independent relaxed tries under the same §4.1 contract — answers exact
+// at quiescence, abstention only under interference — though under
+// concurrent updates the sharded scan returns definite-but-inexact
+// answers (a key present during the call that interference kept from
+// being the true predecessor) in some cases where the unsharded trie
+// would answer exactly or abstain.
+func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
+	cfg := config{shards: 1}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.shards == 1 {
+		r, err := relaxed.New(universe)
+		if err != nil {
+			return nil, fmt.Errorf("lockfreetrie: %w", err)
+		}
+		return &Relaxed{set: r, shards: 1}, nil
+	}
+	s, err := sharded.NewRelaxed(universe, cfg.shards)
 	if err != nil {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}
-	return &Relaxed{inner: r}, nil
+	return &Relaxed{set: s, shards: cfg.shards}, nil
 }
 
 // Universe returns the padded universe size.
-func (t *Relaxed) Universe() int64 { return t.inner.U() }
+func (t *Relaxed) Universe() int64 { return t.set.U() }
+
+// Shards returns the configured shard count (1 for the unsharded trie).
+func (t *Relaxed) Shards() int { return t.shards }
 
 func (t *Relaxed) check(x int64) error {
-	if x < 0 || x >= t.inner.U() {
-		return &KeyRangeError{Key: x, Universe: t.inner.U()}
+	if x < 0 || x >= t.set.U() {
+		return &KeyRangeError{Key: x, Universe: t.set.U()}
 	}
 	return nil
 }
@@ -41,7 +76,7 @@ func (t *Relaxed) Contains(x int64) (bool, error) {
 	if err := t.check(x); err != nil {
 		return false, err
 	}
-	return t.inner.Search(x), nil
+	return t.set.Search(x), nil
 }
 
 // Insert adds x to the set. Wait-free, O(log u) worst-case steps.
@@ -49,7 +84,7 @@ func (t *Relaxed) Insert(x int64) error {
 	if err := t.check(x); err != nil {
 		return err
 	}
-	t.inner.Insert(x)
+	t.set.Insert(x)
 	return nil
 }
 
@@ -58,29 +93,31 @@ func (t *Relaxed) Delete(x int64) error {
 	if err := t.check(x); err != nil {
 		return err
 	}
-	t.inner.Delete(x)
+	t.set.Delete(x)
 	return nil
 }
 
 // Predecessor returns the largest key smaller than y. ok=false means the
 // query abstained because concurrent updates on keys in (result, y)
 // interfered; when every key in that range is quiescent the answer is exact
-// (−1 for "no predecessor"). Wait-free, O(log u) worst-case steps.
+// (−1 for "no predecessor"). Wait-free, O(log u) worst-case steps (plus
+// O(shards) for the sharded variant).
 func (t *Relaxed) Predecessor(y int64) (pred int64, ok bool, err error) {
 	if err := t.check(y); err != nil {
 		return -1, false, err
 	}
-	pred, ok = t.inner.Predecessor(y)
+	pred, ok = t.set.Predecessor(y)
 	return pred, ok, nil
 }
 
 // Successor returns the smallest key greater than y, with the mirrored
 // abstention semantics of Predecessor (−1 means "no successor"). An
-// extension beyond the paper. Wait-free, O(log u) worst-case steps.
+// extension beyond the paper. Wait-free, O(log u) worst-case steps (plus
+// O(shards) for the sharded variant).
 func (t *Relaxed) Successor(y int64) (succ int64, ok bool, err error) {
 	if err := t.check(y); err != nil {
 		return -1, false, err
 	}
-	succ, ok = t.inner.Successor(y)
+	succ, ok = t.set.Successor(y)
 	return succ, ok, nil
 }

@@ -9,7 +9,9 @@
 //   - Insert(x), Delete(x), Predecessor(y): O(ċ² + log u) amortized steps,
 //     where ċ is the operation's point contention.
 //
-// All operations are linearizable. The package also exposes the paper's §4
+// All operations are linearizable (the sharded variant's one narrow
+// exception is documented at WithShards). The package also exposes the
+// paper's §4
 // building block as Relaxed: a wait-free trie whose predecessor query may
 // abstain (return ok=false) while updates are in flight, but answers
 // exactly whenever the relevant keys are quiescent.
@@ -22,6 +24,13 @@
 //	tr.Insert(1000)
 //	p, _ := tr.Predecessor(500) // p == 42
 //
+// For high update rates on disjoint key ranges, shard the universe:
+//
+//	tr, err := lockfreetrie.New(1<<20, lockfreetrie.WithShards(16))
+//
+// Each shard is an independent trie with its own announcement lists, so
+// operations on different shards never contend (see DESIGN.md §Sharding).
+//
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package lockfreetrie
 
@@ -29,6 +38,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/sharded"
 )
 
 // MaxUniverse bounds the universe size (space is Θ(u)).
@@ -45,29 +55,101 @@ func (e *KeyRangeError) Error() string {
 	return fmt.Sprintf("lockfreetrie: key %d outside universe [0, %d)", e.Key, e.Universe)
 }
 
+// config collects the functional options of New and NewRelaxed.
+type config struct {
+	shards int
+}
+
+// Option configures New and NewRelaxed.
+type Option func(*config) error
+
+// WithShards partitions the universe into k contiguous shards, each an
+// independent trie with its own announcement lists, plus a lock-free
+// occupancy summary that lets Predecessor, Floor, Max, Range and Keys skip
+// empty shards. k must be a power of two; the padded universe must leave
+// every shard at least two keys wide. k = 1 (the default) is the single
+// unsharded trie of the paper.
+//
+// Sharding trades the predecessor fast path for update scalability:
+// operations on different shards touch disjoint cache lines, while a
+// Predecessor whose owning shard is empty below the query key pays an
+// O(k)-validated scan of lower shards (see internal/sharded).
+//
+// Consistency: Search, Insert and Delete remain strictly linearizable at
+// any shard count, as does a Predecessor answered by the query key's own
+// shard. A cross-shard Predecessor validates its scan of the lower shards
+// and retries while updates keep landing in them; only if some scanned
+// lower shard fails validation on all 64 attempts of the retry budget —
+// e.g. a writer parked mid-update there throughout, or an unbroken
+// stream of completed updates below the query — does it return the last
+// scan's answer under the same weak-consistency contract as Range.
+// Updates in the query key's own shard never degrade the answer. The
+// retry budget cannot be unbounded without giving up lock-freedom: a
+// writer parked mid-update would otherwise spin the query forever.
+func WithShards(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("lockfreetrie: WithShards(%d): shard count must be at least 1", k)
+		}
+		c.shards = k
+		return nil
+	}
+}
+
+// set is the backend contract shared by the unsharded core trie and the
+// sharded façade; the exported API layers key validation and the composed
+// operations (Floor, Max, Range, Keys) on top of it.
+type set interface {
+	Search(x int64) bool
+	Insert(x int64)
+	Delete(x int64)
+	Predecessor(y int64) int64
+	U() int64
+}
+
 // Trie is a lock-free linearizable binary trie. All methods are safe for
 // concurrent use by any number of goroutines. Create instances with New.
 type Trie struct {
-	core *core.Trie
+	set    set
+	shards int
 }
 
 // New returns an empty trie over the universe {0,…,universe−1}. universe
 // must be at least 2 and at most MaxUniverse; it is padded to the next
 // power of two (visible via Universe()). Memory is Θ(universe).
-func New(universe int64) (*Trie, error) {
-	c, err := core.New(universe)
+//
+// With no options the trie is the paper's single lock-free binary trie;
+// WithShards(k) partitions the universe across k independent tries.
+func New(universe int64, opts ...Option) (*Trie, error) {
+	cfg := config{shards: 1}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.shards == 1 {
+		c, err := core.New(universe)
+		if err != nil {
+			return nil, fmt.Errorf("lockfreetrie: %w", err)
+		}
+		return &Trie{set: c, shards: 1}, nil
+	}
+	s, err := sharded.New(universe, cfg.shards)
 	if err != nil {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}
-	return &Trie{core: c}, nil
+	return &Trie{set: s, shards: cfg.shards}, nil
 }
 
 // Universe returns the padded universe size 2^⌈log₂ u⌉.
-func (t *Trie) Universe() int64 { return t.core.U() }
+func (t *Trie) Universe() int64 { return t.set.U() }
+
+// Shards returns the configured shard count (1 for the unsharded trie).
+func (t *Trie) Shards() int { return t.shards }
 
 func (t *Trie) check(x int64) error {
-	if x < 0 || x >= t.core.U() {
-		return &KeyRangeError{Key: x, Universe: t.core.U()}
+	if x < 0 || x >= t.set.U() {
+		return &KeyRangeError{Key: x, Universe: t.set.U()}
 	}
 	return nil
 }
@@ -77,7 +159,7 @@ func (t *Trie) Contains(x int64) (bool, error) {
 	if err := t.check(x); err != nil {
 		return false, err
 	}
-	return t.core.Search(x), nil
+	return t.set.Search(x), nil
 }
 
 // Insert adds x to the set; inserting a present key is a no-op.
@@ -85,7 +167,7 @@ func (t *Trie) Insert(x int64) error {
 	if err := t.check(x); err != nil {
 		return err
 	}
-	t.core.Insert(x)
+	t.set.Insert(x)
 	return nil
 }
 
@@ -94,17 +176,19 @@ func (t *Trie) Delete(x int64) error {
 	if err := t.check(x); err != nil {
 		return err
 	}
-	t.core.Delete(x)
+	t.set.Delete(x)
 	return nil
 }
 
 // Predecessor returns the largest key in the set strictly smaller than y,
-// or −1 if there is none.
+// or −1 if there is none. Linearizable on the unsharded trie; with
+// WithShards, see that option's consistency note for the cross-shard
+// degraded case.
 func (t *Trie) Predecessor(y int64) (int64, error) {
 	if err := t.check(y); err != nil {
 		return -1, err
 	}
-	return t.core.Predecessor(y), nil
+	return t.set.Predecessor(y), nil
 }
 
 // Floor returns the largest key ≤ x in the set, or −1 if there is none.
@@ -114,15 +198,15 @@ func (t *Trie) Floor(x int64) (int64, error) {
 	if err := t.check(x); err != nil {
 		return -1, err
 	}
-	if t.core.Search(x) {
+	if t.set.Search(x) {
 		return x, nil
 	}
-	return t.core.Predecessor(x), nil
+	return t.set.Predecessor(x), nil
 }
 
 // Max returns the largest key in the set, or −1 if the set is empty.
 func (t *Trie) Max() (int64, error) {
-	return t.Floor(t.core.U() - 1)
+	return t.Floor(t.set.U() - 1)
 }
 
 // Range calls fn on every key in [lo, hi], from the largest down to the
@@ -150,7 +234,7 @@ func (t *Trie) Range(lo, hi int64, fn func(key int64) bool) error {
 		if k == 0 {
 			return nil
 		}
-		k = t.core.Predecessor(k)
+		k = t.set.Predecessor(k)
 	}
 	return nil
 }

@@ -21,6 +21,96 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+func TestOptionsValidation(t *testing.T) {
+	tr, err := lockfreetrie.New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Shards() != 1 {
+		t.Errorf("default Shards = %d, want 1", tr.Shards())
+	}
+	tr, err = lockfreetrie.New(64, lockfreetrie.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Shards() != 4 {
+		t.Errorf("Shards = %d, want 4", tr.Shards())
+	}
+	if tr.Universe() != 64 {
+		t.Errorf("Universe = %d, want 64", tr.Universe())
+	}
+	if _, err := lockfreetrie.New(64, lockfreetrie.WithShards(0)); err == nil {
+		t.Error("WithShards(0) accepted")
+	}
+	if _, err := lockfreetrie.New(64, lockfreetrie.WithShards(3)); err == nil {
+		t.Error("WithShards(3) accepted (not a power of two)")
+	}
+	if _, err := lockfreetrie.New(4, lockfreetrie.WithShards(4)); err == nil {
+		t.Error("WithShards(4) over universe 4 accepted (width < 2)")
+	}
+	if _, err := lockfreetrie.NewRelaxed(64, lockfreetrie.WithShards(3)); err == nil {
+		t.Error("relaxed WithShards(3) accepted (not a power of two)")
+	}
+}
+
+// TestShardedFacadeLifecycle re-runs the basic lifecycle through the
+// sharded backend, exercising cross-shard Floor/Max/Predecessor.
+func TestShardedFacadeLifecycle(t *testing.T) {
+	tr, err := lockfreetrie.New(64, lockfreetrie.WithShards(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{10, 20, 30} {
+		if err := tr.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := tr.Contains(20); !got {
+		t.Error("Contains(20) = false")
+	}
+	if got, _ := tr.Predecessor(25); got != 20 {
+		t.Errorf("Predecessor(25) = %d, want 20", got)
+	}
+	if got, _ := tr.Floor(19); got != 10 {
+		t.Errorf("Floor(19) = %d, want 10", got)
+	}
+	if got, _ := tr.Max(); got != 30 {
+		t.Errorf("Max = %d, want 30", got)
+	}
+	if err := tr.Insert(64); err == nil {
+		t.Error("Insert(64) should fail")
+	}
+	tr.Delete(30)
+	tr.Delete(20)
+	tr.Delete(10)
+	if got, _ := tr.Max(); got != -1 {
+		t.Errorf("Max on empty = %d, want -1", got)
+	}
+}
+
+// TestShardedRelaxedFacade drives the sharded relaxed backend through the
+// public API at quiescence.
+func TestShardedRelaxedFacade(t *testing.T) {
+	tr, err := lockfreetrie.NewRelaxed(64, lockfreetrie.WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Shards() != 8 {
+		t.Errorf("Shards = %d, want 8", tr.Shards())
+	}
+	tr.Insert(5)
+	tr.Insert(40)
+	if pred, ok, err := tr.Predecessor(40); err != nil || !ok || pred != 5 {
+		t.Errorf("Predecessor(40) = (%d,%v,%v), want (5,true,nil)", pred, ok, err)
+	}
+	if succ, ok, err := tr.Successor(5); err != nil || !ok || succ != 40 {
+		t.Errorf("Successor(5) = (%d,%v,%v), want (40,true,nil)", succ, ok, err)
+	}
+	if _, _, err := tr.Successor(99); err == nil {
+		t.Error("Successor(99) should fail")
+	}
+}
+
 func TestKeyRangeErrors(t *testing.T) {
 	tr, err := lockfreetrie.New(16)
 	if err != nil {
