@@ -231,7 +231,7 @@ func BenchmarkMixedThroughput(b *testing.B) {
 				prefillEvery(s, u, 8)
 				gens := makeGens(b, m.mix, u, 4)
 				runParallelOps(b, 4, func(id int, rng *rand.Rand) {
-					applyOp(s, gens[id].Next())
+					harness.ApplyOp(s, gens[id].Next())
 				})
 			})
 		}
@@ -484,7 +484,47 @@ func BenchmarkNotifyCostVsPredecessors(b *testing.B) {
 	}
 }
 
+// --- A3: allocation behaviour of the hot paths --------------------------------
+//
+// Steady-state allocs/op and B/op across the three trie variants and the
+// three mixes the a3 trajectory gate tracks (DESIGN.md experiment index).
+// The Predecessor-heavy mix is the acceptance gate: the scratch-arena
+// recovery must hold allocs/op far below the per-call-map baseline recorded
+// in BENCH_allocs.json.
+func BenchmarkPredMixes(b *testing.B) {
+	const u = int64(1 << 16)
+	impls := []struct {
+		name string
+		mk   func() harness.Set
+	}{
+		{"core", func() harness.Set { return mustCore(u) }},
+		{"relaxed", func() harness.Set { return harness.Collapse(mustRelaxed(u)) }},
+		{"sharded-16", func() harness.Set { return mustSharded(u, 16) }},
+	}
+	for _, impl := range impls {
+		for _, m := range workload.BenchMixes {
+			b.Run(impl.name+"/"+m.Name, func(b *testing.B) {
+				s := impl.mk()
+				prefillEvery(s, u, 8)
+				gens := makeGens(b, m.Mix, u, 4)
+				b.ReportAllocs()
+				runParallelOps(b, 4, func(id int, rng *rand.Rand) {
+					harness.ApplyOp(s, gens[id].Next())
+				})
+			})
+		}
+	}
+}
+
 // --- shared helpers -----------------------------------------------------------
+
+func mustRelaxed(u int64) *relaxed.Trie {
+	tr, err := relaxed.New(u)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
 
 func mustCore(u int64) *core.Trie {
 	tr, err := core.New(u)
@@ -554,19 +594,6 @@ func makeGens(b *testing.B, mix workload.Mix, u int64, workers int) []*workload.
 		gens[i] = g
 	}
 	return gens
-}
-
-func applyOp(s harness.Set, op workload.Op) {
-	switch op.Kind {
-	case workload.OpInsert:
-		s.Insert(op.Key)
-	case workload.OpDelete:
-		s.Delete(op.Key)
-	case workload.OpSearch:
-		s.Search(op.Key)
-	case workload.OpPredecessor:
-		s.Predecessor(op.Key)
-	}
 }
 
 // runParallelOps distributes b.N operations over `workers` goroutines, each

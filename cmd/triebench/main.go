@@ -36,31 +36,36 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,s1, or all (the paper-claim sweeps c1–a2; s1 runs only when named, since it raises -ops/-workers to its measurement floors and rewrites the -json artifact)")
+		experiment = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1, or all (the paper-claim sweeps c1–a2; s1 and a3 run only when named, since they rewrite their recorded trajectory artifacts)")
 		ops        = flag.Int("ops", 100000, "operations per measurement")
 		workers    = flag.Int("workers", 4, "default worker count")
 		seed       = flag.Int64("seed", 1, "workload seed")
-		shards     = flag.Int("shards", 16, "high shard count for the s1 sharding sweep")
+		shards     = flag.Int("shards", 16, "high shard count for the s1 sharding sweep and the a3 sharded variant")
 		jsonPath   = flag.String("json", "BENCH_shards.json", "s1 trajectory output path (empty disables)")
+		allocsPath = flag.String("allocsjson", "BENCH_allocs.json", "a3 trajectory output path (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath); err != nil {
+	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath, *allocsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "triebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, ops, workers int, seed int64, shards int, jsonPath string) error {
+func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, allocsPath string) error {
 	runners := map[string]func(int, int, int64) error{
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5,
 		"c6": expC6, "c7": expC7, "a1": expA1, "a2": expA2,
 		"s1": func(ops, workers int, seed int64) error {
 			return expS1(ops, workers, seed, shards, jsonPath)
 		},
+		"a3": func(ops, workers int, seed int64) error {
+			return expA3(ops, workers, seed, shards, allocsPath)
+		},
 	}
-	// "all" covers the paper-claim sweeps; s1 is opt-in because it enforces
-	// its own ops/workers floors (minutes, not seconds) and overwrites the
-	// recorded BENCH_shards.json trajectory point.
+	// "all" covers the paper-claim sweeps; s1 and a3 are opt-in because
+	// they overwrite the recorded BENCH_shards.json / BENCH_allocs.json
+	// trajectory points (and s1 enforces its own ops/workers floors —
+	// minutes, not seconds).
 	if experiment == "all" {
 		for _, id := range []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7", "a1", "a2"} {
 			if err := runners[id](ops, workers, seed); err != nil {
@@ -629,5 +634,181 @@ func expA2(ops, _ int, seed int64) error {
 		tab.AddRow(parked, float64(elapsed.Nanoseconds())/float64(ops))
 	}
 	fmt.Println(tab)
+	return nil
+}
+
+// --- A3: allocation behaviour of the hot paths --------------------------------
+
+// a3BaselineAllocs / a3BaselineBytes record the pre-arena steady state —
+// measured with `go test -bench=BenchmarkPredMixes -benchmem` at the PR-1
+// tree (commit 0ff536f, per-call maps in the ⊥ recovery, heap-allocated
+// announcement refs) — so every later trajectory point carries the number
+// the ≥70% predecessor-mix reduction gate is judged against.
+var a3BaselineAllocs = map[string]float64{
+	"core/pred-heavy": 11, "core/update-heavy": 17, "core/uniform": 10,
+	"relaxed/pred-heavy": 0, "relaxed/update-heavy": 0, "relaxed/uniform": 0,
+	"sharded/pred-heavy": 9, "sharded/update-heavy": 12, "sharded/uniform": 8,
+}
+
+var a3BaselineBytes = map[string]float64{
+	"core/pred-heavy": 221, "core/update-heavy": 411, "core/uniform": 241,
+	"relaxed/pred-heavy": 12, "relaxed/update-heavy": 53, "relaxed/uniform": 27,
+	"sharded/pred-heavy": 181, "sharded/update-heavy": 281, "sharded/uniform": 186,
+}
+
+// a3Point is one (impl, mix) steady-state measurement.
+type a3Point struct {
+	Impl           string  `json:"impl"`
+	Mix            string  `json:"mix"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	BaselineAllocs float64 `json:"baseline_allocs_per_op"`
+	BaselineBytes  float64 `json:"baseline_bytes_per_op"`
+	ReductionPct   float64 `json:"allocs_reduction_pct"`
+}
+
+// a3Report is the BENCH_allocs.json trajectory point.
+type a3Report struct {
+	Experiment string    `json:"experiment"`
+	Timestamp  string    `json:"timestamp"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	Universe   int64     `json:"universe"`
+	Goroutines int       `json:"goroutines"`
+	Ops        int       `json:"ops"`
+	Shards     int       `json:"shards"`
+	Baseline   string    `json:"baseline"`
+	Points     []a3Point `json:"points"`
+	// GateReductionPct is the core/pred-heavy allocs/op reduction the
+	// acceptance gate tracks (≥ 70).
+	GateReductionPct float64 `json:"gate_core_pred_heavy_reduction_pct"`
+}
+
+// expA3: steady-state allocs/op and B/op across the three trie variants and
+// three operation mixes, measured from runtime.MemStats deltas around a
+// fixed op budget. A warm-up phase populates the scratch-arena pools and the
+// lazily materialized latest-list dummies first, so the measurement sees the
+// steady state the allocation-free-hot-paths work targets, not construction
+// cost. Writes the BENCH_allocs.json trajectory point unless -allocsjson is
+// empty; the recorded pre-arena baseline rides along in every point so the
+// ≥70% predecessor-mix reduction gate stays machine-checkable.
+func expA3(ops, workers int, seed int64, highShards int, jsonPath string) error {
+	const u = int64(1 << 16)
+	if workers < 1 {
+		workers = 1
+	}
+	if ops < workers*100 {
+		fmt.Printf("a3: raising -ops to %d (at least 100 per goroutine, so per-op averages mean something)\n", workers*100)
+		ops = workers * 100
+	}
+	fmt.Printf("== A3: steady-state allocations per operation (%d goroutines) ==\n", workers)
+	impls := []struct {
+		name string
+		mk   func() (harness.Set, error)
+	}{
+		{"core", func() (harness.Set, error) { return core.New(u) }},
+		{"relaxed", func() (harness.Set, error) {
+			tr, err := relaxed.New(u)
+			if err != nil {
+				return nil, err
+			}
+			return harness.Collapse(tr), nil
+		}},
+		{"sharded", func() (harness.Set, error) { return sharded.New(u, highShards) }},
+	}
+	report := a3Report{
+		Experiment: "a3-allocs",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Universe:   u,
+		Goroutines: workers,
+		Ops:        ops,
+		Shards:     highShards,
+		Baseline:   "pre-arena PR-1 tree (commit 0ff536f), go test -bench=BenchmarkPredMixes -benchmem",
+	}
+	tab := harness.NewTable("impl", "mix", "allocs/op", "B/op", "ns/op", "baseline allocs/op", "reduction %")
+	for _, impl := range impls {
+		for _, m := range workload.BenchMixes {
+			s, err := impl.mk()
+			if err != nil {
+				return err
+			}
+			for k := int64(0); k < u; k += 8 {
+				s.Insert(k)
+			}
+			gens := make([]*workload.Generator, workers)
+			for i := range gens {
+				g, err := workload.NewGenerator(m.Mix, workload.Uniform{U: u}, seed+int64(i))
+				if err != nil {
+					return err
+				}
+				gens[i] = g
+			}
+			runOps := func(n int) time.Duration {
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						<-start
+						g := gens[id]
+						for i := 0; i < n/workers; i++ {
+							harness.ApplyOp(s, g.Next())
+						}
+					}(w)
+				}
+				// Workers are parked on the barrier; the clock starts when
+				// they are released, so spawn cost stays out of ns/op.
+				t0 := time.Now()
+				close(start)
+				wg.Wait()
+				return time.Since(t0)
+			}
+			// Warm up pools and dummies, settle the heap, then re-warm the
+			// pools (a GC cycles sync.Pool through its victim cache).
+			runOps(ops / 2)
+			runtime.GC()
+			runOps(ops / 10)
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			elapsed := runOps(ops)
+			runtime.ReadMemStats(&m1)
+			n := float64(ops / workers * workers)
+			key := impl.name + "/" + m.Name
+			p := a3Point{
+				Impl:           impl.name,
+				Mix:            m.Name,
+				AllocsPerOp:    float64(m1.Mallocs-m0.Mallocs) / n,
+				BytesPerOp:     float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+				NsPerOp:        float64(elapsed.Nanoseconds()) / n,
+				BaselineAllocs: a3BaselineAllocs[key],
+				BaselineBytes:  a3BaselineBytes[key],
+			}
+			if p.BaselineAllocs > 0 {
+				p.ReductionPct = 100 * (1 - p.AllocsPerOp/p.BaselineAllocs)
+			}
+			if key == "core/pred-heavy" {
+				report.GateReductionPct = p.ReductionPct
+			}
+			report.Points = append(report.Points, p)
+			tab.AddRow(impl.name, m.Name, p.AllocsPerOp, p.BytesPerOp, p.NsPerOp,
+				p.BaselineAllocs, p.ReductionPct)
+		}
+	}
+	fmt.Println(tab)
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
 	return nil
 }

@@ -8,6 +8,30 @@
 // because a helper may re-insert an update node after its owner already
 // removed it (paper lines 135–136, HelpActivate); Remove therefore unlinks
 // every cell that carries the given update node.
+//
+// # Allocation discipline
+//
+// The hot paths run one heap allocation per Insert (the Cell itself) and
+// zero per Remove in the common case. Every successor reference a cell's
+// lifecycle publishes — the initial reference, the reference that links it
+// into its predecessor, the marked reference that logically deletes it and
+// the reference that physically unlinks it — is embedded in the Cell and
+// written only while it is still private to a single writer:
+//
+//   - selfRef and linkRef are written by the inserting goroutine before the
+//     linking CAS publishes the cell (a failed CAS publishes nothing, so
+//     rewriting them across retries is single-threaded by construction);
+//   - markRef and unlinkRef may be contended (owner and helpers race to
+//     remove the same cell, concurrent searches race to unlink it), so they
+//     are guarded by one-shot claim flags: the claim winner is the unique
+//     writer and publishes the ref at most once; losers fall back to a heap
+//     allocation. A claimed ref whose CAS fails is abandoned (never
+//     published), preserving the single-writer rule.
+//
+// Embedded refs are never recycled: once published their identity is a CAS
+// witness exactly like a heap-allocated ref's, and Go's GC reclaims them
+// with the cell. See DESIGN.md §Memory & reclamation for why the cells
+// themselves are left to the GC rather than pooled.
 package alist
 
 import (
@@ -34,11 +58,57 @@ type Cell struct {
 	Upd *unode.UpdateNode
 
 	next atomic.Pointer[ref]
+
+	// selfRef is the cell's initial successor reference, written by the
+	// inserting goroutine while the cell is still private (see the package
+	// comment's allocation discipline).
+	selfRef ref
+	// linkRef is the reference that links this cell into its predecessor
+	// ({next: this cell}); its content is constant.
+	linkRef ref
+	// markRef is the marked reference that logically deletes this cell;
+	// written only by the winner of markClaim.
+	markRef   ref
+	markClaim atomic.Bool
+	// unlinkRef is the reference that physically unlinks this cell from its
+	// predecessor; written only by the winner of unlinkClaim.
+	unlinkRef   ref
+	unlinkClaim atomic.Bool
+
+	// res is the interned resolved position cell for Pos slots (val ==
+	// this cell); see pos.go.
+	res posCell
 }
 
 type ref struct {
 	next   *Cell
 	marked bool
+}
+
+// intern initializes the cell's self-referential interned fields. Called
+// once, before the cell is shared.
+func (c *Cell) intern() {
+	c.linkRef.next = c
+	c.res.val = c
+}
+
+// claimMarkRef returns the embedded marked ref if this caller is the first
+// to claim it, or a fresh allocation otherwise.
+func (c *Cell) claimMarkRef() *ref {
+	if c.markClaim.CompareAndSwap(false, true) {
+		c.markRef.marked = true
+		return &c.markRef
+	}
+	return &ref{marked: true}
+}
+
+// claimUnlinkRef returns the embedded unlink ref if this caller is the first
+// to claim it, or a fresh allocation otherwise.
+func (c *Cell) claimUnlinkRef() *ref {
+	if c.unlinkClaim.CompareAndSwap(false, true) {
+		return &c.unlinkRef
+	}
+	return &ref{}
 }
 
 // Next returns the successor cell, whether or not this cell is marked. The
@@ -80,7 +150,10 @@ func New(descending bool) *List {
 		tail:       &Cell{Key: tailKey},
 		descending: descending,
 	}
-	l.head.next.Store(&ref{next: l.tail})
+	l.head.intern()
+	l.tail.intern()
+	l.head.selfRef.next = l.tail
+	l.head.next.Store(&l.head.selfRef)
 	return l
 }
 
@@ -111,8 +184,11 @@ retry:
 			curRef := cur.next.Load()
 			for curRef != nil && curRef.marked {
 				// Unlink the marked cell. On failure the neighborhood
-				// changed; restart.
-				if !pred.next.CompareAndSwap(predRef, &ref{next: curRef.next}) {
+				// changed; restart. The unlink ref comes from the cell's
+				// one-shot claim when possible (see package comment).
+				ur := cur.claimUnlinkRef()
+				ur.next = curRef.next
+				if !pred.next.CompareAndSwap(predRef, ur) {
 					continue retry
 				}
 				predRef = pred.next.Load()
@@ -133,16 +209,20 @@ retry:
 
 // Insert adds a new cell for u (key u.Key) after all cells with equal key
 // and returns the cell. Duplicate cells for the same update node are
-// permitted (helper re-insertion).
+// permitted (helper re-insertion). One heap allocation: the cell; its
+// successor references are embedded and written only while the cell is
+// private (a failed linking CAS publishes nothing).
 func (l *List) Insert(u *unode.UpdateNode) *Cell {
 	cell := &Cell{Key: u.Key, Upd: u}
+	cell.intern()
 	for {
 		pred, predRef, succ := l.search(u.Key)
 		if predRef.marked || predRef.next != succ {
 			continue
 		}
-		cell.next.Store(&ref{next: succ})
-		if pred.next.CompareAndSwap(predRef, &ref{next: cell}) {
+		cell.selfRef.next = succ
+		cell.next.Store(&cell.selfRef)
+		if pred.next.CompareAndSwap(predRef, &cell.linkRef) {
 			return cell
 		}
 	}
@@ -158,12 +238,17 @@ func (l *List) Remove(u *unode.UpdateNode) int {
 		if cell == nil {
 			return removed
 		}
+		var mr *ref
 		for {
 			r := cell.next.Load()
 			if r.marked {
 				break // someone else marked it; look for another cell
 			}
-			if cell.next.CompareAndSwap(r, &ref{next: r.next, marked: true}) {
+			if mr == nil {
+				mr = cell.claimMarkRef()
+			}
+			mr.next = r.next
+			if cell.next.CompareAndSwap(r, mr) {
 				removed++
 				break
 			}

@@ -1,0 +1,110 @@
+// Pos is the single-writer multi-reader atomic-copy slot the paper's RU-ALL
+// traversal publishes its position through (§5.2: "Each time pOp reads a
+// pointer to the next node in the RU-ALL, pOp atomically copies this pointer
+// into pNode.RuallPosition"). It implements the same copy-descriptor helping
+// protocol as the generic internal/atomicx.Slot — that package remains the
+// documented reference implementation — but specialized to *Cell so the hot
+// path allocates one descriptor per copy instead of three objects:
+//
+//   - the source is stored as a plain *Cell field instead of a read closure
+//     (a method value would allocate per step);
+//   - resolved cells are interned: every Cell carries its own immutable
+//     posCell{val: itself}, installed by whichever process wins the resolve
+//     CAS. Interning is safe because resolved cells are only ever the NEW
+//     value of a CAS — the old value is always a freshly allocated
+//     descriptor, whose unique identity is the protocol's ABA guard.
+//
+// Between posting a descriptor and its resolution no process can observe a
+// stale position — every reader helps resolve first — so the copy linearizes
+// at the source read performed by the winning resolver (paper Figure 8 shows
+// the interleaving this prevents).
+package alist
+
+import "sync/atomic"
+
+// posCell is either a resolved position (src == nil) or a pending copy
+// descriptor (src != nil). Descriptors are freshly allocated per copy and
+// never reused, so pointer identity is a safe CAS witness; resolved cells
+// are immutable and may be shared by any number of slots.
+type posCell struct {
+	val *Cell // resolved position
+	src *Cell // descriptor: the cell whose successor is being copied
+}
+
+// nilPos is the shared resolved cell for a nil position (severed tail).
+var nilPos = &posCell{}
+
+// resolvedPos returns the interned resolved cell for position c.
+func resolvedPos(c *Cell) *posCell {
+	if c == nil {
+		return nilPos
+	}
+	return &c.res
+}
+
+// Pos is a single-writer multi-reader slot holding a *Cell. The zero value
+// reads as nil; the owner must Init before sharing. Only the owner may call
+// Init and CopyNext; any goroutine may call Read.
+type Pos struct {
+	cell atomic.Pointer[posCell]
+}
+
+// Init publishes c as the slot's value. Owner only; allocation-free (the
+// interned resolved cell is installed directly).
+func (p *Pos) Init(c *Cell) {
+	p.cell.Store(resolvedPos(c))
+}
+
+// Read returns the current position, helping resolve an in-flight CopyNext
+// if one is posted. It never returns a position older than the latest
+// completed Init or CopyNext.
+func (p *Pos) Read() *Cell {
+	c := p.cell.Load()
+	if c == nil {
+		return nil // zero-value slot
+	}
+	if c.src == nil {
+		return c.val
+	}
+	return p.resolve(c)
+}
+
+// CopyNext atomically performs *p = src.Next(): the read of the successor
+// and the write to the slot appear to happen at a single instant. Owner
+// only. One allocation (the descriptor).
+func (p *Pos) CopyNext(src *Cell) *Cell {
+	d := &posCell{src: src}
+	// The owner is the only writer and its previous copy resolved before
+	// returning, so the current cell is resolved and a plain store suffices
+	// to post the descriptor.
+	p.cell.Store(d)
+	return p.resolve(d)
+}
+
+// resolve completes descriptor d: the first successful CAS installs the
+// position obtained by the winner's source read, which is the copy's
+// linearization point. Losers return the winner's (or a newer) value.
+func (p *Pos) resolve(d *posCell) *Cell {
+	v := d.src.Next()
+	if p.cell.CompareAndSwap(d, resolvedPos(v)) {
+		return v
+	}
+	// Another helper resolved d first (or the owner already moved on to a
+	// newer descriptor). Re-read; the cell now reflects a state at least as
+	// new as d's resolution.
+	c := p.cell.Load()
+	for c != nil && c.src != nil {
+		// A newer descriptor was posted after d resolved; helping it is
+		// equally correct, and the owner posts at most one descriptor at a
+		// time, so each iteration makes system-wide progress.
+		v2 := c.src.Next()
+		if p.cell.CompareAndSwap(c, resolvedPos(v2)) {
+			return v2
+		}
+		c = p.cell.Load()
+	}
+	if c == nil {
+		return nil
+	}
+	return c.val
+}

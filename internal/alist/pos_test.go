@@ -1,0 +1,139 @@
+package alist
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/unode"
+)
+
+// TestPosCopyAdvances drives Pos through a full RU-ALL-style traversal:
+// head → cells → tail, checking Read always agrees with the last copy.
+func TestPosCopyAdvances(t *testing.T) {
+	l := New(true) // descending, like the RU-ALL
+	for _, k := range []int64{3, 7, 5} {
+		l.Insert(unode.NewIns(k))
+	}
+	var p Pos
+	p.Init(l.Head())
+	if got := p.Read(); got != l.Head() {
+		t.Fatalf("initial Read = %v, want head", got)
+	}
+	want := []int64{7, 5, 3, KeyNegInf}
+	cur := l.Head()
+	for _, k := range want {
+		cur = p.CopyNext(cur)
+		if cur == nil || cur.Key != k {
+			t.Fatalf("CopyNext advanced to %v, want key %d", cur, k)
+		}
+		if got := p.Read(); got != cur {
+			t.Fatalf("Read = %v after copy, want %v", got, cur)
+		}
+	}
+}
+
+// TestPosZeroValueReadsNil documents the defensive nil of an uninitialized
+// slot (core treats it as +∞ / not yet traversing).
+func TestPosZeroValueReadsNil(t *testing.T) {
+	var p Pos
+	if got := p.Read(); got != nil {
+		t.Fatalf("zero-value Read = %v, want nil", got)
+	}
+}
+
+// TestPosConcurrentReaders races many readers against an owner advancing
+// through a list. Under -race this exercises the descriptor-helping
+// protocol; the assertion is that every reader observes positions in
+// owner order (monotonically non-increasing keys), i.e. never a stale
+// position from before a completed copy.
+func TestPosConcurrentReaders(t *testing.T) {
+	l := New(true)
+	const n = 200
+	for i := int64(0); i < n; i++ {
+		l.Insert(unode.NewIns(i))
+	}
+	var p Pos
+	p.Init(l.Head())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := KeyPosInf
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := p.Read()
+				if c == nil {
+					t.Error("Read returned nil mid-traversal")
+					return
+				}
+				if c.Key > last {
+					t.Errorf("position went backwards: %d after %d", c.Key, last)
+					return
+				}
+				last = c.Key
+			}
+		}()
+	}
+	cur := l.Head()
+	for cur != nil && cur.Key != KeyNegInf {
+		cur = p.CopyNext(cur)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestInsertRemoveChurnReusesEmbeddedRefs cycles insert/remove and checks
+// the list stays structurally sound — the embedded selfRef/linkRef/markRef/
+// unlinkRef lifecycle must behave exactly like freshly allocated refs.
+func TestInsertRemoveChurnReusesEmbeddedRefs(t *testing.T) {
+	l := New(false)
+	for i := 0; i < 1000; i++ {
+		u := unode.NewIns(int64(i % 7))
+		l.Insert(u)
+		if !l.Contains(u) {
+			t.Fatalf("cycle %d: inserted node missing", i)
+		}
+		if got := l.Remove(u); got != 1 {
+			t.Fatalf("cycle %d: Remove = %d, want 1", i, got)
+		}
+		if l.Len() != 0 {
+			t.Fatalf("cycle %d: Len = %d, want 0", i, l.Len())
+		}
+	}
+}
+
+// TestConcurrentRemoveDuplicateCells races two removers of duplicate cells
+// for one update node (the helper re-insertion shape): the mark claims must
+// hand out each embedded ref at most once, and every cell must end up
+// removed exactly once in total.
+func TestConcurrentRemoveDuplicateCells(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		l := New(false)
+		u := unode.NewIns(5)
+		l.Insert(u)
+		l.Insert(u) // duplicate cell, as a helper would leave
+		var wg sync.WaitGroup
+		total := make([]int, 2)
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				total[g] = l.Remove(u)
+			}(g)
+		}
+		wg.Wait()
+		if got := total[0] + total[1]; got != 2 {
+			t.Fatalf("iter %d: combined removals = %d, want 2", iter, got)
+		}
+		if l.Len() != 0 || l.Contains(u) {
+			t.Fatalf("iter %d: node still present after concurrent removes", iter)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package atomicx
+
+import "sync/atomic"
+
+// CacheLine is the assumed coherence-granule size. 64 bytes covers x86-64
+// and recent arm64; adjacent-line prefetcher effects are handled where they
+// matter (the sharded layer's 128-byte shard stride) rather than here.
+const CacheLine = 64
+
+// PadInt64 is an atomic.Int64 padded so that consecutive PadInt64 fields in
+// a struct fall on distinct cache lines. Hot counters that are written by
+// many goroutines (operation stats, occupancy counts) would otherwise
+// false-share: one writer's increment invalidates every other counter on
+// the same line, and the coherence traffic — not the counting — becomes the
+// cost. Align the containing struct's padded fields first (Go guarantees
+// 8-byte alignment of the embedded Int64; the pad only separates fields, it
+// does not force line alignment of the first one).
+type PadInt64 struct {
+	atomic.Int64
+	_ [CacheLine - 8]byte
+}

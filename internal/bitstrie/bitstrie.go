@@ -20,6 +20,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"repro/internal/atomicx"
 	"repro/internal/unode"
 )
 
@@ -35,23 +36,25 @@ type Oracle interface {
 }
 
 // Stats carries optional step counters for the complexity experiments
-// (EXPERIMENTS.md C3, A1). All fields are atomic; a nil *Stats disables
+// (EXPERIMENTS.md C3, A1). All fields are atomic and padded to distinct
+// cache lines (see atomicx.PadInt64: unpadded neighbours would false-share
+// under the very contention the experiments measure); a nil *Stats disables
 // collection.
 type Stats struct {
 	// BitReads counts InterpretedBit evaluations.
-	BitReads atomic.Int64
+	BitReads atomicx.PadInt64
 	// CASAttempts / CASFailures count dNodePtr CAS operations in
 	// DeleteBinaryTrie.
-	CASAttempts atomic.Int64
-	CASFailures atomic.Int64
+	CASAttempts atomicx.PadInt64
+	CASFailures atomicx.PadInt64
 	// SecondCASSuccess counts deletes whose first dNodePtr CAS failed but
 	// whose second succeeded — the situations where the paper's
 	// two-attempt rule (lines 66–70) rescued the delete.
-	SecondCASSuccess atomic.Int64
+	SecondCASSuccess atomicx.PadInt64
 	// MinWrites counts lower1Boundary MinWrite operations by inserts.
-	MinWrites atomic.Int64
+	MinWrites atomicx.PadInt64
 	// TraversalSteps counts trie-node visits by RelaxedPredecessor.
-	TraversalSteps atomic.Int64
+	TraversalSteps atomicx.PadInt64
 }
 
 // Trie is the interpreted-bit engine over universe {0,…,U()−1}.

@@ -1,0 +1,277 @@
+// The per-operation scratch arena: every transient slice and table the
+// Predecessor machinery needs — the announcement snapshot Q, the RU-ALL /
+// U-ALL / notify classification lists, and the Definition 5.1 recovery's
+// sets and edge map — lives in one pooled struct instead of per-call
+// map[...]/append allocations, making the steady-state hot paths
+// allocation-free.
+//
+// # ABA safety
+//
+// Arena memory is strictly op-local: it is acquired at the top of an
+// operation, threaded through that operation's helpers, and released before
+// the operation returns. Nothing arena-backed is ever CAS-published or
+// otherwise shared — the lock-free structures only ever see freshly
+// allocated (or embedded, single-writer) objects, so recycling arena memory
+// cannot create the ABA hazard that forbids pooling PredNodes, update nodes
+// and announcement cells (DESIGN.md §Memory & reclamation). release clears
+// every slot before returning the arena to the pool, so no operation can
+// observe — or keep alive — another operation's pointers.
+//
+// # Open-addressing scratch tables
+//
+// The recovery's former map[int64]int64 / map[int64]bool / map[*T]bool
+// instances are linear-probe tables with power-of-two capacity. Pointer keys
+// are hashed through their node's int64 key (mixed), not their address —
+// this avoids unsafe pointer-to-integer conversion; same-key nodes simply
+// probe-collide, and identity is still decided by pointer comparison. Table
+// sizes are bounded by the operation's point contention ċ, so even the
+// worst case (all entries one key) stays within the paper's O(ċ²) amortized
+// bound.
+package core
+
+import (
+	"sync"
+
+	"math"
+
+	"repro/internal/unode"
+)
+
+// mix64 is SplitMix64's finalizer: a cheap invertible mix so that the
+// near-sequential keys a workload produces spread across the table.
+func mix64(x int64) uint64 {
+	z := uint64(x)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// probeSet is a linear-probe identity set over pointer type P. The hash is
+// a caller-supplied int64 (the node's key, mixed) rather than the address —
+// see the file comment; entries store it so growth can rehash. Identity is
+// still decided by pointer comparison.
+type probeSet[P comparable] struct {
+	slots []probeEntry[P]
+	n     int
+}
+
+type probeEntry[P comparable] struct {
+	p   P
+	key int64
+}
+
+func (s *probeSet[P]) grow() {
+	old := s.slots
+	cap2 := 16
+	if len(old) > 0 {
+		cap2 = len(old) * 2
+	}
+	s.slots = make([]probeEntry[P], cap2)
+	s.n = 0
+	var zero P
+	for _, e := range old {
+		if e.p != zero {
+			s.add(e.p, e.key)
+		}
+	}
+}
+
+// add inserts p under the given hash key; duplicates are a no-op.
+func (s *probeSet[P]) add(p P, key int64) {
+	if s.n*4 >= len(s.slots)*3 {
+		s.grow()
+	}
+	var zero P
+	mask := uint64(len(s.slots) - 1)
+	for i := mix64(key) & mask; ; i = (i + 1) & mask {
+		switch s.slots[i].p {
+		case zero:
+			s.slots[i] = probeEntry[P]{p: p, key: key}
+			s.n++
+			return
+		case p:
+			return
+		}
+	}
+}
+
+// has reports membership of p (hashed by key).
+func (s *probeSet[P]) has(p P, key int64) bool {
+	if s.n == 0 {
+		return false
+	}
+	var zero P
+	mask := uint64(len(s.slots) - 1)
+	for i := mix64(key) & mask; ; i = (i + 1) & mask {
+		switch s.slots[i].p {
+		case zero:
+			return false
+		case p:
+			return true
+		}
+	}
+}
+
+func (s *probeSet[P]) reset() {
+	if s.n == 0 {
+		return // empty implies all slots are already zero
+	}
+	clear(s.slots)
+	s.n = 0
+}
+
+// keyEmpty marks an unused keyTable slot. Safe as a sentinel: table keys are
+// set keys (∈ U, ≥ 0) or embedded-predecessor results (∈ U ∪ {−1}), never
+// MinInt64 (which unode reserves for the distinct NoKey placeholder).
+const keyEmpty int64 = math.MinInt64
+
+type keyEntry struct {
+	key, val int64
+}
+
+// keyTable is a linear-probe int64→int64 map (also used as a set with the
+// value ignored).
+type keyTable struct {
+	slots []keyEntry
+	n     int
+}
+
+func (t *keyTable) grow() {
+	old := t.slots
+	cap2 := 16
+	if len(old) > 0 {
+		cap2 = len(old) * 2
+	}
+	t.slots = make([]keyEntry, cap2)
+	for i := range t.slots {
+		t.slots[i].key = keyEmpty
+	}
+	t.n = 0
+	for _, e := range old {
+		if e.key != keyEmpty {
+			t.put(e.key, e.val)
+		}
+	}
+}
+
+// put sets k → v, overwriting any previous value.
+func (t *keyTable) put(k, v int64) {
+	if t.n*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := mix64(k) & mask; ; i = (i + 1) & mask {
+		switch t.slots[i].key {
+		case keyEmpty:
+			t.slots[i] = keyEntry{key: k, val: v}
+			t.n++
+			return
+		case k:
+			t.slots[i].val = v
+			return
+		}
+	}
+}
+
+// get returns the value for k and whether it is present.
+func (t *keyTable) get(k int64) (int64, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := mix64(k) & mask; ; i = (i + 1) & mask {
+		switch t.slots[i].key {
+		case keyEmpty:
+			return 0, false
+		case k:
+			return t.slots[i].val, true
+		}
+	}
+}
+
+func (t *keyTable) has(k int64) bool {
+	_, ok := t.get(k)
+	return ok
+}
+
+func (t *keyTable) reset() {
+	if t.n == 0 {
+		return // empty implies every slot already reads keyEmpty
+	}
+	for i := range t.slots {
+		t.slots[i] = keyEntry{key: keyEmpty}
+	}
+	t.n = 0
+}
+
+// arena is the per-operation scratch state. Acquire with getArena, release
+// with release; never publish anything arena-backed (see the file comment's
+// safety argument).
+type arena struct {
+	// q is the P-ALL announcement snapshot (paper's Q, newest→oldest).
+	q []*PredNode
+	// RU-ALL / U-ALL traversal classifications (paper lines 215–217).
+	iruall, druall []*unode.UpdateNode
+	iuall, duall   []*unode.UpdateNode
+	// Notification classifications (lines 218–227).
+	inotify, dnotify []*unode.UpdateNode
+	// Definition 5.1 recovery lists L1, L2 and L (lines 231–243).
+	l1, l2, l []*unode.UpdateNode
+	// notified dedups collectNotifiedUpdates; removed and l2seen implement
+	// lines 239–240.
+	notified, removed, l2seen probeSet[*unode.UpdateNode]
+	// preds holds the first-embedded-predecessor announcements of Druall's
+	// deletes (line 232).
+	preds probeSet[*PredNode]
+	// lastIdx, edge, deleted and start back dropSupersededDels and the
+	// Definition 5.1 chain chase; startKeys keeps X iterable without a table
+	// scan.
+	lastIdx, edge, deleted, start keyTable
+	startKeys                     []int64
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// getArena returns a cleared arena from the shared pool.
+func getArena() *arena {
+	return arenaPool.Get().(*arena)
+}
+
+// release clears the arena — dropping every pointer it accumulated, so no
+// scratch state can leak into (or be kept alive by) a later operation — and
+// returns it to the pool. Slice capacities and table backing arrays are
+// retained; only their contents are zeroed, and structures the operation
+// never touched reset in O(1), so an update's notifyPredOps does not pay
+// for recovery tables some past Predecessor grew.
+func (a *arena) release() {
+	clearPreds(&a.q)
+	clearUpds(&a.iruall)
+	clearUpds(&a.druall)
+	clearUpds(&a.iuall)
+	clearUpds(&a.duall)
+	clearUpds(&a.inotify)
+	clearUpds(&a.dnotify)
+	clearUpds(&a.l1)
+	clearUpds(&a.l2)
+	clearUpds(&a.l)
+	a.notified.reset()
+	a.removed.reset()
+	a.l2seen.reset()
+	a.preds.reset()
+	a.lastIdx.reset()
+	a.edge.reset()
+	a.deleted.reset()
+	a.start.reset()
+	a.startKeys = a.startKeys[:0]
+	arenaPool.Put(a)
+}
+
+func clearUpds(s *[]*unode.UpdateNode) {
+	clear(*s)
+	*s = (*s)[:0]
+}
+
+func clearPreds(s *[]*PredNode) {
+	clear(*s)
+	*s = (*s)[:0]
+}

@@ -25,25 +25,29 @@ import (
 	"sync/atomic"
 
 	"repro/internal/alist"
+	"repro/internal/atomicx"
 	"repro/internal/bitstrie"
 	"repro/internal/unode"
 )
 
 // Stats carries optional counters for the complexity experiments. A nil
 // *Stats disables collection. Engine-level counters live in
-// bitstrie.Stats, attachable via Bits().SetStats.
+// bitstrie.Stats, attachable via Bits().SetStats. Each counter is padded to
+// its own cache line: the counters are bumped from every goroutine's hot
+// path, and unpadded neighbours would false-share — enabling stats would
+// then distort the very contention behaviour the experiments measure.
 type Stats struct {
 	// Notifications counts notify nodes successfully added to notify lists.
-	Notifications atomic.Int64
+	Notifications atomicx.PadInt64
 	// BottomCases counts Predecessor operations whose relaxed-trie
 	// traversal returned ⊥ and that ran the Definition 5.1 recovery.
-	BottomCases atomic.Int64
+	BottomCases atomicx.PadInt64
 	// HelpActivations counts HelpActivate calls that found inactive nodes.
-	HelpActivations atomic.Int64
+	HelpActivations atomicx.PadInt64
 	// UallTraversalSteps counts cells visited in U-ALL traversals.
-	UallTraversalSteps atomic.Int64
+	UallTraversalSteps atomicx.PadInt64
 	// RuallTraversalSteps counts cells visited in RU-ALL traversals.
-	RuallTraversalSteps atomic.Int64
+	RuallTraversalSteps atomicx.PadInt64
 }
 
 // Trie is the lock-free linearizable binary trie. Create with New; the zero
@@ -57,6 +61,13 @@ type Trie struct {
 	ruall  *alist.List // descending reverse update announcement list
 	pall   pall        // predecessor announcement list
 	stats  *Stats
+	// count is the occupancy counter behind Len: incremented by the winning
+	// Insert and decremented by the winning Delete, each after its
+	// linearization point. Padded on BOTH sides — the leading pad keeps the
+	// write-hot counter off the cache line of the header fields every
+	// operation reads, PadInt64's trailing pad covers the other side.
+	_     [atomicx.CacheLine]byte
+	count atomicx.PadInt64
 }
 
 // New returns an empty lock-free binary trie over {0,…,u−1} (u ≥ 2, padded
@@ -89,6 +100,13 @@ func (t *Trie) Bits() *bitstrie.Trie { return t.bits }
 // SetStats attaches operation counters (nil disables). Not safe to call
 // concurrently with operations.
 func (t *Trie) SetStats(s *Stats) { t.stats = s }
+
+// Len returns the number of keys in the set, counted from the win-reporting
+// updates (O(1)). Weakly consistent: updates bump the counter shortly after
+// their linearization point, so a reader racing with updates may see a
+// count that is off by the number of in-flight operations; at quiescence it
+// is exact.
+func (t *Trie) Len() int64 { return t.count.Load() }
 
 // AnnouncedUpdates returns the current U-ALL occupancy (metrics; O(n)).
 func (t *Trie) AnnouncedUpdates() int { return t.uall.Len() }
@@ -150,11 +168,12 @@ func (t *Trie) Add(x int64) bool {
 	t.uall.Insert(iNode) // line 173
 	t.ruall.Insert(iNode)
 	iNode.Status.Store(unode.StatusActive) // line 174: linearization point
-	iNode.LatestNext.Store(nil)            // line 175
-	t.bits.InsertBinaryTrie(iNode)         // line 176
-	t.notifyPredOps(iNode)                 // line 177
-	iNode.Completed.Store(true)            // line 178
-	t.uall.Remove(iNode)                   // line 179
+	t.count.Add(1)
+	iNode.LatestNext.Store(nil)    // line 175
+	t.bits.InsertBinaryTrie(iNode) // line 176
+	t.notifyPredOps(iNode)         // line 177
+	iNode.Completed.Store(true)    // line 178
+	t.uall.Remove(iNode)           // line 179
 	t.ruall.Remove(iNode)
 	return true
 }
@@ -189,6 +208,7 @@ func (t *Trie) Remove(x int64) bool {
 	t.uall.Insert(dNode) // line 196
 	t.ruall.Insert(dNode)
 	dNode.Status.Store(unode.StatusActive) // line 197: linearization point
+	t.count.Add(-1)
 	// Line 198: stop the Delete whose DEL node the replaced Insert was
 	// attacking; that Insert's MinWrite will not arrive on our behalf.
 	if tg := iNode.Target.Load(); tg != nil {

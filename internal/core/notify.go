@@ -7,10 +7,11 @@ import (
 
 // traverseUall collects the update nodes with key < x that are announced in
 // the U-ALL and currently first activated in their latest lists (paper
-// lines 137–145). INS nodes land in ins, DEL nodes in del. Keys of ins are
-// in S at some configuration during the traversal, keys of del are absent
-// at some configuration (Lemma 5.16).
-func (t *Trie) traverseUall(x int64) (ins, del []*unode.UpdateNode) {
+// lines 137–145). INS nodes are appended to a.iuall, DEL nodes to a.duall —
+// arena-backed scratch, valid until a.release. Keys of ins are in S at some
+// configuration during the traversal, keys of del are absent at some
+// configuration (Lemma 5.16).
+func (t *Trie) traverseUall(x int64, a *arena) (ins, del []*unode.UpdateNode) {
 	for c := t.uall.Head().Next(); c != nil && c.Key < x; c = c.Next() {
 		if t.stats != nil {
 			t.stats.UallTraversalSteps.Add(1)
@@ -21,13 +22,13 @@ func (t *Trie) traverseUall(x int64) (ins, del []*unode.UpdateNode) {
 		}
 		if u.Status.Load() != unode.StatusInactive && t.firstActivated(u) {
 			if u.Kind == unode.Ins {
-				ins = append(ins, u)
+				a.iuall = append(a.iuall, u)
 			} else {
-				del = append(del, u)
+				a.duall = append(a.duall, u)
 			}
 		}
 	}
-	return ins, del
+	return a.iuall, a.duall
 }
 
 // notifyPredOps notifies every announced predecessor operation about uNode
@@ -37,7 +38,9 @@ func (t *Trie) traverseUall(x int64) (ins, del []*unode.UpdateNode) {
 // after the predecessor finished its own U-ALL traversal (Figure 9). It
 // stops as soon as uNode is no longer the first activated node for its key.
 func (t *Trie) notifyPredOps(uNode *unode.UpdateNode) {
-	ins, _ := t.traverseUall(alist.KeyPosInf) // line 147
+	a := getArena()
+	defer a.release()
+	ins, _ := t.traverseUall(alist.KeyPosInf, a) // line 147
 	t.pall.forEach(func(pNode *PredNode) bool {
 		if !t.firstActivated(uNode) { // line 149
 			return false

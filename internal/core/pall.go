@@ -4,7 +4,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/alist"
-	"repro/internal/atomicx"
 	"repro/internal/unode"
 )
 
@@ -12,6 +11,15 @@ import (
 // created per PredHelper instance — standalone Predecessor operations make
 // one, Delete operations make two (their embedded predecessors) that stay
 // announced until the Delete finishes.
+//
+// Like alist.Cell, a PredNode embeds every successor reference its P-ALL
+// lifecycle publishes, so announcing and removing allocate nothing beyond
+// the node itself: selfRef/linkRef are written only while the node is
+// private to the announcing goroutine (a failed CAS publishes nothing);
+// markRef is written only by the owner (pall.remove is owner-only); the
+// contended unlink ref is guarded by a one-shot claim. PredNodes themselves
+// are NOT pooled — see DESIGN.md §Memory & reclamation for the ABA argument
+// (announcement snapshots and DelPredNode links can outlive the operation).
 type PredNode struct {
 	// key is the predecessor operation's input key y (immutable).
 	key int64
@@ -21,16 +29,31 @@ type PredNode struct {
 	// ruallPos publishes the RU-ALL cell this operation is currently
 	// visiting (paper line 108). Written only by the owner via atomic copy;
 	// read by updaters computing notify thresholds.
-	ruallPos atomicx.Slot[alist.Cell]
+	ruallPos alist.Pos
 
 	// next/marked form the P-ALL link (lock-free list with logical
 	// deletion; insertions only at the head).
 	next atomic.Pointer[predRef]
+
+	selfRef     predRef // initial successor ref; written pre-publication
+	linkRef     predRef // {next: this node}; constant content
+	markRef     predRef // owner-written marked ref
+	unlinkRef   predRef // claim-guarded physical-unlink ref
+	unlinkClaim atomic.Bool
 }
 
 type predRef struct {
 	next   *PredNode
 	marked bool
+}
+
+// claimUnlinkRef returns the embedded unlink ref if this caller is the
+// first to claim it, or a fresh allocation otherwise.
+func (p *PredNode) claimUnlinkRef() *predRef {
+	if p.unlinkClaim.CompareAndSwap(false, true) {
+		return &p.unlinkRef
+	}
+	return &predRef{}
 }
 
 // Key returns the announced key (tests and trieviz).
@@ -47,11 +70,13 @@ type notifyNode struct {
 }
 
 // newPredNode builds an announcement for key y with ruallPos pointing at
-// the RU-ALL head sentinel (key +∞), per paper line 108.
+// the RU-ALL head sentinel (key +∞), per paper line 108. One allocation:
+// the node (the position slot interns the head's resolved cell).
 func newPredNode(y int64, ruallHead *alist.Cell) *PredNode {
 	p := &PredNode{key: y}
-	p.ruallPos.Store(ruallHead)
-	p.next.Store(&predRef{})
+	p.ruallPos.Init(ruallHead)
+	p.linkRef.next = p
+	p.next.Store(&p.selfRef)
 	return p
 }
 
@@ -63,29 +88,35 @@ type pall struct {
 }
 
 func (l *pall) init() {
-	l.head.next.Store(&predRef{})
+	l.head.next.Store(&l.head.selfRef)
 }
 
-// insert links n at the head of the list.
+// insert links n at the head of the list. Allocation-free: both published
+// refs are embedded in n and written before the linking CAS publishes them.
 func (l *pall) insert(n *PredNode) {
 	for {
 		r := l.head.next.Load()
-		n.next.Store(&predRef{next: r.next})
-		if l.head.next.CompareAndSwap(r, &predRef{next: n}) {
+		n.selfRef.next = r.next
+		n.next.Store(&n.selfRef)
+		if l.head.next.CompareAndSwap(r, &n.linkRef) {
 			return
 		}
 	}
 }
 
-// remove marks n deleted and physically unlinks marked nodes. Removing a
-// node twice is a harmless no-op.
+// remove marks n deleted and physically unlinks marked nodes. Owner-only
+// (each operation removes exactly its own announcements), which is what
+// makes the embedded markRef single-writer; removing a node twice is a
+// harmless no-op.
 func (l *pall) remove(n *PredNode) {
 	for {
 		r := n.next.Load()
 		if r.marked {
 			break
 		}
-		if n.next.CompareAndSwap(r, &predRef{next: r.next, marked: true}) {
+		n.markRef.next = r.next
+		n.markRef.marked = true
+		if n.next.CompareAndSwap(r, &n.markRef) {
 			break
 		}
 	}
@@ -107,7 +138,9 @@ retry:
 		for cur != nil {
 			curRef := cur.next.Load()
 			if curRef.marked {
-				if !pred.next.CompareAndSwap(predRef0, &predRef{next: curRef.next}) {
+				ur := cur.claimUnlinkRef()
+				ur.next = curRef.next
+				if !pred.next.CompareAndSwap(predRef0, ur) {
 					continue retry
 				}
 				predRef0 = pred.next.Load()
@@ -139,17 +172,17 @@ func (l *pall) forEach(f func(*PredNode) bool) {
 	}
 }
 
-// snapshotAfter returns the announcement nodes following p in list order
-// (newest→oldest), including marked ones — the paper's sequence Q (lines
-// 210–214) prepends them, so "earliest in Q" is the LAST element here.
-func snapshotAfter(p *PredNode) []*PredNode {
-	var q []*PredNode
+// snapshotAfter appends to a.q the announcement nodes following p in list
+// order (newest→oldest), including marked ones — the paper's sequence Q
+// (lines 210–214) prepends them, so "earliest in Q" is the LAST element
+// here. The result is arena-backed scratch: valid only until a.release.
+func snapshotAfter(p *PredNode, a *arena) []*PredNode {
 	r := p.next.Load()
 	for cur := r.next; cur != nil; {
-		q = append(q, cur)
+		a.q = append(a.q, cur)
 		cur = cur.next.Load().next
 	}
-	return q
+	return a.q
 }
 
 // len counts unmarked nodes (metrics; O(n)).

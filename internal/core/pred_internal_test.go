@@ -12,6 +12,20 @@ import (
 // 230–251, Definition 5.1) and its helpers. Randomized stress rarely drives
 // these paths, so each rule gets a crafted scenario here.
 
+// bottomCaseScratch runs bottomCase on a private arena (test convenience).
+func (t *Trie) bottomCaseScratch(pNode *PredNode, q []*PredNode, druall []*unode.UpdateNode, y int64) int64 {
+	a := getArena()
+	defer a.release()
+	return t.bottomCase(pNode, q, druall, y, a)
+}
+
+// dropScratch runs dropSupersededDels on a private arena.
+func dropScratch(l []*unode.UpdateNode) []*unode.UpdateNode {
+	a := getArena()
+	defer a.release()
+	return dropSupersededDels(l, a)
+}
+
 func mustNew(t *testing.T, u int64) *Trie {
 	t.Helper()
 	tr, err := New(u)
@@ -74,7 +88,7 @@ func TestDropSupersededDels(t *testing.T) {
 	i1 := insNode(3)
 	i2 := insNode(7)
 	// Two DELs with key 3: only the later survives; INS nodes always stay.
-	got := dropSupersededDels([]*unode.UpdateNode{d1, i1, d2, i2})
+	got := dropScratch([]*unode.UpdateNode{d1, i1, d2, i2})
 	want := []*unode.UpdateNode{i1, d2, i2}
 	if len(got) != len(want) {
 		t.Fatalf("got %d nodes, want %d", len(got), len(want))
@@ -88,12 +102,12 @@ func TestDropSupersededDels(t *testing.T) {
 	// key — including an INS: the newer hand-off supersedes the edge.
 	d4 := delNode(5, b, -1, unode.NoKey, nil)
 	i4 := insNode(5)
-	got = dropSupersededDels([]*unode.UpdateNode{d4, i4})
+	got = dropScratch([]*unode.UpdateNode{d4, i4})
 	if len(got) != 1 || got[0] != i4 {
 		t.Fatalf("DEL before same-key INS should drop: %v", got)
 	}
 	// But a trailing DEL survives.
-	got = dropSupersededDels([]*unode.UpdateNode{i4, d4})
+	got = dropScratch([]*unode.UpdateNode{i4, d4})
 	if len(got) != 2 || got[0] != i4 || got[1] != d4 {
 		t.Fatalf("trailing DEL should survive: %v", got)
 	}
@@ -127,7 +141,9 @@ func TestCollectNotificationsRules(t *testing.T) {
 	pushNotify(p, delRejected, 6, nil)
 	pushNotify(p, tooBig, 0, nil)
 
-	inotify, dnotify := collectNotifications(p, 10, nil, nil)
+	a := getArena()
+	defer a.release()
+	inotify, dnotify := collectNotifications(p, 10, nil, nil, a)
 	if len(inotify) != 1 || inotify[0] != insAccepted {
 		t.Errorf("inotify = %v, want [INS(4)]", inotify)
 	}
@@ -145,15 +161,19 @@ func TestCollectNotificationsForwardsUpdateNodeMax(t *testing.T) {
 	// Threshold −∞ (we finished the RU-ALL) and sender unseen there →
 	// updateNodeMax is vouched for (Figure 9).
 	pushNotify(p, sender, alist.KeyNegInf, maxIns)
-	inotify, _ := collectNotifications(p, 10, nil, nil)
+	a := getArena()
+	inotify, _ := collectNotifications(p, 10, nil, nil, a)
 	if len(inotify) != 2 || inotify[0] != sender || inotify[1] != maxIns {
 		t.Fatalf("inotify = %v, want sender + forwarded max", inotify)
 	}
 
 	// If the sender WAS seen in the RU-ALL, the forwarding is suppressed.
 	p2 := newPredNode(10, tr.ruall.Head())
+	a.release()
 	pushNotify(p2, sender, alist.KeyNegInf, maxIns)
-	inotify, _ = collectNotifications(p2, 10, []*unode.UpdateNode{sender}, nil)
+	a2 := getArena()
+	defer a2.release()
+	inotify, _ = collectNotifications(p2, 10, []*unode.UpdateNode{sender}, nil, a2)
 	for _, n := range inotify {
 		if n == maxIns {
 			t.Fatal("updateNodeMax forwarded despite sender ∈ Iruall")
@@ -168,7 +188,7 @@ func TestBottomCaseDirectHandoff(t *testing.T) {
 	tr := mustNew(t, 16)
 	pNode := newPredNode(10, tr.ruall.Head())
 	d5 := delNode(5, tr.b, 3, 3, nil)
-	got := tr.bottomCase(pNode, nil, []*unode.UpdateNode{d5}, 10)
+	got := tr.bottomCaseScratch(pNode, nil, []*unode.UpdateNode{d5}, 10)
 	if got != 3 {
 		t.Errorf("bottomCase = %d, want 3", got)
 	}
@@ -187,7 +207,7 @@ func TestBottomCaseChain(t *testing.T) {
 	// Notifications arrive newest-first; thresholds ≥ key put them in L2.
 	pushNotify(pNode, d4, 8, nil)
 	pushNotify(pNode, d6, 8, nil)
-	got := tr.bottomCase(pNode, nil, []*unode.UpdateNode{d7}, 10)
+	got := tr.bottomCaseScratch(pNode, nil, []*unode.UpdateNode{d7}, 10)
 	if got != 2 {
 		t.Errorf("bottomCase = %d, want 2 (chain 6→4→2)", got)
 	}
@@ -203,7 +223,7 @@ func TestBottomCaseDeletedSinkExcluded(t *testing.T) {
 	// start 2 survives as its own sink.
 	d7 := delNode(7, tr.b, 5, unode.NoKey, nil)
 	d5 := delNode(5, tr.b, 2, unode.NoKey, nil)
-	got := tr.bottomCase(pNode, nil, []*unode.UpdateNode{d7, d5}, 10)
+	got := tr.bottomCaseScratch(pNode, nil, []*unode.UpdateNode{d7, d5}, 10)
 	if got != 2 {
 		t.Errorf("bottomCase = %d, want 2 (5 excluded as deleted)", got)
 	}
@@ -220,7 +240,7 @@ func TestBottomCaseUsesEarliestEmbeddedAnnouncement(t *testing.T) {
 	pushNotify(pPrime, i6, 0, nil) // INS(6) notified pPrime → lands in L1
 	d5 := delNode(5, tr.b, -1, -1, pPrime)
 	q := []*PredNode{pPrime} // pPrime was announced before us
-	got := tr.bottomCase(pNode, q, []*unode.UpdateNode{d5}, 10)
+	got := tr.bottomCaseScratch(pNode, q, []*unode.UpdateNode{d5}, 10)
 	if got != 6 {
 		t.Errorf("bottomCase = %d, want 6 (INS in L1)", got)
 	}
@@ -240,7 +260,7 @@ func TestBottomCaseLine239Removal(t *testing.T) {
 	pushNotify(pNode, d6, 3, nil)
 	d7 := delNode(7, tr.b, 6, unode.NoKey, pPrime)
 	q := []*PredNode{pPrime}
-	got := tr.bottomCase(pNode, q, []*unode.UpdateNode{d7}, 10)
+	got := tr.bottomCaseScratch(pNode, q, []*unode.UpdateNode{d7}, 10)
 	// Start X = {6} (delPred of d7). d6's edge 6→4 is NOT in the graph
 	// (removed from L1, rejected from L2), so 6 itself is the sink.
 	if got != 6 {
@@ -261,7 +281,7 @@ func TestBottomCaseSupersededDelEdgeIgnored(t *testing.T) {
 	pushNotify(pNode, dOld, 8, nil)
 	pushNotify(pNode, dNew, 8, nil)
 	d7 := delNode(7, tr.b, 6, unode.NoKey, nil)
-	got := tr.bottomCase(pNode, nil, []*unode.UpdateNode{d7}, 10)
+	got := tr.bottomCaseScratch(pNode, nil, []*unode.UpdateNode{d7}, 10)
 	if got != 4 {
 		t.Errorf("bottomCase = %d, want 4 (stale edge 6→1 ignored)", got)
 	}
@@ -273,7 +293,7 @@ func TestBottomCaseEmptyReturnsMinusOne(t *testing.T) {
 	tr := mustNew(t, 16)
 	pNode := newPredNode(10, tr.ruall.Head())
 	d5 := delNode(5, tr.b, -1, unode.NoKey, nil)
-	got := tr.bottomCase(pNode, nil, []*unode.UpdateNode{d5}, 10)
+	got := tr.bottomCaseScratch(pNode, nil, []*unode.UpdateNode{d5}, 10)
 	if got != -1 {
 		t.Errorf("bottomCase = %d, want -1", got)
 	}
@@ -307,7 +327,9 @@ func TestTraverseRUallClassification(t *testing.T) {
 	mk(20, unode.Del, true, true) // key ≥ y: skipped
 
 	pNode := newPredNode(15, tr.ruall.Head())
-	ins, del := tr.traverseRUall(pNode)
+	a := getArena()
+	defer a.release()
+	ins, del := tr.traverseRUall(pNode, a)
 	if len(ins) != 1 || ins[0] != iGood {
 		t.Errorf("ins = %v, want [INS(3)]", ins)
 	}
@@ -329,7 +351,9 @@ func TestSnapshotAfterOrder(t *testing.T) {
 	tr.pall.insert(oldest)
 	tr.pall.insert(middle)
 	tr.pall.insert(newest)
-	q := snapshotAfter(newest)
+	a := getArena()
+	defer a.release()
+	q := snapshotAfter(newest, a)
 	if len(q) != 2 || q[0] != middle || q[1] != oldest {
 		t.Fatalf("snapshotAfter order wrong: %v", q)
 	}

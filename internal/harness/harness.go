@@ -114,7 +114,7 @@ func Run(s Set, cfg Config) (Result, error) {
 				if cfg.StallEvery > 0 && id == 0 && i > 0 && i%cfg.StallEvery == 0 {
 					time.Sleep(cfg.StallDuration)
 				}
-				apply(s, op)
+				ApplyOp(s, op)
 			}
 		}(w, streams[w])
 	}
@@ -131,7 +131,11 @@ func Run(s Set, cfg Config) (Result, error) {
 	}, nil
 }
 
-func apply(s Set, op workload.Op) {
+// ApplyOp dispatches one generated operation to the set. Shared by the
+// harness itself, the root-level benchmarks and cmd/triebench so a new
+// workload.Op kind cannot be wired into one measurement path but not the
+// others.
+func ApplyOp(s Set, op workload.Op) {
 	switch op.Kind {
 	case workload.OpInsert:
 		s.Insert(op.Key)
@@ -142,6 +146,26 @@ func apply(s Set, op workload.Op) {
 	case workload.OpPredecessor:
 		s.Predecessor(op.Key)
 	}
+}
+
+// AbstainingSet is a dynamic set whose Predecessor may abstain — the
+// relaxed trie's §4.1 contract.
+type AbstainingSet interface {
+	Search(x int64) bool
+	Insert(x int64)
+	Delete(x int64)
+	Predecessor(y int64) (int64, bool)
+}
+
+// Collapse adapts an AbstainingSet to Set by dropping the abstention flag;
+// measurements only time the call, they do not interpret the answer.
+func Collapse(s AbstainingSet) Set { return collapsed{s} }
+
+type collapsed struct{ AbstainingSet }
+
+func (c collapsed) Predecessor(y int64) int64 {
+	p, _ := c.AbstainingSet.Predecessor(y)
+	return p
 }
 
 // Table is a minimal aligned-column printer for experiment output.

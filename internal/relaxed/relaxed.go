@@ -13,6 +13,7 @@ package relaxed
 import (
 	"sync/atomic"
 
+	"repro/internal/atomicx"
 	"repro/internal/bitstrie"
 	"repro/internal/unode"
 )
@@ -24,6 +25,11 @@ type Trie struct {
 	u      int64
 	latest []atomic.Pointer[unode.UpdateNode]
 	bits   *bitstrie.Trie
+	// count backs Len: bumped by winning updates after their linearization
+	// point; padded on both sides off the header fields every operation
+	// reads (the leading pad — PadInt64 only pads behind the counter).
+	_     [atomicx.CacheLine]byte
+	count atomicx.PadInt64
 }
 
 // New returns an empty relaxed binary trie over the universe {0,…,u−1}
@@ -43,6 +49,11 @@ func New(u int64) (*Trie, error) {
 
 // U returns the (padded) universe size.
 func (t *Trie) U() int64 { return t.u }
+
+// Len returns the number of keys in the set, counted from the win-reporting
+// updates (O(1)). Weakly consistent under concurrent updates; exact at
+// quiescence.
+func (t *Trie) Len() int64 { return t.count.Load() }
 
 // B returns ⌈log2 u⌉.
 func (t *Trie) B() int { return t.b }
@@ -119,6 +130,7 @@ func (t *Trie) Add(x int64) bool {
 	if !t.latest[x].CompareAndSwap(dNode, iNode) {
 		return false // another TrieInsert(x) linearized first (Lemma 4.3)
 	}
+	t.count.Add(1)
 	t.bits.InsertBinaryTrie(iNode)
 	return true
 }
@@ -144,6 +156,7 @@ func (t *Trie) Remove(x int64) bool {
 	if !t.latest[x].CompareAndSwap(iNode, dNode) {
 		return false // another TrieDelete(x) linearized first (Lemma 4.4)
 	}
+	t.count.Add(-1)
 	// Paper line 55: stop the Delete whose DEL node the replaced Insert was
 	// attacking; the Insert will not finish its MinWrite on our behalf.
 	if tg := iNode.Target.Load(); tg != nil {

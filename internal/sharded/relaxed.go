@@ -70,6 +70,16 @@ func (t *Relaxed) Shards() int { return t.k }
 // quiescence.
 func (t *Relaxed) Occupancy(i int) int64 { return t.shards[i].count.Load() }
 
+// Len returns the summed occupancy summary — an O(k) cardinality estimate,
+// exact at quiescence.
+func (t *Relaxed) Len() int64 {
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].count.Load()
+	}
+	return n
+}
+
 func (t *Relaxed) home(x int64) (*rshard, int64) {
 	return &t.shards[x>>t.shardBits], x & (t.width - 1)
 }

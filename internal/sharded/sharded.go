@@ -30,6 +30,7 @@ package sharded
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -237,9 +238,20 @@ func (t *Trie) Predecessor(y int64) int64 {
 	return t.predFallback(j, ly)
 }
 
+// vsnapPool recycles the version-snapshot scratch of predFallback. The
+// snapshot is op-local (never published), so pooling it is ABA-safe for the
+// same reason as core's scratch arena; without it every cross-shard
+// fallback would allocate an O(k) slice.
+var vsnapPool = sync.Pool{New: func() any { return new([]int64) }}
+
 // predFallback implements the validated cross-shard scan of Predecessor.
 func (t *Trie) predFallback(j int, ly int64) int64 {
-	vsnap := make([]int64, j)
+	vs := vsnapPool.Get().(*[]int64)
+	defer vsnapPool.Put(vs)
+	if cap(*vs) < j {
+		*vs = make([]int64, j)
+	}
+	vsnap := (*vs)[:j]
 	best := int64(-1)
 	for attempt := 0; attempt < ScanRetries; attempt++ {
 		for i := 0; i < j; i++ {

@@ -1,0 +1,156 @@
+package sharded_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bitstrie"
+	"repro/internal/core"
+	"repro/internal/sharded"
+)
+
+// statsSnapshot flattens the per-shard core.Stats / bitstrie.Stats counters
+// into one comparable vector.
+type statsSnapshot struct {
+	notifications, bottomCases, helpActivations    int64
+	uallSteps, ruallSteps                          int64
+	bitReads, casAttempts, casFailures, casRescues int64
+	minWrites, traversalSteps                      int64
+}
+
+func snapshot(cs []*core.Stats, bs []*bitstrie.Stats) statsSnapshot {
+	var s statsSnapshot
+	for _, c := range cs {
+		s.notifications += c.Notifications.Load()
+		s.bottomCases += c.BottomCases.Load()
+		s.helpActivations += c.HelpActivations.Load()
+		s.uallSteps += c.UallTraversalSteps.Load()
+		s.ruallSteps += c.RuallTraversalSteps.Load()
+	}
+	for _, b := range bs {
+		s.bitReads += b.BitReads.Load()
+		s.casAttempts += b.CASAttempts.Load()
+		s.casFailures += b.CASFailures.Load()
+		s.casRescues += b.SecondCASSuccess.Load()
+		s.minWrites += b.MinWrites.Load()
+		s.traversalSteps += b.TraversalSteps.Load()
+	}
+	return s
+}
+
+func (s statsSnapshot) fields() []int64 {
+	return []int64{
+		s.notifications, s.bottomCases, s.helpActivations, s.uallSteps,
+		s.ruallSteps, s.bitReads, s.casAttempts, s.casFailures,
+		s.casRescues, s.minWrites, s.traversalSteps,
+	}
+}
+
+var statsFieldNames = []string{
+	"Notifications", "BottomCases", "HelpActivations", "UallTraversalSteps",
+	"RuallTraversalSteps", "BitReads", "CASAttempts", "CASFailures",
+	"SecondCASSuccess", "MinWrites", "TraversalSteps",
+}
+
+// TestStatsCountersUnderConcurrency runs a mixed workload against an
+// instrumented trie at k ∈ {1, 16} and checks the counter vector for
+// consistency: non-negative, monotone between a mid-run and a final
+// sample, and within bounds that must hold for any schedule.
+func TestStatsCountersUnderConcurrency(t *testing.T) {
+	for _, k := range []int{1, 16} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			const (
+				u            = int64(1 << 10)
+				workers      = 4
+				opsPerWorker = 4000
+			)
+			tr, err := sharded.New(u, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := make([]*core.Stats, k)
+			bs := make([]*bitstrie.Stats, k)
+			for i := 0; i < k; i++ {
+				cs[i] = &core.Stats{}
+				bs[i] = &bitstrie.Stats{}
+				tr.Shard(i).SetStats(cs[i])
+				tr.Shard(i).Bits().SetStats(bs[i])
+			}
+
+			var wg sync.WaitGroup
+			mid := make(chan statsSnapshot, 1)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < opsPerWorker; i++ {
+						x := rng.Int63n(u)
+						switch rng.Intn(4) {
+						case 0:
+							tr.Insert(x)
+						case 1:
+							tr.Delete(x)
+						case 2:
+							tr.Search(x)
+						default:
+							tr.Predecessor(x)
+						}
+						if seed == 1 && i == opsPerWorker/2 {
+							mid <- snapshot(cs, bs)
+						}
+					}
+				}(int64(w + 1))
+			}
+			wg.Wait()
+			midSnap := <-mid
+			final := snapshot(cs, bs)
+
+			// Non-negative and monotone: the counters are add-only.
+			for i, v := range midSnap.fields() {
+				if v < 0 {
+					t.Errorf("%s mid-run = %d, negative", statsFieldNames[i], v)
+				}
+				if fv := final.fields()[i]; fv < v {
+					t.Errorf("%s not monotone: mid %d > final %d", statsFieldNames[i], v, fv)
+				}
+			}
+
+			// Plausibility bounds that hold for any schedule.
+			totalOps := int64(workers * opsPerWorker)
+			// Every winning Delete runs two embedded predecessors, so at
+			// most 3 predecessor announcements per op drive ⊥ recoveries.
+			if final.bottomCases > 3*totalOps {
+				t.Errorf("BottomCases = %d > 3×ops", final.bottomCases)
+			}
+			if final.casFailures > final.casAttempts {
+				t.Errorf("CASFailures %d > CASAttempts %d", final.casFailures, final.casAttempts)
+			}
+			if final.casRescues > final.casFailures {
+				t.Errorf("SecondCASSuccess %d > CASFailures %d", final.casRescues, final.casFailures)
+			}
+			// The workload runs real updates and predecessors, so the
+			// engine counters cannot all be silent.
+			if final.bitReads == 0 || final.casAttempts == 0 || final.traversalSteps == 0 {
+				t.Errorf("engine counters silent: bitReads=%d casAttempts=%d traversalSteps=%d",
+					final.bitReads, final.casAttempts, final.traversalSteps)
+			}
+			if final.ruallSteps == 0 {
+				t.Errorf("RuallTraversalSteps = 0 despite predecessor traffic")
+			}
+
+			// Quiesced now: Len must be exact. Count by membership.
+			var want int64
+			for x := int64(0); x < u; x++ {
+				if tr.Search(x) {
+					want++
+				}
+			}
+			if got := tr.Len(); got != want {
+				t.Errorf("quiescent Len = %d, want %d", got, want)
+			}
+		})
+	}
+}

@@ -50,6 +50,28 @@ var (
 	MixUpdateOnly = Mix{InsertPct: 50, DeletePct: 50}
 )
 
+// NamedMix is one entry of BenchMixes.
+type NamedMix struct {
+	Name string
+	Mix  Mix
+}
+
+// BenchMixes is the (label, mix) table the allocation-trajectory
+// measurements key their recorded baselines by (BenchmarkPredMixes and
+// triebench's a3 experiment / BENCH_allocs.json). The mapping is deliberate
+// and LOAD-BEARING: "update-heavy" is the pure insert/delete stream
+// (MixUpdateOnly); "uniform" spreads ops evenly across all four kinds,
+// which is what the Mix constants call MixUpdateHeavy (25/25/25/25).
+// Rebinding a label would silently invalidate every recorded trajectory
+// point.
+var BenchMixes = []NamedMix{
+	{Name: "pred-heavy", Mix: MixPredHeavy},
+	{Name: "update-heavy", Mix: MixUpdateOnly},
+	{Name: "uniform", Mix: MixUpdateHeavy},
+}
+
+var ()
+
 // KeyDist generates keys in [0, u).
 type KeyDist interface {
 	// Next returns the next key.

@@ -15,6 +15,7 @@ type relaxedSet interface {
 	Delete(x int64)
 	Predecessor(y int64) (int64, bool)
 	Successor(y int64) (int64, bool)
+	Len() int64
 	U() int64
 }
 
@@ -63,6 +64,12 @@ func (t *Relaxed) Universe() int64 { return t.set.U() }
 
 // Shards returns the configured shard count (1 for the unsharded trie).
 func (t *Relaxed) Shards() int { return t.shards }
+
+// Len returns the number of keys currently in the set, under the same
+// weak-consistency contract as Trie.Len: exact at quiescence, off by at
+// most the number of in-flight updates under concurrency. O(1) unsharded,
+// O(shards) with WithShards.
+func (t *Relaxed) Len() int64 { return t.set.Len() }
 
 func (t *Relaxed) check(x int64) error {
 	if x < 0 || x >= t.set.U() {

@@ -104,6 +104,7 @@ type set interface {
 	Insert(x int64)
 	Delete(x int64)
 	Predecessor(y int64) int64
+	Len() int64
 	U() int64
 }
 
@@ -146,6 +147,21 @@ func (t *Trie) Universe() int64 { return t.set.U() }
 
 // Shards returns the configured shard count (1 for the unsharded trie).
 func (t *Trie) Shards() int { return t.shards }
+
+// Len returns the number of keys currently in the set. O(1) on the
+// unsharded trie, O(shards) with WithShards (it sums the per-shard
+// occupancy summary).
+//
+// Consistency: Len is weakly consistent, like sync.Map's length-by-Range.
+// Each winning update bumps a counter adjacent to — not atomic with — its
+// linearization point, so a Len racing with updates may be off by the
+// number of in-flight operations (with WithShards it may also transiently
+// over-count, since a shard's insert increments before the core operation
+// and rolls back on a lost race). At any quiescent instant — no update in
+// flight — Len is exactly |S|. Use Keys and count when an exact answer
+// under concurrency is needed, or the versioned snapshot trie for an
+// atomic view.
+func (t *Trie) Len() int64 { return t.set.Len() }
 
 func (t *Trie) check(x int64) error {
 	if x < 0 || x >= t.set.U() {

@@ -254,3 +254,86 @@ func TestRelaxedFacade(t *testing.T) {
 		t.Error("NewRelaxed(0) should fail")
 	}
 }
+
+// TestLenFacade covers the promoted occupancy summary on the linearizable
+// trie: exact at quiescence at every shard count, idempotent under
+// duplicate updates.
+func TestLenFacade(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		tr, err := lockfreetrie.New(256, lockfreetrie.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Len(); got != 0 {
+			t.Fatalf("shards=%d: empty Len = %d", shards, got)
+		}
+		for k := int64(0); k < 100; k += 2 {
+			tr.Insert(k)
+		}
+		tr.Insert(4) // duplicate: must not double-count
+		if got := tr.Len(); got != 50 {
+			t.Fatalf("shards=%d: Len = %d, want 50", shards, got)
+		}
+		for k := int64(0); k < 40; k += 2 {
+			tr.Delete(k)
+		}
+		tr.Delete(3) // absent: no-op
+		if got := tr.Len(); got != 30 {
+			t.Fatalf("shards=%d: Len after deletes = %d, want 30", shards, got)
+		}
+	}
+}
+
+// TestLenFacadeQuiescentAfterConcurrency checks the weak-consistency
+// contract's strong half: once all updates have returned, Len is exact.
+func TestLenFacadeQuiescentAfterConcurrency(t *testing.T) {
+	tr, err := lockfreetrie.New(1024, lockfreetrie.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 2000; i++ {
+				k := (i*7 + int64(w)*13) % 1024
+				if i%3 == 0 {
+					tr.Delete(k)
+				} else {
+					tr.Insert(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var want int64
+	for k := int64(0); k < 1024; k++ {
+		if ok, _ := tr.Contains(k); ok {
+			want++
+		}
+	}
+	if got := tr.Len(); got != want {
+		t.Fatalf("quiescent Len = %d, want %d", got, want)
+	}
+}
+
+// TestRelaxedLenFacade mirrors TestLenFacade for the relaxed trie.
+func TestRelaxedLenFacade(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		tr, err := lockfreetrie.NewRelaxed(256, lockfreetrie.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := int64(0); k < 60; k++ {
+			tr.Insert(k)
+		}
+		tr.Insert(10)
+		for k := int64(0); k < 20; k++ {
+			tr.Delete(k)
+		}
+		if got := tr.Len(); got != 40 {
+			t.Fatalf("shards=%d: relaxed Len = %d, want 40", shards, got)
+		}
+	}
+}
