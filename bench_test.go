@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/bitstrie"
+	"repro/internal/combine"
 	"repro/internal/core"
 	"repro/internal/efrb"
 	"repro/internal/frlist"
@@ -513,6 +514,59 @@ func BenchmarkPredMixes(b *testing.B) {
 				})
 			})
 		}
+	}
+}
+
+// --- CB1: flat combining amortizes announcements ------------------------------
+//
+// Same-shard update pressure with and without the combining layer, plus the
+// explicit pre-batched ApplyBatch path. The triebench cb1 experiment runs
+// the calibrated sweep (throughput + announcements/op into
+// BENCH_combine.json); these benchmarks keep the three code paths hot in
+// the -benchtime 1x CI smoke.
+func BenchmarkCombiningUpdates(b *testing.B) {
+	const u = int64(1 << 14)
+	for _, combining := range []bool{false, true} {
+		b.Run(fmt.Sprintf("combining=%v", combining), func(b *testing.B) {
+			mk := sharded.New
+			if combining {
+				mk = sharded.NewCombining
+			}
+			s, err := mk(u, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prefillEvery(s, u, 4)
+			runParallelOps(b, 8, func(id int, rng *rand.Rand) {
+				k := rng.Int63n(u)
+				if rng.Intn(2) == 0 {
+					s.Insert(k)
+				} else {
+					s.Delete(k)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkApplyBatch(b *testing.B) {
+	const u = int64(1 << 14)
+	for _, size := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			s := mustSharded(u, 4)
+			prefillEvery(s, u, 4)
+			rng := rand.New(rand.NewSource(5))
+			ops := make([]core.BatchOp, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				ops = ops[:0]
+				for len(ops) < size {
+					ops = append(ops, core.BatchOp{Key: rng.Int63n(u), Del: rng.Intn(2) == 0})
+				}
+				s.ApplyBatch(combine.SortDedup(ops))
+				ops = ops[:size]
+			}
+		})
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/bitstrie"
+	"repro/internal/combine"
 	"repro/internal/core"
 	"repro/internal/efrb"
 	"repro/internal/harness"
@@ -36,22 +37,24 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1, or all (the paper-claim sweeps c1–a2; s1 and a3 run only when named, since they rewrite their recorded trajectory artifacts)")
-		ops        = flag.Int("ops", 100000, "operations per measurement")
-		workers    = flag.Int("workers", 4, "default worker count")
-		seed       = flag.Int64("seed", 1, "workload seed")
-		shards     = flag.Int("shards", 16, "high shard count for the s1 sharding sweep and the a3 sharded variant")
-		jsonPath   = flag.String("json", "BENCH_shards.json", "s1 trajectory output path (empty disables)")
-		allocsPath = flag.String("allocsjson", "BENCH_allocs.json", "a3 trajectory output path (empty disables)")
+		experiment  = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1,cb1, or all (the paper-claim sweeps c1–a2; s1, a3 and cb1 run only when named, since they rewrite their recorded trajectory artifacts; the combining experiment is cb1 because c1 is the paper's C1 Search-cost claim)")
+		ops         = flag.Int("ops", 100000, "operations per measurement")
+		workers     = flag.Int("workers", 4, "default worker count")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		shards      = flag.Int("shards", 16, "high shard count for the s1 sharding sweep and the a3 sharded variant")
+		jsonPath    = flag.String("json", "BENCH_shards.json", "s1 trajectory output path (empty disables)")
+		allocsPath  = flag.String("allocsjson", "BENCH_allocs.json", "a3 trajectory output path (empty disables)")
+		combinePath = flag.String("combinejson", "BENCH_combine.json", "cb1 trajectory output path (empty disables)")
+		combineReps = flag.Int("cb1reps", cb1Reps, "cb1 repetitions per configuration (median reported; CI smoke uses 1)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath, *allocsPath); err != nil {
+	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath, *allocsPath, *combinePath, *combineReps); err != nil {
 		fmt.Fprintln(os.Stderr, "triebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, allocsPath string) error {
+func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, allocsPath, combinePath string, combineReps int) error {
 	runners := map[string]func(int, int, int64) error{
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5,
 		"c6": expC6, "c7": expC7, "a1": expA1, "a2": expA2,
@@ -61,11 +64,14 @@ func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, 
 		"a3": func(ops, workers int, seed int64) error {
 			return expA3(ops, workers, seed, shards, allocsPath)
 		},
+		"cb1": func(ops, workers int, seed int64) error {
+			return expCB1(ops, workers, seed, combineReps, combinePath)
+		},
 	}
-	// "all" covers the paper-claim sweeps; s1 and a3 are opt-in because
-	// they overwrite the recorded BENCH_shards.json / BENCH_allocs.json
-	// trajectory points (and s1 enforces its own ops/workers floors —
-	// minutes, not seconds).
+	// "all" covers the paper-claim sweeps; s1, a3 and cb1 are opt-in
+	// because they overwrite the recorded BENCH_shards.json /
+	// BENCH_allocs.json / BENCH_combine.json trajectory points (and s1/cb1
+	// enforce their own ops/workers floors — minutes, not seconds).
 	if experiment == "all" {
 		for _, id := range []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7", "a1", "a2"} {
 			if err := runners[id](ops, workers, seed); err != nil {
@@ -797,6 +803,227 @@ func expA3(ops, workers int, seed int64, highShards int, jsonPath string) error 
 			tab.AddRow(impl.name, m.Name, p.AllocsPerOp, p.BytesPerOp, p.NsPerOp,
 				p.BaselineAllocs, p.ReductionPct)
 		}
+	}
+	fmt.Println(tab)
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
+	return nil
+}
+
+// --- CB1: flat combining amortizes announcement traffic -----------------------
+
+// cb1Reps is the default repetition count per configuration (-cb1reps
+// overrides); the median is
+// reported, for the same scheduling-luck reasons as S1.
+const cb1Reps = 5
+
+// cb1Side is one side (combining on or off) of a CB1 configuration.
+type cb1Side struct {
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	AnnouncesPerOp float64 `json:"announces_per_op"`
+	// AvgBatch is ops drained per combining round (1 implicitly for the
+	// uncombined side, where every update announces alone).
+	AvgBatch float64 `json:"avg_batch,omitempty"`
+	// DirectPct is the share of combined submissions that fell back to
+	// the direct per-op path (slot saturation or retraction).
+	DirectPct float64 `json:"direct_pct,omitempty"`
+}
+
+// cb1Workload is one (mix, shard count) configuration: the combined
+// measurement with its uncombined baseline embedded alongside.
+type cb1Workload struct {
+	Mix                string  `json:"mix"`
+	Shards             int     `json:"shards"`
+	Combined           cb1Side `json:"combined"`
+	Uncombined         cb1Side `json:"uncombined_baseline"`
+	AnnounceReductionX float64 `json:"announce_reduction_x"`
+	ThroughputRatio    float64 `json:"throughput_ratio_combined_vs_uncombined"`
+}
+
+// cb1Report is the BENCH_combine.json trajectory point.
+type cb1Report struct {
+	Experiment string        `json:"experiment"`
+	Timestamp  string        `json:"timestamp"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Universe   int64         `json:"universe"`
+	Goroutines int           `json:"goroutines"`
+	Ops        int           `json:"ops"`
+	SlotsPerSh int           `json:"slots_per_shard"`
+	Reps       int           `json:"reps_median_of"`
+	Workloads  []cb1Workload `json:"workloads"`
+	// GateUpdateHeavyReductionX is the announce_reduction_x of the
+	// update-heavy mix at the LOWEST shard count measured — the
+	// worst-case-contention shard all 16 goroutines share; the acceptance
+	// gate tracks ≥ 2.
+	GateUpdateHeavyReductionX float64 `json:"gate_update_heavy_announce_reduction_x"`
+}
+
+// expCB1: per-shard flat combining vs the per-op announcement path.
+// Announces/op counts U-ALL announcement passes (core.Stats.Announces) per
+// executed operation: the per-op path pays one pass per winning update
+// plus one per help-activation, the combining path one pass per drained
+// round — the serialization the publication slots exist to amortize.
+//
+// The sweep measures the oversubscribed-shard regime combining exists for
+// (ROADMAP: "an update-heavy shard at high goroutine counts"): the three
+// mixes at k=1, where all goroutines share one combiner, plus a hotshard
+// row — k=16 with 90% of keys landing in a single shard — showing the
+// per-shard layer composing with sharding. The converse is deliberately
+// NOT a headline row but is worth knowing: spreading goroutines thin
+// (uniform keys over k ≥ 4 shards leaves ~1 publisher per combiner) makes
+// batches degenerate toward size 1 and the handoff pure overhead (measured
+// 0.65–0.9× throughput on this host) — WithCombining is a workload
+// decision, exactly like WithShards. Writes the BENCH_combine.json
+// trajectory point unless -combinejson is empty.
+func expCB1(ops, workers int, seed int64, reps int, jsonPath string) error {
+	const u = int64(1 << 16)
+	if workers < 16 {
+		fmt.Printf("cb1: raising -workers to 16 (the gate is defined at 16 goroutines)\n")
+		workers = 16
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if ops < 400000 {
+		fmt.Printf("cb1: raising -ops to 400000 (short runs measure warm-up, not the combining steady state)\n")
+		ops = 400000
+	}
+	fmt.Printf("== CB1: combined vs uncombined announcements and throughput (%d goroutines) ==\n", workers)
+	report := cb1Report{
+		Experiment: "cb1-combining",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Universe:   u,
+		Goroutines: workers,
+		Ops:        ops,
+		SlotsPerSh: combine.DefaultSlots(),
+		Reps:       reps,
+	}
+	// One measurement: fresh trie, half-full prefill (stats attach after,
+	// so construction announcements stay out of the metric), timed run,
+	// counters summed across shards.
+	measure := func(k int, combining bool, mix workload.Mix, dist workload.KeyDist) (cb1Side, error) {
+		mk := sharded.New
+		if combining {
+			mk = sharded.NewCombining
+		}
+		tr, err := mk(u, k)
+		if err != nil {
+			return cb1Side{}, err
+		}
+		for key := int64(0); key < u; key += 2 {
+			tr.Insert(key)
+		}
+		stats := make([]*core.Stats, k)
+		for i := range stats {
+			stats[i] = &core.Stats{}
+			tr.Shard(i).SetStats(stats[i])
+		}
+		// The combiner counters are cumulative and the prefill runs
+		// through Submit (32768 solo size-1 rounds); snapshot here so the
+		// reported batch shape covers only the timed run, matching the
+		// post-prefill attach of the announce counters.
+		rounds0, batched0, direct0, _ := tr.CombineStats()
+		res, err := harness.Run(tr, harness.Config{
+			Workers:      workers,
+			OpsPerWorker: ops / workers,
+			Mix:          mix,
+			Dist:         dist,
+			Seed:         seed,
+		})
+		if err != nil {
+			return cb1Side{}, err
+		}
+		var ann int64
+		for _, s := range stats {
+			ann += s.Announces.Load()
+		}
+		side := cb1Side{
+			OpsPerSec:      res.Throughput,
+			AnnouncesPerOp: float64(ann) / float64(res.Ops),
+		}
+		if combining {
+			rounds, batched, direct, _ := tr.CombineStats()
+			rounds, batched, direct = rounds-rounds0, batched-batched0, direct-direct0
+			if rounds > 0 {
+				side.AvgBatch = float64(batched) / float64(rounds)
+			}
+			if batched+direct > 0 {
+				side.DirectPct = 100 * float64(direct) / float64(batched+direct)
+			}
+		}
+		return side, nil
+	}
+	med := func(v []float64) float64 {
+		sort.Float64s(v)
+		return v[len(v)/2]
+	}
+	// The shard width at k=16 is u/16; the hotshard row aims 90% of keys
+	// at exactly one of those shards.
+	configs := []struct {
+		name string
+		mix  workload.Mix
+		k    int
+		dist workload.KeyDist
+	}{
+		{"pred-heavy", workload.MixPredHeavy, 1, workload.Uniform{U: u}},
+		{"update-heavy", workload.MixUpdateOnly, 1, workload.Uniform{U: u}},
+		{"uniform", workload.MixUpdateHeavy, 1, workload.Uniform{U: u}},
+		{"hotshard-update-heavy", workload.MixUpdateOnly, 16,
+			workload.HotRange{U: u, HotLo: u / 2, HotWidth: u / 16, HotPct: 90}},
+	}
+	tab := harness.NewTable("workload", "k", "ops/s off", "ops/s on", "ann/op off", "ann/op on", "reduction x", "tput ratio", "avg batch")
+	for _, cfg := range configs {
+		var offT, onT, offA, onA, onB, onD []float64
+		for rep := 0; rep < reps; rep++ {
+			// Interleave sides so machine-noise phases hit both.
+			off, err := measure(cfg.k, false, cfg.mix, cfg.dist)
+			if err != nil {
+				return err
+			}
+			on, err := measure(cfg.k, true, cfg.mix, cfg.dist)
+			if err != nil {
+				return err
+			}
+			offT, onT = append(offT, off.OpsPerSec), append(onT, on.OpsPerSec)
+			offA, onA = append(offA, off.AnnouncesPerOp), append(onA, on.AnnouncesPerOp)
+			onB, onD = append(onB, on.AvgBatch), append(onD, on.DirectPct)
+		}
+		wl := cb1Workload{
+			Mix:    cfg.name,
+			Shards: cfg.k,
+			Uncombined: cb1Side{
+				OpsPerSec: med(offT), AnnouncesPerOp: med(offA),
+			},
+			Combined: cb1Side{
+				OpsPerSec: med(onT), AnnouncesPerOp: med(onA),
+				AvgBatch: med(onB), DirectPct: med(onD),
+			},
+		}
+		if wl.Combined.AnnouncesPerOp > 0 {
+			wl.AnnounceReductionX = wl.Uncombined.AnnouncesPerOp / wl.Combined.AnnouncesPerOp
+		}
+		if wl.Uncombined.OpsPerSec > 0 {
+			wl.ThroughputRatio = wl.Combined.OpsPerSec / wl.Uncombined.OpsPerSec
+		}
+		if cfg.name == "update-heavy" && cfg.k == 1 {
+			report.GateUpdateHeavyReductionX = wl.AnnounceReductionX
+		}
+		report.Workloads = append(report.Workloads, wl)
+		tab.AddRow(cfg.name, cfg.k, wl.Uncombined.OpsPerSec, wl.Combined.OpsPerSec,
+			wl.Uncombined.AnnouncesPerOp, wl.Combined.AnnouncesPerOp,
+			wl.AnnounceReductionX, wl.ThroughputRatio, wl.Combined.AvgBatch)
 	}
 	fmt.Println(tab)
 	if jsonPath == "" {

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSweepMatchesPerOpFills runs identical random order streams through
+// the batched (ApplyBatch) and per-op matching loops on separate books and
+// asserts fill-for-fill identical results and identical final books.
+func TestSweepMatchesPerOpFills(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		batchBook, err := newBook()
+		if err != nil {
+			t.Fatal(err)
+		}
+		perOpBook, err := newBook()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := rand.New(rand.NewSource(seed))
+		orders := make([]order, 400)
+		for i := range orders {
+			orders[i] = order{
+				Buy:   gen.Intn(2) == 0,
+				Limit: 8000 + gen.Int63n(400),
+				Qty:   1 + gen.Intn(5),
+			}
+		}
+		for i, o := range orders {
+			got, err := batchBook.matchSweep(o)
+			if err != nil {
+				t.Fatalf("seed %d order %d: sweep: %v", seed, i, err)
+			}
+			want, err := perOpBook.matchPerOp(o)
+			if err != nil {
+				t.Fatalf("seed %d order %d: per-op: %v", seed, i, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d order %d (%+v): %d fills via batch, %d via per-op",
+					seed, i, o, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("seed %d order %d fill %d: batch %+v, per-op %+v",
+						seed, i, j, got[j], want[j])
+				}
+			}
+		}
+		assertSameLevels(t, batchBook, perOpBook)
+	}
+}
+
+func assertSameLevels(t *testing.T, a, b *book) {
+	t.Helper()
+	for name, pair := range map[string][2]interface {
+		Keys(lo, hi int64) ([]int64, error)
+	}{
+		"bids": {a.bids, b.bids},
+		"asks": {a.asks, b.asks},
+	} {
+		ka, err := pair[0].Keys(0, maxTick-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := pair[1].Keys(0, maxTick-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ka) != len(kb) {
+			t.Fatalf("%s: batch book has %d levels, per-op book %d", name, len(ka), len(kb))
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("%s: level %d differs: %d vs %d", name, i, ka[i], kb[i])
+			}
+		}
+	}
+}
+
+// TestRunDemo keeps the example's main path executable under go test.
+func TestRunDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demo loop is seconds-long")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

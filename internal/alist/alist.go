@@ -228,6 +228,113 @@ func (l *List) Insert(u *unode.UpdateNode) *Cell {
 	}
 }
 
+// InsertRun links one new cell per update node in a single search pass —
+// the batch announcement of the combining layer (see internal/combine and
+// DESIGN.md §Combining layer). us must be sorted in list order (ascending
+// keys for U-ALL, descending for RU-ALL; ties are fine and insert after
+// existing equal keys, like Insert). The cells are ordinary single-key
+// cells, so every traversal invariant of the paper is untouched; what is
+// amortized is the Harris search and the head-region CAS traffic — one
+// walk links the whole run instead of one walk per announcement. On
+// contention the walk restarts from the head for the remaining suffix,
+// which keeps the pass lock-free for the same reason Insert is.
+func (l *List) InsertRun(us []*unode.UpdateNode) {
+	i := 0
+restart:
+	for i < len(us) {
+		pred, predRef, succ := l.search(us[i].Key)
+		for i < len(us) {
+			u := us[i]
+			// Advance (pred, succ) from the previous insertion point to
+			// this node's. Marked cells mean a concurrent removal got
+			// here first; restart the search for the suffix.
+			for succ != l.tail && l.precedes(succ.Key, u.Key) {
+				r := succ.next.Load()
+				if r == nil || r.marked {
+					continue restart
+				}
+				pred, predRef, succ = succ, r, r.next
+			}
+			if predRef.marked || predRef.next != succ {
+				continue restart
+			}
+			cell := &Cell{Key: u.Key, Upd: u}
+			cell.intern()
+			cell.selfRef.next = succ
+			cell.next.Store(&cell.selfRef)
+			if !pred.next.CompareAndSwap(predRef, &cell.linkRef) {
+				continue restart
+			}
+			pred, predRef = cell, cell.next.Load()
+			succ = predRef.next
+			i++
+		}
+	}
+}
+
+// RemoveRun logically deletes every cell carrying any node of us and
+// physically unlinks the marked cells — the batch retirement matching
+// InsertRun. us must be sorted in list order with distinct keys. Each pass
+// walks the list once, marking matches as it goes, then unlinks via one
+// full search; passes repeat until one finds nothing unmarked, which
+// mirrors Remove's loop and catches cells a helper re-inserted behind the
+// scan cursor (helpers stop re-inserting once the node's Completed flag is
+// set, so the loop terminates).
+func (l *List) RemoveRun(us []*unode.UpdateNode) {
+	if len(us) == 0 {
+		return
+	}
+	for {
+		marked := 0
+		i := 0
+		for cur := l.head.Next(); cur != nil && cur != l.tail && i < len(us); cur = cur.Next() {
+			for i < len(us) && l.strictlyPrecedes(us[i].Key, cur.Key) {
+				i++ // every cell for us[i] lies behind the cursor now
+			}
+			if i == len(us) {
+				break
+			}
+			if cur.Upd != us[i] {
+				continue
+			}
+			var mr *ref
+			for {
+				r := cur.next.Load()
+				if r.marked {
+					break
+				}
+				if mr == nil {
+					mr = cur.claimMarkRef()
+				}
+				mr.next = r.next
+				if cur.next.CompareAndSwap(r, mr) {
+					marked++
+					break
+				}
+			}
+		}
+		// One full physical pass: searching past every key unlinks all
+		// marked cells encountered on the way.
+		end := KeyPosInf
+		if l.descending {
+			end = KeyNegInf
+		}
+		l.search(end)
+		if marked == 0 {
+			return
+		}
+	}
+}
+
+// strictlyPrecedes reports whether every cell with key a lies strictly
+// before any cell with key b in list order.
+func (l *List) strictlyPrecedes(a, b int64) bool {
+	if l.descending {
+		return a > b
+	}
+	return a < b
+}
+
 // Remove logically deletes every cell carrying u and physically unlinks
 // them. It returns the number of cells removed. Removing an absent node is
 // a no-op returning 0.

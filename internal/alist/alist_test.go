@@ -263,3 +263,141 @@ func TestTraversalThroughMarkedCells(t *testing.T) {
 		t.Fatalf("marked cell successor = %v, want key 3", n)
 	}
 }
+
+// --- batched runs (combining layer) -----------------------------------------
+
+func TestInsertRunOrderAndContent(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		l := New(desc)
+		// Interleave singles and a run; keys of the run must land sorted
+		// among existing cells.
+		l.Insert(ins(4))
+		l.Insert(ins(12))
+		run := []*unode.UpdateNode{ins(2), ins(6), ins(10), ins(14)}
+		if desc {
+			for i, j := 0, len(run)-1; i < j; i, j = i+1, j-1 {
+				run[i], run[j] = run[j], run[i]
+			}
+		}
+		l.InsertRun(run)
+		got := l.Keys()
+		want := []int64{2, 4, 6, 10, 12, 14}
+		if desc {
+			want = []int64{14, 12, 10, 6, 4, 2}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("descending=%v: Keys() = %v, want %v", desc, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("descending=%v: Keys() = %v, want %v", desc, got, want)
+			}
+		}
+		for _, u := range run {
+			if !l.Contains(u) {
+				t.Fatalf("descending=%v: run node %v not linked", desc, u)
+			}
+		}
+	}
+}
+
+func TestInsertRunEqualKeysAfterExisting(t *testing.T) {
+	l := New(false)
+	first := ins(5)
+	l.Insert(first)
+	second := ins(5)
+	l.InsertRun([]*unode.UpdateNode{ins(3), second, ins(7)})
+	// The run's key-5 cell must sit after the pre-existing key-5 cell.
+	cur := l.Head().Next()
+	var at5 []*unode.UpdateNode
+	for ; cur != nil && cur != l.tail; cur = cur.Next() {
+		if cur.Key == 5 {
+			at5 = append(at5, cur.Upd)
+		}
+	}
+	if len(at5) != 2 || at5[0] != first || at5[1] != second {
+		t.Fatalf("equal-key order violated: %v", at5)
+	}
+}
+
+func TestRemoveRunDrainsBatch(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		l := New(desc)
+		keep := ins(8)
+		l.Insert(keep)
+		run := []*unode.UpdateNode{ins(1), ins(8), ins(15)}
+		if desc {
+			run[0], run[2] = run[2], run[0]
+		}
+		l.InsertRun(run)
+		l.RemoveRun(run)
+		if got := l.Len(); got != 1 {
+			t.Fatalf("descending=%v: Len() = %d after RemoveRun, want 1", desc, got)
+		}
+		if !l.Contains(keep) {
+			t.Fatalf("descending=%v: RemoveRun removed an unrelated node", desc)
+		}
+		for _, u := range run {
+			if l.Contains(u) {
+				t.Fatalf("descending=%v: node %v survived RemoveRun", desc, u)
+			}
+		}
+	}
+}
+
+func TestRemoveRunRemovesHelperDuplicates(t *testing.T) {
+	l := New(false)
+	u := ins(6)
+	l.Insert(u)
+	l.Insert(u) // helper re-insertion: duplicate cell for the same node
+	l.RemoveRun([]*unode.UpdateNode{u})
+	if l.Contains(u) {
+		t.Fatal("duplicate cell survived RemoveRun")
+	}
+	if got := l.Len(); got != 0 {
+		t.Fatalf("Len() = %d, want 0", got)
+	}
+}
+
+// TestConcurrentRunsAndSingles hammers InsertRun/RemoveRun against
+// single-cell Insert/Remove traffic and checks quiescent content.
+func TestConcurrentRunsAndSingles(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		l := New(desc)
+		const goroutines = 8
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(id)))
+				base := int64(id) * 1000
+				for iter := 0; iter < 200; iter++ {
+					if id%2 == 0 {
+						// Batched path: run of 4 disjoint keys.
+						run := make([]*unode.UpdateNode, 4)
+						for i := range run {
+							run[i] = ins(base + int64(i)*10 + rng.Int63n(10))
+						}
+						sort.Slice(run, func(a, b int) bool {
+							if desc {
+								return run[a].Key > run[b].Key
+							}
+							return run[a].Key < run[b].Key
+						})
+						l.InsertRun(run)
+						l.RemoveRun(run)
+					} else {
+						u := ins(base + rng.Int63n(40))
+						l.Insert(u)
+						l.Remove(u)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := l.Len(); got != 0 {
+			t.Fatalf("descending=%v: Len() = %d after drain, want 0", desc, got)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package combine is the per-shard flat-combining layer of the trie: it
+// batches concurrent Insert/Delete operations through a fixed array of
+// padded publication slots so that one thread — the round's combiner —
+// applies them as a single core.ApplyBatch, announcing once per batch on
+// U-ALL/RU-ALL instead of once per operation (DESIGN.md §Combining layer).
+//
+// # Protocol
+//
+// A publication slot is a five-state word: empty → writing → pending →
+// taken → done. A submitting goroutine claims a free slot (empty→writing
+// CAS), writes its operation, publishes it (pending), and then loops:
+//
+//  1. wait a short beat for a round in flight — and, symmetrically, give
+//     peers a beat to publish, so rounds form real batches even at
+//     GOMAXPROCS = 1;
+//  2. if its op is done, free the slot and return;
+//  3. try to elect itself combiner (CAS on the round word); the winner
+//     drains every pending slot (pending→taken CAS each), sorts and
+//     dedups the batch, applies it through the backend, marks the drained
+//     slots done and releases the round word;
+//  4. if another combiner holds the round word and this op is still
+//     pending after the spin budget, retract it (pending→empty CAS, which
+//     the combiner's take races against) and apply it directly through the
+//     backend's per-op path — the lock-free escape hatch.
+//
+// # Progress
+//
+// The underlying trie stays lock-free: queries and non-combined operations
+// never touch the slots, and a submitter whose op has not been taken can
+// always retract and fall back to the ordinary lock-free per-op path, so a
+// stalled combiner cannot block ops it has not claimed. What combining
+// gives up is per-op lock-freedom for the ops a combiner HAS claimed: a
+// taken op waits for its combiner's round to finish (flat combining's
+// standard trade). The claim window is short — a combiner takes slots only
+// immediately before applying — and bounded by one batch application of
+// lock-free code, so a descheduled combiner delays its round, never the
+// structure.
+//
+// # Linearization
+//
+// Each batched op still linearizes individually inside core.ApplyBatch
+// (at its update node's activation, or at the findLatest read that proved
+// it a no-op). Deduplication keeps, per key, the last op in the round's
+// drain order: the dropped ops are concurrent with the kept one and return
+// no values, so ordering them immediately before it is a valid
+// linearization in which their effects are exactly superseded.
+package combine
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/core"
+)
+
+// Op is one submitted operation; Won is filled by the backend and is
+// meaningful to batch-applying callers, not to Submit.
+type Op = core.BatchOp
+
+// Slot states.
+const (
+	slotEmpty uint32 = iota
+	slotWriting
+	slotPending
+	slotTaken
+	slotDone
+)
+
+// spinBeat is how many state polls a submitter makes per wait beat before
+// reconsidering election/retraction; every 4th poll yields the processor
+// so a combiner (or peers still publishing) can run — without the yields a
+// single-CPU host would never form a batch.
+const spinBeat = 32
+
+// yieldBeat replaces spinBeat on a single-P runtime, where polling between
+// yields is dead time (no other goroutine can change a slot while we hold
+// the only P): the beat is paced purely by Gosched round-trips — each one
+// runs every other runnable goroutine once, which is exactly the window
+// peers need to publish into the round.
+const yieldBeat = 3
+
+// retractAfter is how many whole beats a pending op waits out a busy
+// combiner before retracting to the direct path. Rounds that drain deletes
+// are long (each runs two embedded predecessor operations), so giving up
+// after one beat makes half the submissions bypass combining under exactly
+// the update pressure the layer exists for; a few beats of patience keeps
+// the escape hatch bounded while letting pending ops ride the next round.
+const retractAfter = 8
+
+// slot is one publication slot, padded to two cache lines so neighbouring
+// slots never false-share (matching the shard-header discipline).
+type slot struct {
+	state atomic.Uint32
+	key   int64
+	del   bool
+	_     [111]byte
+}
+
+// Stats carries the combiner's monitoring counters (padded; always on —
+// four uncontended-in-the-common-case adds per round).
+type Stats struct {
+	// Rounds counts combining rounds that drained at least one op.
+	Rounds atomicx.PadInt64
+	// Batched counts ops applied inside a round (before dedup).
+	Batched atomicx.PadInt64
+	// Direct counts ops that bypassed combining: retractions after the
+	// spin budget plus submissions that found every slot occupied.
+	Direct atomicx.PadInt64
+	// MaxBatch is the largest round drained so far (monotone).
+	MaxBatch atomicx.PadInt64
+}
+
+// Combiner batches updates for one shard. Create with New; all methods are
+// safe for concurrent use.
+type Combiner struct {
+	apply    func(ops []Op) // sorted, deduped batch; called with the round word held
+	applyOne func(op Op)    // direct lock-free per-op path
+	slots    []slot
+	mask     uint32
+	round    atomic.Uint32 // the round word: 0 free, 1 combining
+	ticket   atomic.Uint32 // rotates the slot-probe start point
+	taken    []*slot       // round scratch; guarded by the round word
+	batch    []Op          // round scratch; guarded by the round word
+	stats    Stats
+}
+
+// testHookMidRound, when non-nil, runs after a round's slots are taken and
+// before the batch is applied — the combiner-descheduled-mid-batch window
+// the handoff stress test widens.
+var testHookMidRound func()
+
+// DefaultSlots is the publication-slot count New uses for n ≤ 0.
+// Publishers are goroutines, not Ps — a single-P host can park dozens of
+// submitters at once — so the floor is sized for goroutine oversubscription
+// (64 slots ≈ 8 KiB per combiner), not for the CPU count; saturated claims
+// fall back to the direct path, so the ceiling only bounds the drain scan.
+func DefaultSlots() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 64 {
+		n = 64
+	}
+	if n > 256 {
+		n = 256
+	}
+	return ceilPow2(n)
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New returns a combiner with n publication slots (n ≤ 0 selects
+// DefaultSlots; n is rounded up to a power of two). apply receives each
+// round's batch sorted by strictly ascending key, one op per key, and must
+// fill the Won flags; applyOne is the per-op fallback used when a
+// submission bypasses combining.
+func New(n int, apply func(ops []Op), applyOne func(op Op)) *Combiner {
+	if n <= 0 {
+		n = DefaultSlots()
+	}
+	n = ceilPow2(n)
+	return &Combiner{
+		apply:    apply,
+		applyOne: applyOne,
+		slots:    make([]slot, n),
+		mask:     uint32(n - 1),
+	}
+}
+
+// SlotCount returns the publication-slot count (metrics).
+func (c *Combiner) SlotCount() int { return len(c.slots) }
+
+// StatsSnapshot returns the current counter values.
+func (c *Combiner) StatsSnapshot() (rounds, batched, direct, maxBatch int64) {
+	return c.stats.Rounds.Load(), c.stats.Batched.Load(),
+		c.stats.Direct.Load(), c.stats.MaxBatch.Load()
+}
+
+// Submit hands one update to the combining layer and returns when it has
+// been applied — by a combiner's batch, by this goroutine running a round,
+// or directly through the per-op path when the slots are full or a stalled
+// combiner forces the retraction fallback.
+func (c *Combiner) Submit(op Op) {
+	s := c.claim()
+	if s == nil {
+		c.stats.Direct.Add(1)
+		c.applyOne(op)
+		return
+	}
+	s.key, s.del = op.Key, op.Del
+	s.state.Store(slotPending)
+	// Read per call, not at init: GOMAXPROCS can change at runtime
+	// (explicit call, container-aware updates), and only the wait
+	// discipline — never the protocol — depends on it.
+	singleP := runtime.GOMAXPROCS(0) == 1
+	for attempt := 0; ; attempt++ {
+		// Beat: wait for an in-flight round to pick us up, and give peers
+		// a chance to publish before anyone elects.
+		if singleP {
+			for i := 0; i < yieldBeat; i++ {
+				if s.state.Load() == slotDone {
+					s.state.Store(slotEmpty)
+					return
+				}
+				runtime.Gosched()
+			}
+		} else {
+			for i := 0; i < spinBeat; i++ {
+				if s.state.Load() == slotDone {
+					s.state.Store(slotEmpty)
+					return
+				}
+				if i&3 == 3 {
+					runtime.Gosched()
+				}
+			}
+		}
+		if s.state.Load() == slotDone {
+			s.state.Store(slotEmpty)
+			return
+		}
+		if c.round.CompareAndSwap(0, 1) {
+			c.runRound()
+			c.round.Store(0)
+			if s.state.Load() == slotDone {
+				s.state.Store(slotEmpty)
+				return
+			}
+			continue // defensive: our op was pending, the round took it
+		}
+		// A combiner is mid-round. After enough beats of waiting — the
+		// combiner may be stalled, not just slow — retract if it has not
+		// claimed our op and go direct, the lock-free escape; once it has
+		// (taken), later beats wait for the round to finish.
+		if attempt >= retractAfter && s.state.CompareAndSwap(slotPending, slotEmpty) {
+			c.stats.Direct.Add(1)
+			c.applyOne(op)
+			return
+		}
+	}
+}
+
+// claim finds a free slot and moves it empty→writing, or returns nil after
+// one full scan — the combiner is saturated and the caller should go
+// direct.
+func (c *Combiner) claim() *slot {
+	start := c.ticket.Add(1)
+	for i := uint32(0); i <= c.mask; i++ {
+		s := &c.slots[(start+i)&c.mask]
+		if s.state.Load() == slotEmpty && s.state.CompareAndSwap(slotEmpty, slotWriting) {
+			return s
+		}
+	}
+	return nil
+}
+
+// runRound drains every pending slot, applies the deduped batch, and
+// releases the drained slots. Called with the round word held.
+func (c *Combiner) runRound() {
+	c.taken = c.taken[:0]
+	for i := range c.slots {
+		s := &c.slots[i]
+		if s.state.Load() == slotPending && s.state.CompareAndSwap(slotPending, slotTaken) {
+			c.taken = append(c.taken, s)
+		}
+	}
+	if len(c.taken) == 0 {
+		return
+	}
+	if h := testHookMidRound; h != nil {
+		h()
+	}
+	c.batch = c.batch[:0]
+	for _, s := range c.taken {
+		c.batch = append(c.batch, Op{Key: s.key, Del: s.del})
+	}
+	c.apply(SortDedup(c.batch))
+	for _, s := range c.taken {
+		s.state.Store(slotDone)
+	}
+	c.stats.Rounds.Add(1)
+	c.stats.Batched.Add(int64(len(c.taken)))
+	if n := int64(len(c.taken)); n > c.stats.MaxBatch.Load() {
+		c.stats.MaxBatch.Store(n) // monotone; the combiner is the only writer
+	}
+}
+
+// SortDedup sorts ops by key (stable in the given order) and keeps, per
+// key, the last op — the form core.ApplyBatch requires. It reorders ops in
+// place and returns the deduped prefix. Keeping the last op is a valid
+// linearization for void-returning concurrent updates: the dropped ops
+// order immediately before the kept one (see the package comment); callers
+// batching a SEQUENTIAL op list get exactly its final-state semantics.
+func SortDedup(ops []Op) []Op {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
+	out := ops[:0]
+	for i := 0; i < len(ops); i++ {
+		if i+1 < len(ops) && ops[i+1].Key == ops[i].Key {
+			continue // a later op on the same key supersedes this one
+		}
+		out = append(out, ops[i])
+	}
+	return out
+}

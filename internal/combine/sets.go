@@ -1,0 +1,157 @@
+package combine
+
+import (
+	"repro/internal/core"
+	"repro/internal/relaxed"
+)
+
+// CoreSet is the unsharded (k = 1) combining facade over a core trie: the
+// read path (Search/Predecessor/Successor/Len) delegates untouched, while
+// Insert and Delete route through a single combiner when combining is
+// enabled. With combining disabled it is a transparent adapter that still
+// provides the batch entrypoint, so the public ApplyBatch works at every
+// configuration.
+type CoreSet struct {
+	t *core.Trie
+	c *Combiner // nil: combining disabled
+}
+
+// WrapCore wraps t; combining selects whether updates publish to a
+// combiner (slots publication slots, ≤ 0 for the default) or run the
+// per-op path directly.
+func WrapCore(t *core.Trie, combining bool, slots int) *CoreSet {
+	s := &CoreSet{t: t}
+	if combining {
+		s.c = New(slots,
+			func(ops []Op) { t.ApplyBatch(ops) },
+			func(op Op) {
+				if op.Del {
+					t.Delete(op.Key)
+				} else {
+					t.Insert(op.Key)
+				}
+			})
+	}
+	return s
+}
+
+// Core returns the wrapped trie (tests, stats).
+func (s *CoreSet) Core() *core.Trie { return s.t }
+
+// Combining reports whether updates are routed through the combiner.
+func (s *CoreSet) Combining() bool { return s.c != nil }
+
+// CombineStats returns the combiner counters (zeros when disabled).
+func (s *CoreSet) CombineStats() (rounds, batched, direct, maxBatch int64) {
+	if s.c == nil {
+		return 0, 0, 0, 0
+	}
+	return s.c.StatsSnapshot()
+}
+
+// Search reports whether x is in the set.
+func (s *CoreSet) Search(x int64) bool { return s.t.Search(x) }
+
+// Insert adds x to the set, via the combiner when enabled.
+func (s *CoreSet) Insert(x int64) {
+	if s.c != nil {
+		s.c.Submit(Op{Key: x})
+		return
+	}
+	s.t.Insert(x)
+}
+
+// Delete removes x from the set, via the combiner when enabled.
+func (s *CoreSet) Delete(x int64) {
+	if s.c != nil {
+		s.c.Submit(Op{Key: x, Del: true})
+		return
+	}
+	s.t.Delete(x)
+}
+
+// Predecessor returns the largest key < y, or −1.
+func (s *CoreSet) Predecessor(y int64) int64 { return s.t.Predecessor(y) }
+
+// Successor returns the smallest key > y, or −1.
+func (s *CoreSet) Successor(y int64) int64 { return s.t.Successor(y) }
+
+// Len returns the key count (weakly consistent; exact at quiescence).
+func (s *CoreSet) Len() int64 { return s.t.Len() }
+
+// U returns the padded universe size.
+func (s *CoreSet) U() int64 { return s.t.U() }
+
+// ApplyBatch applies a pre-batched op sequence directly (no publication
+// slots — the caller already amortized). ops must be sorted by strictly
+// ascending key with one op per key (SortDedup's output form); Won flags
+// are filled.
+func (s *CoreSet) ApplyBatch(ops []Op) { s.t.ApplyBatch(ops) }
+
+// RelaxedSet is the unsharded combining facade over the §4 relaxed trie.
+// The relaxed trie has no announcement lists, so a batch amortizes nothing
+// structurally; combining it still serializes same-shard updates through
+// one cache-warm thread, which is occasionally useful under extreme
+// same-range churn, and keeps the WithCombining option uniform across both
+// public types. Batched updates trade the relaxed trie's per-op
+// wait-freedom for the combiner handoff, exactly as with the core trie.
+type RelaxedSet struct {
+	t *relaxed.Trie
+	c *Combiner // nil: combining disabled
+}
+
+// WrapRelaxed wraps t, mirroring WrapCore.
+func WrapRelaxed(t *relaxed.Trie, combining bool, slots int) *RelaxedSet {
+	s := &RelaxedSet{t: t}
+	if combining {
+		apply1 := func(op Op) {
+			if op.Del {
+				t.Delete(op.Key)
+			} else {
+				t.Insert(op.Key)
+			}
+		}
+		s.c = New(slots, func(ops []Op) {
+			for i := range ops {
+				apply1(ops[i])
+			}
+		}, apply1)
+	}
+	return s
+}
+
+// Relaxed returns the wrapped trie (tests, stats).
+func (s *RelaxedSet) Relaxed() *relaxed.Trie { return s.t }
+
+// Search reports whether x is in the set.
+func (s *RelaxedSet) Search(x int64) bool { return s.t.Search(x) }
+
+// Insert adds x to the set, via the combiner when enabled.
+func (s *RelaxedSet) Insert(x int64) {
+	if s.c != nil {
+		s.c.Submit(Op{Key: x})
+		return
+	}
+	s.t.Insert(x)
+}
+
+// Delete removes x from the set, via the combiner when enabled.
+func (s *RelaxedSet) Delete(x int64) {
+	if s.c != nil {
+		s.c.Submit(Op{Key: x, Del: true})
+		return
+	}
+	s.t.Delete(x)
+}
+
+// Predecessor is the §4.1 relaxed predecessor (may abstain).
+func (s *RelaxedSet) Predecessor(y int64) (int64, bool) { return s.t.Predecessor(y) }
+
+// Successor is the mirrored relaxed successor (may abstain).
+func (s *RelaxedSet) Successor(y int64) (int64, bool) { return s.t.Successor(y) }
+
+// Len returns the key count (weakly consistent; exact at quiescence).
+func (s *RelaxedSet) Len() int64 { return s.t.Len() }
+
+// U returns the padded universe size.
+func (s *RelaxedSet) U() int64 { return s.t.U() }

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/unode"
+)
+
+// BatchOp is one operation of an ApplyBatch call. Key and Del are inputs;
+// Won is an output, reporting whether this operation performed the
+// absent→present (present→absent) transition — the same contract as
+// Add/Remove, which the sharded layer's occupancy counters hang off.
+type BatchOp struct {
+	// Key is the operation's key.
+	Key int64
+	// Del selects Delete (true) or Insert (false).
+	Del bool
+	// Won reports, after ApplyBatch returns, whether this operation won
+	// its latest[Key] CAS and became the linearization point of a state
+	// transition. A no-op (inserting a present key, deleting an absent
+	// one, or losing to a concurrent same-key update) reports false.
+	Won bool
+}
+
+// batchScratch holds the op-local slices of one ApplyBatch call. Like the
+// predecessor arena (arena.go), nothing in it is ever CAS-published, so
+// pooling is ABA-safe; the update nodes the slices point at are fresh per
+// call and release clears the pointers.
+type batchScratch struct {
+	nodes []*unode.UpdateNode // prepared nodes, ascending key order
+	rev   []*unode.UpdateNode // the same nodes, descending (RU-ALL order)
+	idx   []int               // nodes[i] implements ops[idx[i]]
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (b *batchScratch) release() {
+	for i := range b.nodes {
+		b.nodes[i] = nil
+	}
+	for i := range b.rev {
+		b.rev[i] = nil
+	}
+	b.nodes, b.rev, b.idx = b.nodes[:0], b.rev[:0], b.idx[:0]
+	batchPool.Put(b)
+}
+
+// ApplyBatch applies a batch of update operations with one announcement
+// pass per list instead of one per operation — the core entrypoint of the
+// combining layer (internal/combine, DESIGN.md §Combining layer).
+//
+// Precondition: ops is sorted by strictly ascending Key (one op per key;
+// combine.SortDedup produces this form) and every key is in [0, U()).
+//
+// The batch deviates from the per-op protocol (Add/Remove) in exactly two
+// ways, both invisible to concurrent operations:
+//
+//   - Announce-early: every prepared update node is linked into U-ALL and
+//     RU-ALL in a single InsertRun pass per list BEFORE its latest[x] CAS,
+//     instead of between the CAS and the activation. An announced node
+//     that is still inactive and not in any latest list is skipped by
+//     every traversal (traverseUall/traverseRUall check the status,
+//     firstActivated fails) and unreachable by helpers (helpActivate only
+//     sees latest-list nodes), so widening the announced window on the
+//     early side changes no observable behaviour.
+//   - Retire-late: announcement cells are removed in a single RemoveRun
+//     pass per list AFTER the last operation completes, instead of per op.
+//     Completed is still set per op before retirement, so helper
+//     re-insertions resolve exactly as in the per-op path; the lists are
+//     transiently longer by O(batch) ≤ O(concurrent publishers) = O(ċ),
+//     preserving the paper's announcement-space bound.
+//
+// Everything between — the latest-list CAS, activation (the linearization
+// point), interpreted-bit updates, embedded predecessors of deletes, and
+// notifications — is the unmodified per-op protocol, executed op by op in
+// ascending key order. An op whose CAS fails is NOT retried (same single-
+// attempt contract as Add/Remove: the interfering operation reports the
+// transition); its dead node is never activated and its cells are retired
+// with the batch.
+//
+// Each operation linearizes individually (at its own activation or at the
+// findLatest read that proved it a no-op); the batch as a whole announces
+// once. Wall-clock cost: O(batch · (ċ² + log u)) amortized, with 2 list
+// passes instead of 2·batch.
+func (t *Trie) ApplyBatch(ops []BatchOp) {
+	switch len(ops) {
+	case 0:
+		return
+	case 1:
+		// A single op gains nothing from the batch phases; the per-op
+		// path announces and retires tightly.
+		if ops[0].Del {
+			ops[0].Won = t.Remove(ops[0].Key)
+		} else {
+			ops[0].Won = t.Add(ops[0].Key)
+		}
+		return
+	}
+	b := batchPool.Get().(*batchScratch)
+	defer b.release()
+
+	// --- Phase 1: prepare. findLatest both classifies obvious no-ops
+	// (those ops linearize here, at the read) and yields the node the
+	// phase-3 CAS will expect.
+	for i := range ops {
+		ops[i].Won = false
+		cur := t.findLatest(ops[i].Key)
+		if ops[i].Del {
+			if cur.Kind != unode.Ins {
+				continue // absent: Delete is a no-op
+			}
+			b.nodes = append(b.nodes, unode.NewDel(ops[i].Key, t.b))
+		} else {
+			if cur.Kind != unode.Del {
+				continue // present: Insert is a no-op
+			}
+			b.nodes = append(b.nodes, unode.NewIns(ops[i].Key))
+		}
+		b.idx = append(b.idx, i)
+	}
+	if len(b.nodes) == 0 {
+		return
+	}
+
+	// --- Phase 2: announce once. One search pass per list links every
+	// prepared node; the nodes are inactive, hence invisible, until their
+	// phase-3 activation.
+	if t.stats != nil {
+		t.stats.Announces.Add(1)
+	}
+	t.uall.InsertRun(b.nodes)
+	for i := len(b.nodes) - 1; i >= 0; i-- {
+		b.rev = append(b.rev, b.nodes[i])
+	}
+	t.ruall.InsertRun(b.rev)
+
+	// --- Phase 3: apply, op by op, via the per-op protocol minus its
+	// announce/retire steps.
+	for i, n := range b.nodes {
+		op := &ops[b.idx[i]]
+		if op.Del {
+			op.Won = t.applyBatchedDelete(n)
+		} else {
+			op.Won = t.applyBatchedInsert(n)
+		}
+	}
+
+	// --- Phase 4: retire once. Dead nodes (lost CAS, or phase-3 no-op)
+	// ride along: they were never activated, so nothing else references
+	// their cells.
+	t.uall.RemoveRun(b.nodes)
+	t.ruall.RemoveRun(b.rev)
+}
+
+// applyBatchedInsert is Add (paper lines 162–180) for a node that is
+// already announced; returns whether the insert won. Mirrors Add line for
+// line except announcing (done) and list removal (deferred).
+func (t *Trie) applyBatchedInsert(iNode *unode.UpdateNode) bool {
+	x := iNode.Key
+	dNode := t.findLatest(x)
+	if dNode.Kind != unode.Del {
+		return false // x already in S; linearizes at the read
+	}
+	iNode.LatestNext.Store(dNode)
+	if ln := dNode.LatestNext.Load(); ln != nil { // line 168
+		if tg := ln.Target.Load(); tg != nil {
+			tg.Stop.Store(true)
+		}
+	}
+	dNode.LatestNext.Store(nil) // line 169
+	if !t.latest[x].CompareAndSwap(dNode, iNode) {
+		t.helpActivate(t.latest[x].Load()) // line 171
+		return false
+	}
+	iNode.Status.Store(unode.StatusActive) // line 174: linearization point
+	t.count.Add(1)
+	iNode.LatestNext.Store(nil)    // line 175
+	t.bits.InsertBinaryTrie(iNode) // line 176
+	t.notifyPredOps(iNode)         // line 177
+	iNode.Completed.Store(true)    // line 178
+	return true
+}
+
+// applyBatchedDelete is Remove (paper lines 181–206) for a node that is
+// already announced. The DEL node's embedded-predecessor fields are set
+// here, before the publishing CAS — they are plain fields, and no reader
+// reaches them until the node is activated (which orders after).
+func (t *Trie) applyBatchedDelete(dNode *unode.UpdateNode) bool {
+	x := dNode.Key
+	iNode := t.findLatest(x)
+	if iNode.Kind != unode.Ins {
+		return false // x not in S; linearizes at the read
+	}
+	delPred, pNode1 := t.predHelper(x) // line 184: first embedded predecessor
+	dNode.DelPred = delPred
+	dNode.DelPredNode = pNode1
+	dNode.LatestNext.Store(iNode)
+	iNode.LatestNext.Store(nil) // line 190
+	t.notifyPredOps(iNode)      // line 191
+	if !t.latest[x].CompareAndSwap(iNode, dNode) {
+		t.helpActivate(t.latest[x].Load()) // line 193
+		t.pall.remove(pNode1)              // line 194
+		return false
+	}
+	dNode.Status.Store(unode.StatusActive) // line 197: linearization point
+	t.count.Add(-1)
+	if tg := iNode.Target.Load(); tg != nil { // line 198
+		tg.Stop.Store(true)
+	}
+	dNode.LatestNext.Store(nil)         // line 199
+	delPred2, pNode2 := t.predHelper(x) // line 200
+	dNode.DelPred2.Store(delPred2)      // line 201
+	t.bits.DeleteBinaryTrie(dNode)      // line 202
+	t.notifyPredOps(dNode)              // line 203
+	dNode.Completed.Store(true)         // line 204
+	t.pall.remove(pNode1)               // line 206
+	t.pall.remove(pNode2)
+	return true
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestApplyBatchSequentialSemantics(t *testing.T) {
+	const u = 256
+	tr := mustNew(t, u)
+	ref := make(map[int64]bool)
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(12)
+		ops := make([]BatchOp, 0, n)
+		seen := map[int64]bool{}
+		for len(ops) < n {
+			k := rng.Int63n(u)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			ops = append(ops, BatchOp{Key: k, Del: rng.Intn(2) == 0})
+		}
+		// ApplyBatch requires ascending keys.
+		for i := 1; i < len(ops); i++ {
+			for j := i; j > 0 && ops[j].Key < ops[j-1].Key; j-- {
+				ops[j], ops[j-1] = ops[j-1], ops[j]
+			}
+		}
+		tr.ApplyBatch(ops)
+		for _, op := range ops {
+			wantWon := ref[op.Key] == op.Del // transition iff state differs
+			if op.Won != wantWon {
+				t.Fatalf("round %d: op %+v Won = %v, want %v", round, op, op.Won, wantWon)
+			}
+			if op.Del {
+				delete(ref, op.Key)
+			} else {
+				ref[op.Key] = true
+			}
+		}
+		// Spot-check membership and predecessors after every batch.
+		for probe := 0; probe < 16; probe++ {
+			k := rng.Int63n(u)
+			if got := tr.Search(k); got != ref[k] {
+				t.Fatalf("round %d: Search(%d) = %v, want %v", round, k, got, ref[k])
+			}
+			want := int64(-1)
+			for c := k - 1; c >= 0; c-- {
+				if ref[c] {
+					want = c
+					break
+				}
+			}
+			if got := tr.Predecessor(k); got != want {
+				t.Fatalf("round %d: Predecessor(%d) = %d, want %d", round, k, got, want)
+			}
+		}
+	}
+}
+
+// TestApplyBatchLeavesListsClean checks phase 4 retires every announcement
+// the batch made, including cells of dead (no-op and lost) nodes.
+func TestApplyBatchLeavesListsClean(t *testing.T) {
+	tr := mustNew(t, 64)
+	tr.Insert(10) // the batched Insert(10) below is a phase-1 no-op
+	ops := []BatchOp{{Key: 5}, {Key: 10}, {Key: 20, Del: true}, {Key: 30}}
+	tr.ApplyBatch(ops)
+	if tr.AnnouncedUpdates() != 0 {
+		t.Fatalf("U-ALL still holds %d cells after ApplyBatch", tr.AnnouncedUpdates())
+	}
+	if got := tr.ruall.Len(); got != 0 {
+		t.Fatalf("RU-ALL still holds %d cells after ApplyBatch", got)
+	}
+	if ops[0].Won != true || ops[1].Won != false || ops[2].Won != false || ops[3].Won != true {
+		t.Fatalf("Won flags = %v %v %v %v, want true false false true",
+			ops[0].Won, ops[1].Won, ops[2].Won, ops[3].Won)
+	}
+}
+
+// TestApplyBatchAnnouncesOnce pins the announcement amortization: a batch
+// of n > 1 real updates bumps the Announces counter once.
+func TestApplyBatchAnnouncesOnce(t *testing.T) {
+	tr := mustNew(t, 64)
+	st := &Stats{}
+	tr.SetStats(st)
+	ops := []BatchOp{{Key: 3}, {Key: 9}, {Key: 17}, {Key: 40}}
+	tr.ApplyBatch(ops)
+	if got := st.Announces.Load(); got != 1 {
+		t.Fatalf("Announces = %d after one 4-op batch, want 1", got)
+	}
+	tr.Insert(50)
+	if got := st.Announces.Load(); got != 2 {
+		t.Fatalf("Announces = %d after per-op insert, want 2", got)
+	}
+}
+
+// TestApplyBatchConcurrentWithPerOp races batches against per-op updates
+// and predecessor queries on overlapping keys, then verifies the quiescent
+// state matches a per-goroutine reconstruction on disjoint ranges and that
+// concurrent predecessor answers are sane.
+func TestApplyBatchConcurrentWithPerOp(t *testing.T) {
+	const (
+		u          = int64(512)
+		goroutines = 6
+		rounds     = 300
+	)
+	tr := mustNew(t, u)
+	var wg sync.WaitGroup
+	finals := make([]map[int64]bool, goroutines)
+	width := u / goroutines
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)*977 + 1))
+			lo := int64(id) * width
+			final := map[int64]bool{}
+			for r := 0; r < rounds; r++ {
+				switch rng.Intn(3) {
+				case 0: // batch on own range
+					n := 2 + rng.Intn(6)
+					ops := make([]BatchOp, 0, n)
+					seen := map[int64]bool{}
+					for len(ops) < n {
+						k := lo + rng.Int63n(width)
+						if seen[k] {
+							continue
+						}
+						seen[k] = true
+						ops = append(ops, BatchOp{Key: k, Del: rng.Intn(2) == 0})
+					}
+					for i := 1; i < len(ops); i++ {
+						for j := i; j > 0 && ops[j].Key < ops[j-1].Key; j-- {
+							ops[j], ops[j-1] = ops[j-1], ops[j]
+						}
+					}
+					tr.ApplyBatch(ops)
+					for _, op := range ops {
+						if op.Del {
+							delete(final, op.Key)
+						} else {
+							final[op.Key] = true
+						}
+					}
+				case 1: // per-op on own range
+					k := lo + rng.Int63n(width)
+					if rng.Intn(2) == 0 {
+						tr.Insert(k)
+						final[k] = true
+					} else {
+						tr.Delete(k)
+						delete(final, k)
+					}
+				case 2: // query anywhere (exercises traversals over batches)
+					y := rng.Int63n(u)
+					if p := tr.Predecessor(y); p >= y {
+						t.Errorf("Predecessor(%d) = %d ≥ y", y, p)
+						return
+					}
+				}
+			}
+			finals[id] = final
+		}(g)
+	}
+	wg.Wait()
+	for id, final := range finals {
+		lo := int64(id) * width
+		for k := lo; k < lo+width; k++ {
+			if got := tr.Search(k); got != final[k] {
+				t.Fatalf("quiescent Search(%d) = %v, want %v", k, got, final[k])
+			}
+		}
+	}
+}
+
+func TestSuccessorSequential(t *testing.T) {
+	const u = 128
+	tr := mustNew(t, u)
+	ref := make(map[int64]bool)
+	rng := rand.New(rand.NewSource(3))
+	check := func() {
+		t.Helper()
+		for y := int64(0); y < u; y++ {
+			want := int64(-1)
+			for c := y + 1; c < u; c++ {
+				if ref[c] {
+					want = c
+					break
+				}
+			}
+			if got := tr.Successor(y); got != want {
+				t.Fatalf("Successor(%d) = %d, want %d", y, got, want)
+			}
+		}
+	}
+	check() // empty
+	for step := 0; step < 500; step++ {
+		k := rng.Int63n(u)
+		if rng.Intn(2) == 0 {
+			tr.Insert(k)
+			ref[k] = true
+		} else {
+			tr.Delete(k)
+			delete(ref, k)
+		}
+		if step%50 == 49 {
+			check()
+		}
+	}
+}

@@ -48,6 +48,11 @@ type Stats struct {
 	UallTraversalSteps atomicx.PadInt64
 	// RuallTraversalSteps counts cells visited in RU-ALL traversals.
 	RuallTraversalSteps atomicx.PadInt64
+	// Announces counts U-ALL announcement passes: one per announcing
+	// per-op update (Insert/Delete/HelpActivate), one per ApplyBatch call
+	// covering its whole batch. Announces/op is the quantity the combining
+	// layer exists to reduce (experiment CB1, BENCH_combine.json).
+	Announces atomicx.PadInt64
 }
 
 // Trie is the lock-free linearizable binary trie. Create with New; the zero
@@ -165,6 +170,9 @@ func (t *Trie) Add(x int64) bool {
 		t.helpActivate(t.latest[x].Load()) // line 171
 		return false
 	}
+	if t.stats != nil {
+		t.stats.Announces.Add(1)
+	}
 	t.uall.Insert(iNode) // line 173
 	t.ruall.Insert(iNode)
 	iNode.Status.Store(unode.StatusActive) // line 174: linearization point
@@ -204,6 +212,9 @@ func (t *Trie) Remove(x int64) bool {
 		t.helpActivate(t.latest[x].Load()) // line 193
 		t.pall.remove(pNode1)              // line 194
 		return false
+	}
+	if t.stats != nil {
+		t.stats.Announces.Add(1)
 	}
 	t.uall.Insert(dNode) // line 196
 	t.ruall.Insert(dNode)

@@ -72,6 +72,7 @@ func (t *Trie) helpActivate(uNode *unode.UpdateNode) {
 	}
 	if t.stats != nil {
 		t.stats.HelpActivations.Add(1)
+		t.stats.Announces.Add(1)
 	}
 	t.uall.Insert(uNode) // line 130
 	t.ruall.Insert(uNode)

@@ -1,0 +1,62 @@
+package core
+
+// Successor returns the smallest key in the set strictly greater than y,
+// or −1 if there is none.
+//
+// The paper defines no successor operation for the §5 trie — its
+// announcement machinery (RU-ALL order, notify thresholds, the Definition
+// 5.1 recovery) is built one-directional, toward predecessors — so this is
+// a composed extension with the same consistency contract as the facade's
+// Floor/Max/Range family: every probe it makes is individually
+// linearizable, the composition is weakly consistent under concurrent
+// updates on keys in (y, result), and at quiescence the answer is exact.
+//
+// Fast path: the relaxed-trie mirror traversal (bitstrie.RelaxedSuccessor
+// over this trie's interpreted bits), O(log u) steps. When concurrent
+// updates force that traversal to ⊥, the fallback binary-searches the key
+// space with linearizable Search/Predecessor probes — O(log u) probes,
+// O(log u · (ċ² + log u)) amortized steps — which cannot abstain.
+//
+// Precondition: 0 ≤ y < U().
+func (t *Trie) Successor(y int64) int64 {
+	if y >= t.u-1 {
+		return -1
+	}
+	if s, ok := t.bits.RelaxedSuccessor(y); ok {
+		return s
+	}
+	// ⊥ fallback. Invariant: every key in (y, lo) is absent (as probed),
+	// and some key ≤ hi is present and > y, so the successor converges to
+	// lo == hi. floorProbe(z) — the largest present key ≤ z — both tests
+	// a half and tightens hi past untouched empty space in one step.
+	g := t.floorProbe(t.u - 1)
+	if g <= y {
+		return -1
+	}
+	lo, hi := y+1, g
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if g := t.floorProbe(mid); g > y {
+			if g <= lo {
+				// Only possible when a concurrent insert landed below
+				// the already-cleared range; g is a present key > y and
+				// at least as good as anything we could still converge
+				// to.
+				return g
+			}
+			hi = g
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// floorProbe returns the largest key ≤ z in the set, or −1: one Search
+// plus, on a miss, one Predecessor — both linearizable.
+func (t *Trie) floorProbe(z int64) int64 {
+	if t.Search(z) {
+		return z
+	}
+	return t.Predecessor(z)
+}

@@ -15,15 +15,17 @@ package sharded
 import (
 	"sync/atomic"
 
+	"repro/internal/combine"
 	"repro/internal/relaxed"
 )
 
 // rshard is one relaxed partition: an independent relaxed trie plus its
-// occupancy over-approximation, padded like shard.
+// occupancy over-approximation and optional combiner, padded like shard.
 type rshard struct {
 	trie  *relaxed.Trie
 	count atomic.Int64 // cardinality over-approximation (≥ |S ∩ shard|)
-	_     [112]byte
+	comb  *combine.Combiner
+	_     [104]byte
 }
 
 // Relaxed is the sharded wait-free relaxed binary trie. Create with
@@ -38,7 +40,17 @@ type Relaxed struct {
 
 // NewRelaxed returns an empty sharded relaxed trie over {0,…,u−1} split
 // into k contiguous shards, under the same bounds as New.
-func NewRelaxed(u int64, k int) (*Relaxed, error) {
+func NewRelaxed(u int64, k int) (*Relaxed, error) { return newRelaxed(u, k, false) }
+
+// NewRelaxedCombining is NewRelaxed with per-shard combining: updates
+// publish to the owning shard's slots and a combiner applies each round
+// op by op (the relaxed trie has no announcement lists to amortize; see
+// combine.RelaxedSet for when this is still worth it). Batched updates
+// trade the §4 per-op wait-freedom for the combiner handoff; queries are
+// untouched.
+func NewRelaxedCombining(u int64, k int) (*Relaxed, error) { return newRelaxed(u, k, true) }
+
+func newRelaxed(u int64, k int, combining bool) (*Relaxed, error) {
 	pu, width, shardBits, err := geometry(u, k)
 	if err != nil {
 		return nil, err
@@ -56,6 +68,21 @@ func NewRelaxed(u int64, k int) (*Relaxed, error) {
 			return nil, err
 		}
 		t.shards[i].trie = r
+		if combining {
+			sh := &t.shards[i]
+			apply1 := func(op combine.Op) {
+				if op.Del {
+					t.deleteDirect(sh, op.Key)
+				} else {
+					t.insertDirect(sh, op.Key)
+				}
+			}
+			sh.comb = combine.New(0, func(ops []combine.Op) {
+				for j := range ops {
+					apply1(ops[j])
+				}
+			}, apply1)
+		}
 	}
 	return t, nil
 }
@@ -92,22 +119,40 @@ func (t *Relaxed) Search(x int64) bool {
 	return sh.trie.Search(lx)
 }
 
-// Insert adds x to the set. Wait-free, O(log(u/k)) worst-case steps.
+// Insert adds x to the set. Wait-free, O(log(u/k)) worst-case steps
+// (routed through the owning shard's combiner under NewRelaxedCombining).
 //
 // Precondition: 0 ≤ x < U().
 func (t *Relaxed) Insert(x int64) {
 	sh, lx := t.home(x)
+	if sh.comb != nil {
+		sh.comb.Submit(combine.Op{Key: lx})
+		return
+	}
+	t.insertDirect(sh, lx)
+}
+
+func (t *Relaxed) insertDirect(sh *rshard, lx int64) {
 	sh.count.Add(1)
 	if !sh.trie.Add(lx) {
 		sh.count.Add(-1)
 	}
 }
 
-// Delete removes x from the set. Wait-free, O(log(u/k)) worst-case steps.
+// Delete removes x from the set. Wait-free, O(log(u/k)) worst-case steps
+// (routed like Insert under NewRelaxedCombining).
 //
 // Precondition: 0 ≤ x < U().
 func (t *Relaxed) Delete(x int64) {
 	sh, lx := t.home(x)
+	if sh.comb != nil {
+		sh.comb.Submit(combine.Op{Key: lx, Del: true})
+		return
+	}
+	t.deleteDirect(sh, lx)
+}
+
+func (t *Relaxed) deleteDirect(sh *rshard, lx int64) {
 	if sh.trie.Remove(lx) {
 		sh.count.Add(-1)
 	}

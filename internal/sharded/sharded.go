@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/combine"
 	"repro/internal/core"
 )
 
@@ -52,14 +53,16 @@ const MaxShards = 1 << 16
 var ScanRetries = 64
 
 // shard is one partition: an independent core trie plus its occupancy
-// summary. Padded to 128 bytes (two cache lines, clear of the adjacent-line
+// summary and (with NewCombining) its flat-combining publication slots.
+// Padded to 128 bytes (two cache lines, clear of the adjacent-line
 // prefetcher) so neighbouring shards' counters never false-share.
 type shard struct {
 	trie    *core.Trie
 	count   atomic.Int64 // cardinality over-approximation (≥ |S ∩ shard|)
 	pending atomic.Int64 // in-flight updates
 	version atomic.Int64 // completed winning updates
-	_       [96]byte
+	comb    *combine.Combiner
+	_       [88]byte
 }
 
 // max returns the largest key in the shard (local coordinates), or −1. Two
@@ -103,7 +106,17 @@ func geometry(u int64, k int) (pu, width int64, shardBits uint, err error) {
 // next power of two) split into k contiguous shards. k must be a power of
 // two with 1 ≤ k ≤ min(MaxShards, paddedU/2), so every shard spans at least
 // two keys.
-func New(u int64, k int) (*Trie, error) {
+func New(u int64, k int) (*Trie, error) { return newTrie(u, k, false) }
+
+// NewCombining is New with per-shard flat combining enabled: every shard
+// gets a combine.Combiner (default slot count) and Insert/Delete publish
+// to the owning shard's slots instead of running the per-op path, so
+// concurrent same-shard updates are drained into single core.ApplyBatch
+// calls that announce once per batch (DESIGN.md §Combining layer). Reads
+// and ApplyBatch are identical in both modes.
+func NewCombining(u int64, k int) (*Trie, error) { return newTrie(u, k, true) }
+
+func newTrie(u int64, k int, combining bool) (*Trie, error) {
 	pu, width, shardBits, err := geometry(u, k)
 	if err != nil {
 		return nil, err
@@ -121,6 +134,18 @@ func New(u int64, k int) (*Trie, error) {
 			return nil, err
 		}
 		t.shards[i].trie = c
+		if combining {
+			sh := &t.shards[i]
+			sh.comb = combine.New(0,
+				func(ops []combine.Op) { t.applyShardBatch(sh, ops) },
+				func(op combine.Op) {
+					if op.Del {
+						t.deleteDirect(sh, op.Key)
+					} else {
+						t.insertDirect(sh, op.Key)
+					}
+				})
+		}
 	}
 	return t, nil
 }
@@ -167,11 +192,22 @@ func (t *Trie) Search(x int64) bool {
 
 // Insert adds x to the set; linearized at the owning shard's Insert. The
 // count increment precedes the core operation (and is rolled back on a lost
-// race) so count never under-approximates the shard's cardinality.
+// race) so count never under-approximates the shard's cardinality. With
+// NewCombining the operation publishes to the owning shard's combiner
+// instead, and linearizes inside the round (or the retraction fallback)
+// that applies it.
 //
 // Precondition: 0 ≤ x < U().
 func (t *Trie) Insert(x int64) {
 	sh, lx := t.home(x)
+	if sh.comb != nil {
+		sh.comb.Submit(combine.Op{Key: lx})
+		return
+	}
+	t.insertDirect(sh, lx)
+}
+
+func (t *Trie) insertDirect(sh *shard, lx int64) {
 	sh.pending.Add(1)
 	sh.count.Add(1)
 	if sh.trie.Add(lx) {
@@ -184,17 +220,100 @@ func (t *Trie) Insert(x int64) {
 
 // Delete removes x from the set; linearized at the owning shard's Delete.
 // The count decrement follows the core operation, preserving the
-// over-approximation invariant.
+// over-approximation invariant. Routed like Insert under NewCombining.
 //
 // Precondition: 0 ≤ x < U().
 func (t *Trie) Delete(x int64) {
 	sh, lx := t.home(x)
+	if sh.comb != nil {
+		sh.comb.Submit(combine.Op{Key: lx, Del: true})
+		return
+	}
+	t.deleteDirect(sh, lx)
+}
+
+func (t *Trie) deleteDirect(sh *shard, lx int64) {
 	sh.pending.Add(1)
 	if sh.trie.Remove(lx) {
 		sh.count.Add(-1)
 		sh.version.Add(1)
 	}
 	sh.pending.Add(-1)
+}
+
+// applyShardBatch wraps one shard's core.ApplyBatch in the occupancy-
+// summary discipline: the whole batch counts as one in-flight window
+// (pending), every insert's count increment precedes the core call and
+// rolls back on a loss, winning deletes decrement afterwards — so count
+// over-approximates at every instant, exactly as in the per-op paths. ops
+// carries shard-local keys, sorted strictly ascending, one op per key.
+func (t *Trie) applyShardBatch(sh *shard, ops []core.BatchOp) {
+	sh.pending.Add(1)
+	var insPre int64
+	for i := range ops {
+		if !ops[i].Del {
+			insPre++
+		}
+	}
+	sh.count.Add(insPre)
+	sh.trie.ApplyBatch(ops)
+	var post, wins int64
+	for i := range ops {
+		switch {
+		case ops[i].Del && ops[i].Won:
+			post--
+			wins++
+		case !ops[i].Del && !ops[i].Won:
+			post-- // roll back the pre-increment of a lost insert
+		case !ops[i].Del && ops[i].Won:
+			wins++
+		}
+	}
+	sh.count.Add(post)
+	sh.version.Add(wins)
+	sh.pending.Add(-1)
+}
+
+// ApplyBatch applies a pre-batched op sequence — global keys, sorted
+// strictly ascending, one op per key (combine.SortDedup's output form) —
+// splitting it into per-shard runs. It REBASES the keys in ops to shard
+// coordinates in place (callers own the slice; the public facade passes
+// its conversion scratch) and fills the Won flags. Each shard's run is one
+// counter-wrapped core.ApplyBatch; ops in different shards apply in
+// ascending shard order, each linearizing individually.
+func (t *Trie) ApplyBatch(ops []core.BatchOp) {
+	for start := 0; start < len(ops); {
+		j := int(ops[start].Key >> t.shardBits)
+		end := start
+		for end < len(ops) && int(ops[end].Key>>t.shardBits) == j {
+			ops[end].Key &= t.width - 1
+			end++
+		}
+		t.applyShardBatch(&t.shards[j], ops[start:end])
+		start = end
+	}
+}
+
+// Combining reports whether this trie routes updates through per-shard
+// combiners.
+func (t *Trie) Combining() bool { return t.shards[0].comb != nil }
+
+// CombineStats sums the per-shard combiner counters (zeros when combining
+// is disabled): rounds drained, ops applied inside rounds, ops that took
+// the direct fallback, and the largest single round.
+func (t *Trie) CombineStats() (rounds, batched, direct, maxBatch int64) {
+	for i := range t.shards {
+		if c := t.shards[i].comb; c != nil {
+			r, b, d, m := c.StatsSnapshot()
+			rounds += r
+			batched += b
+			direct += d
+			if m > maxBatch {
+				maxBatch = m
+			}
+		}
+	}
+	return rounds, batched, direct, maxBatch
 }
 
 // Predecessor returns the largest key in the set strictly smaller than y,
@@ -295,6 +414,99 @@ func (t *Trie) predFallback(j int, ly int64) int64 {
 		// a preempted writer either resumes within the budget (version
 		// changes, rescan sees its update) or the call degrades to the
 		// documented weak answer.
+	}
+	return best
+}
+
+// min returns the smallest key in the shard (local coordinates), or −1.
+// Like max, callers needing atomicity run it inside succFallback's
+// validated window.
+func (s *shard) min() int64 {
+	if s.trie.Search(0) {
+		return 0
+	}
+	return s.trie.Successor(0)
+}
+
+// Successor returns the smallest key in the set strictly greater than y,
+// or −1 if there is none — the upward mirror of Predecessor, stitched
+// through the same occupancy summary (skip shards whose count reads 0) and
+// the same pending/version validation. One consistency caveat is
+// inherited from the core operation rather than the stitch: a per-shard
+// Successor is itself a composed probe (see core.Trie.Successor), so even
+// a validated answer carries the Floor/Max family's weak-consistency
+// contract under updates inside the answering shard — exact at
+// quiescence, and every retry of the fallback is forced by another
+// operation's completed progress, keeping the scan lock-free with the
+// ScanRetries degradation bound.
+//
+// Precondition: 0 ≤ y < U().
+func (t *Trie) Successor(y int64) int64 {
+	j := int(y >> t.shardBits)
+	ly := y & (t.width - 1)
+	if ly < t.width-1 {
+		if s := t.shards[j].trie.Successor(ly); s >= 0 {
+			return int64(j)<<t.shardBits | s
+		}
+	}
+	if j == t.k-1 {
+		return -1
+	}
+	return t.succFallback(j, ly)
+}
+
+// succFallback is predFallback mirrored upward: snapshot the higher
+// shards' version counters, re-query the owning shard inside the window,
+// scan upward for the nearest non-empty shard's min, and accept only if
+// every scanned higher shard still shows zero pending updates and its
+// snapshot version.
+func (t *Trie) succFallback(j int, ly int64) int64 {
+	n := t.k - 1 - j // shards above j
+	vs := vsnapPool.Get().(*[]int64)
+	defer vsnapPool.Put(vs)
+	if cap(*vs) < n {
+		*vs = make([]int64, n)
+	}
+	vsnap := (*vs)[:n]
+	best := int64(-1)
+	for attempt := 0; attempt < ScanRetries; attempt++ {
+		for i := 0; i < n; i++ {
+			vsnap[i] = t.shards[j+1+i].version.Load()
+		}
+		if ly < t.width-1 {
+			if s := t.shards[j].trie.Successor(ly); s >= 0 {
+				return int64(j)<<t.shardBits | s
+			}
+		}
+		ans, high := int64(-1), -1
+		for i := j + 1; i < t.k; i++ {
+			sh := &t.shards[i]
+			if sh.count.Load() == 0 {
+				continue // provably empty at the instant of the read
+			}
+			if m := sh.min(); m >= 0 {
+				ans, high = int64(i)<<t.shardBits|m, i
+				break
+			}
+		}
+		best = ans
+		if high < 0 {
+			high = t.k - 1
+		}
+		valid := true
+		for i := j + 1; i <= high; i++ {
+			sh := &t.shards[i]
+			if sh.pending.Load() != 0 || sh.version.Load() != vsnap[i-j-1] {
+				valid = false
+				break
+			}
+		}
+		if valid {
+			return ans
+		}
+		// No yield, for predFallback's reason: the loop stays hot so a
+		// preempted writer either resumes within the budget or the call
+		// degrades to the documented weak answer.
 	}
 	return best
 }

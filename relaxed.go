@@ -3,6 +3,7 @@ package lockfreetrie
 import (
 	"fmt"
 
+	"repro/internal/combine"
 	"repro/internal/relaxed"
 	"repro/internal/sharded"
 )
@@ -37,7 +38,11 @@ type Relaxed struct {
 // concurrent updates the sharded scan returns definite-but-inexact
 // answers (a key present during the call that interference kept from
 // being the true predecessor) in some cases where the unsharded trie
-// would answer exactly or abstain.
+// would answer exactly or abstain. WithCombining routes updates through
+// per-shard combiners; the relaxed trie has no announcement lists to
+// amortize, so this trades the §4 per-op wait-freedom of batched updates
+// for the combiner handoff and is only worth it under extreme same-range
+// churn (see internal/combine.RelaxedSet).
 func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 	cfg := config{shards: 1}
 	for _, opt := range opts {
@@ -50,9 +55,13 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lockfreetrie: %w", err)
 		}
-		return &Relaxed{set: r, shards: 1}, nil
+		return &Relaxed{set: combine.WrapRelaxed(r, cfg.combining, 0), shards: 1}, nil
 	}
-	s, err := sharded.NewRelaxed(universe, cfg.shards)
+	mk := sharded.NewRelaxed
+	if cfg.combining {
+		mk = sharded.NewRelaxedCombining
+	}
+	s, err := mk(universe, cfg.shards)
 	if err != nil {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}

@@ -1,0 +1,187 @@
+package lockfreetrie_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	lockfreetrie "repro"
+)
+
+// TestSuccessorBasic mirrors the Predecessor edge cases upward at every
+// shard geometry (u=64, k=16 → width-4 shards, so most successors cross
+// shard boundaries).
+func TestSuccessorBasic(t *testing.T) {
+	forEachShardCount(t, func(t *testing.T, shards int) {
+		tr, err := lockfreetrie.New(64, lockfreetrie.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := tr.Successor(0); got != -1 {
+			t.Fatalf("Successor(0) on empty = %d, want -1", got)
+		}
+		if got, _ := tr.Min(); got != -1 {
+			t.Fatalf("Min on empty = %d, want -1", got)
+		}
+		for _, k := range []int64{2, 5, 9, 30, 61} {
+			if err := tr.Insert(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cases := []struct{ y, want int64 }{
+			{0, 2}, {1, 2}, {2, 5}, {4, 5}, {5, 9}, {9, 30},
+			{10, 30}, {29, 30}, {30, 61}, {60, 61}, {61, -1}, {63, -1},
+		}
+		for _, c := range cases {
+			if got, err := tr.Successor(c.y); err != nil || got != c.want {
+				t.Fatalf("Successor(%d) = %d,%v, want %d", c.y, got, err, c.want)
+			}
+		}
+		if got, _ := tr.Min(); got != 2 {
+			t.Fatalf("Min = %d, want 2", got)
+		}
+		ceil := []struct{ x, want int64 }{
+			{0, 2}, {2, 2}, {3, 5}, {5, 5}, {6, 9}, {31, 61}, {61, 61}, {62, -1},
+		}
+		for _, c := range ceil {
+			if got, err := tr.Ceiling(c.x); err != nil || got != c.want {
+				t.Fatalf("Ceiling(%d) = %d,%v, want %d", c.x, got, err, c.want)
+			}
+		}
+		if _, err := tr.Successor(64); err == nil {
+			t.Fatal("Successor(64) should fail the range check")
+		}
+		if _, err := tr.Ceiling(-1); err == nil {
+			t.Fatal("Ceiling(-1) should fail the range check")
+		}
+	})
+}
+
+// TestSuccessorMirrorsPredecessor cross-checks the two directions against
+// each other and a reference map under random contents, including the
+// combining configuration.
+func TestSuccessorMirrorsPredecessor(t *testing.T) {
+	forEachShardCount(t, func(t *testing.T, shards int) {
+		for _, combining := range []bool{false, true} {
+			opts := []lockfreetrie.Option{lockfreetrie.WithShards(shards)}
+			if combining {
+				opts = append(opts, lockfreetrie.WithCombining())
+			}
+			const u = int64(128)
+			tr, err := lockfreetrie.New(u, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := map[int64]bool{}
+			rng := rand.New(rand.NewSource(int64(shards)))
+			for i := 0; i < 300; i++ {
+				x := rng.Int63n(u)
+				if rng.Intn(3) == 0 {
+					tr.Delete(x)
+					delete(ref, x)
+				} else {
+					tr.Insert(x)
+					ref[x] = true
+				}
+			}
+			for y := int64(0); y < u; y++ {
+				want := int64(-1)
+				for c := y + 1; c < u; c++ {
+					if ref[c] {
+						want = c
+						break
+					}
+				}
+				if got, _ := tr.Successor(y); got != want {
+					t.Fatalf("shards=%d combining=%v: Successor(%d) = %d, want %d",
+						shards, combining, y, got, want)
+				}
+			}
+			// Min/Max agree with the reference extremes.
+			wantMin, wantMax := int64(-1), int64(-1)
+			for k := range ref {
+				if wantMin == -1 || k < wantMin {
+					wantMin = k
+				}
+				if k > wantMax {
+					wantMax = k
+				}
+			}
+			if got, _ := tr.Min(); got != wantMin {
+				t.Fatalf("Min = %d, want %d", got, wantMin)
+			}
+			if got, _ := tr.Max(); got != wantMax {
+				t.Fatalf("Max = %d, want %d", got, wantMax)
+			}
+		}
+	})
+}
+
+// TestSuccessorConcurrentSanity: under churn, Successor must return a key
+// strictly above y (or −1) and never error inside the universe; quiescent
+// exactness is re-checked afterwards.
+func TestSuccessorConcurrentSanity(t *testing.T) {
+	forEachShardCount(t, func(t *testing.T, shards int) {
+		const u = int64(256)
+		tr, err := lockfreetrie.New(u, lockfreetrie.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					x := rng.Int63n(u)
+					if rng.Intn(2) == 0 {
+						tr.Insert(x)
+					} else {
+						tr.Delete(x)
+					}
+				}
+			}(int64(w) + 11)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 3000; i++ {
+			y := rng.Int63n(u)
+			got, err := tr.Successor(y)
+			if err != nil {
+				t.Fatalf("Successor(%d): %v", y, err)
+			}
+			if got != -1 && (got <= y || got >= u) {
+				t.Fatalf("Successor(%d) = %d out of (y, u)", y, got)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		// Quiescent: agree with a full Keys scan.
+		keys, err := tr.Keys(0, u-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		present := map[int64]bool{}
+		for _, k := range keys {
+			present[k] = true
+		}
+		for y := int64(0); y < u; y += 7 {
+			want := int64(-1)
+			for c := y + 1; c < u; c++ {
+				if present[c] {
+					want = c
+					break
+				}
+			}
+			if got, _ := tr.Successor(y); got != want {
+				t.Fatalf("quiescent Successor(%d) = %d, want %d", y, got, want)
+			}
+		}
+	})
+}

@@ -30,6 +30,9 @@
 //
 // Each shard is an independent trie with its own announcement lists, so
 // operations on different shards never contend (see DESIGN.md §Sharding).
+// When many goroutines update the SAME shard, add WithCombining() to batch
+// their announcements through a per-shard flat-combining layer, or call
+// Trie.ApplyBatch directly if the application already aggregates writes.
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package lockfreetrie
@@ -37,6 +40,7 @@ package lockfreetrie
 import (
 	"fmt"
 
+	"repro/internal/combine"
 	"repro/internal/core"
 	"repro/internal/sharded"
 )
@@ -57,7 +61,8 @@ func (e *KeyRangeError) Error() string {
 
 // config collects the functional options of New and NewRelaxed.
 type config struct {
-	shards int
+	shards    int
+	combining bool
 }
 
 // Option configures New and NewRelaxed.
@@ -96,14 +101,41 @@ func WithShards(k int) Option {
 	}
 }
 
-// set is the backend contract shared by the unsharded core trie and the
+// WithCombining routes Insert and Delete through a per-shard flat-combining
+// layer (internal/combine): concurrent updates on the same shard publish to
+// a fixed array of padded publication slots, one goroutine elects itself
+// combiner per round, and the drained batch is applied through the core
+// batch entrypoint — announcing once per batch on the shard's U-ALL/RU-ALL
+// instead of once per operation. Composes with WithShards (each shard gets
+// its own combiner; the default k = 1 gives one global combiner).
+//
+// Trade-offs: queries and the explicit ApplyBatch are untouched, and the
+// underlying trie stays lock-free — an update the current combiner has not
+// claimed can always retract and run the ordinary per-op path. What is
+// given up is per-op lock-freedom for claimed updates: an operation a
+// combiner has drained waits for that round to finish (flat combining's
+// standard trade; the claim window spans one batch application of
+// lock-free code). Worth it when many goroutines update the same shard —
+// the announcement amortization experiment CB1 records the trajectory in
+// BENCH_combine.json; with few concurrent updaters the batches degenerate
+// to size 1 and the handoff is pure overhead.
+func WithCombining() Option {
+	return func(c *config) error {
+		c.combining = true
+		return nil
+	}
+}
+
+// set is the backend contract shared by the (wrapped) core trie and the
 // sharded façade; the exported API layers key validation and the composed
-// operations (Floor, Max, Range, Keys) on top of it.
+// operations (Floor, Max, Range, Keys, Ceiling) on top of it.
 type set interface {
 	Search(x int64) bool
 	Insert(x int64)
 	Delete(x int64)
 	Predecessor(y int64) int64
+	Successor(y int64) int64
+	ApplyBatch(ops []core.BatchOp)
 	Len() int64
 	U() int64
 }
@@ -111,8 +143,9 @@ type set interface {
 // Trie is a lock-free linearizable binary trie. All methods are safe for
 // concurrent use by any number of goroutines. Create instances with New.
 type Trie struct {
-	set    set
-	shards int
+	set       set
+	shards    int
+	combining bool
 }
 
 // New returns an empty trie over the universe {0,…,universe−1}. universe
@@ -133,13 +166,21 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lockfreetrie: %w", err)
 		}
-		return &Trie{set: c, shards: 1}, nil
+		return &Trie{
+			set:       combine.WrapCore(c, cfg.combining, 0),
+			shards:    1,
+			combining: cfg.combining,
+		}, nil
 	}
-	s, err := sharded.New(universe, cfg.shards)
+	mk := sharded.New
+	if cfg.combining {
+		mk = sharded.NewCombining
+	}
+	s, err := mk(universe, cfg.shards)
 	if err != nil {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}
-	return &Trie{set: s, shards: cfg.shards}, nil
+	return &Trie{set: s, shards: cfg.shards, combining: cfg.combining}, nil
 }
 
 // Universe returns the padded universe size 2^⌈log₂ u⌉.
@@ -147,6 +188,9 @@ func (t *Trie) Universe() int64 { return t.set.U() }
 
 // Shards returns the configured shard count (1 for the unsharded trie).
 func (t *Trie) Shards() int { return t.shards }
+
+// Combining reports whether WithCombining was set.
+func (t *Trie) Combining() bool { return t.combining }
 
 // Len returns the number of keys currently in the set. O(1) on the
 // unsharded trie, O(shards) with WithShards (it sums the per-shard
@@ -207,6 +251,43 @@ func (t *Trie) Predecessor(y int64) (int64, error) {
 	return t.set.Predecessor(y), nil
 }
 
+// Successor returns the smallest key in the set strictly greater than y,
+// or −1 if there is none — the upward mirror of Predecessor. The paper's
+// announcement machinery is one-directional (toward predecessors), so
+// Successor is a composed operation with the Floor/Max/Range family's
+// consistency contract: every leg it runs is individually linearizable,
+// the composition is weakly consistent under concurrent updates on keys in
+// (y, result), and at quiescence the answer is exact. With WithShards the
+// owning shard answers directly when it can; otherwise higher shards are
+// scanned through the occupancy summary with the same pending/version
+// validation (and ScanRetries degradation bound) as the cross-shard
+// Predecessor.
+func (t *Trie) Successor(y int64) (int64, error) {
+	if err := t.check(y); err != nil {
+		return -1, err
+	}
+	return t.set.Successor(y), nil
+}
+
+// Ceiling returns the smallest key ≥ x in the set, or −1 if there is none.
+// Composed from Contains and Successor, mirroring Floor; linearizable when
+// x is not being concurrently removed, weakly consistent otherwise.
+func (t *Trie) Ceiling(x int64) (int64, error) {
+	if err := t.check(x); err != nil {
+		return -1, err
+	}
+	if t.set.Search(x) {
+		return x, nil
+	}
+	return t.set.Successor(x), nil
+}
+
+// Min returns the smallest key in the set, or −1 if the set is empty,
+// mirroring Max.
+func (t *Trie) Min() (int64, error) {
+	return t.Ceiling(0)
+}
+
 // Floor returns the largest key ≤ x in the set, or −1 if there is none.
 // Composed from Contains and Predecessor; each leg is linearizable, and the
 // composition is linearizable when x is not being concurrently removed.
@@ -253,6 +334,82 @@ func (t *Trie) Range(lo, hi int64, fn func(key int64) bool) error {
 		k = t.set.Predecessor(k)
 	}
 	return nil
+}
+
+// OpKind discriminates the update kinds ApplyBatch accepts.
+type OpKind uint8
+
+const (
+	// OpInsert adds the key to the set.
+	OpInsert OpKind = iota + 1
+	// OpDelete removes the key from the set.
+	OpDelete
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "Insert"
+	case OpDelete:
+		return "Delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one operation of an ApplyBatch call.
+type Op struct {
+	Kind OpKind
+	Key  int64
+}
+
+// ApplyBatch applies a sequence of updates as one batch, for callers that
+// already aggregate their writes (an order-book matching cycle, a
+// telemetry window flush): the batch pays one announcement pass per
+// shard-run instead of one per operation, with or without WithCombining —
+// the option only changes how ordinary Insert/Delete calls find their
+// batches; pre-batched callers skip the publication slots entirely.
+//
+// Semantics: ops apply by their FINAL effect per key — for each key, the
+// last op in ops wins, exactly as if the sequence had run in order with
+// the intermediate states unobserved (the batch's per-key linearization
+// points are its update-node activations inside the single announcement
+// round; see DESIGN.md §Combining layer). Each surviving op linearizes
+// individually, so a batch is NOT an atomic multi-key transaction:
+// concurrent readers may observe any prefix-consistent mixture. Invalid
+// ops (key out of range, unknown kind) are skipped and reported.
+//
+// The returned slice is nil when every op was accepted; otherwise it has
+// len(ops) entries with errs[i] describing why ops[i] was rejected (nil
+// for accepted ops).
+func (t *Trie) ApplyBatch(ops []Op) []error {
+	if len(ops) == 0 {
+		return nil
+	}
+	var errs []error
+	fail := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(ops))
+		}
+		errs[i] = err
+	}
+	bops := make([]core.BatchOp, 0, len(ops))
+	for i, op := range ops {
+		if op.Kind != OpInsert && op.Kind != OpDelete {
+			fail(i, fmt.Errorf("lockfreetrie: ApplyBatch op %d: invalid kind %v", i, op.Kind))
+			continue
+		}
+		if err := t.check(op.Key); err != nil {
+			fail(i, err)
+			continue
+		}
+		bops = append(bops, core.BatchOp{Key: op.Key, Del: op.Kind == OpDelete})
+	}
+	if len(bops) > 0 {
+		t.set.ApplyBatch(combine.SortDedup(bops))
+	}
+	return errs
 }
 
 // Keys returns the keys in [lo, hi] in ascending order under the same
