@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunUnknownExperimentFails: a typo'd -experiment id must surface an
+// error (main exits non-zero on it), never silently run nothing — the CI
+// experiment steps depend on a bad id failing the step loudly. The error
+// must also name the valid ids, so the typo is a one-glance fix.
+func TestRunUnknownExperimentFails(t *testing.T) {
+	err := run("cbl", 1000, 1, 1, 16, "", "", "", 1, "", 1)
+	if err == nil {
+		t.Fatal(`run("cbl") returned nil for an unknown experiment id`)
+	}
+	if !strings.Contains(err.Error(), `unknown experiment "cbl"`) {
+		t.Fatalf("error %q does not name the unknown id", err)
+	}
+	for _, id := range experimentIDs() {
+		if !strings.Contains(err.Error(), id) {
+			t.Fatalf("error %q does not list valid id %q", err, id)
+		}
+	}
+}
+
+// TestExperimentRegistryMatchesIDs: the advertised id list and the runner
+// table cannot drift apart — every advertised id (except the "all" meta
+// id) has a runner, and every runner is advertised.
+func TestExperimentRegistryMatchesIDs(t *testing.T) {
+	runners := runnersFor(16, "", "", "", 1, "", 1)
+	advertised := map[string]bool{}
+	for _, id := range experimentIDs() {
+		advertised[id] = true
+		if id == "all" {
+			continue
+		}
+		if _, ok := runners[id]; !ok {
+			t.Errorf("advertised experiment %q has no runner", id)
+		}
+	}
+	for id := range runners {
+		if !advertised[id] {
+			t.Errorf("runner %q is not in experimentIDs", id)
+		}
+	}
+}
+
+// TestEmptyExperimentFails: the empty string is not a silent no-op either.
+func TestEmptyExperimentFails(t *testing.T) {
+	if err := run("", 1000, 1, 1, 16, "", "", "", 1, "", 1); err == nil {
+		t.Fatal(`run("") returned nil`)
+	}
+}

@@ -1,0 +1,260 @@
+package adapt
+
+import "testing"
+
+// testCfg is a small deterministic configuration used across the suite:
+// hysteresis band [1.4, 2.5], two-sample dwell, EWMA half-weight.
+func testCfg(dwell int64) Config {
+	return Config{Alpha: 0.5, Enable: 2.5, Disable: 1.4, RetractDisable: 0.5,
+		MinDwell: dwell, SampleEvery: 1}
+}
+
+// TestEnableDisableTrajectory drives one controller through a full
+// enable→disable cycle with synthetic samples and asserts the exact step
+// of each transition — the EWMA arithmetic is deterministic, so the flip
+// points are too.
+func TestEnableDisableTrajectory(t *testing.T) {
+	c := New(testCfg(2), nil)
+	if c.Combining() {
+		t.Fatal("controller did not start direct")
+	}
+	if got := c.Estimate(); got != 1 {
+		t.Fatalf("initial estimate = %v, want 1 (solo publisher)", got)
+	}
+
+	// Four visible peers: obs = 5. ewma: 1 → 3.0 → 4.0.
+	c.Step(Sample{AnnLen: 4})
+	if c.Combining() {
+		t.Fatal("flipped up during dwell (sample 1 of MinDwell 2)")
+	}
+	c.Step(Sample{AnnLen: 4})
+	if !c.Combining() {
+		t.Fatalf("no enable at sample 2 with estimate %v ≥ 2.5", c.Estimate())
+	}
+	if e, d := c.Transitions(); e != 1 || d != 0 {
+		t.Fatalf("transitions after enable = (%d, %d), want (1, 0)", e, d)
+	}
+
+	// Size-1 batches from here on (cumulative counters keep growing).
+	// ewma: 4 → 2.5 → 1.75 → 1.375; dwell blocks nothing after sample 2,
+	// so the flip lands exactly when the EWMA crosses 1.4.
+	base := Sample{Rounds: 0, Batched: 0}
+	for i, wantMode := range []bool{true, true, false} {
+		base.Rounds += 10
+		base.Batched += 10
+		c.Step(base)
+		if c.Combining() != wantMode {
+			t.Fatalf("size-1 sample %d: Combining() = %v, want %v (estimate %v)",
+				i+1, c.Combining(), wantMode, c.Estimate())
+		}
+	}
+	if e, d := c.Transitions(); e != 1 || d != 1 {
+		t.Fatalf("transitions after disable = (%d, %d), want (1, 1)", e, d)
+	}
+}
+
+// TestHysteresisBandHolds: an estimate wandering strictly inside
+// (Disable, Enable) flips nothing in either mode, no matter how long it
+// stays there.
+func TestHysteresisBandHolds(t *testing.T) {
+	// Direct mode: one visible peer → obs 2, inside the band.
+	c := New(testCfg(1), nil)
+	for i := 0; i < 50; i++ {
+		c.Step(Sample{AnnLen: 1})
+		if c.Combining() {
+			t.Fatalf("enabled at sample %d with estimate %v < 2.5", i+1, c.Estimate())
+		}
+	}
+
+	// Combining mode: steady batches of 2, inside the band.
+	cfg := testCfg(1)
+	cfg.StartCombining = true
+	c = New(cfg, nil)
+	s := Sample{}
+	for i := 0; i < 50; i++ {
+		s.Rounds += 5
+		s.Batched += 10
+		c.Step(s)
+		if !c.Combining() {
+			t.Fatalf("disabled at sample %d with estimate %v > 1.4", i+1, c.Estimate())
+		}
+	}
+	if e, d := c.Transitions(); e != 0 || d != 0 {
+		t.Fatalf("transitions inside the band = (%d, %d), want (0, 0)", e, d)
+	}
+}
+
+// TestDwellDelaysFlip pins the dwell timing: with MinDwell = 5, an
+// estimate far past Enable from the first sample still flips exactly at
+// sample 5, and the post-flip dwell restarts from zero.
+func TestDwellDelaysFlip(t *testing.T) {
+	c := New(testCfg(5), nil)
+	for i := 1; i <= 4; i++ {
+		c.Step(Sample{AnnLen: 15})
+		if c.Combining() {
+			t.Fatalf("flipped at sample %d, inside the 5-sample dwell", i)
+		}
+	}
+	c.Step(Sample{AnnLen: 15})
+	if !c.Combining() {
+		t.Fatal("no flip at sample 5 = MinDwell")
+	}
+	// Hard disable evidence (pure retractions) still waits out the fresh
+	// dwell window.
+	s := c.last
+	for i := 1; i <= 4; i++ {
+		s.Retracts += 100
+		c.Step(s)
+		if !c.Combining() {
+			t.Fatalf("disabled at post-flip sample %d, inside the restarted dwell", i)
+		}
+	}
+	s.Retracts += 100
+	c.Step(s)
+	if c.Combining() {
+		t.Fatal("no disable at post-flip sample 5 = MinDwell")
+	}
+}
+
+// TestRetractRateDisables: heavy retraction pressure disables even while
+// the batch EWMA is still well above Disable.
+func TestRetractRateDisables(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.StartCombining = true
+	c := New(cfg, nil)
+	// One round of 8 keeps the EWMA high; 20 retractions alongside put
+	// the retract rate at 20/28 ≥ 0.5.
+	c.Step(Sample{Rounds: 1, Batched: 8, Retracts: 20})
+	if c.Combining() {
+		t.Fatalf("retract rate 0.71 did not disable (estimate %v)", c.Estimate())
+	}
+	if got := c.Estimate(); got <= 1.4 {
+		t.Fatalf("estimate = %v — the EWMA clause would have fired, the test proves nothing", got)
+	}
+}
+
+// TestElectFailGuardHoldsCombining: a low batch EWMA does NOT disable
+// while combiner elections are contended (dElect > dRounds — publishers
+// are clustering, batches are about to form); the flip lands on the first
+// quiet sample.
+func TestElectFailGuardHoldsCombining(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.StartCombining = true
+	c := New(cfg, nil)
+	s := Sample{}
+	for i := 0; i < 10; i++ {
+		s.Rounds += 2
+		s.Batched += 2 // size-1 batches: EWMA sinks below Disable
+		s.ElectFails += 5
+		c.Step(s)
+		if !c.Combining() {
+			t.Fatalf("disabled at contested sample %d (estimate %v)", i+1, c.Estimate())
+		}
+	}
+	if c.Estimate() > 1.4 {
+		t.Fatalf("estimate = %v did not sink below Disable; guard untested", c.Estimate())
+	}
+	s.Rounds += 2
+	s.Batched += 2 // elections quiet: dElect = 0
+	c.Step(s)
+	if c.Combining() {
+		t.Fatal("quiet sample with estimate ≤ Disable did not disable")
+	}
+}
+
+// TestThinSpreadDisablesWithinDwellBound is the deterministic form of the
+// thin-spread regression: a shard that starts combining and observes only
+// size-1 batches must flip to direct within max(MinDwell, decay) samples,
+// where decay = 2 is how long the EWMA (α 0.5, from Enable 2.5) takes to
+// cross Disable 1.4. With MinDwell 4 the dwell is the binding bound.
+func TestThinSpreadDisablesWithinDwellBound(t *testing.T) {
+	cfg := testCfg(4)
+	cfg.StartCombining = true
+	c := New(cfg, nil)
+	s := Sample{}
+	for i := int64(1); i <= 3; i++ {
+		s.Rounds++
+		s.Batched++
+		c.Step(s)
+		if !c.Combining() {
+			t.Fatalf("disabled at sample %d, before the 4-sample dwell bound", i)
+		}
+	}
+	s.Rounds++
+	s.Batched++
+	c.Step(s)
+	if c.Combining() {
+		t.Fatal("size-1 batches did not disable at the dwell bound (sample 4)")
+	}
+	if _, d := c.Transitions(); d != 1 {
+		t.Fatalf("disables = %d, want 1", d)
+	}
+}
+
+// TestTickSamplingCadence: Tick samples the live reader exactly every
+// SampleEvery ops and routes the decision through Step.
+func TestTickSamplingCadence(t *testing.T) {
+	reads := 0
+	cfg := testCfg(1)
+	cfg.SampleEvery = 8
+	c := New(cfg, func(combining bool) Sample {
+		reads++
+		if combining {
+			return Sample{} // direct-mode signals not consulted (or read)
+		}
+		return Sample{AnnLen: 9}
+	})
+	for i := 1; i <= 7; i++ {
+		c.Tick()
+	}
+	if reads != 0 || c.Combining() {
+		t.Fatalf("sampled early: reads = %d, combining = %v after 7 ticks", reads, c.Combining())
+	}
+	c.Tick() // op 8: samples, obs 10 ≥ Enable, dwell 1 ≥ 1 → enable
+	if reads != 1 {
+		t.Fatalf("reads = %d after 8 ticks, want 1", reads)
+	}
+	if !c.Combining() {
+		t.Fatal("8th tick's sample did not enable")
+	}
+	for i := 9; i <= 24; i++ {
+		c.Tick()
+	}
+	if reads != 3 {
+		t.Fatalf("reads = %d after 24 ticks, want 3", reads)
+	}
+}
+
+// TestForceModeBypassesEverything: ForceMode flips the word regardless of
+// thresholds and dwell, and bumps no transition counters.
+func TestForceModeBypassesEverything(t *testing.T) {
+	c := New(testCfg(100), nil)
+	c.ForceMode(true)
+	if !c.Combining() {
+		t.Fatal("ForceMode(true) did not enable")
+	}
+	c.ForceMode(false)
+	if c.Combining() {
+		t.Fatal("ForceMode(false) did not disable")
+	}
+	if e, d := c.Transitions(); e != 0 || d != 0 {
+		t.Fatalf("ForceMode bumped transitions (%d, %d)", e, d)
+	}
+}
+
+// TestConfigDefaults pins the zero-value resolution and the band clamp.
+func TestConfigDefaults(t *testing.T) {
+	got := Config{}.withDefaults()
+	want := Config{SampleEvery: DefaultSampleEvery, Alpha: DefaultAlpha,
+		Enable: DefaultEnable, Disable: DefaultDisable,
+		RetractDisable: DefaultRetractDisable, MinDwell: DefaultMinDwell}
+	if got != want {
+		t.Fatalf("withDefaults() = %+v, want %+v", got, want)
+	}
+	// An inverted band is clamped, not honoured: Disable ends up strictly
+	// below Enable so hysteresis always exists.
+	inv := Config{Enable: 2, Disable: 5}.withDefaults()
+	if inv.Disable >= inv.Enable {
+		t.Fatalf("inverted band survived: Enable %v, Disable %v", inv.Enable, inv.Disable)
+	}
+}

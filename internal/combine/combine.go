@@ -110,6 +110,23 @@ type Stats struct {
 	Direct atomicx.PadInt64
 	// MaxBatch is the largest round drained so far (monotone).
 	MaxBatch atomicx.PadInt64
+	// Retracts counts the retraction subset of Direct: published ops that
+	// outwaited a busy combiner and escaped to the per-op path — the
+	// adaptive controller's direct evidence that the handoff is hurting.
+	Retracts atomicx.PadInt64
+	// ElectFails counts SUBMISSIONS whose first combiner-election CAS
+	// failed: each one proves a concurrent publisher held the round word
+	// — the adaptive controller's clustering signal. Once per
+	// submission, not per wait beat: a single publisher parked behind a
+	// long round would otherwise register dozens of "failures" and read
+	// as clustering it does not prove.
+	ElectFails atomicx.PadInt64
+}
+
+// Counters is a point-in-time snapshot of every combiner counter, in the
+// shape the adaptive controller samples.
+type Counters struct {
+	Rounds, Batched, Direct, MaxBatch, Retracts, ElectFails int64
 }
 
 // Combiner batches updates for one shard. Create with New; all methods are
@@ -130,6 +147,14 @@ type Combiner struct {
 // before the batch is applied — the combiner-descheduled-mid-batch window
 // the handoff stress test widens.
 var testHookMidRound func()
+
+// SetTestHookMidRound installs f to run inside every combining round,
+// after the round's slots are taken and before the batch applies (nil
+// uninstalls). Test-only: the sharded and facade mid-flip stress suites
+// use it to toggle the adaptive mode word inside the widest round window.
+// Install before starting workload goroutines and uninstall after joining
+// them.
+func SetTestHookMidRound(f func()) { testHookMidRound = f }
 
 // DefaultSlots is the publication-slot count New uses for n ≤ 0.
 // Publishers are goroutines, not Ps — a single-P host can park dozens of
@@ -176,10 +201,25 @@ func New(n int, apply func(ops []Op), applyOne func(op Op)) *Combiner {
 // SlotCount returns the publication-slot count (metrics).
 func (c *Combiner) SlotCount() int { return len(c.slots) }
 
-// StatsSnapshot returns the current counter values.
+// StatsSnapshot returns the four headline counter values; Counters has
+// the full set.
 func (c *Combiner) StatsSnapshot() (rounds, batched, direct, maxBatch int64) {
 	return c.stats.Rounds.Load(), c.stats.Batched.Load(),
 		c.stats.Direct.Load(), c.stats.MaxBatch.Load()
+}
+
+// Counters returns a snapshot of every counter (each individually atomic;
+// the set is not a consistent cut, which the EWMA-smoothing consumer
+// tolerates by construction).
+func (c *Combiner) Counters() Counters {
+	return Counters{
+		Rounds:     c.stats.Rounds.Load(),
+		Batched:    c.stats.Batched.Load(),
+		Direct:     c.stats.Direct.Load(),
+		MaxBatch:   c.stats.MaxBatch.Load(),
+		Retracts:   c.stats.Retracts.Load(),
+		ElectFails: c.stats.ElectFails.Load(),
+	}
 }
 
 // Submit hands one update to the combining layer and returns when it has
@@ -234,12 +274,16 @@ func (c *Combiner) Submit(op Op) {
 			}
 			continue // defensive: our op was pending, the round took it
 		}
+		if attempt == 0 {
+			c.stats.ElectFails.Add(1)
+		}
 		// A combiner is mid-round. After enough beats of waiting — the
 		// combiner may be stalled, not just slow — retract if it has not
 		// claimed our op and go direct, the lock-free escape; once it has
 		// (taken), later beats wait for the round to finish.
 		if attempt >= retractAfter && s.state.CompareAndSwap(slotPending, slotEmpty) {
 			c.stats.Direct.Add(1)
+			c.stats.Retracts.Add(1)
 			c.applyOne(op)
 			return
 		}

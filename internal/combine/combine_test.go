@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/relaxed"
 )
@@ -285,4 +286,61 @@ func TestSubmitFullSlotsFallsBack(t *testing.T) {
 	for i := range c.slots {
 		c.slots[i].state.Store(slotEmpty)
 	}
+}
+
+// TestCoreSetAdaptiveMidFlip drives the unsharded adaptive wrapper (the
+// facade's k=1 path) while the mid-round hook force-flips its mode inside
+// every round's widest window — the disable-drain case on the CoreSet
+// route, complementing the sharded suite's per-shard version. Under -race.
+func TestCoreSetAdaptiveMidFlip(t *testing.T) {
+	tr, err := core.New(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := WrapCoreAdaptive(tr, adapt.Config{SampleEvery: 8, MinDwell: 1, StartCombining: true}, 8)
+	if !s.Adaptive() || s.Controller() == nil {
+		t.Fatal("adaptive wrapper not wired")
+	}
+	var flips atomic.Int64
+	SetTestHookMidRound(func() {
+		s.Controller().ForceMode(flips.Add(1)%3 != 0)
+	})
+	defer SetTestHookMidRound(nil)
+	const goroutines, per = 8, 300
+	var wg sync.WaitGroup
+	finals := make([]map[int64]bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 271))
+			lo := int64(id) * 512
+			final := map[int64]bool{}
+			for i := 0; i < per; i++ {
+				k := lo + rng.Int63n(512)
+				if rng.Intn(2) == 0 {
+					s.Insert(k)
+					final[k] = true
+				} else {
+					s.Delete(k)
+					delete(final, k)
+				}
+			}
+			finals[id] = final
+		}(g)
+	}
+	wg.Wait()
+	for id, final := range finals {
+		lo := int64(id) * 512
+		for k := lo; k < lo+512; k++ {
+			if got := s.Search(k); got != final[k] {
+				t.Fatalf("quiescent Search(%d) = %v, want %v", k, got, final[k])
+			}
+		}
+	}
+	if tr.AnnouncedUpdates() != 0 {
+		t.Fatalf("U-ALL holds %d cells at quiescence", tr.AnnouncedUpdates())
+	}
+	e, d := s.AdaptiveStats()
+	t.Logf("hook flips=%d organic enables=%d disables=%d", flips.Load(), e, d)
 }

@@ -1,19 +1,52 @@
 package combine
 
 import (
+	"repro/internal/adapt"
+	"repro/internal/atomicx"
 	"repro/internal/core"
 	"repro/internal/relaxed"
 )
 
+// Sampler builds the adapt signal reader shared by every adaptive
+// wrapper: the combiner counters always ride along, while annLen and
+// pending — the direct-mode clustering signals — are read only when
+// sampling in direct mode (in combining mode the estimate comes from the
+// counter deltas, and the reads would perturb the rounds being measured;
+// see adapt.Controller). Either func may be nil when the backing
+// structure has no such signal.
+func Sampler(c *Combiner, annLen, pending func() int64) func(combining bool) adapt.Sample {
+	return func(combining bool) adapt.Sample {
+		cs := c.Counters()
+		s := adapt.Sample{
+			Rounds: cs.Rounds, Batched: cs.Batched,
+			Retracts: cs.Retracts, ElectFails: cs.ElectFails,
+		}
+		if !combining {
+			if annLen != nil {
+				s.AnnLen = annLen()
+			}
+			if pending != nil {
+				s.Pending = pending()
+			}
+		}
+		return s
+	}
+}
+
 // CoreSet is the unsharded (k = 1) combining facade over a core trie: the
 // read path (Search/Predecessor/Successor/Len) delegates untouched, while
 // Insert and Delete route through a single combiner when combining is
-// enabled. With combining disabled it is a transparent adapter that still
-// provides the batch entrypoint, so the public ApplyBatch works at every
-// configuration.
+// enabled — always (WrapCore with combining) or per the adaptive
+// controller's mode word (WrapCoreAdaptive). With combining disabled it is
+// a transparent adapter that still provides the batch entrypoint, so the
+// public ApplyBatch works at every configuration.
 type CoreSet struct {
 	t *core.Trie
-	c *Combiner // nil: combining disabled
+	c *Combiner         // nil: combining disabled
+	a *adapt.Controller // nil: mode fixed at construction
+	// pending counts in-flight direct updates (maintained only under an
+	// adaptive controller, as its direct-mode clustering signal).
+	pending atomicx.PadInt64
 }
 
 // WrapCore wraps t; combining selects whether updates publish to a
@@ -22,24 +55,63 @@ type CoreSet struct {
 func WrapCore(t *core.Trie, combining bool, slots int) *CoreSet {
 	s := &CoreSet{t: t}
 	if combining {
-		s.c = New(slots,
-			func(ops []Op) { t.ApplyBatch(ops) },
-			func(op Op) {
-				if op.Del {
-					t.Delete(op.Key)
-				} else {
-					t.Insert(op.Key)
-				}
-			})
+		s.c = newCoreCombiner(t, slots)
 	}
 	return s
+}
+
+// WrapCoreAdaptive wraps t with a combiner plus an adaptive controller
+// that flips updates between the combiner and the direct per-op path at
+// runtime (cfg's zero fields take the tuned defaults). The controller
+// samples the combiner counters, the U-ALL announcement length, and the
+// in-flight direct update count.
+func WrapCoreAdaptive(t *core.Trie, cfg adapt.Config, slots int) *CoreSet {
+	s := &CoreSet{t: t}
+	s.c = newCoreCombiner(t, slots)
+	s.a = adapt.New(cfg, Sampler(s.c,
+		func() int64 { return int64(t.AnnouncedUpdates()) },
+		s.pending.Load))
+	return s
+}
+
+func newCoreCombiner(t *core.Trie, slots int) *Combiner {
+	return New(slots,
+		func(ops []Op) { t.ApplyBatch(ops) },
+		func(op Op) {
+			if op.Del {
+				t.Delete(op.Key)
+			} else {
+				t.Insert(op.Key)
+			}
+		})
 }
 
 // Core returns the wrapped trie (tests, stats).
 func (s *CoreSet) Core() *core.Trie { return s.t }
 
-// Combining reports whether updates are routed through the combiner.
-func (s *CoreSet) Combining() bool { return s.c != nil }
+// Combining reports whether updates are CURRENTLY routed through the
+// combiner (under an adaptive controller this is the live mode word).
+func (s *CoreSet) Combining() bool {
+	if s.a != nil {
+		return s.a.Combining()
+	}
+	return s.c != nil
+}
+
+// Adaptive reports whether an adaptive controller drives the mode.
+func (s *CoreSet) Adaptive() bool { return s.a != nil }
+
+// Controller returns the adaptive controller, or nil (tests, stats).
+func (s *CoreSet) Controller() *adapt.Controller { return s.a }
+
+// AdaptiveStats returns the cumulative mode-transition counts (zeros
+// without a controller).
+func (s *CoreSet) AdaptiveStats() (enables, disables int64) {
+	if s.a == nil {
+		return 0, 0
+	}
+	return s.a.Transitions()
+}
 
 // CombineStats returns the combiner counters (zeros when disabled).
 func (s *CoreSet) CombineStats() (rounds, batched, direct, maxBatch int64) {
@@ -54,6 +126,17 @@ func (s *CoreSet) Search(x int64) bool { return s.t.Search(x) }
 
 // Insert adds x to the set, via the combiner when enabled.
 func (s *CoreSet) Insert(x int64) {
+	if s.a != nil {
+		s.a.Tick()
+		if s.a.Combining() {
+			s.c.Submit(Op{Key: x})
+			return
+		}
+		s.pending.Add(1)
+		s.t.Insert(x)
+		s.pending.Add(-1)
+		return
+	}
 	if s.c != nil {
 		s.c.Submit(Op{Key: x})
 		return
@@ -63,6 +146,17 @@ func (s *CoreSet) Insert(x int64) {
 
 // Delete removes x from the set, via the combiner when enabled.
 func (s *CoreSet) Delete(x int64) {
+	if s.a != nil {
+		s.a.Tick()
+		if s.a.Combining() {
+			s.c.Submit(Op{Key: x, Del: true})
+			return
+		}
+		s.pending.Add(1)
+		s.t.Delete(x)
+		s.pending.Add(-1)
+		return
+	}
 	if s.c != nil {
 		s.c.Submit(Op{Key: x, Del: true})
 		return
@@ -97,37 +191,81 @@ func (s *CoreSet) ApplyBatch(ops []Op) { s.t.ApplyBatch(ops) }
 // wait-freedom for the combiner handoff, exactly as with the core trie.
 type RelaxedSet struct {
 	t *relaxed.Trie
-	c *Combiner // nil: combining disabled
+	c *Combiner         // nil: combining disabled
+	a *adapt.Controller // nil: mode fixed at construction
+	// pending counts in-flight direct updates (adaptive signal; the
+	// relaxed trie has no announcement list to measure instead).
+	pending atomicx.PadInt64
 }
 
 // WrapRelaxed wraps t, mirroring WrapCore.
 func WrapRelaxed(t *relaxed.Trie, combining bool, slots int) *RelaxedSet {
 	s := &RelaxedSet{t: t}
 	if combining {
-		apply1 := func(op Op) {
-			if op.Del {
-				t.Delete(op.Key)
-			} else {
-				t.Insert(op.Key)
-			}
-		}
-		s.c = New(slots, func(ops []Op) {
-			for i := range ops {
-				apply1(ops[i])
-			}
-		}, apply1)
+		s.c = newRelaxedCombiner(t, slots)
 	}
 	return s
 }
 
+// WrapRelaxedAdaptive wraps t with a combiner plus an adaptive controller,
+// mirroring WrapCoreAdaptive. With no announcement list the direct-mode
+// clustering signal is the in-flight update count alone.
+func WrapRelaxedAdaptive(t *relaxed.Trie, cfg adapt.Config, slots int) *RelaxedSet {
+	s := &RelaxedSet{t: t}
+	s.c = newRelaxedCombiner(t, slots)
+	s.a = adapt.New(cfg, Sampler(s.c, nil, s.pending.Load))
+	return s
+}
+
+func newRelaxedCombiner(t *relaxed.Trie, slots int) *Combiner {
+	apply1 := func(op Op) {
+		if op.Del {
+			t.Delete(op.Key)
+		} else {
+			t.Insert(op.Key)
+		}
+	}
+	return New(slots, func(ops []Op) {
+		for i := range ops {
+			apply1(ops[i])
+		}
+	}, apply1)
+}
+
 // Relaxed returns the wrapped trie (tests, stats).
 func (s *RelaxedSet) Relaxed() *relaxed.Trie { return s.t }
+
+// Adaptive reports whether an adaptive controller drives the mode.
+func (s *RelaxedSet) Adaptive() bool { return s.a != nil }
+
+// Controller returns the adaptive controller, or nil (tests, stats).
+func (s *RelaxedSet) Controller() *adapt.Controller { return s.a }
+
+// AdaptiveStats returns the cumulative mode-transition counts (zeros
+// without a controller).
+func (s *RelaxedSet) AdaptiveStats() (enables, disables int64) {
+	if s.a == nil {
+		return 0, 0
+	}
+	return s.a.Transitions()
+}
 
 // Search reports whether x is in the set.
 func (s *RelaxedSet) Search(x int64) bool { return s.t.Search(x) }
 
 // Insert adds x to the set, via the combiner when enabled.
 func (s *RelaxedSet) Insert(x int64) {
+	if s.a != nil {
+		s.a.Tick()
+		if s.a.Combining() {
+			s.c.Submit(Op{Key: x})
+			return
+		}
+		s.pending.Add(1)
+		s.t.Insert(x)
+		s.pending.Add(-1)
+		return
+	}
 	if s.c != nil {
 		s.c.Submit(Op{Key: x})
 		return
@@ -137,6 +275,17 @@ func (s *RelaxedSet) Insert(x int64) {
 
 // Delete removes x from the set, via the combiner when enabled.
 func (s *RelaxedSet) Delete(x int64) {
+	if s.a != nil {
+		s.a.Tick()
+		if s.a.Combining() {
+			s.c.Submit(Op{Key: x, Del: true})
+			return
+		}
+		s.pending.Add(1)
+		s.t.Delete(x)
+		s.pending.Add(-1)
+		return
+	}
 	if s.c != nil {
 		s.c.Submit(Op{Key: x, Del: true})
 		return

@@ -2,7 +2,13 @@ package lincheck
 
 import (
 	"math/bits"
+	"sync"
 	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/combine"
+	"repro/internal/core"
+	"repro/internal/sharded"
 )
 
 // decodeHistory turns fuzz bytes into a small overlapping history. Each op
@@ -108,6 +114,108 @@ func FuzzCheckMatchesBruteForce(f *testing.F) {
 					t.Fatalf("invalid witness at %v", ops[i])
 				}
 			}
+		}
+	})
+}
+
+// fuzzWorkerScript replays one worker's byte script against an adaptive
+// sharded trie, recording every operation. Each action consumes two
+// bytes: a discriminator and a key (masked to the checker's 64-key
+// universe). Batches consume two extra key bytes and record each
+// submitted op — including any a same-key later op supersedes — over the
+// whole ApplyBatch window: the facade contract linearizes a superseded op
+// immediately before its superseder, which lies inside that window, so a
+// valid witness always exists iff the batch behaved correctly. Mode-flip
+// actions force a shard's publication mode directly, landing at arbitrary
+// points of the other worker's rounds.
+func fuzzWorkerScript(tr *sharded.Trie, rec *Recorder, script []byte) {
+	for i := 0; i+1 < len(script); i += 2 {
+		b, key := script[i], int64(script[i+1]&63)
+		switch b % 6 {
+		case 0:
+			inv := rec.Begin()
+			tr.Insert(key)
+			rec.End(OpInsert, key, 0, inv)
+		case 1:
+			inv := rec.Begin()
+			tr.Delete(key)
+			rec.End(OpDelete, key, 0, inv)
+		case 2:
+			inv := rec.Begin()
+			got := tr.Search(key)
+			res := int64(0)
+			if got {
+				res = 1
+			}
+			rec.End(OpSearch, key, res, inv)
+		case 3:
+			inv := rec.Begin()
+			got := tr.Predecessor(key)
+			rec.End(OpPredecessor, key, got, inv)
+		case 4: // batch of two updates (kinds from the discriminator's high bits)
+			if i+3 >= len(script) {
+				return
+			}
+			ops := []core.BatchOp{
+				{Key: int64(script[i+2] & 63), Del: b&8 != 0},
+				{Key: int64(script[i+3] & 63), Del: b&16 != 0},
+			}
+			i += 2
+			inv := rec.Begin()
+			tr.ApplyBatch(combine.SortDedup(append([]core.BatchOp(nil), ops...)))
+			for _, op := range ops {
+				kind := OpInsert
+				if op.Del {
+					kind = OpDelete
+				}
+				rec.End(kind, op.Key, 0, inv)
+			}
+		case 5: // force-flip a shard's mode, mid-whatever the peer is doing
+			tr.ShardController(int(key) % tr.Shards()).ForceMode(b&8 != 0)
+		}
+	}
+}
+
+// FuzzAdaptiveMixedHistories drives TWO workers' fuzz-decoded scripts —
+// per-op updates, queries, ApplyBatch calls and random forced mode flips
+// — against a live adaptive sharded trie (aggressive controller, so
+// organic flips churn too) and requires the recorded history to
+// linearize. This is the checker checking the structure, complementing
+// FuzzCheckMatchesBruteForce (the checker checking itself).
+func FuzzAdaptiveMixedHistories(f *testing.F) {
+	f.Add(true, []byte{0, 5, 1, 5, 2, 5, 3, 9})                     // ins/del/search/pred on one key
+	f.Add(false, []byte{4, 0, 7, 7, 28, 0, 7, 7, 2, 7})             // insert batch, delete batch, search
+	f.Add(true, []byte{5, 1, 0, 63, 13, 0, 63, 63, 3, 63, 5, 2})    // flip, ins, mixed batch, pred, flip
+	f.Add(false, []byte{0, 16, 41, 3, 16, 17, 1, 16, 2, 17, 2, 16}) // cross-shard batch vs per-op churn
+	f.Fuzz(func(t *testing.T, startCombining bool, data []byte) {
+		if len(data) < 2 || len(data) > 40 {
+			return // keep the WGL search cheap
+		}
+		tr, err := sharded.NewAdaptive(64, 4,
+			adapt.Config{SampleEvery: 4, MinDwell: 1, StartCombining: startCombining})
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := sharded.ScanRetries
+		sharded.ScanRetries = 1 << 20 // see forEachShardCount in internal/sharded
+		defer func() { sharded.ScanRetries = old }()
+		rec := NewRecorder()
+		half := (len(data) + 1) / 2
+		var wg sync.WaitGroup
+		for _, part := range [][]byte{data[:half], data[half:]} {
+			wg.Add(1)
+			go func(script []byte) {
+				defer wg.Done()
+				fuzzWorkerScript(tr, rec, script)
+			}(part)
+		}
+		wg.Wait()
+		ok, msg, err := CheckOrExplain(rec.History())
+		if err != nil {
+			t.Fatalf("checker error: %v", err)
+		}
+		if !ok {
+			t.Fatalf("adaptive history not linearizable: %s", msg)
 		}
 	})
 }

@@ -2,8 +2,10 @@ package sharded_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/combine"
 	"repro/internal/settest"
 	"repro/internal/sharded"
 )
@@ -18,26 +20,63 @@ func factory(k int) settest.Factory {
 	return func(u int64) (settest.Set, error) { return sharded.New(u, k) }
 }
 
-func TestSequentialConformance(t *testing.T) {
+// adaptiveFlipFactory builds adaptive tries (aggressive controller,
+// combining at start so rounds run from the first op) and wires the
+// mid-round test hook to force-flip a rotating shard's mode inside every
+// round — the mid-flip window of DESIGN.md §Adaptive combining. Two
+// thirds of the forced flips re-enable combining so rounds (and therefore
+// the hook) keep firing.
+func adaptiveFlipFactory(t *testing.T, k int) settest.Factory {
+	t.Helper()
+	var cur atomic.Pointer[sharded.Trie]
+	var n atomic.Int64
+	combine.SetTestHookMidRound(func() {
+		if tr := cur.Load(); tr != nil {
+			i := n.Add(1)
+			tr.ShardController(int(i) % k).ForceMode(i%3 != 0)
+		}
+	})
+	t.Cleanup(func() { combine.SetTestHookMidRound(nil) })
+	return func(u int64) (settest.Set, error) {
+		cfg := aggressiveCfg()
+		cfg.StartCombining = true
+		tr, err := sharded.NewAdaptive(u, k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cur.Store(tr)
+		return tr, nil
+	}
+}
+
+// forEachVariant runs fn against the plain factory and the adaptive
+// flip-stressed one, at every shard count.
+func forEachVariant(t *testing.T, fn func(t *testing.T, f settest.Factory)) {
 	for _, k := range shardCounts {
+		k := k
 		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
-			settest.RunSequential(t, factory(k), 64)
+			fn(t, factory(k))
+		})
+		t.Run(fmt.Sprintf("shards=%d/adaptive", k), func(t *testing.T) {
+			fn(t, adaptiveFlipFactory(t, k))
 		})
 	}
+}
+
+func TestSequentialConformance(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, f settest.Factory) {
+		settest.RunSequential(t, f, 64)
+	})
 }
 
 func TestEdgeCases(t *testing.T) {
-	for _, k := range shardCounts {
-		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
-			settest.RunEdgeCases(t, factory(k), 64)
-		})
-	}
+	forEachVariant(t, func(t *testing.T, f settest.Factory) {
+		settest.RunEdgeCases(t, f, 64)
+	})
 }
 
 func TestConcurrentConformance(t *testing.T) {
-	for _, k := range shardCounts {
-		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
-			settest.RunConcurrent(t, factory(k), 256, 8, 1200)
-		})
-	}
+	forEachVariant(t, func(t *testing.T, f settest.Factory) {
+		settest.RunConcurrent(t, f, 256, 8, 1200)
+	})
 }

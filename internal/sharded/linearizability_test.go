@@ -4,19 +4,24 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/combine"
 	"repro/internal/lincheck"
 	"repro/internal/sharded"
 )
+
+// trieMaker builds the trie variant a lincheck run records against.
+type trieMaker func(u int64, k int) (*sharded.Trie, error)
 
 // runRecorded executes a concurrent workload against a fresh sharded trie
 // and checks the recorded history for linearizability (the same harness as
 // internal/core's suite, aimed at the cross-shard stitch). u=64 with k=16
 // leaves shards 4 keys wide, so most predecessor queries cross shards.
-func runRecorded(t *testing.T, u int64, k, workers int, script func(id int, rng *rand.Rand, do opRunner)) {
+func runRecorded(t *testing.T, u int64, k, workers int, mk trieMaker, script func(id int, rng *rand.Rand, do opRunner)) {
 	t.Helper()
-	tr, err := sharded.New(u, k)
+	tr, err := mk(u, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +86,7 @@ func rounds(t *testing.T, n int) int {
 	return n
 }
 
-func forEachShardCount(t *testing.T, name string, fn func(t *testing.T, k int)) {
+func forEachShardCount(t *testing.T, name string, fn func(t *testing.T, k int, mk trieMaker)) {
 	// The checker demands strict linearizability, but Predecessor's
 	// cross-shard fallback documents a weakly-consistent answer after
 	// ScanRetries failed validations — reachable here only if the OS parks
@@ -92,16 +97,46 @@ func forEachShardCount(t *testing.T, name string, fn func(t *testing.T, k int)) 
 	sharded.ScanRetries = 1 << 20
 	t.Cleanup(func() { sharded.ScanRetries = old })
 	for _, k := range shardCounts {
-		t.Run(fmt.Sprintf("%s/shards=%d", name, k), func(t *testing.T) { fn(t, k) })
+		k := k
+		t.Run(fmt.Sprintf("%s/shards=%d", name, k), func(t *testing.T) {
+			fn(t, k, sharded.New)
+		})
+		// The adaptive variant records the same histories while per-shard
+		// modes flip underneath: organically (aggressive controller,
+		// combining at start) and forcibly inside every combining round
+		// via the mid-round hook — the combiner-drain handoff on disable
+		// included, since a forced off-flip mid-round leaves the round to
+		// finish while new ops go direct.
+		t.Run(fmt.Sprintf("%s/shards=%d/adaptive", name, k), func(t *testing.T) {
+			var cur atomic.Pointer[sharded.Trie]
+			var n atomic.Int64
+			combine.SetTestHookMidRound(func() {
+				if tr := cur.Load(); tr != nil {
+					i := n.Add(1)
+					tr.ShardController(int(i) % k).ForceMode(i%3 != 0)
+				}
+			})
+			t.Cleanup(func() { combine.SetTestHookMidRound(nil) })
+			fn(t, k, func(u int64, kk int) (*sharded.Trie, error) {
+				cfg := aggressiveCfg()
+				cfg.StartCombining = true
+				tr, err := sharded.NewAdaptive(u, kk, cfg)
+				if err != nil {
+					return nil, err
+				}
+				cur.Store(tr)
+				return tr, nil
+			})
+		})
 	}
 }
 
 // TestShardedLinearizableUniform: random mixed workloads over the whole
 // universe — predecessor queries land in arbitrary shards.
 func TestShardedLinearizableUniform(t *testing.T) {
-	forEachShardCount(t, "uniform", func(t *testing.T, k int) {
+	forEachShardCount(t, "uniform", func(t *testing.T, k int, mk trieMaker) {
 		for round := 0; round < rounds(t, 200); round++ {
-			runRecorded(t, 64, k, 3, func(id int, rng *rand.Rand, do opRunner) {
+			runRecorded(t, 64, k, 3, mk, func(id int, rng *rand.Rand, do opRunner) {
 				for i := 0; i < 6; i++ {
 					key := rng.Int63n(64)
 					switch rng.Intn(4) {
@@ -125,9 +160,9 @@ func TestShardedLinearizableUniform(t *testing.T) {
 // three shards below the queries at 30/32, and key 2 is the stable floor
 // the scan must never lose.
 func TestShardedLinearizableCrossShardStitch(t *testing.T) {
-	forEachShardCount(t, "stitch", func(t *testing.T, k int) {
+	forEachShardCount(t, "stitch", func(t *testing.T, k int, mk trieMaker) {
 		for round := 0; round < rounds(t, 200); round++ {
-			runRecorded(t, 64, k, 4, func(id int, rng *rand.Rand, do opRunner) {
+			runRecorded(t, 64, k, 4, mk, func(id int, rng *rand.Rand, do opRunner) {
 				switch id {
 				case 0:
 					do.insert(2)
@@ -154,9 +189,9 @@ func TestShardedLinearizableCrossShardStitch(t *testing.T) {
 // hardest case for the owning-shard/fallback split (local predecessor of a
 // boundary key is always the fallback path).
 func TestShardedLinearizableBoundaryKeys(t *testing.T) {
-	forEachShardCount(t, "boundary", func(t *testing.T, k int) {
+	forEachShardCount(t, "boundary", func(t *testing.T, k int, mk trieMaker) {
 		for round := 0; round < rounds(t, 200); round++ {
-			runRecorded(t, 64, k, 4, func(id int, rng *rand.Rand, do opRunner) {
+			runRecorded(t, 64, k, 4, mk, func(id int, rng *rand.Rand, do opRunner) {
 				switch id {
 				case 0:
 					do.insert(16)
@@ -183,9 +218,9 @@ func TestShardedLinearizableBoundaryKeys(t *testing.T) {
 // has provably-empty skipped — the count over-approximation plus validation
 // must never let a fallback answer miss a key it should have seen.
 func TestShardedLinearizableEmptySkip(t *testing.T) {
-	forEachShardCount(t, "emptyskip", func(t *testing.T, k int) {
+	forEachShardCount(t, "emptyskip", func(t *testing.T, k int, mk trieMaker) {
 		for round := 0; round < rounds(t, 200); round++ {
-			runRecorded(t, 64, k, 4, func(id int, rng *rand.Rand, do opRunner) {
+			runRecorded(t, 64, k, 4, mk, func(id int, rng *rand.Rand, do opRunner) {
 				switch id {
 				case 0:
 					do.insert(1)
@@ -209,9 +244,9 @@ func TestShardedLinearizableEmptySkip(t *testing.T) {
 // TestShardedLinearizableHighContentionOneShard: everyone in one shard —
 // sharding must not perturb the single-shard algorithm.
 func TestShardedLinearizableHighContentionOneShard(t *testing.T) {
-	forEachShardCount(t, "oneshard", func(t *testing.T, k int) {
+	forEachShardCount(t, "oneshard", func(t *testing.T, k int, mk trieMaker) {
 		for round := 0; round < rounds(t, 150); round++ {
-			runRecorded(t, 64, k, 4, func(id int, rng *rand.Rand, do opRunner) {
+			runRecorded(t, 64, k, 4, mk, func(id int, rng *rand.Rand, do opRunner) {
 				for i := 0; i < 4; i++ {
 					switch rng.Intn(4) {
 					case 0:

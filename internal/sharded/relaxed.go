@@ -15,17 +15,23 @@ package sharded
 import (
 	"sync/atomic"
 
+	"repro/internal/adapt"
 	"repro/internal/combine"
 	"repro/internal/relaxed"
 )
 
 // rshard is one relaxed partition: an independent relaxed trie plus its
-// occupancy over-approximation and optional combiner, padded like shard.
+// occupancy over-approximation, optional combiner and optional adaptive
+// controller, padded like shard. pending mirrors shard's in-flight count
+// (the relaxed trie has no announcement list, so it is the adaptive
+// layer's only direct-mode clustering signal).
 type rshard struct {
-	trie  *relaxed.Trie
-	count atomic.Int64 // cardinality over-approximation (≥ |S ∩ shard|)
-	comb  *combine.Combiner
-	_     [104]byte
+	trie    *relaxed.Trie
+	count   atomic.Int64 // cardinality over-approximation (≥ |S ∩ shard|)
+	pending atomic.Int64 // in-flight direct updates
+	comb    *combine.Combiner
+	ctl     *adapt.Controller
+	_       [88]byte
 }
 
 // Relaxed is the sharded wait-free relaxed binary trie. Create with
@@ -40,7 +46,7 @@ type Relaxed struct {
 
 // NewRelaxed returns an empty sharded relaxed trie over {0,…,u−1} split
 // into k contiguous shards, under the same bounds as New.
-func NewRelaxed(u int64, k int) (*Relaxed, error) { return newRelaxed(u, k, false) }
+func NewRelaxed(u int64, k int) (*Relaxed, error) { return newRelaxed(u, k, false, nil) }
 
 // NewRelaxedCombining is NewRelaxed with per-shard combining: updates
 // publish to the owning shard's slots and a combiner applies each round
@@ -48,9 +54,18 @@ func NewRelaxed(u int64, k int) (*Relaxed, error) { return newRelaxed(u, k, fals
 // combine.RelaxedSet for when this is still worth it). Batched updates
 // trade the §4 per-op wait-freedom for the combiner handoff; queries are
 // untouched.
-func NewRelaxedCombining(u int64, k int) (*Relaxed, error) { return newRelaxed(u, k, true) }
+func NewRelaxedCombining(u int64, k int) (*Relaxed, error) { return newRelaxed(u, k, true, nil) }
 
-func newRelaxed(u int64, k int, combining bool) (*Relaxed, error) {
+// NewRelaxedAdaptive is NewRelaxedCombining with per-shard adaptive
+// controllers, mirroring NewAdaptive: each shard publishes directly until
+// its in-flight update count says publishers are clustering, and combines
+// until its drained batches degenerate (with hysteresis and dwell). cfg's
+// zero fields take the tuned defaults.
+func NewRelaxedAdaptive(u int64, k int, cfg adapt.Config) (*Relaxed, error) {
+	return newRelaxed(u, k, true, &cfg)
+}
+
+func newRelaxed(u int64, k int, combining bool, acfg *adapt.Config) (*Relaxed, error) {
 	pu, width, shardBits, err := geometry(u, k)
 	if err != nil {
 		return nil, err
@@ -82,6 +97,9 @@ func newRelaxed(u int64, k int, combining bool) (*Relaxed, error) {
 					apply1(ops[j])
 				}
 			}, apply1)
+			if acfg != nil {
+				sh.ctl = adapt.New(*acfg, combine.Sampler(sh.comb, nil, sh.pending.Load))
+			}
 		}
 	}
 	return t, nil
@@ -125,6 +143,15 @@ func (t *Relaxed) Search(x int64) bool {
 // Precondition: 0 ≤ x < U().
 func (t *Relaxed) Insert(x int64) {
 	sh, lx := t.home(x)
+	if sh.ctl != nil {
+		sh.ctl.Tick()
+		if sh.ctl.Combining() {
+			sh.comb.Submit(combine.Op{Key: lx})
+			return
+		}
+		t.insertDirect(sh, lx)
+		return
+	}
 	if sh.comb != nil {
 		sh.comb.Submit(combine.Op{Key: lx})
 		return
@@ -133,9 +160,18 @@ func (t *Relaxed) Insert(x int64) {
 }
 
 func (t *Relaxed) insertDirect(sh *rshard, lx int64) {
+	// pending feeds only the adaptive controller's direct-mode signal;
+	// non-adaptive tries skip the two extra RMWs on the wait-free path.
+	adaptive := sh.ctl != nil
+	if adaptive {
+		sh.pending.Add(1)
+	}
 	sh.count.Add(1)
 	if !sh.trie.Add(lx) {
 		sh.count.Add(-1)
+	}
+	if adaptive {
+		sh.pending.Add(-1)
 	}
 }
 
@@ -145,6 +181,15 @@ func (t *Relaxed) insertDirect(sh *rshard, lx int64) {
 // Precondition: 0 ≤ x < U().
 func (t *Relaxed) Delete(x int64) {
 	sh, lx := t.home(x)
+	if sh.ctl != nil {
+		sh.ctl.Tick()
+		if sh.ctl.Combining() {
+			sh.comb.Submit(combine.Op{Key: lx, Del: true})
+			return
+		}
+		t.deleteDirect(sh, lx)
+		return
+	}
 	if sh.comb != nil {
 		sh.comb.Submit(combine.Op{Key: lx, Del: true})
 		return
@@ -153,9 +198,37 @@ func (t *Relaxed) Delete(x int64) {
 }
 
 func (t *Relaxed) deleteDirect(sh *rshard, lx int64) {
+	adaptive := sh.ctl != nil
+	if adaptive {
+		sh.pending.Add(1)
+	}
 	if sh.trie.Remove(lx) {
 		sh.count.Add(-1)
 	}
+	if adaptive {
+		sh.pending.Add(-1)
+	}
+}
+
+// Adaptive reports whether per-shard controllers drive the publication
+// mode at runtime.
+func (t *Relaxed) Adaptive() bool { return t.shards[0].ctl != nil }
+
+// RelaxedShardController returns shard i's adaptive controller, or nil
+// (tests, stats).
+func (t *Relaxed) RelaxedShardController(i int) *adapt.Controller { return t.shards[i].ctl }
+
+// AdaptiveStats sums the per-shard mode-transition counters (zeros when
+// the trie is not adaptive).
+func (t *Relaxed) AdaptiveStats() (enables, disables int64) {
+	for i := range t.shards {
+		if c := t.shards[i].ctl; c != nil {
+			e, d := c.Transitions()
+			enables += e
+			disables += d
+		}
+	}
+	return enables, disables
 }
 
 // Predecessor returns the largest key smaller than y under the relaxed

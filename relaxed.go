@@ -27,8 +27,9 @@ type relaxedSet interface {
 // than always-answering queries (e.g. real-time producers with a
 // best-effort scanner). The full Trie builds on it.
 type Relaxed struct {
-	set    relaxedSet
-	shards int
+	set      relaxedSet
+	shards   int
+	adaptive bool
 }
 
 // NewRelaxed returns an empty relaxed trie over {0,…,universe−1} (same
@@ -42,7 +43,9 @@ type Relaxed struct {
 // per-shard combiners; the relaxed trie has no announcement lists to
 // amortize, so this trades the §4 per-op wait-freedom of batched updates
 // for the combiner handoff and is only worth it under extreme same-range
-// churn (see internal/combine.RelaxedSet).
+// churn (see internal/combine.RelaxedSet). WithAdaptiveCombining makes
+// that call per shard at runtime from the in-flight update count, with
+// the same caveat.
 func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 	cfg := config{shards: 1}
 	for _, opt := range opts {
@@ -55,17 +58,28 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lockfreetrie: %w", err)
 		}
-		return &Relaxed{set: combine.WrapRelaxed(r, cfg.combining, 0), shards: 1}, nil
+		var s relaxedSet
+		if cfg.adaptive {
+			s = combine.WrapRelaxedAdaptive(r, cfg.acfg, 0)
+		} else {
+			s = combine.WrapRelaxed(r, cfg.combining, 0)
+		}
+		return &Relaxed{set: s, shards: 1, adaptive: cfg.adaptive}, nil
 	}
-	mk := sharded.NewRelaxed
-	if cfg.combining {
-		mk = sharded.NewRelaxedCombining
+	var s relaxedSet
+	var err error
+	switch {
+	case cfg.adaptive:
+		s, err = sharded.NewRelaxedAdaptive(universe, cfg.shards, cfg.acfg)
+	case cfg.combining:
+		s, err = sharded.NewRelaxedCombining(universe, cfg.shards)
+	default:
+		s, err = sharded.NewRelaxed(universe, cfg.shards)
 	}
-	s, err := mk(universe, cfg.shards)
 	if err != nil {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}
-	return &Relaxed{set: s, shards: cfg.shards}, nil
+	return &Relaxed{set: s, shards: cfg.shards, adaptive: cfg.adaptive}, nil
 }
 
 // Universe returns the padded universe size.
@@ -73,6 +87,19 @@ func (t *Relaxed) Universe() int64 { return t.set.U() }
 
 // Shards returns the configured shard count (1 for the unsharded trie).
 func (t *Relaxed) Shards() int { return t.shards }
+
+// AdaptiveCombining reports whether WithAdaptiveCombining was set.
+func (t *Relaxed) AdaptiveCombining() bool { return t.adaptive }
+
+// AdaptiveStats returns the cumulative mode-transition counts summed over
+// all shards, mirroring Trie.AdaptiveStats. Zeros unless
+// WithAdaptiveCombining was set.
+func (t *Relaxed) AdaptiveStats() (enables, disables int64) {
+	if a, ok := t.set.(adaptiveStats); ok {
+		return a.AdaptiveStats()
+	}
+	return 0, 0
+}
 
 // Len returns the number of keys currently in the set, under the same
 // weak-consistency contract as Trie.Len: exact at quiescence, off by at
