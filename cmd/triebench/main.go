@@ -31,6 +31,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/locktrie"
 	"repro/internal/relaxed"
+	"repro/internal/resize"
 	"repro/internal/sharded"
 	"repro/internal/skiplist"
 	"repro/internal/versioned"
@@ -50,9 +51,11 @@ func main() {
 		combineReps  = flag.Int("cb1reps", cb1Reps, "cb1 repetitions per configuration (median reported; CI smoke uses 1)")
 		adaptivePath = flag.String("adaptivejson", "BENCH_adaptive.json", "ad1 trajectory output path (empty disables)")
 		adaptiveReps = flag.Int("ad1reps", ad1Reps, "ad1 repetitions per configuration (median reported; CI smoke uses 1)")
+		resizePath   = flag.String("resizejson", "BENCH_resize.json", "rs1 trajectory output path (empty disables)")
+		resizeReps   = flag.Int("rs1reps", rs1Reps, "rs1 repetitions per configuration (median reported; CI smoke uses 1)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath, *allocsPath, *combinePath, *combineReps, *adaptivePath, *adaptiveReps); err != nil {
+	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath, *allocsPath, *combinePath, *combineReps, *adaptivePath, *adaptiveReps, *resizePath, *resizeReps); err != nil {
 		fmt.Fprintln(os.Stderr, "triebench:", err)
 		os.Exit(1)
 	}
@@ -63,13 +66,13 @@ func main() {
 // nothing).
 func experimentIDs() []string {
 	return []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7",
-		"a1", "a2", "a3", "s1", "cb1", "ad1", "all"}
+		"a1", "a2", "a3", "s1", "cb1", "ad1", "rs1", "all"}
 }
 
 // runnersFor binds the experiment table to this invocation's artifact
 // paths and repetition counts. Split from run so the id registry is
 // testable against experimentIDs.
-func runnersFor(shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int) map[string]func(int, int, int64) error {
+func runnersFor(shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int, resizePath string, resizeReps int) map[string]func(int, int, int64) error {
 	return map[string]func(int, int, int64) error{
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5,
 		"c6": expC6, "c7": expC7, "a1": expA1, "a2": expA2,
@@ -85,16 +88,19 @@ func runnersFor(shards int, jsonPath, allocsPath, combinePath string, combineRep
 		"ad1": func(ops, workers int, seed int64) error {
 			return expAD1(ops, workers, seed, adaptiveReps, adaptivePath)
 		},
+		"rs1": func(ops, workers int, seed int64) error {
+			return expRS1(ops, workers, seed, resizeReps, resizePath)
+		},
 	}
 }
 
-func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int) error {
-	runners := runnersFor(shards, jsonPath, allocsPath, combinePath, combineReps, adaptivePath, adaptiveReps)
-	// "all" covers the paper-claim sweeps; s1, a3, cb1 and ad1 are opt-in
-	// because they overwrite the recorded BENCH_shards.json /
-	// BENCH_allocs.json / BENCH_combine.json / BENCH_adaptive.json
-	// trajectory points (and s1/cb1/ad1 enforce their own ops/workers
-	// floors — minutes, not seconds).
+func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int, resizePath string, resizeReps int) error {
+	runners := runnersFor(shards, jsonPath, allocsPath, combinePath, combineReps, adaptivePath, adaptiveReps, resizePath, resizeReps)
+	// "all" covers the paper-claim sweeps; s1, a3, cb1, ad1 and rs1 are
+	// opt-in because they overwrite the recorded BENCH_shards.json /
+	// BENCH_allocs.json / BENCH_combine.json / BENCH_adaptive.json /
+	// BENCH_resize.json trajectory points (and s1/cb1/ad1/rs1 enforce
+	// their own ops/workers floors — minutes, not seconds).
 	if experiment == "all" {
 		for _, id := range []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7", "a1", "a2"} {
 			if err := runners[id](ops, workers, seed); err != nil {
@@ -1320,6 +1326,224 @@ func expAD1(ops, workers int, seed int64, reps int, jsonPath string) error {
 			wl.Adaptive.Enables+wl.Adaptive.Disables, wl.Adaptive.CombiningShards)
 	}
 	fmt.Println(tab)
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
+	return nil
+}
+
+// --- RS1: online shard resize tracks the workload's best fixed k ---------------
+
+// rs1Reps is the default repetition count (-rs1reps overrides); the
+// median of per-repetition ratios is reported, rotated per repetition,
+// for the same host-load-drift reasons as AD1.
+const rs1Reps = 5
+
+// rs1FixedKs is the fixed-k competitor ladder; the adaptive variant may
+// roam the same range.
+var rs1FixedKs = []int{1, 4, 16}
+
+// rs1Side is one variant of an RS1 repetition: two workload phases —
+// skewed (hot shard) then uniform — run back-to-back on one structure.
+type rs1Side struct {
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	SkewedOpsPerSec  float64 `json:"skewed_ops_per_sec"`
+	UniformOpsPerSec float64 `json:"uniform_ops_per_sec"`
+	// Resize trajectory (adaptive variant only; zeros for fixed k).
+	// Always serialized so a zero reads as "no transitions".
+	Grows       int64 `json:"grows"`
+	Shrinks     int64 `json:"shrinks"`
+	FinalShards int   `json:"final_shards"`
+}
+
+// rs1Report is the BENCH_resize.json trajectory point.
+type rs1Report struct {
+	Experiment string             `json:"experiment"`
+	Timestamp  string             `json:"timestamp"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Universe   int64              `json:"universe"`
+	Goroutines int                `json:"goroutines"`
+	Ops        int                `json:"ops"`
+	Reps       int                `json:"reps_median_of"`
+	MinShards  int                `json:"min_shards"`
+	MaxShards  int                `json:"max_shards"`
+	Fixed      map[string]rs1Side `json:"fixed"`
+	Adaptive   rs1Side            `json:"adaptive"`
+	// GateAdaptiveVsBestFixed is the median over repetitions of
+	// adaptive / best-fixed-in-that-repetition total throughput; the
+	// acceptance gate tracks ≥ 0.95 (online resizing must not cost more
+	// than it earns against the best construction-time bet on a
+	// workload whose best k CHANGES mid-run).
+	GateAdaptiveVsBestFixed float64 `json:"gate_adaptive_vs_best_fixed"`
+}
+
+// expRS1: the adaptive shard count against every fixed k on a workload
+// whose contention profile flips mid-run: a skewed phase (90% of
+// updates in one 1/16th of the universe — one hot shard at k=16, where
+// PR 1 measured sharding earning nothing) followed by a uniform phase
+// (where k=16 measured 2–3× k=1). No fixed k is right for both phases;
+// the resize decision layer must carry the partition toward the
+// contention, paying for its migrations out of the winnings. Per-point
+// transition counts make the trajectory auditable. Writes the
+// BENCH_resize.json trajectory point unless -resizejson is empty.
+func expRS1(ops, workers int, seed int64, reps int, jsonPath string) error {
+	const (
+		u         = int64(1 << 16)
+		minShards = 1
+		maxShards = 16
+		// The adaptive variant starts at the geometric middle of its
+		// band — the sensible default when the workload is unknown —
+		// and must adapt from there; a decision layer that only ever
+		// grows from min would get the skewed phase for free.
+		midShards = 4
+	)
+	if workers < 16 {
+		fmt.Printf("rs1: raising -workers to 16 (the gate is defined at 16 goroutines)\n")
+		workers = 16
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if reps > 1 && ops < 1600000 {
+		fmt.Printf("rs1: raising -ops to 1600000 (a migration costs ~0.5–1s wall on this host; the transient must be amortizable, not the whole run)\n")
+		ops = 1600000
+	} else if reps == 1 && ops < 1600000 {
+		fmt.Printf("rs1: one-rep run at %d ops — smoke only, NOT comparable to the recorded gate-grade artifact\n", ops)
+	}
+	fmt.Printf("== RS1: adaptive shard count vs fixed k, skewed-then-uniform (ops/s, %d goroutines) ==\n", workers)
+	report := rs1Report{
+		Experiment: "rs1-resize",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Universe:   u,
+		Goroutines: workers,
+		Ops:        ops,
+		Reps:       reps,
+		MinShards:  minShards,
+		MaxShards:  maxShards,
+		Fixed:      map[string]rs1Side{},
+	}
+	skewed := workload.HotRange{U: u, HotLo: u / 2, HotWidth: u / 16, HotPct: 90}
+	// One measurement: fresh structure, half-full prefill, then the two
+	// phases timed back-to-back on the SAME structure (half the op
+	// budget each), so the adaptive variant's migrations triggered by
+	// phase 1 are paid for — or amortized — inside the measurement.
+	measure := func(s harness.Set, isAdaptive *resize.Set) (rs1Side, error) {
+		for key := int64(0); key < u; key += 2 {
+			s.Insert(key)
+		}
+		var side rs1Side
+		var elapsed time.Duration
+		for phase, dist := range []workload.KeyDist{skewed, workload.Uniform{U: u}} {
+			res, err := harness.Run(s, harness.Config{
+				Workers:      workers,
+				OpsPerWorker: ops / 2 / workers,
+				Mix:          workload.MixUpdateOnly,
+				Dist:         dist,
+				Seed:         seed + int64(phase),
+			})
+			if err != nil {
+				return rs1Side{}, err
+			}
+			elapsed += res.Elapsed
+			if phase == 0 {
+				side.SkewedOpsPerSec = res.Throughput
+			} else {
+				side.UniformOpsPerSec = res.Throughput
+			}
+		}
+		side.OpsPerSec = float64(ops/2/workers*workers*2) / elapsed.Seconds()
+		if isAdaptive != nil {
+			st := isAdaptive.Stats()
+			side.Grows, side.Shrinks, side.FinalShards = st.Grows, st.Shrinks, st.Shards
+		}
+		return side, nil
+	}
+	variants := append([]int{}, rs1FixedKs...)
+	const adaptiveVariant = -1
+	variants = append(variants, adaptiveVariant)
+	samples := map[int][]rs1Side{}
+	var ratios []float64
+	for rep := 0; rep < reps; rep++ {
+		repSides := map[int]rs1Side{}
+		for j := range variants {
+			// Rotate the run order per repetition so monotone host-load
+			// drift cannot systematically penalize one variant (the AD1
+			// lesson).
+			v := variants[(rep+j)%len(variants)]
+			var side rs1Side
+			var err error
+			if v == adaptiveVariant {
+				var s *resize.Set
+				s, err = resize.NewSet(midShards,
+					func(k int) (*sharded.Trie, error) { return sharded.New(u, k) },
+					resize.Config{MinShards: minShards, MaxShards: maxShards})
+				if err == nil {
+					side, err = measure(s, s)
+				}
+			} else {
+				var s *sharded.Trie
+				s, err = sharded.New(u, v)
+				if err == nil {
+					side, err = measure(s, nil)
+					side.FinalShards = v // fixed by construction
+				}
+			}
+			if err != nil {
+				return err
+			}
+			repSides[v] = side
+			samples[v] = append(samples[v], side)
+		}
+		bestFixed := 0.0
+		for _, k := range rs1FixedKs {
+			if t := repSides[k].OpsPerSec; t > bestFixed {
+				bestFixed = t
+			}
+		}
+		if bestFixed > 0 {
+			ratios = append(ratios, repSides[adaptiveVariant].OpsPerSec/bestFixed)
+		}
+	}
+	medianSide := func(sides []rs1Side) rs1Side {
+		var tot, sk, un, gr, sh, fs []float64
+		for _, s := range sides {
+			tot = append(tot, s.OpsPerSec)
+			sk = append(sk, s.SkewedOpsPerSec)
+			un = append(un, s.UniformOpsPerSec)
+			gr = append(gr, float64(s.Grows))
+			sh = append(sh, float64(s.Shrinks))
+			fs = append(fs, float64(s.FinalShards))
+		}
+		return rs1Side{
+			OpsPerSec: median(tot), SkewedOpsPerSec: median(sk), UniformOpsPerSec: median(un),
+			Grows: int64(median(gr)), Shrinks: int64(median(sh)), FinalShards: int(median(fs)),
+		}
+	}
+	tab := harness.NewTable("variant", "total ops/s", "skewed ops/s", "uniform ops/s", "grows", "shrinks", "final k")
+	for _, k := range rs1FixedKs {
+		side := medianSide(samples[k])
+		report.Fixed[fmt.Sprintf("k=%d", k)] = side
+		tab.AddRow(fmt.Sprintf("fixed k=%d", k), side.OpsPerSec, side.SkewedOpsPerSec, side.UniformOpsPerSec,
+			side.Grows, side.Shrinks, k)
+	}
+	ad := medianSide(samples[adaptiveVariant])
+	report.Adaptive = ad
+	report.GateAdaptiveVsBestFixed = median(ratios)
+	tab.AddRow(fmt.Sprintf("adaptive [%d,%d]", minShards, maxShards), ad.OpsPerSec,
+		ad.SkewedOpsPerSec, ad.UniformOpsPerSec, ad.Grows, ad.Shrinks, ad.FinalShards)
+	fmt.Println(tab)
+	fmt.Printf("adaptive vs best fixed (median of per-rep ratios): %.3f\n", report.GateAdaptiveVsBestFixed)
 	if jsonPath == "" {
 		return nil
 	}

@@ -10,7 +10,7 @@ import (
 // experiment steps depend on a bad id failing the step loudly. The error
 // must also name the valid ids, so the typo is a one-glance fix.
 func TestRunUnknownExperimentFails(t *testing.T) {
-	err := run("cbl", 1000, 1, 1, 16, "", "", "", 1, "", 1)
+	err := run("cbl", 1000, 1, 1, 16, "", "", "", 1, "", 1, "", 1)
 	if err == nil {
 		t.Fatal(`run("cbl") returned nil for an unknown experiment id`)
 	}
@@ -28,7 +28,7 @@ func TestRunUnknownExperimentFails(t *testing.T) {
 // table cannot drift apart — every advertised id (except the "all" meta
 // id) has a runner, and every runner is advertised.
 func TestExperimentRegistryMatchesIDs(t *testing.T) {
-	runners := runnersFor(16, "", "", "", 1, "", 1)
+	runners := runnersFor(16, "", "", "", 1, "", 1, "", 1)
 	advertised := map[string]bool{}
 	for _, id := range experimentIDs() {
 		advertised[id] = true
@@ -48,7 +48,7 @@ func TestExperimentRegistryMatchesIDs(t *testing.T) {
 
 // TestEmptyExperimentFails: the empty string is not a silent no-op either.
 func TestEmptyExperimentFails(t *testing.T) {
-	if err := run("", 1000, 1, 1, 16, "", "", "", 1, "", 1); err == nil {
+	if err := run("", 1000, 1, 1, 16, "", "", "", 1, "", 1, "", 1); err == nil {
 		t.Fatal(`run("") returned nil`)
 	}
 }

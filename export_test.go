@@ -1,0 +1,11 @@
+package lockfreetrie
+
+// Test-only exports: the facade deliberately has no public "resize now"
+// entry point (migrations are the decision layer's job), but the
+// resize-aware facade suites need deterministic transitions.
+
+// ForceResize synchronously re-partitions a WithAdaptiveShards trie.
+func ForceResize(t *Trie, k int) error { return t.rz.Resize(k) }
+
+// ForceResizeRelaxed is ForceResize for the relaxed facade.
+func ForceResizeRelaxed(t *Relaxed, k int) error { return t.rz.Resize(k) }

@@ -1,0 +1,117 @@
+package lincheck
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/combine"
+	"repro/internal/core"
+	"repro/internal/resize"
+	"repro/internal/sharded"
+)
+
+// resizeTargets is the shard-count menu the fuzz scripts trigger
+// migrations toward (u = 64 caps the geometry at 32).
+var resizeTargets = [4]int{1, 2, 4, 8}
+
+// fuzzResizeWorkerScript replays one worker's byte script against a
+// live resizing trie, recording every set operation. The action
+// alphabet mirrors fuzzWorkerScript — per-op updates, queries, and
+// two-op batches — plus a resize trigger that synchronously migrates
+// the whole partition to a script-chosen shard count, so epoch flips
+// land at arbitrary points of the peer's operations (ErrBusy from a
+// collision with the peer's migration is simply ignored; the trigger is
+// not a set operation and records nothing).
+func fuzzResizeWorkerScript(s *resize.Set, rec *Recorder, script []byte) {
+	for i := 0; i+1 < len(script); i += 2 {
+		b, key := script[i], int64(script[i+1]&63)
+		switch b % 6 {
+		case 0:
+			inv := rec.Begin()
+			s.Insert(key)
+			rec.End(OpInsert, key, 0, inv)
+		case 1:
+			inv := rec.Begin()
+			s.Delete(key)
+			rec.End(OpDelete, key, 0, inv)
+		case 2:
+			inv := rec.Begin()
+			got := s.Search(key)
+			res := int64(0)
+			if got {
+				res = 1
+			}
+			rec.End(OpSearch, key, res, inv)
+		case 3:
+			inv := rec.Begin()
+			got := s.Predecessor(key)
+			rec.End(OpPredecessor, key, got, inv)
+		case 4: // batch of two updates (kinds from the discriminator's high bits)
+			if i+3 >= len(script) {
+				return
+			}
+			ops := []core.BatchOp{
+				{Key: int64(script[i+2] & 63), Del: b&8 != 0},
+				{Key: int64(script[i+3] & 63), Del: b&16 != 0},
+			}
+			i += 2
+			inv := rec.Begin()
+			s.ApplyBatch(combine.SortDedup(append([]core.BatchOp(nil), ops...)))
+			for _, op := range ops {
+				kind := OpInsert
+				if op.Del {
+					kind = OpDelete
+				}
+				rec.End(kind, op.Key, 0, inv)
+			}
+		case 5: // live re-partition to a script-chosen shard count
+			_ = s.Resize(resizeTargets[key%4])
+		}
+	}
+}
+
+// FuzzResizeMixedHistories drives TWO workers' fuzz-decoded scripts —
+// per-op updates, queries, ApplyBatch calls and randomly injected
+// resize triggers — against a live resizing trie and requires the
+// recorded history to linearize: no operation may be lost, duplicated
+// or mis-answered across any k→k′ epoch flip, wherever in the scripts
+// the migrations land. The startShards corpus dimension seeds
+// migrations in both directions (grow from 1, shrink from 8).
+func FuzzResizeMixedHistories(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 5, 11, 1, 1, 5, 2, 5, 3, 9})           // ins, resize→8, del, search, pred
+	f.Add(uint8(3), []byte{4, 0, 7, 7, 11, 0, 28, 0, 7, 7, 2, 7})    // batch, resize→1, delete batch, search
+	f.Add(uint8(1), []byte{5, 2, 0, 63, 5, 1, 13, 0, 63, 63, 3, 63}) // resize→4, ins, resize→2, mixed batch, pred
+	f.Add(uint8(2), []byte{0, 16, 5, 3, 3, 16, 1, 16, 5, 0, 2, 16})  // churn one key across grow and shrink
+	f.Fuzz(func(t *testing.T, startShards uint8, data []byte) {
+		if len(data) < 2 || len(data) > 40 {
+			return // keep the WGL search cheap
+		}
+		s, err := resize.NewSet(resizeTargets[startShards%4],
+			func(k int) (*sharded.Trie, error) { return sharded.New(64, k) },
+			resize.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := sharded.ScanRetries
+		sharded.ScanRetries = 1 << 20 // see forEachShardCount in internal/sharded
+		defer func() { sharded.ScanRetries = old }()
+		rec := NewRecorder()
+		half := (len(data) + 1) / 2
+		var wg sync.WaitGroup
+		for _, part := range [][]byte{data[:half], data[half:]} {
+			wg.Add(1)
+			go func(script []byte) {
+				defer wg.Done()
+				fuzzResizeWorkerScript(s, rec, script)
+			}(part)
+		}
+		wg.Wait()
+		ok, msg, err := CheckOrExplain(rec.History())
+		if err != nil {
+			t.Fatalf("checker error: %v", err)
+		}
+		if !ok {
+			t.Fatalf("resize history not linearizable: %s", msg)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package resize_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/resize"
+	"repro/internal/settest"
+	"repro/internal/sharded"
+)
+
+// transitions is the k→k′ matrix the resize-aware harness drives: the
+// ISSUE's (1→4), (4→16), (16→4), closed back to 1 so the cycle repeats.
+var transitions = []int{4, 16, 4, 1}
+
+// resizingFactory builds sets that re-partition themselves continuously
+// while the conformance suite runs: each created set gets a driver
+// goroutine cycling the transition matrix until the test ends. The
+// returned stop function (registered as a cleanup) joins every driver.
+func resizingFactory(t *testing.T) settest.Factory {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	t.Cleanup(func() {
+		close(stop)
+		wg.Wait()
+	})
+	return func(u int64) (settest.Set, error) {
+		s, err := resize.NewSet(1, plainFactory(u), resize.Config{})
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				for _, k := range transitions {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.Resize(k); err != nil {
+						t.Errorf("driver Resize(%d): %v", k, err)
+						return
+					}
+				}
+			}
+		}()
+		return s, nil
+	}
+}
+
+// withJitterHook installs a migration hook that yields and probes reads
+// at every stage boundary, stretching each migration window so
+// operations land inside every phase (reads only — the conformance
+// reference tracks all mutations). Restored by cleanup.
+func withJitterHook(t *testing.T, probe *atomic.Pointer[resize.Set]) {
+	t.Helper()
+	resize.SetTestHookMigration(func(resize.Stage) {
+		if s := probe.Load(); s != nil {
+			s.Search(0)
+			s.Len()
+		}
+		runtime.Gosched()
+	})
+	t.Cleanup(func() { resize.SetTestHookMigration(nil) })
+}
+
+// trackingFactory wraps a factory to publish the latest set for the
+// jitter hook's probes.
+func trackingFactory(f settest.Factory, probe *atomic.Pointer[resize.Set]) settest.Factory {
+	return func(u int64) (settest.Set, error) {
+		s, err := f(u)
+		if err != nil {
+			return nil, err
+		}
+		probe.Store(s.(*resize.Set))
+		return s, nil
+	}
+}
+
+// TestResizeSequentialConformance: the map-reference sequential suite,
+// with the driver re-partitioning underneath every operation.
+func TestResizeSequentialConformance(t *testing.T) {
+	var probe atomic.Pointer[resize.Set]
+	withJitterHook(t, &probe)
+	settest.RunSequential(t, trackingFactory(resizingFactory(t), &probe), 64)
+}
+
+// TestResizeEdgeCases: boundary keys, empty/full fill-and-drain, across
+// continuous re-partitioning.
+func TestResizeEdgeCases(t *testing.T) {
+	var probe atomic.Pointer[resize.Set]
+	withJitterHook(t, &probe)
+	settest.RunEdgeCases(t, trackingFactory(resizingFactory(t), &probe), 64)
+}
+
+// TestResizeConcurrentConformance: goroutines over disjoint key ranges
+// with exact quiescent verification, while the driver walks the full
+// transition matrix under the suite — no op may be lost or duplicated
+// across any epoch flip.
+func TestResizeConcurrentConformance(t *testing.T) {
+	var probe atomic.Pointer[resize.Set]
+	withJitterHook(t, &probe)
+	ops := 1200
+	if testing.Short() {
+		ops = 400
+	}
+	settest.RunConcurrent(t, trackingFactory(resizingFactory(t), &probe), 256, 8, ops)
+}
+
+// TestResizeConcurrentConformanceCombining: the same concurrent suite
+// with the factory building combining partitions, so migrations move
+// batched publication state too.
+func TestResizeConcurrentConformanceCombining(t *testing.T) {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	t.Cleanup(func() {
+		close(stop)
+		wg.Wait()
+	})
+	f := func(u int64) (settest.Set, error) {
+		s, err := resize.NewSet(1,
+			func(k int) (*sharded.Trie, error) { return sharded.NewCombining(u, k) },
+			resize.Config{})
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				for _, k := range transitions {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.Resize(k); err != nil {
+						t.Errorf("driver Resize(%d): %v", k, err)
+						return
+					}
+				}
+			}
+		}()
+		return s, nil
+	}
+	ops := 800
+	if testing.Short() {
+		ops = 300
+	}
+	settest.RunConcurrent(t, f, 256, 8, ops)
+}

@@ -1,0 +1,197 @@
+// The resize decision layer: a deterministic controller that proposes
+// grow/shrink targets from the contention signal the adaptive-combining
+// work already measures (ROADMAP: "resize k online from the occupancy
+// summary + a contention signal"). Like adapt.Controller, the decision
+// function is a pure Step over injected samples — the unit suite drives
+// it with synthetic signals and asserts exact flip samples, with no
+// sleeps and no real contention.
+package resize
+
+import "sync/atomic"
+
+// Defaults, chosen against the same measured regimes as the adapt
+// thresholds (thin shards sample 0–4 visible peers, clustered ones
+// 7–15): a sustained ≥ 3 concurrent publishers on the busiest shard
+// (estimate ≥ 4) is unambiguous clustering worth splitting, while an
+// estimate at ~1 means updates arrive essentially solo and half the
+// shards are pure scan overhead for Len and the cross-shard stitches.
+const (
+	// DefaultSampleEvery is the update-op cadence between signal samples.
+	DefaultSampleEvery = 512
+	// DefaultAlpha is the EWMA weight of the newest observation.
+	DefaultAlpha = 0.4
+	// DefaultGrow is the busiest-shard peer estimate at which the
+	// partition doubles.
+	DefaultGrow = 4.0
+	// DefaultShrink is the estimate at which it halves. The gap to
+	// DefaultGrow is the hysteresis band; doubling k roughly halves the
+	// per-shard estimate, so the band must span a factor of two or a
+	// fresh grow would immediately propose shrinking back.
+	DefaultShrink = 1.25
+	// DefaultMinDwell is the minimum samples between proposals. Resize
+	// dwells are deliberately an order of magnitude coarser than the
+	// adapt controller's (32 samples ≈ 16k update ops at the default
+	// cadence): a combining-mode flip costs one cache-cold transition,
+	// but a migration costs scheduler rotations and a full table copy —
+	// measured in hundreds of milliseconds on a loaded host — so a
+	// proposal cadence near the migration latency would spend the whole
+	// run migrating. The RS1 trajectory caught exactly this with the
+	// original dwell of 4: a transient lull late in a phase shrank a
+	// converged 16-shard partition mid-run and cost ~20% of the phase.
+	DefaultMinDwell = 32
+	// DefaultMinKeysPerShard vetoes grows that would leave shards
+	// essentially empty: splitting contention only helps if the shards
+	// hold enough keys for updates to actually spread.
+	DefaultMinKeysPerShard = 2
+)
+
+// Config tunes the Decider. The zero value of every field except
+// MinShards/MaxShards selects its default; MinShards and MaxShards
+// bound the proposals (both must be powers of two — the sharded
+// geometry's requirement — and are validated by the facade).
+type Config struct {
+	// MinShards and MaxShards bound the shard count (inclusive).
+	MinShards, MaxShards int
+	// SampleEvery is the number of updates between signal samples.
+	SampleEvery int64
+	// Alpha is the EWMA weight of the newest observation, in (0, 1].
+	Alpha float64
+	// Grow is the peer-estimate EWMA at or above which the Decider
+	// proposes doubling the shard count.
+	Grow float64
+	// Shrink is the estimate at or below which it proposes halving.
+	// Must stay below Grow; an inverted band is clamped to Grow/2.
+	Shrink float64
+	// MinDwell is the minimum samples between proposals.
+	MinDwell int64
+	// MinKeysPerShard vetoes a grow while occupancy < target·this.
+	MinKeysPerShard int64
+}
+
+// withDefaults fills zero fields with the tuned defaults.
+func (c Config) withDefaults() Config {
+	if c.MinShards <= 0 {
+		c.MinShards = 1
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = c.MinShards
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Grow <= 0 {
+		c.Grow = DefaultGrow
+	}
+	if c.Shrink <= 0 {
+		c.Shrink = DefaultShrink
+	}
+	if c.Shrink >= c.Grow {
+		c.Shrink = c.Grow / 2
+	}
+	if c.MinDwell <= 0 {
+		c.MinDwell = DefaultMinDwell
+	}
+	if c.MinKeysPerShard <= 0 {
+		c.MinKeysPerShard = DefaultMinKeysPerShard
+	}
+	return c
+}
+
+// Signal is one reading of the partition's resize inputs.
+type Signal struct {
+	// Peers is the busiest shard's concurrent-publisher estimate
+	// (in-flight updates, announced updates, plus the sampler itself) —
+	// the same quantity the adapt controller thresholds on.
+	Peers float64
+	// Shards is the current shard count.
+	Shards int
+	// Occupancy is the partition's cardinality estimate (Len).
+	Occupancy int64
+}
+
+// Decider proposes shard-count changes with hysteresis and dwell. Step
+// is called by one sampler at a time (the resizer's sampling word) or
+// directly by tests; the decision state is deliberately plain fields.
+type Decider struct {
+	cfg   Config
+	ewma  float64
+	dwell int64
+	// Proposal counters (monitoring; written only by the sampler).
+	grows, shrinks atomic.Int64
+}
+
+// NewDecider returns a Decider with cfg's thresholds (zero fields take
+// the tuned defaults). The estimate starts at 1 — a solo publisher —
+// mirroring adapt.New's direct start.
+func NewDecider(cfg Config) *Decider {
+	return &Decider{cfg: cfg.withDefaults(), ewma: 1}
+}
+
+// Config returns the resolved (defaults-filled) configuration.
+func (d *Decider) Config() Config { return d.cfg }
+
+// Estimate returns the current peer-estimate EWMA (quiescent
+// inspection, like adapt.Controller.Estimate).
+func (d *Decider) Estimate() float64 { return d.ewma }
+
+// Proposals returns the cumulative grow and shrink proposal counts.
+func (d *Decider) Proposals() (grows, shrinks int64) {
+	return d.grows.Load(), d.shrinks.Load()
+}
+
+// pow2AtLeast returns the smallest power of two ≥ x (min 1).
+func pow2AtLeast(x float64) int {
+	k := 1
+	for float64(k) < x && k < 1<<30 {
+		k <<= 1
+	}
+	return k
+}
+
+// Step feeds one signal through the decision: EWMA the peer estimate,
+// then — once MinDwell samples have accumulated since the last proposal
+// — propose growing at or above Grow (unless the occupancy guard or
+// MaxShards vetoes) and halving at or below Shrink (down to MinShards).
+//
+// A grow JUMPS to the estimate: the proposed count is the smallest
+// power of two ≥ the EWMA (at least double, at most MaxShards), because
+// the estimate IS the publisher count the partition should spread — and
+// because migrations are wall-clock expensive on a loaded host (each
+// epoch drain waits out a scheduler rotation), one 1→8 migration beats
+// three chained doublings arriving after the workload moved on. A
+// shrink halves: excess shards cost only O(k) scan overhead, so there
+// is no hurry, and halving keeps a mis-read low estimate cheap to undo.
+//
+// The returned target is the proposed shard count; ok reports whether a
+// resize is proposed. A veto consumes no dwell: the Decider keeps
+// watching and proposes on the first sample the veto lifts.
+func (d *Decider) Step(s Signal) (target int, ok bool) {
+	d.ewma = d.cfg.Alpha*s.Peers + (1-d.cfg.Alpha)*d.ewma
+	if d.dwell++; d.dwell < d.cfg.MinDwell {
+		return 0, false
+	}
+	switch {
+	case d.ewma >= d.cfg.Grow && s.Shards*2 <= d.cfg.MaxShards:
+		target = pow2AtLeast(d.ewma)
+		if target < s.Shards*2 {
+			target = s.Shards * 2
+		}
+		if target > d.cfg.MaxShards {
+			target = d.cfg.MaxShards
+		}
+		if s.Occupancy < int64(target)*d.cfg.MinKeysPerShard {
+			return 0, false // occupancy veto, dwell preserved
+		}
+		d.grows.Add(1)
+		d.dwell = 0
+		return target, true
+	case d.ewma <= d.cfg.Shrink && s.Shards > d.cfg.MinShards:
+		d.shrinks.Add(1)
+		d.dwell = 0
+		return s.Shards / 2, true
+	}
+	return 0, false
+}

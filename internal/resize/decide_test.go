@@ -1,0 +1,188 @@
+package resize
+
+import (
+	"math"
+	"testing"
+)
+
+// stepCfg is the deterministic configuration the exact-sample tests
+// share: α = 0.5 makes hand-computed EWMAs exact binary fractions.
+func stepCfg() Config {
+	return Config{
+		MinShards: 1, MaxShards: 16,
+		Alpha: 0.5, Grow: 4, Shrink: 1.5,
+		MinDwell: 2, MinKeysPerShard: 1,
+	}
+}
+
+// sig builds a Signal with plenty of occupancy so only the named guard
+// under test can veto.
+func sig(peers float64, shards int) Signal {
+	return Signal{Peers: peers, Shards: shards, Occupancy: 1 << 20}
+}
+
+// TestDeciderExactGrowSample pins the exact sample a grow fires on and
+// its jump target: EWMA from 1 under constant peers 9 with α = 0.5 runs
+// 5, 7, 8, … — the first sample ≥ Grow(4) is sample 1, but MinDwell(2)
+// holds it to sample 2, whose EWMA of 7 jumps the proposal straight to
+// pow2ceil(7) = 8 shards, not a mere doubling.
+func TestDeciderExactGrowSample(t *testing.T) {
+	d := NewDecider(stepCfg())
+	if tgt, ok := d.Step(sig(9, 2)); ok {
+		t.Fatalf("sample 1 proposed %d inside dwell", tgt)
+	}
+	if got := d.Estimate(); got != 5 {
+		t.Fatalf("EWMA after sample 1 = %v, want 5", got)
+	}
+	tgt, ok := d.Step(sig(9, 2))
+	if !ok || tgt != 8 {
+		t.Fatalf("sample 2: (%d, %v), want grow to pow2ceil(7) = 8", tgt, ok)
+	}
+	if got := d.Estimate(); got != 7 {
+		t.Fatalf("EWMA after sample 2 = %v, want 7", got)
+	}
+	if g, s := d.Proposals(); g != 1 || s != 0 {
+		t.Fatalf("proposals = (%d, %d), want (1, 0)", g, s)
+	}
+}
+
+// TestDeciderExactShrinkSample: EWMA decaying from 8 under constant
+// peers 1 runs 4.5, 2.75, 1.875, 1.4375 — the first sample ≤ Shrink(1.5)
+// is sample 4, and dwell (reset by a preceding grow) has long expired.
+func TestDeciderExactShrinkSample(t *testing.T) {
+	d := NewDecider(stepCfg())
+	d.ewma = 8
+	for i := 1; i <= 3; i++ {
+		if tgt, ok := d.Step(sig(1, 8)); ok {
+			t.Fatalf("sample %d proposed %d above the shrink threshold (EWMA %v)", i, tgt, d.Estimate())
+		}
+	}
+	tgt, ok := d.Step(sig(1, 8))
+	if !ok || tgt != 4 {
+		t.Fatalf("sample 4: (%d, %v) at EWMA %v, want shrink to 4", tgt, ok, d.Estimate())
+	}
+	if got := d.Estimate(); got != 1.4375 {
+		t.Fatalf("EWMA = %v, want 1.4375", got)
+	}
+}
+
+// TestDeciderHysteresisBand: an estimate wandering strictly inside
+// (Shrink, Grow) proposes nothing, however long it wanders.
+func TestDeciderHysteresisBand(t *testing.T) {
+	d := NewDecider(stepCfg())
+	d.ewma = 3 // start inside the band
+	for i := 0; i < 100; i++ {
+		peers := 2.0
+		if i%2 == 1 {
+			peers = 3.5
+		}
+		if tgt, ok := d.Step(sig(peers, 4)); ok {
+			t.Fatalf("sample %d proposed %d from inside the band (EWMA %v)", i, tgt, d.Estimate())
+		}
+		if e := d.Estimate(); e <= 1.5 || e >= 4 {
+			t.Fatalf("sample %d: EWMA %v escaped the band", i, e)
+		}
+	}
+}
+
+// TestDeciderDwellAfterFlip: a grow resets the dwell, so the very next
+// sample cannot propose even when the (halved) estimate already sits
+// below Shrink — the oscillation guard between consecutive migrations.
+func TestDeciderDwellAfterFlip(t *testing.T) {
+	cfg := stepCfg()
+	cfg.MinDwell = 3
+	d := NewDecider(cfg)
+	d.ewma = 100
+	var grown bool
+	for i := 0; i < 3; i++ {
+		if _, ok := d.Step(sig(100, 2)); ok {
+			grown = true
+			if i != 2 {
+				t.Fatalf("grow at sample %d, dwell is 3", i+1)
+			}
+		}
+	}
+	if !grown {
+		t.Fatal("no grow after dwell expired")
+	}
+	// Collapse the estimate below Shrink: dwell must hold 2 samples.
+	d.ewma = 0.001
+	for i := 0; i < 2; i++ {
+		if tgt, ok := d.Step(sig(1, 4)); ok {
+			t.Fatalf("post-flip sample %d proposed %d inside dwell", i+1, tgt)
+		}
+	}
+	if tgt, ok := d.Step(sig(1, 4)); !ok || tgt != 2 {
+		t.Fatalf("post-dwell sample: (%d, %v), want shrink to 2", tgt, ok)
+	}
+}
+
+// TestDeciderBounds: no grow at MaxShards, no shrink at MinShards, in
+// both cases with the estimate far beyond the threshold.
+func TestDeciderBounds(t *testing.T) {
+	d := NewDecider(stepCfg())
+	d.ewma = 1000
+	for i := 0; i < 10; i++ {
+		if tgt, ok := d.Step(sig(1000, 16)); ok {
+			t.Fatalf("grew to %d beyond MaxShards", tgt)
+		}
+	}
+	d2 := NewDecider(stepCfg())
+	d2.ewma = 0.001
+	for i := 0; i < 10; i++ {
+		if tgt, ok := d2.Step(sig(1, 1)); ok {
+			t.Fatalf("shrank to %d below MinShards", tgt)
+		}
+	}
+}
+
+// TestDeciderOccupancyVeto: a grow whose target would leave shards
+// under MinKeysPerShard is vetoed WITHOUT consuming dwell, and fires on
+// the first sample the occupancy clears it.
+func TestDeciderOccupancyVeto(t *testing.T) {
+	cfg := stepCfg()
+	cfg.MinKeysPerShard = 8
+	d := NewDecider(cfg)
+	d.ewma = 100
+	// The estimate jumps the target to the MaxShards clamp (16), which
+	// needs occupancy ≥ 16·8 = 128.
+	lean := Signal{Peers: 100, Shards: 2, Occupancy: 127}
+	for i := 0; i < 5; i++ {
+		if tgt, ok := d.Step(lean); ok {
+			t.Fatalf("sample %d grew to %d with occupancy %d", i, tgt, lean.Occupancy)
+		}
+	}
+	if g, _ := d.Proposals(); g != 0 {
+		t.Fatalf("vetoed grows counted: %d", g)
+	}
+	rich := lean
+	rich.Occupancy = 128
+	if tgt, ok := d.Step(rich); !ok || tgt != 16 {
+		t.Fatalf("first cleared sample: (%d, %v), want grow to the 16-shard clamp", tgt, ok)
+	}
+}
+
+// TestDeciderDefaults: the zero-valued tuning fields resolve to the
+// documented defaults, and an inverted band is clamped below Grow.
+func TestDeciderDefaults(t *testing.T) {
+	d := NewDecider(Config{MinShards: 2, MaxShards: 8})
+	c := d.Config()
+	if c.SampleEvery != DefaultSampleEvery || c.Alpha != DefaultAlpha ||
+		c.Grow != DefaultGrow || c.Shrink != DefaultShrink ||
+		c.MinDwell != DefaultMinDwell || c.MinKeysPerShard != DefaultMinKeysPerShard {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.MinShards != 2 || c.MaxShards != 8 {
+		t.Fatalf("bounds rewritten: %+v", c)
+	}
+	inv := NewDecider(Config{MinShards: 1, MaxShards: 4, Grow: 2, Shrink: 3}).Config()
+	if inv.Shrink != 1 {
+		t.Fatalf("inverted band clamped to %v, want Grow/2 = 1", inv.Shrink)
+	}
+	if e := NewDecider(Config{MinShards: 1, MaxShards: 4}).Estimate(); e != 1 {
+		t.Fatalf("initial estimate %v, want 1 (solo publisher)", e)
+	}
+	if math.IsNaN(NewDecider(Config{}).Estimate()) {
+		t.Fatal("zero config yields NaN estimate")
+	}
+}

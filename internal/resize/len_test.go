@@ -1,0 +1,107 @@
+package resize_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/resize"
+)
+
+// TestLenExactAtQuiescentMigrationStages: with no update in flight, Len
+// is exactly |S| at EVERY stage of a live migration — the snapshot
+// replay filling the under-construction table must never leak into the
+// reported cardinality. The hook runs on the coordinator goroutine of a
+// Resize this test calls synchronously, so every probe is quiescent by
+// construction.
+func TestLenExactAtQuiescentMigrationStages(t *testing.T) {
+	const u, n = int64(1 << 10), int64(200)
+	s := mustSet(t, u, 1, resize.Config{})
+	for i := int64(0); i < n; i++ {
+		s.Insert(i * 5)
+	}
+	probes := 0
+	resize.SetTestHookMigration(func(st resize.Stage) {
+		probes++
+		if got := s.Len(); got != n {
+			t.Errorf("%v: Len = %d, want %d", st, got, n)
+		}
+	})
+	defer resize.SetTestHookMigration(nil)
+	for _, k := range []int{4, 16, 4} {
+		if err := s.Resize(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if probes < 12 { // ≥ 4 stages per migration reached the hook
+		t.Fatalf("hook fired only %d times", probes)
+	}
+}
+
+// TestLenBoundedDuringConcurrentReplay: while W workers toggle disjoint
+// non-prefill keys and migrations replay snapshots underneath, every
+// Len read — including those taken mid-replay by the migration hook —
+// stays within the weakly-consistent contract: never below the stable
+// prefill (the count summary over-approximates per shard) and at most
+// W present toggles plus W in-flight pre-increments above it. At final
+// quiescence Len is exact again.
+func TestLenBoundedDuringConcurrentReplay(t *testing.T) {
+	const (
+		u = int64(1 << 10)
+		n = int64(100)
+		w = 4
+	)
+	s := mustSet(t, u, 1, resize.Config{})
+	for i := int64(0); i < n; i++ {
+		s.Insert(i) // prefill keys [0, n), untouched by the togglers
+	}
+	check := func(where string) {
+		if got := s.Len(); got < n || got > n+2*w {
+			t.Errorf("%s: Len = %d outside [%d, %d]", where, got, n, n+2*w)
+		}
+	}
+	resize.SetTestHookMigration(func(st resize.Stage) { check(st.String()) })
+	defer resize.SetTestHookMigration(nil)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(key int64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Insert(key)
+					s.Delete(key)
+					// Yield between pairs: unyielding same-range churn
+					// from every processor is the adversarial schedule
+					// under which a single core-trie op (and therefore
+					// the migration drain waiting on it) can starve for
+					// tens of seconds on a single-P host — see the
+					// latency note on resizer.drain.
+					runtime.Gosched()
+				}
+			}
+		}(n + int64(g)) // one private key per toggler
+	}
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	for i := 0; i < iters; i++ {
+		for _, k := range []int{4, 16, 4, 1} {
+			if err := s.Resize(k); err != nil {
+				t.Fatal(err)
+			}
+			check("between migrations")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Len(); got != n {
+		t.Fatalf("quiescent Len = %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,203 @@
+package resize_test
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lincheck"
+	"repro/internal/resize"
+	"repro/internal/sharded"
+)
+
+// opRunner wraps a resizable set with history recording, mirroring the
+// sharded suite's runner.
+type opRunner struct {
+	s   *resize.Set
+	rec *lincheck.Recorder
+}
+
+func (r opRunner) insert(k int64) {
+	inv := r.rec.Begin()
+	r.s.Insert(k)
+	r.rec.End(lincheck.OpInsert, k, 0, inv)
+}
+
+func (r opRunner) delete(k int64) {
+	inv := r.rec.Begin()
+	r.s.Delete(k)
+	r.rec.End(lincheck.OpDelete, k, 0, inv)
+}
+
+func (r opRunner) search(k int64) {
+	inv := r.rec.Begin()
+	got := r.s.Search(k)
+	res := int64(0)
+	if got {
+		res = 1
+	}
+	r.rec.End(lincheck.OpSearch, k, res, inv)
+}
+
+func (r opRunner) predecessor(y int64) {
+	inv := r.rec.Begin()
+	got := r.s.Predecessor(y)
+	r.rec.End(lincheck.OpPredecessor, y, got, inv)
+}
+
+func rounds(t *testing.T, n int) int {
+	if testing.Short() {
+		return n / 5
+	}
+	return n
+}
+
+// runRecordedResize executes a concurrent workload against a fresh
+// resizable set while a coordinator goroutine walks the k→k′ transition
+// matrix (1→4, 4→16, 16→4), recording every operation — the hook ops
+// included — and checks the whole history for linearizability. The
+// lincheck checker demands strict answers, so the cross-shard fallback
+// budget is raised exactly as in the sharded suite.
+func runRecordedResize(t *testing.T, workers int, hookOps bool,
+	script func(id int, rng *rand.Rand, do opRunner)) {
+	t.Helper()
+	old := sharded.ScanRetries
+	sharded.ScanRetries = 1 << 20
+	defer func() { sharded.ScanRetries = old }()
+
+	s, err := resize.NewSet(1, plainFactory(64), resize.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := lincheck.NewRecorder()
+	if !hookOps {
+		// Yield at every stage boundary so worker ops interleave with
+		// the migration phases even on a single-P host, where a u=64
+		// migration could otherwise run without a scheduling point.
+		resize.SetTestHookMigration(func(resize.Stage) { runtime.Gosched() })
+		defer resize.SetTestHookMigration(nil)
+	}
+	if hookOps {
+		// Land one recorded operation at a rotating key inside exact
+		// migration stages — mid-journal, post-copy, sealed, and between
+		// the final replay and the epoch flip. These run on the
+		// coordinator goroutine, i.e. truly mid-protocol.
+		var n atomic.Int64
+		do := opRunner{s: s, rec: rec}
+		resize.SetTestHookMigration(func(st resize.Stage) {
+			key := (n.Add(1) * 7) % 64
+			switch st {
+			case resize.StageJournal:
+				do.insert(key)
+			case resize.StageCopied:
+				do.delete(key)
+			case resize.StageSealed:
+				do.search(key)
+			case resize.StageReplayed:
+				do.predecessor(key)
+			}
+		})
+		defer resize.SetTestHookMigration(nil)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, k := range []int{4, 16, 4} {
+			if err := s.Resize(k); err != nil {
+				t.Errorf("Resize(%d): %v", k, err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)*7919 + 13))
+			script(id, rng, opRunner{s: s, rec: rec})
+		}(w)
+	}
+	wg.Wait()
+	ok, msg, err := lincheck.CheckOrExplain(rec.History())
+	if err != nil {
+		t.Fatalf("checker error: %v", err)
+	}
+	if !ok {
+		t.Fatalf("resize history not linearizable: %s", msg)
+	}
+}
+
+// TestResizeLinearizableUniform: random mixed workloads racing the full
+// transition matrix.
+func TestResizeLinearizableUniform(t *testing.T) {
+	for round := 0; round < rounds(t, 150); round++ {
+		runRecordedResize(t, 3, false, func(id int, rng *rand.Rand, do opRunner) {
+			for i := 0; i < 5; i++ {
+				key := rng.Int63n(64)
+				switch rng.Intn(4) {
+				case 0:
+					do.insert(key)
+				case 1:
+					do.delete(key)
+				case 2:
+					do.search(key)
+				case 3:
+					do.predecessor(key)
+				}
+			}
+		})
+	}
+}
+
+// TestResizeLinearizableMidMigrationOps: the mid-migration hook lands
+// recorded operations at exact protocol stages while two workers churn
+// — no op may be lost or duplicated across the epoch flip, wherever in
+// the protocol it lands.
+func TestResizeLinearizableMidMigrationOps(t *testing.T) {
+	for round := 0; round < rounds(t, 150); round++ {
+		runRecordedResize(t, 2, true, func(id int, rng *rand.Rand, do opRunner) {
+			for i := 0; i < 4; i++ {
+				key := rng.Int63n(64)
+				switch rng.Intn(4) {
+				case 0:
+					do.insert(key)
+				case 1:
+					do.delete(key)
+				case 2:
+					do.search(key)
+				case 3:
+					do.predecessor(key)
+				}
+			}
+		})
+	}
+}
+
+// TestResizeLinearizableCrossShardStitch: the sharded suite's stitch
+// scenario — churn in the shards a fallback scan crosses — under live
+// re-partitioning, where the shard boundaries themselves move.
+func TestResizeLinearizableCrossShardStitch(t *testing.T) {
+	for round := 0; round < rounds(t, 150); round++ {
+		runRecordedResize(t, 4, false, func(id int, rng *rand.Rand, do opRunner) {
+			switch id {
+			case 0:
+				do.insert(2)
+				do.insert(5)
+				do.delete(5)
+			case 1:
+				do.insert(9)
+				do.delete(9)
+				do.predecessor(32)
+			case 2:
+				do.predecessor(30)
+				do.predecessor(30)
+			case 3:
+				do.search(5)
+				do.predecessor(32)
+			}
+		})
+	}
+}

@@ -1,0 +1,159 @@
+package resize_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/resize"
+	"repro/internal/sharded"
+)
+
+func relaxedFactory(u int64) func(k int) (*sharded.Relaxed, error) {
+	return func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxed(u, k) }
+}
+
+// TestRelaxedResizeSequentialContent mirrors the core sequential suite:
+// every transition of the matrix preserves the exact set, and the
+// relaxed predecessor — exact at quiescence — agrees with the map
+// reference after each migration.
+func TestRelaxedResizeSequentialContent(t *testing.T) {
+	const u = int64(1 << 9)
+	s, err := resize.NewRelaxedSet(1, relaxedFactory(u), resize.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[int64]bool)
+	rng := rand.New(rand.NewSource(11))
+	mutate := func(n int) {
+		for i := 0; i < n; i++ {
+			k := rng.Int63n(u)
+			if rng.Intn(3) == 0 {
+				s.Delete(k)
+				delete(ref, k)
+			} else {
+				s.Insert(k)
+				ref[k] = true
+			}
+		}
+	}
+	mutate(300)
+	for _, k := range []int{4, 16, 4, 1} {
+		if err := s.Resize(k); err != nil {
+			t.Fatalf("Resize(%d): %v", k, err)
+		}
+		if got := s.Shards(); got != k {
+			t.Fatalf("Shards = %d, want %d", got, k)
+		}
+		if got := s.Len(); got != int64(len(ref)) {
+			t.Fatalf("k=%d: Len = %d, want %d", k, got, len(ref))
+		}
+		want := int64(-1)
+		for x := int64(0); x < u; x++ {
+			if got := s.Search(x); got != ref[x] {
+				t.Fatalf("k=%d: Search(%d) = %v, want %v", k, x, got, ref[x])
+			}
+			p, ok := s.Predecessor(x)
+			if !ok {
+				t.Fatalf("k=%d: Predecessor(%d) abstained at quiescence", k, x)
+			}
+			if p != want {
+				t.Fatalf("k=%d: Predecessor(%d) = %d, want %d", k, x, p, want)
+			}
+			if ref[x] {
+				want = x
+			}
+		}
+		mutate(80)
+	}
+}
+
+// TestRelaxedResizeConcurrent: workers churn disjoint ranges while the
+// transition matrix cycles; the quiescent state is verified exactly and
+// concurrent relaxed queries honour the §4.1 contract shape (a definite
+// answer is a key < y or −1).
+func TestRelaxedResizeConcurrent(t *testing.T) {
+	const u = int64(256)
+	s, err := resize.NewRelaxedSet(1, relaxedFactory(u), resize.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var drv sync.WaitGroup
+	drv.Add(1)
+	go func() {
+		defer drv.Done()
+		for {
+			for _, k := range transitions {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.Resize(k); err != nil {
+					t.Errorf("Resize(%d): %v", k, err)
+					return
+				}
+			}
+		}
+	}()
+	const workers, ops = 8, 800
+	finals := make([]map[int64]bool, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)*31 + 5))
+			lo := int64(id) * (u / workers)
+			final := map[int64]bool{}
+			for i := 0; i < ops; i++ {
+				k := lo + rng.Int63n(u/workers)
+				switch rng.Intn(5) {
+				case 0, 1:
+					s.Insert(k)
+					final[k] = true
+				case 2:
+					s.Delete(k)
+					delete(final, k)
+				case 3:
+					s.Search(k)
+				case 4:
+					if p, ok := s.Predecessor(k); ok && p >= k {
+						t.Errorf("Predecessor(%d) = %d ≥ y", k, p)
+						return
+					}
+				}
+			}
+			finals[id] = final
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	drv.Wait()
+	present := map[int64]bool{}
+	for _, final := range finals {
+		for k := range final {
+			present[k] = true
+		}
+	}
+	for y := int64(0); y < u; y++ {
+		if got := s.Search(y); got != present[y] {
+			t.Fatalf("quiescent Search(%d) = %v, want %v", y, got, present[y])
+		}
+		p, ok := s.Predecessor(y)
+		if !ok {
+			t.Fatalf("quiescent Predecessor(%d) abstained", y)
+		}
+		want := int64(-1)
+		for k := y - 1; k >= 0; k-- {
+			if present[k] {
+				want = k
+				break
+			}
+		}
+		if p != want {
+			t.Fatalf("quiescent Predecessor(%d) = %d, want %d", y, p, want)
+		}
+	}
+}

@@ -1,0 +1,616 @@
+// Package resize re-partitions a live sharded trie from k to k′ shards
+// without blocking readers: a coordinator builds the new partition in
+// private, journals concurrent updates through per-shard versioned dirty
+// tries, and hands authority over in one epoch flip (DESIGN.md §Shard
+// resize).
+//
+// # Epochs
+//
+// The routing state is a single atomic pointer to an immutable epoch
+// object; every phase change installs a NEW epoch, so an operation that
+// loaded an epoch observes one consistent phase for its whole lifetime
+// and pointer identity doubles as the validation token. An epoch carries
+// the authoritative table (cur), the under-construction table (next,
+// migration phases only), per-shard entry gates, and — in the journal
+// phase — per-shard dirty tries.
+//
+// Updates follow acquire-validate: load the epoch, increment the owning
+// shard's gate, re-load the epoch, and retreat if it moved. A successful
+// validation pins the epoch: the coordinator's drain of that epoch's
+// gates cannot complete until the operation releases, so every admitted
+// operation runs to completion inside the epoch it read. Readers never
+// gate — the authoritative table is always safe to read (see below).
+//
+// # Migration protocol
+//
+//		stable(A)  → journal(A, dirty) → [journal generations…] → sealed(A→B) → stable(B)
+//
+//	 1. Install a journal epoch. Updates still apply to the OLD table A —
+//	    A stays the single source of truth throughout — but first insert
+//	    their key into the owning old shard's dirty trie.
+//	 2. Drain the stable epoch's gates: pre-journal stragglers (which
+//	    write A without journaling) finish before the copy starts.
+//	 3. Bulk-copy A into the private new table B by scanning A live. The
+//	    scan races with journal-phase updates, but any key whose A-state
+//	    changes after the journal epoch was installed is in a dirty trie
+//	    BEFORE the change lands (journal-before-apply), so the scan only
+//	    needs to be correct for untouched keys — and for those, every
+//	    per-key probe is exact. The dirty set absorbs all scan races.
+//	 4. Catch-up generations: install a fresh journal epoch, drain the
+//	    previous one (freezing its dirty tries), and replay each frozen
+//	    dirty key x as B[x] ← A[x]. Keys racing the replay are dirty in
+//	    the newer generation and get replayed again.
+//	 5. Seal: install the sealed epoch (new updates spin until activation;
+//	    readers keep reading A), drain the last journal generation — every
+//	    update that landed in the retiring epoch now runs its ordinary
+//	    lock-free protocol in A to completion — then replay the final
+//	    frozen dirty set. B now equals A exactly.
+//	 6. Activate: install the stable epoch with cur = B. The flip is the
+//	    linearization boundary: reads that loaded an older epoch return
+//	    A's frozen content, which equals B's content at the flip instant,
+//	    so they linearize immediately before it.
+//
+// # Progress
+//
+// Readers never block in any phase: the authoritative table is live
+// (stable/journal), or frozen-but-valid (sealed and retired — a frozen
+// A equals B at the flip, so a straggling read linearizes at the flip,
+// inside its own invocation window). Updates are lock-free in the
+// stable and journal phases; only updates arriving inside the sealed
+// window wait, for the in-flight retiring-epoch updates plus one
+// bounded dirty replay — the same bounded-handoff trade the combining
+// layer already makes for claimed operations (DESIGN.md §Shard resize
+// has the full argument).
+package resize
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+	"repro/internal/versioned"
+)
+
+// Stage identifies a point of the migration protocol, for the test hook.
+type Stage int
+
+// Migration stages, in protocol order.
+const (
+	// StageJournal: the journal epoch is installed; updates now journal.
+	StageJournal Stage = iota
+	// StageDrained: pre-journal stragglers have finished.
+	StageDrained
+	// StageCopied: the bulk copy of the old table into the new one is done.
+	StageCopied
+	// StageCatchup: one catch-up generation has been replayed.
+	StageCatchup
+	// StageSealed: the sealed epoch is installed; new updates wait.
+	StageSealed
+	// StageReplayed: the final dirty replay is done; old ≡ new.
+	StageReplayed
+	// StageActivated: the new table is authoritative; migration complete.
+	StageActivated
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageJournal:
+		return "journal"
+	case StageDrained:
+		return "drained"
+	case StageCopied:
+		return "copied"
+	case StageCatchup:
+		return "catchup"
+	case StageSealed:
+		return "sealed"
+	case StageReplayed:
+		return "replayed"
+	case StageActivated:
+		return "activated"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// testHookMigration, when non-nil, runs on the coordinator goroutine at
+// every stage boundary. The resize-aware suites use it to park a
+// migration mid-protocol and land operations at exact stages. Install
+// before concurrent use and remove after quiescence, like
+// combine.SetTestHookMidRound.
+var testHookMigration func(Stage)
+
+// SetTestHookMigration installs f (nil removes it). Test-only.
+func SetTestHookMigration(f func(Stage)) { testHookMigration = f }
+
+func hook(s Stage) {
+	if h := testHookMigration; h != nil {
+		h(s)
+	}
+}
+
+// Migration phases. The phase is a plain field: immutable per epoch
+// object, so no atomics are needed to read it.
+const (
+	phaseStable = iota
+	phaseJournal
+	phaseSealed
+)
+
+// epoch is one immutable generation of the routing state.
+type epoch[T migTable] struct {
+	phase int
+	// cur is the authoritative table every operation applies to and
+	// every query reads. During journal/sealed phases this is the OLD
+	// (retiring) table.
+	cur T
+	// next is the under-construction table (zero value outside
+	// migrations). Private to the coordinator until activation.
+	next T
+	// dirty journals the keys updated during this journal-phase
+	// generation, one versioned trie per cur shard (nil outside the
+	// journal phase). Updates insert their key BEFORE applying, so at
+	// any instant dirty covers every key whose cur-state changed since
+	// the generation was installed.
+	dirty []*versioned.Trie
+	// gates admit updates, one padded counter per cur shard. A drained
+	// epoch (all gates observed zero after a successor epoch was
+	// installed) can never regain a writer: late acquirers fail the
+	// pointer validation and retreat.
+	gates []atomicx.PadInt64
+	// width and shardBits cache cur's geometry for gate/dirty indexing.
+	width     int64
+	shardBits uint
+	// carryEnables/carryDisables accumulate the adaptive-combining
+	// transition counters of every RETIRED table (immutable per epoch;
+	// the activation epoch folds the newly retired table in). Riding on
+	// the epoch object makes the fold atomic with the flip, so
+	// AdaptiveStats can never observe the retiring table both in the
+	// base and live (it reads one epoch: either cur == old with the old
+	// base, or cur == new with the folded base).
+	carryEnables, carryDisables int64
+}
+
+// shardOf returns the cur-shard index owning global key x.
+func (e *epoch[T]) shardOf(x int64) int { return int(x >> e.shardBits) }
+
+// migTable is what the migration engine needs from a partition
+// generation; *sharded.Trie and *sharded.Relaxed both satisfy it.
+type migTable interface {
+	Shards() int
+	U() int64
+	Len() int64
+	Insert(x int64)
+	Delete(x int64)
+	Search(x int64) bool
+}
+
+// Stats is a snapshot of a resizer's lifetime counters.
+type Stats struct {
+	// Shards is the current (authoritative) shard count.
+	Shards int
+	// Grows and Shrinks count completed migrations by direction.
+	Grows, Shrinks int64
+	// Migrating reports whether a migration is in flight.
+	Migrating bool
+}
+
+// resizer is the shared engine under Set and RelaxedSet: the epoch
+// pointer, the migration coordinator, and the decision sampling.
+type resizer[T migTable] struct {
+	u       int64
+	factory func(k int) (T, error)
+	// scan enumerates the table's current keys. It may run against a
+	// live table: it must be exact for keys that no concurrent update
+	// touches and merely terminate for the rest (the dirty journal
+	// corrects them).
+	scan func(t T, emit func(key int64))
+	// peers optionally reports extra per-shard publisher evidence
+	// beyond the gates (the core tables expose announcement-list
+	// lengths); nil for tables without one.
+	peers func(t T) int64
+	// bulk optionally loads a run of keys into the (private) new table
+	// through the table's batch entrypoint, amortizing announcement
+	// passes during the copy; nil falls back to per-key Insert.
+	bulk func(next T, keys []int64)
+	// carry optionally reads a table's adaptive-combining transition
+	// counters so they survive the table's retirement.
+	carry func(t T) (enables, disables int64)
+
+	epoch    atomic.Pointer[epoch[T]]
+	resizing atomic.Bool
+
+	dec *Decider
+	// ticks stripes the sample-cadence counter by key so the hot path
+	// never touches a shared line — a single global counter here would
+	// reintroduce exactly the all-ops contention point the sharded
+	// layer exists to remove. Each stripe fires after SampleEvery of
+	// ITS ops; with tickStripes stripes sharing the traffic, some
+	// stripe fires roughly every SampleEvery global ops.
+	ticks    [tickStripes]atomicx.PadInt64
+	sampling atomic.Uint32
+
+	grows, shrinks atomicx.PadInt64
+}
+
+// newEpoch builds a generation around cur. journal selects the journal
+// phase (with fresh dirty tries); sealedNext non-zero selects the sealed
+// phase.
+func newEpoch[T migTable](phase int, cur, next T) (*epoch[T], error) {
+	k := cur.Shards()
+	width := cur.U() / int64(k)
+	e := &epoch[T]{
+		phase:     phase,
+		cur:       cur,
+		next:      next,
+		gates:     make([]atomicx.PadInt64, k),
+		width:     width,
+		shardBits: uint(bits.Len64(uint64(width)) - 1),
+	}
+	if phase == phaseJournal {
+		e.dirty = make([]*versioned.Trie, k)
+		for i := range e.dirty {
+			d, err := versioned.New(width)
+			if err != nil {
+				return nil, err
+			}
+			e.dirty[i] = d
+		}
+	}
+	return e, nil
+}
+
+func newResizer[T migTable](initial T, factory func(k int) (T, error),
+	scan func(T, func(int64)), cfg Config) (*resizer[T], error) {
+	e, err := newEpoch(phaseStable, initial, *new(T))
+	if err != nil {
+		return nil, err
+	}
+	r := &resizer[T]{u: initial.U(), factory: factory, scan: scan}
+	r.epoch.Store(e)
+	if cfg != (Config{}) {
+		c := cfg.withDefaults()
+		// The geometry bound: a shard must span at least two keys.
+		if maxK := int(r.u / 2); c.MaxShards > maxK {
+			c.MaxShards = maxK
+		}
+		if c.MinShards > c.MaxShards {
+			return nil, fmt.Errorf("resize: MinShards %d exceeds MaxShards %d (universe %d)",
+				c.MinShards, c.MaxShards, r.u)
+		}
+		r.dec = NewDecider(c)
+	}
+	return r, nil
+}
+
+// table returns the authoritative table for the calling read.
+func (r *resizer[T]) table() T { return r.epoch.Load().cur }
+
+// Shards returns the current authoritative shard count.
+func (r *resizer[T]) Shards() int { return r.table().Shards() }
+
+// U returns the padded universe size.
+func (r *resizer[T]) U() int64 { return r.u }
+
+// Len returns the authoritative table's weakly-consistent cardinality
+// estimate (exact at quiescence). A migration in flight changes nothing:
+// the under-construction table is never consulted.
+func (r *resizer[T]) Len() int64 { return r.table().Len() }
+
+// Search reports membership of x; one epoch load plus the authoritative
+// table's Search. Readers never gate and never block, in any phase.
+func (r *resizer[T]) Search(x int64) bool { return r.table().Search(x) }
+
+// Stats returns the resize counters.
+func (r *resizer[T]) Stats() Stats {
+	return Stats{
+		Shards:    r.Shards(),
+		Grows:     r.grows.Load(),
+		Shrinks:   r.shrinks.Load(),
+		Migrating: r.resizing.Load(),
+	}
+}
+
+// AdaptiveStats sums the adaptive-combining transition counters across
+// the live table and every retired one (zeros when the tables carry no
+// controllers).
+func (r *resizer[T]) AdaptiveStats() (enables, disables int64) {
+	if r.carry == nil {
+		return 0, 0
+	}
+	ep := r.epoch.Load()
+	e, d := r.carry(ep.cur)
+	return ep.carryEnables + e, ep.carryDisables + d
+}
+
+// enter admits an update on key x: acquire the owning shard's gate in
+// the current epoch and validate the epoch did not move. Updates
+// arriving inside a sealed window yield until activation.
+func (r *resizer[T]) enter(x int64) (*epoch[T], int) {
+	for {
+		e := r.epoch.Load()
+		if e.phase == phaseSealed {
+			// The seal window is bounded: in-flight retiring-epoch
+			// updates plus one frozen dirty replay (see package comment).
+			runtime.Gosched()
+			continue
+		}
+		gi := e.shardOf(x)
+		e.gates[gi].Add(1)
+		if r.epoch.Load() == e {
+			return e, gi
+		}
+		e.gates[gi].Add(-1)
+	}
+}
+
+// Insert adds x to the set through the current epoch. In the journal
+// phase the key is journaled BEFORE it is applied — the ordering the
+// scan-race argument rests on.
+func (r *resizer[T]) Insert(x int64) {
+	r.tick(x)
+	e, gi := r.enter(x)
+	if e.phase == phaseJournal {
+		e.dirty[gi].Insert(x & (e.width - 1))
+	}
+	e.cur.Insert(x)
+	e.gates[gi].Add(-1)
+}
+
+// Delete removes x from the set through the current epoch, with
+// Insert's journal-before-apply ordering.
+func (r *resizer[T]) Delete(x int64) {
+	r.tick(x)
+	e, gi := r.enter(x)
+	if e.phase == phaseJournal {
+		e.dirty[gi].Insert(x & (e.width - 1))
+	}
+	e.cur.Delete(x)
+	e.gates[gi].Add(-1)
+}
+
+// drain blocks until every gate of e has been observed zero. Because any
+// acquire completing after its gate was observed zero necessarily also
+// validates after the successor epoch was installed — and retreats — a
+// fully drained epoch never regains a writer.
+//
+// Latency: drain completes when the epoch's in-flight updates do, so a
+// migration inherits the underlying trie's PER-OP latency tail, which
+// the paper bounds only amortized (O(ċ² + log u)): an adversarial
+// schedule — same-range update pairs back-to-back from every processor
+// of a saturated single-P host — measured an individual bare-trie
+// delete at 25s while system throughput stayed at millions of ops/s.
+// Safety is unaffected (operations keep flowing through the successor
+// epoch the whole time, and the coordinator just waits), but test
+// drivers that block on Resize while churning unyieldingly reproduce
+// exactly that schedule; see the yield note in the resize test suites.
+func (r *resizer[T]) drain(e *epoch[T]) {
+	for i := range e.gates {
+		for e.gates[i].Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// replay forces next[x] ← old[x] for every key journaled in the FROZEN
+// generation e (its writers drained). Pure state transfer: idempotent,
+// safe to repeat, and next is still private, so no interleaving can
+// lose or duplicate an operation.
+func (r *resizer[T]) replay(e *epoch[T], next T) {
+	for i := range e.dirty {
+		base := int64(i) << e.shardBits
+		for _, lx := range e.dirty[i].Keys() {
+			x := base | lx
+			if e.cur.Search(x) {
+				next.Insert(x)
+			} else {
+				next.Delete(x)
+			}
+		}
+	}
+}
+
+// dirtySize sums a generation's journaled key count.
+func (e *epoch[T]) dirtySize() int64 {
+	var n int64
+	for i := range e.dirty {
+		n += e.dirty[i].Size()
+	}
+	return n
+}
+
+// ErrBusy is returned by Resize when a migration is already in flight.
+var ErrBusy = fmt.Errorf("resize: migration already in flight")
+
+// Resize re-partitions the set to target shards, synchronously running
+// the full migration protocol. It returns ErrBusy when a migration is
+// already in flight and validates target against the table factory's
+// own geometry rules. Safe to call from any goroutine; ops continue
+// concurrently throughout.
+func (r *resizer[T]) Resize(target int) error {
+	if !r.resizing.CompareAndSwap(false, true) {
+		return ErrBusy
+	}
+	defer r.resizing.Store(false)
+	return r.migrate(target)
+}
+
+// migrate runs the protocol of the package comment. Caller holds the
+// resizing flag, which serializes coordinators — epoch installs are
+// plain stores.
+func (r *resizer[T]) migrate(target int) error {
+	e0 := r.epoch.Load()
+	old := e0.cur
+	from := old.Shards()
+	next, err := r.factory(target)
+	if err != nil {
+		return fmt.Errorf("resize: building %d-shard table: %w", target, err)
+	}
+	// 1–2: journal, then drain the pre-journal stragglers.
+	ej, err := newEpoch(phaseJournal, old, next)
+	if err != nil {
+		return err
+	}
+	ej.carryEnables, ej.carryDisables = e0.carryEnables, e0.carryDisables
+	r.epoch.Store(ej)
+	hook(StageJournal)
+	r.drain(e0)
+	hook(StageDrained)
+	// 3: bulk copy (next is private; the dirty journal absorbs races),
+	// batched through the table's batch entrypoint where it has one.
+	if r.bulk != nil {
+		buf := make([]int64, 0, bulkRun)
+		r.scan(old, func(key int64) {
+			if buf = append(buf, key); len(buf) == bulkRun {
+				r.bulk(next, buf)
+				buf = buf[:0]
+			}
+		})
+		if len(buf) > 0 {
+			r.bulk(next, buf)
+		}
+	} else {
+		r.scan(old, func(key int64) { next.Insert(key) })
+	}
+	hook(StageCopied)
+	// 4: catch-up generations shrink the sealed window's replay — but
+	// only while they are actually shrinking it. A catch-up replays at
+	// CONTENDED speed (the journal writers keep the processors), so on a
+	// churn-dominated workload whose hot set re-dirties as fast as it is
+	// replayed, rounds cost hundreds of milliseconds and converge to
+	// nothing — while the sealed replay below runs nearly uncontended
+	// (arriving writers yield their slices to the coordinator) and
+	// measures ~1µs/key. Stop as soon as a generation fails to halve.
+	prev := ej.dirtySize()
+	for round := 0; round < catchupRounds && prev > catchupBelow; round++ {
+		eNext, err := newEpoch(phaseJournal, old, next)
+		if err != nil {
+			return err
+		}
+		eNext.carryEnables, eNext.carryDisables = e0.carryEnables, e0.carryDisables
+		r.epoch.Store(eNext)
+		r.drain(ej)
+		r.replay(ej, next)
+		ej = eNext
+		hook(StageCatchup)
+		cur := ej.dirtySize()
+		if cur*2 > prev {
+			break // not converging: the dirty set is the live hot set
+		}
+		prev = cur
+	}
+	// 5: seal, drain the last generation, final replay. After this,
+	// next equals old exactly and old is frozen.
+	es, err := newEpoch(phaseSealed, old, next)
+	if err != nil {
+		return err
+	}
+	es.carryEnables, es.carryDisables = e0.carryEnables, e0.carryDisables
+	r.epoch.Store(es)
+	hook(StageSealed)
+	r.drain(ej)
+	r.replay(ej, next)
+	hook(StageReplayed)
+	// 6: activate.
+	ea, err := newEpoch(phaseStable, next, *new(T))
+	if err != nil {
+		return err
+	}
+	// Fold the retiring table's transition counters into the (still
+	// private) activation epoch: the fold becomes visible atomically
+	// with the flip, so AdaptiveStats never sees the old table both as
+	// the live table and in the base.
+	ea.carryEnables, ea.carryDisables = e0.carryEnables, e0.carryDisables
+	if r.carry != nil {
+		en, dis := r.carry(old)
+		ea.carryEnables += en
+		ea.carryDisables += dis
+	}
+	r.epoch.Store(ea)
+	if target > from {
+		r.grows.Add(1)
+	} else if target < from {
+		r.shrinks.Add(1)
+	}
+	hook(StageActivated)
+	// Fairness on saturated hosts: updates that waited out the sealed
+	// window donated their scheduler slices to this coordinator, so a
+	// caller issuing back-to-back migrations would re-seal before they
+	// ever ran (measured as a live-starvation loop on a single-P host:
+	// the coordinator held ~100% of the processor across tens of
+	// thousands of consecutive migrations). Yield once so they land.
+	runtime.Gosched()
+	return nil
+}
+
+// Catch-up tuning: up to catchupRounds extra journal generations run
+// before sealing, stopping early once a generation's journal is small
+// enough (catchupBelow keys) that the sealed replay is trivially short,
+// or stops halving (the convergence check in migrate). bulkRun sizes
+// the copy batches.
+const (
+	catchupRounds = 2
+	catchupBelow  = 64
+	bulkRun       = 64
+)
+
+// tickStripes is the number of padded stripes of the sample counter;
+// sixteen bounds the worst-case cadence dilation (a workload hammering
+// one stripe samples every 16·SampleEvery ops) while keeping the array
+// at one KiB.
+const tickStripes = 16
+
+// tick drives the decision layer: roughly every SampleEvery updates,
+// one sampler reads the contention signal and feeds the Decider; a
+// grow or shrink verdict launches an asynchronous migration. The
+// counter is striped by a multiplicative hash of the key (padded
+// stripes), so this per-op bump stays off shared cache lines.
+func (r *resizer[T]) tick(x int64) {
+	if r.dec == nil {
+		return
+	}
+	stripe := (uint64(x) * 0x9E3779B97F4A7C15) >> 60
+	if r.ticks[stripe].Add(1)%r.dec.cfg.SampleEvery != 0 {
+		return
+	}
+	if !r.sampling.CompareAndSwap(0, 1) {
+		return
+	}
+	defer r.sampling.Store(0)
+	e := r.epoch.Load()
+	if e.phase != phaseStable || r.resizing.Load() {
+		return // decisions wait out an in-flight migration
+	}
+	// The contention estimate: the busiest shard's concurrent
+	// publishers — gate occupancy (in-flight updates) and, where the
+	// table exposes one, announcement-list length — plus one for the
+	// sampling operation itself.
+	var peers int64
+	for i := range e.gates {
+		if g := e.gates[i].Load(); g > peers {
+			peers = g
+		}
+	}
+	if r.peers != nil {
+		if p := r.peers(e.cur); p > peers {
+			peers = p
+		}
+	}
+	target, ok := r.dec.Step(Signal{
+		Peers:     float64(peers) + 1,
+		Shards:    e.cur.Shards(),
+		Occupancy: e.cur.Len(),
+	})
+	if ok && r.resizing.CompareAndSwap(false, true) {
+		go func() {
+			defer r.resizing.Store(false)
+			// A factory error here has no caller to report to; the
+			// decider simply retries on a later sample. Geometry is
+			// pre-clamped, so the only failures are allocation-class.
+			_ = r.migrate(target)
+		}()
+	}
+}

@@ -1,0 +1,375 @@
+package resize_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/resize"
+	"repro/internal/sharded"
+)
+
+func plainFactory(u int64) func(k int) (*sharded.Trie, error) {
+	return func(k int) (*sharded.Trie, error) { return sharded.New(u, k) }
+}
+
+func mustSet(t *testing.T, u int64, initial int, cfg resize.Config) *resize.Set {
+	t.Helper()
+	s, err := resize.NewSet(initial, plainFactory(u), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestResizeSequentialContent: a random set migrated through every
+// transition of the harness matrix — and back down to 2 — matches a map
+// reference exactly after each migration (Search, Predecessor, Len,
+// Shards), with fresh mutations between hops so later migrations move
+// post-resize state, not just the original fill.
+func TestResizeSequentialContent(t *testing.T) {
+	const u = int64(1 << 10)
+	s := mustSet(t, u, 1, resize.Config{})
+	ref := make(map[int64]bool)
+	rng := rand.New(rand.NewSource(7))
+	mutate := func(n int) {
+		for i := 0; i < n; i++ {
+			k := rng.Int63n(u)
+			if rng.Intn(3) == 0 {
+				s.Delete(k)
+				delete(ref, k)
+			} else {
+				s.Insert(k)
+				ref[k] = true
+			}
+		}
+	}
+	verify := func(k int) {
+		t.Helper()
+		if got := s.Shards(); got != k {
+			t.Fatalf("Shards = %d, want %d", got, k)
+		}
+		if got := s.Len(); got != int64(len(ref)) {
+			t.Fatalf("k=%d: Len = %d, want %d", k, got, len(ref))
+		}
+		want := int64(-1)
+		for x := int64(0); x < u; x++ {
+			if got := s.Search(x); got != ref[x] {
+				t.Fatalf("k=%d: Search(%d) = %v, want %v", k, x, got, ref[x])
+			}
+			if got := s.Predecessor(x); got != want {
+				t.Fatalf("k=%d: Predecessor(%d) = %d, want %d", k, x, got, want)
+			}
+			if ref[x] {
+				want = x
+			}
+		}
+	}
+	mutate(400)
+	for _, k := range []int{4, 16, 4, 2, 16} {
+		if err := s.Resize(k); err != nil {
+			t.Fatalf("Resize(%d): %v", k, err)
+		}
+		verify(k)
+		mutate(100)
+	}
+}
+
+// TestResizeGeometryErrors: targets the sharded geometry rejects come
+// back as errors and leave the set untouched.
+func TestResizeGeometryErrors(t *testing.T) {
+	s := mustSet(t, 64, 4, resize.Config{})
+	s.Insert(17)
+	for _, bad := range []int{0, -1, 3, 6, 64} { // 64 shards over u=64 → width < 2
+		if err := s.Resize(bad); err == nil {
+			t.Fatalf("Resize(%d) accepted", bad)
+		}
+	}
+	if s.Shards() != 4 || !s.Search(17) {
+		t.Fatalf("failed resize perturbed the set: shards=%d", s.Shards())
+	}
+}
+
+// expectStages pulls stage notifications off ch until StageActivated,
+// asserting the protocol order prefix.
+func drainUntilActivated(t *testing.T, ch <-chan resize.Stage, release chan<- struct{}) {
+	t.Helper()
+	for st := range ch {
+		release <- struct{}{}
+		if st == resize.StageActivated {
+			return
+		}
+	}
+}
+
+// TestMidMigrationVisibility parks a live migration at every stage
+// boundary and lands updates while it waits, asserting (a) every update
+// is immediately visible to readers regardless of phase, (b) reads
+// never block — including through the sealed window — and (c) nothing
+// is lost or duplicated across the epoch flip, the deletes of
+// bulk-copied keys included.
+func TestMidMigrationVisibility(t *testing.T) {
+	const u = int64(256)
+	s := mustSet(t, u, 1, resize.Config{})
+	for _, k := range []int64{10, 100, 200} {
+		s.Insert(k)
+	}
+	stageCh := make(chan resize.Stage)
+	release := make(chan struct{})
+	resize.SetTestHookMigration(func(st resize.Stage) {
+		stageCh <- st
+		<-release
+	})
+	defer resize.SetTestHookMigration(nil)
+
+	done := make(chan error, 1)
+	go func() { done <- s.Resize(4) }()
+
+	mustSee := func(stage resize.Stage, present, absent []int64) {
+		t.Helper()
+		for _, k := range present {
+			if !s.Search(k) {
+				t.Errorf("%v: Search(%d) = false, want true", stage, k)
+			}
+		}
+		for _, k := range absent {
+			if s.Search(k) {
+				t.Errorf("%v: Search(%d) = true, want false", stage, k)
+			}
+		}
+	}
+	step := func(want resize.Stage) {
+		t.Helper()
+		if st := <-stageCh; st != want {
+			t.Fatalf("stage = %v, want %v", st, want)
+		}
+	}
+
+	step(resize.StageJournal)
+	// Journal phase: updates apply to the retiring table and journal.
+	s.Insert(50)
+	s.Delete(100)
+	mustSee(resize.StageJournal, []int64{10, 50, 200}, []int64{100})
+	release <- struct{}{}
+
+	step(resize.StageDrained)
+	s.Insert(51)
+	release <- struct{}{}
+
+	step(resize.StageCopied)
+	// Post-copy: delete a key the bulk copy has already moved — only the
+	// journal replay can un-copy it — and insert a fresh one.
+	s.Delete(10)
+	s.Insert(52)
+	mustSee(resize.StageCopied, []int64{50, 51, 52, 200}, []int64{10, 100})
+	release <- struct{}{}
+
+	// The five journaled keys are under the catch-up threshold, so the
+	// protocol seals directly.
+	step(resize.StageSealed)
+	// Reads must not block while updates wait out the sealed window; a
+	// concurrent insert parks until activation and must land afterwards.
+	mustSee(resize.StageSealed, []int64{50, 51, 52, 200}, []int64{10, 100})
+	sealedIns := make(chan struct{})
+	go func() {
+		s.Insert(60)
+		close(sealedIns)
+	}()
+	release <- struct{}{}
+
+	step(resize.StageReplayed)
+	mustSee(resize.StageReplayed, []int64{50, 51, 52, 200}, []int64{10, 100})
+	release <- struct{}{}
+
+	step(resize.StageActivated)
+	release <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	<-sealedIns
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", s.Shards())
+	}
+	mustSee(resize.StageActivated, []int64{50, 51, 52, 60, 200}, []int64{10, 100})
+	if got := s.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+}
+
+// TestResizeBusy: a second coordinator is refused while a migration is
+// parked mid-protocol, and succeeds after it completes.
+func TestResizeBusy(t *testing.T) {
+	s := mustSet(t, 256, 1, resize.Config{})
+	stageCh := make(chan resize.Stage)
+	release := make(chan struct{})
+	resize.SetTestHookMigration(func(st resize.Stage) {
+		stageCh <- st
+		<-release
+	})
+	defer resize.SetTestHookMigration(nil)
+	done := make(chan error, 1)
+	go func() { done <- s.Resize(4) }()
+	if st := <-stageCh; st != resize.StageJournal {
+		t.Fatalf("first stage %v", st)
+	}
+	if err := s.Resize(8); !errors.Is(err, resize.ErrBusy) {
+		t.Fatalf("concurrent Resize: %v, want ErrBusy", err)
+	}
+	if !s.Stats().Migrating {
+		t.Fatal("Stats().Migrating = false mid-migration")
+	}
+	go drainUntilActivated(t, stageCh, release)
+	release <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	resize.SetTestHookMigration(nil)
+	if err := s.Resize(8); err != nil {
+		t.Fatalf("post-completion Resize: %v", err)
+	}
+	if s.Shards() != 8 {
+		t.Fatalf("Shards = %d, want 8", s.Shards())
+	}
+}
+
+// TestResizeStatsCounts: grows and shrinks count completed migrations
+// by direction; a same-size migration counts as neither.
+func TestResizeStatsCounts(t *testing.T) {
+	s := mustSet(t, 256, 2, resize.Config{})
+	for _, k := range []int{4, 8, 4, 4, 2} {
+		if err := s.Resize(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Grows != 2 || st.Shrinks != 2 || st.Shards != 2 || st.Migrating {
+		t.Fatalf("stats = %+v, want 2 grows, 2 shrinks, 2 shards, idle", st)
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes — the
+// decider-driven migrations below run asynchronously.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDeciderDrivenGrow: with a grow threshold at the solo-publisher
+// floor, plain sequential inserts must carry the partition from 1 shard
+// to the 4-shard cap and then stop proposing.
+func TestDeciderDrivenGrow(t *testing.T) {
+	const u = int64(256)
+	s := mustSet(t, u, 1, resize.Config{
+		MinShards: 1, MaxShards: 4,
+		SampleEvery: 2, MinDwell: 1, Grow: 1, MinKeysPerShard: 1,
+	})
+	rng := rand.New(rand.NewSource(3))
+	seen := make(map[int64]bool)
+	grow := func() {
+		for i := 0; i < 5000; i++ {
+			k := rng.Int63n(u)
+			s.Insert(k)
+			seen[k] = true
+		}
+	}
+	grow()
+	waitFor(t, "grow to 4 shards", func() bool { grow(); return s.Shards() == 4 })
+	waitFor(t, "migration to settle", func() bool { return !s.Stats().Migrating })
+	if st := s.Stats(); st.Grows != 2 || st.Shrinks != 0 {
+		t.Fatalf("stats = %+v, want exactly 2 grows (1→2→4)", st)
+	}
+	for k := range seen {
+		if !s.Search(k) {
+			t.Fatalf("key %d lost across decider-driven migrations", k)
+		}
+	}
+	// At the cap with the estimate pinned at the floor ≥ Grow, further
+	// ops must not propose again (Grow 1 clamps Shrink to 0.5, below any
+	// reachable estimate).
+	grow()
+	if st := s.Stats(); st.Grows != 2 || st.Shrinks != 0 {
+		t.Fatalf("proposals continued at the cap: %+v", st)
+	}
+}
+
+// TestDeciderDrivenShrink: a partition born at 4 shards with a
+// high grow bar and a shrink threshold above the solo estimate must
+// walk itself down to 1 shard.
+func TestDeciderDrivenShrink(t *testing.T) {
+	const u = int64(256)
+	s, err := resize.NewSet(4, plainFactory(u), resize.Config{
+		MinShards: 1, MaxShards: 4,
+		SampleEvery: 2, MinDwell: 1, Grow: 100, Shrink: 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	churn := func() {
+		for i := 0; i < 2000; i++ {
+			s.Insert(rng.Int63n(u))
+		}
+	}
+	churn()
+	waitFor(t, "shrink to 1 shard", func() bool { churn(); return s.Shards() == 1 })
+	waitFor(t, "migration to settle", func() bool { return !s.Stats().Migrating })
+	if st := s.Stats(); st.Shrinks != 2 || st.Grows != 0 {
+		t.Fatalf("stats = %+v, want exactly 2 shrinks (4→2→1)", st)
+	}
+}
+
+// TestNewSetBoundsValidation: decider bounds incompatible with the
+// universe geometry fail construction (the cap is u/2: every shard
+// must span at least two keys), as does an initial count the factory's
+// own geometry rejects.
+func TestNewSetBoundsValidation(t *testing.T) {
+	if _, err := resize.NewSet(4, plainFactory(64), resize.Config{MinShards: 64, MaxShards: 64}); err == nil {
+		t.Fatal("MinShards beyond the geometry cap accepted")
+	}
+	if _, err := resize.NewSet(128, plainFactory(64), resize.Config{}); err == nil {
+		t.Fatal("initial count beyond the geometry cap accepted")
+	}
+}
+
+// TestAdaptiveStatsMonotonicAcrossMigration: transition counters carried
+// from retiring tables must never double-count or dip — at EVERY stage
+// of a migration (the fold rides the epoch object, atomic with the
+// flip) and across chained migrations.
+func TestAdaptiveStatsMonotonicAcrossMigration(t *testing.T) {
+	f := func(k int) (*sharded.Trie, error) {
+		// Sampling disabled (huge cadence): transitions come only from
+		// the explicit Step below, so the expected count is exact.
+		return sharded.NewAdaptive(256, k, adapt.Config{SampleEvery: 1 << 30, MinDwell: 1})
+	}
+	s, err := resize.NewSet(1, f, resize.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force exactly one enable on the live table's controller.
+	s.Table().ShardController(0).Step(adapt.Sample{AnnLen: 100})
+	if en, dis := s.AdaptiveStats(); en != 1 || dis != 0 {
+		t.Fatalf("pre-migration AdaptiveStats = (%d, %d), want (1, 0)", en, dis)
+	}
+	resize.SetTestHookMigration(func(st resize.Stage) {
+		if en, dis := s.AdaptiveStats(); en != 1 || dis != 0 {
+			t.Errorf("%v: AdaptiveStats = (%d, %d), want (1, 0)", st, en, dis)
+		}
+	})
+	defer resize.SetTestHookMigration(nil)
+	for _, k := range []int{4, 2} {
+		if err := s.Resize(k); err != nil {
+			t.Fatal(err)
+		}
+		if en, dis := s.AdaptiveStats(); en != 1 || dis != 0 {
+			t.Fatalf("after Resize(%d): AdaptiveStats = (%d, %d), want (1, 0)", k, en, dis)
+		}
+	}
+}

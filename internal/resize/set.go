@@ -1,0 +1,191 @@
+package resize
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sharded"
+)
+
+// Set is the resizable façade over the linearizable sharded trie: a
+// *sharded.Trie whose shard count migrates at runtime, behind the epoch
+// protocol of this package. Create with NewSet; all methods are safe
+// for concurrent use.
+type Set struct {
+	r *resizer[*sharded.Trie]
+}
+
+// NewSet wraps factory(initial) in the resize machinery. factory builds
+// a table at a given shard count, carrying whatever combining/adaptive
+// configuration the caller composes into the closure; it is re-invoked
+// on every migration. cfg configures the decision layer — pass the zero
+// Config for a manually driven set (Resize only).
+func NewSet(initial int, factory func(k int) (*sharded.Trie, error), cfg Config) (*Set, error) {
+	t, err := factory(initial)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newResizer(t, factory, scanSharded, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.peers = announcedPeers
+	r.carry = (*sharded.Trie).AdaptiveStats
+	r.bulk = bulkLoad
+	return &Set{r: r}, nil
+}
+
+// bulkLoad inserts a run of unique keys through the batch entrypoint:
+// one announcement pass per shard-run instead of one per key. The scan
+// emits shards in ascending order but walks sparse shards downward, so
+// the run is sorted here (ApplyBatch requires strictly ascending keys).
+func bulkLoad(t *sharded.Trie, keys []int64) {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ops := make([]core.BatchOp, len(keys))
+	for i, k := range keys {
+		ops[i] = core.BatchOp{Key: k}
+	}
+	t.ApplyBatch(ops)
+}
+
+// scanSharded enumerates each non-empty shard's keys. Either strategy
+// is correct under concurrent updates for the same reason: a key no
+// update touches is present throughout and an exact per-shard probe (or
+// a linearizable Predecessor step) cannot miss it, while every touched
+// key is journaled — so the choice is purely about cost:
+//
+//   - dense shards take O(width) wait-free O(1) Search probes, which
+//     beat a predecessor walk precisely when the walk would run hot: a
+//     per-key core.Predecessor announces in P-ALL and pays O(ċ² + log u)
+//     under the very contention that triggered the resize;
+//   - sparse shards (count below width/8) take the walk, whose
+//     O(count · log width) beats probing a near-empty range.
+//
+// Skipping count == 0 shards is safe for the same reason Predecessor's
+// fallback skips them: the count over-approximates, so zero proves the
+// shard empty at the read.
+func scanSharded(t *sharded.Trie, emit func(int64)) {
+	width := t.U() / int64(t.Shards())
+	for i := 0; i < t.Shards(); i++ {
+		n := t.Occupancy(i)
+		if n == 0 {
+			continue
+		}
+		sh := t.Shard(i)
+		base := int64(i) * width
+		if n >= width/8 {
+			for lx := int64(0); lx < width; lx++ {
+				if sh.Search(lx) {
+					emit(base | lx)
+				}
+			}
+			continue
+		}
+		x := width - 1
+		if !sh.Search(x) {
+			x = sh.Predecessor(x)
+		}
+		for x >= 0 {
+			emit(base | x)
+			if x == 0 {
+				break
+			}
+			x = sh.Predecessor(x)
+		}
+	}
+}
+
+// announcedPeers returns the busiest shard's announced-update count —
+// the announcement-list half of the resize contention signal.
+func announcedPeers(t *sharded.Trie) int64 {
+	var peers int64
+	for i := 0; i < t.Shards(); i++ {
+		if n := int64(t.Shard(i).AnnouncedUpdates()); n > peers {
+			peers = n
+		}
+	}
+	return peers
+}
+
+// Table returns the current authoritative table (tests, stats). The
+// returned trie may be retired by a concurrent migration; it stays
+// readable forever but writes to it bypass the journal, so callers must
+// only read.
+func (s *Set) Table() *sharded.Trie { return s.r.table() }
+
+// Shards returns the current shard count.
+func (s *Set) Shards() int { return s.r.Shards() }
+
+// U returns the padded universe size.
+func (s *Set) U() int64 { return s.r.U() }
+
+// Len returns the weakly-consistent cardinality estimate (exact at
+// quiescence), untouched by in-flight migrations.
+func (s *Set) Len() int64 { return s.r.Len() }
+
+// Stats returns the resize counters.
+func (s *Set) Stats() Stats { return s.r.Stats() }
+
+// AdaptiveStats sums adaptive-combining transitions across the live and
+// retired tables (zeros unless the factory builds adaptive tables).
+func (s *Set) AdaptiveStats() (enables, disables int64) { return s.r.AdaptiveStats() }
+
+// Decider returns the decision layer, or nil for manually driven sets.
+func (s *Set) Decider() *Decider { return s.r.dec }
+
+// Resize synchronously migrates to target shards (ErrBusy if one is in
+// flight). Concurrent operations proceed throughout.
+func (s *Set) Resize(target int) error { return s.r.Resize(target) }
+
+// Search reports whether x is in the set. Never blocks, in any phase.
+//
+// Precondition: 0 ≤ x < U().
+func (s *Set) Search(x int64) bool { return s.r.Search(x) }
+
+// Insert adds x to the set through the current epoch.
+//
+// Precondition: 0 ≤ x < U().
+func (s *Set) Insert(x int64) { s.r.Insert(x) }
+
+// Delete removes x from the set through the current epoch.
+//
+// Precondition: 0 ≤ x < U().
+func (s *Set) Delete(x int64) { s.r.Delete(x) }
+
+// Predecessor returns the largest key < y, or −1, from the
+// authoritative table (the retiring one during a migration — the under-
+// construction table is never consulted, so mid-replay states are
+// invisible).
+//
+// Precondition: 0 ≤ y < U().
+func (s *Set) Predecessor(y int64) int64 { return s.r.table().Predecessor(y) }
+
+// Successor returns the smallest key > y, or −1, mirroring Predecessor.
+//
+// Precondition: 0 ≤ y < U().
+func (s *Set) Successor(y int64) int64 { return s.r.table().Successor(y) }
+
+// Max returns the largest key in the set, or −1.
+func (s *Set) Max() int64 { return s.r.table().Max() }
+
+// ApplyBatch applies a pre-batched op sequence — global keys, sorted
+// strictly ascending, one op per key — through the current epoch. The
+// whole batch is admitted under one gate (the drain protocol waits on
+// every gate, so one suffices to pin the epoch) and journals every key
+// before the table rebase-and-apply, preserving journal-before-apply
+// per key.
+func (s *Set) ApplyBatch(ops []core.BatchOp) {
+	if len(ops) == 0 {
+		return
+	}
+	r := s.r
+	r.tick(ops[0].Key)
+	e, gi := r.enter(ops[0].Key)
+	if e.phase == phaseJournal {
+		for i := range ops {
+			e.dirty[e.shardOf(ops[i].Key)].Insert(ops[i].Key & (e.width - 1))
+		}
+	}
+	e.cur.ApplyBatch(ops)
+	e.gates[gi].Add(-1)
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/combine"
 	"repro/internal/relaxed"
+	"repro/internal/resize"
 	"repro/internal/sharded"
 )
 
@@ -30,6 +31,21 @@ type Relaxed struct {
 	set      relaxedSet
 	shards   int
 	adaptive bool
+	rz       *resize.RelaxedSet // non-nil under WithAdaptiveShards
+}
+
+// relaxedShardedFactory mirrors config.shardedFactory for the relaxed
+// backends.
+func relaxedShardedFactory(c *config, universe int64) func(k int) (*sharded.Relaxed, error) {
+	switch {
+	case c.adaptive:
+		acfg := c.acfg
+		return func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxedAdaptive(universe, k, acfg) }
+	case c.combining:
+		return func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxedCombining(universe, k) }
+	default:
+		return func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxed(universe, k) }
+	}
 }
 
 // NewRelaxed returns an empty relaxed trie over {0,…,universe−1} (same
@@ -52,6 +68,18 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.adaptiveShards {
+		initial, err := cfg.resizeBounds()
+		if err != nil {
+			return nil, err
+		}
+		rz, err := resize.NewRelaxedSet(initial, relaxedShardedFactory(&cfg, universe),
+			resize.Config{MinShards: cfg.minShards, MaxShards: cfg.maxShards})
+		if err != nil {
+			return nil, fmt.Errorf("lockfreetrie: %w", err)
+		}
+		return &Relaxed{set: rz, shards: initial, adaptive: cfg.adaptive, rz: rz}, nil
 	}
 	if cfg.shards == 1 {
 		r, err := relaxed.New(universe)
@@ -85,8 +113,28 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 // Universe returns the padded universe size.
 func (t *Relaxed) Universe() int64 { return t.set.U() }
 
-// Shards returns the configured shard count (1 for the unsharded trie).
-func (t *Relaxed) Shards() int { return t.shards }
+// Shards returns the current shard count: the configured value (1 for
+// the unsharded trie), or — under WithAdaptiveShards — the live count,
+// which a concurrent migration may change right after the read.
+func (t *Relaxed) Shards() int {
+	if t.rz != nil {
+		return t.rz.Shards()
+	}
+	return t.shards
+}
+
+// AdaptiveShards reports whether WithAdaptiveShards was set.
+func (t *Relaxed) AdaptiveShards() bool { return t.rz != nil }
+
+// ResizeStats returns the online-resize counters, mirroring
+// Trie.ResizeStats. Without WithAdaptiveShards it is a static snapshot.
+func (t *Relaxed) ResizeStats() ResizeStats {
+	if t.rz == nil {
+		return ResizeStats{Shards: t.shards}
+	}
+	s := t.rz.Stats()
+	return ResizeStats{Shards: s.Shards, Grows: s.Grows, Shrinks: s.Shrinks, Migrating: s.Migrating}
+}
 
 // AdaptiveCombining reports whether WithAdaptiveCombining was set.
 func (t *Relaxed) AdaptiveCombining() bool { return t.adaptive }

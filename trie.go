@@ -36,7 +36,11 @@
 // If the update clustering is unknown or varies at runtime, use
 // WithAdaptiveCombining() instead: each shard then watches its own
 // contention signals and flips between direct and combining publication
-// with hysteresis (DESIGN.md §Adaptive combining).
+// with hysteresis (DESIGN.md §Adaptive combining). When even the right
+// shard COUNT is workload-dependent, WithAdaptiveShards(min, max) makes
+// k itself adaptive: the trie re-partitions online between min and max
+// shards as contention shifts, migrating live without blocking readers
+// (DESIGN.md §Shard resize).
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package lockfreetrie
@@ -48,6 +52,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/combine"
 	"repro/internal/core"
+	"repro/internal/resize"
 	"repro/internal/sharded"
 )
 
@@ -67,10 +72,14 @@ func (e *KeyRangeError) Error() string {
 
 // config collects the functional options of New and NewRelaxed.
 type config struct {
-	shards    int
-	combining bool
-	adaptive  bool
-	acfg      adapt.Config
+	shards         int
+	shardsSet      bool
+	combining      bool
+	adaptive       bool
+	acfg           adapt.Config
+	adaptiveShards bool
+	minShards      int
+	maxShards      int
 }
 
 // Option configures New and NewRelaxed.
@@ -105,6 +114,52 @@ func WithShards(k int) Option {
 			return fmt.Errorf("lockfreetrie: WithShards(%d): shard count must be at least 1", k)
 		}
 		c.shards = k
+		c.shardsSet = true
+		return nil
+	}
+}
+
+// WithAdaptiveShards moves the shard-count decision itself to runtime:
+// the trie starts at min shards (or the WithShards value, which must lie
+// in [min, max]) and re-partitions itself online between min and max as
+// the workload's contention shifts. A deterministic decision layer
+// samples the busiest shard's concurrent-publisher estimate (in-flight
+// updates and, on the lock-free trie, announcement-list length) every
+// few hundred updates and proposes doubling when the estimate's EWMA
+// sustains above the grow threshold — with an occupancy guard so a
+// near-empty set never fragments — and halving when it falls below the
+// shrink threshold, with hysteresis and a minimum dwell between
+// proposals (internal/resize; thresholds mirror WithAdaptiveCombining's
+// tuning data).
+//
+// A proposal triggers a live migration: updates keep completing against
+// the old partition while a coordinator builds the new one, journaling
+// concurrently-touched keys through per-shard versioned snapshots and
+// replaying the delta before one epoch flip hands authority over
+// (DESIGN.md §Shard resize). Queries never block at any point of a
+// migration — they always read the one authoritative partition, so
+// Contains/Predecessor keep their usual consistency contracts and Len
+// never observes a half-migrated state. Updates are untouched except
+// inside the brief final handoff window, where a newly arriving update
+// waits for the in-flight ops of the retiring partition plus one
+// bounded delta replay (the same bounded-handoff trade WithCombining
+// makes for claimed operations).
+//
+// min and max must be powers of two with 1 ≤ min ≤ max; max is capped
+// by the universe geometry (every shard spans at least two keys).
+// min == max pins the count (useful only for testing the machinery).
+// Composes with WithCombining and WithAdaptiveCombining: every
+// partition the trie migrates to carries the same configuration.
+func WithAdaptiveShards(min, max int) Option {
+	return func(c *config) error {
+		if min < 1 || min&(min-1) != 0 || max < 1 || max&(max-1) != 0 {
+			return fmt.Errorf("lockfreetrie: WithAdaptiveShards(%d, %d): bounds must be powers of two ≥ 1", min, max)
+		}
+		if min > max {
+			return fmt.Errorf("lockfreetrie: WithAdaptiveShards(%d, %d): min exceeds max", min, max)
+		}
+		c.adaptiveShards = true
+		c.minShards, c.maxShards = min, max
 		return nil
 	}
 }
@@ -277,6 +332,37 @@ type Trie struct {
 	shards    int
 	combining bool
 	adaptive  bool
+	rz        *resize.Set // non-nil under WithAdaptiveShards
+}
+
+// resizeBounds validates the WithAdaptiveShards bounds against the other
+// options and returns the initial shard count: the explicit WithShards
+// value when given (it must lie inside [min, max]), min otherwise.
+func (c *config) resizeBounds() (initial int, err error) {
+	initial = c.minShards
+	if c.shardsSet {
+		if c.shards < c.minShards || c.shards > c.maxShards {
+			return 0, fmt.Errorf("lockfreetrie: WithShards(%d) outside WithAdaptiveShards bounds [%d, %d]",
+				c.shards, c.minShards, c.maxShards)
+		}
+		initial = c.shards
+	}
+	return initial, nil
+}
+
+// shardedFactory builds the per-migration table constructor for the
+// resizable trie, carrying the combining/adaptive configuration into
+// every partition the trie migrates to.
+func (c *config) shardedFactory(universe int64) func(k int) (*sharded.Trie, error) {
+	switch {
+	case c.adaptive:
+		acfg := c.acfg
+		return func(k int) (*sharded.Trie, error) { return sharded.NewAdaptive(universe, k, acfg) }
+	case c.combining:
+		return func(k int) (*sharded.Trie, error) { return sharded.NewCombining(universe, k) }
+	default:
+		return func(k int) (*sharded.Trie, error) { return sharded.New(universe, k) }
+	}
 }
 
 // New returns an empty trie over the universe {0,…,universe−1}. universe
@@ -291,6 +377,19 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.adaptiveShards {
+		initial, err := cfg.resizeBounds()
+		if err != nil {
+			return nil, err
+		}
+		rz, err := resize.NewSet(initial, cfg.shardedFactory(universe),
+			resize.Config{MinShards: cfg.minShards, MaxShards: cfg.maxShards})
+		if err != nil {
+			return nil, fmt.Errorf("lockfreetrie: %w", err)
+		}
+		return &Trie{set: rz, shards: initial,
+			combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive, rz: rz}, nil
 	}
 	if cfg.shards == 1 {
 		c, err := core.New(universe)
@@ -330,8 +429,41 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 // Universe returns the padded universe size 2^⌈log₂ u⌉.
 func (t *Trie) Universe() int64 { return t.set.U() }
 
-// Shards returns the configured shard count (1 for the unsharded trie).
-func (t *Trie) Shards() int { return t.shards }
+// Shards returns the current shard count: the configured value (1 for
+// the unsharded trie), or — under WithAdaptiveShards — the live count,
+// which a concurrent migration may change right after the read.
+func (t *Trie) Shards() int {
+	if t.rz != nil {
+		return t.rz.Shards()
+	}
+	return t.shards
+}
+
+// AdaptiveShards reports whether WithAdaptiveShards was set.
+func (t *Trie) AdaptiveShards() bool { return t.rz != nil }
+
+// ResizeStats is a snapshot of the online shard-resize counters of a
+// WithAdaptiveShards trie.
+type ResizeStats struct {
+	// Shards is the current shard count.
+	Shards int
+	// Grows and Shrinks count completed migrations by direction.
+	Grows, Shrinks int64
+	// Migrating reports whether a migration was in flight at the
+	// snapshot.
+	Migrating bool
+}
+
+// ResizeStats returns the online-resize counters. Without
+// WithAdaptiveShards it is a static snapshot: the configured shard
+// count and zero migrations.
+func (t *Trie) ResizeStats() ResizeStats {
+	if t.rz == nil {
+		return ResizeStats{Shards: t.shards}
+	}
+	s := t.rz.Stats()
+	return ResizeStats{Shards: s.Shards, Grows: s.Grows, Shrinks: s.Shrinks, Migrating: s.Migrating}
+}
 
 // Combining reports whether the trie has a combining layer (WithCombining
 // or WithAdaptiveCombining).
