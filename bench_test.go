@@ -674,6 +674,51 @@ func BenchmarkApplyBatch(b *testing.B) {
 	}
 }
 
+// --- CC1: cache-compressed descents -------------------------------------------
+//
+// Compressed vs uncompressed traversals on a sparse universe (256 keys in
+// 2^20): the per-64-node occupancy words let a descent step over
+// certified-empty regions in one load. The triebench cc1 experiment runs
+// the calibrated sweep into BENCH_cache.json; these benchmarks keep both
+// code paths hot in the -benchtime 1x CI smoke.
+
+// BenchmarkSparseSearch is the no-regression control: Search reads its
+// leaf in O(1) and never descends, so the summary machinery must cost it
+// nothing.
+func BenchmarkSparseSearch(b *testing.B) {
+	const u = int64(1 << 20)
+	for _, compressed := range []bool{true, false} {
+		b.Run(fmt.Sprintf("compressed=%v", compressed), func(b *testing.B) {
+			tr := newCore(b, u)
+			tr.Bits().SetCompressedDescents(compressed)
+			prefillEvery(tr, u, 4096)
+			keys := randomKeys(u, 1<<12, 21)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Search(keys[i&(len(keys)-1)])
+			}
+		})
+	}
+}
+
+// BenchmarkPredDescent is the win regime the summaries exist for:
+// predecessor descents over long empty gaps between occupied leaves.
+func BenchmarkPredDescent(b *testing.B) {
+	const u = int64(1 << 20)
+	for _, compressed := range []bool{true, false} {
+		b.Run(fmt.Sprintf("compressed=%v", compressed), func(b *testing.B) {
+			tr := newCore(b, u)
+			tr.Bits().SetCompressedDescents(compressed)
+			prefillEvery(tr, u, 4096)
+			keys := randomKeys(u, 1<<12, 22)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Predecessor(keys[i&(len(keys)-1)])
+			}
+		})
+	}
+}
+
 // --- shared helpers -----------------------------------------------------------
 
 func mustRelaxed(u int64) *relaxed.Trie {

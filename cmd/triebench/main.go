@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1,cb1,ad1, or all (the paper-claim sweeps c1–a2; s1, a3, cb1 and ad1 run only when named, since they rewrite their recorded trajectory artifacts; the combining experiment is cb1 because c1 is the paper's C1 Search-cost claim)")
+		experiment   = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1,cb1,ad1,rs1,cc1, or all (the paper-claim sweeps c1–a2; s1, a3, cb1, ad1, rs1 and cc1 run only when named, since they rewrite their recorded trajectory artifacts; the combining experiment is cb1 because c1 is the paper's C1 Search-cost claim)")
 		ops          = flag.Int("ops", 100000, "operations per measurement")
 		workers      = flag.Int("workers", 4, "default worker count")
 		seed         = flag.Int64("seed", 1, "workload seed")
@@ -53,9 +53,11 @@ func main() {
 		adaptiveReps = flag.Int("ad1reps", ad1Reps, "ad1 repetitions per configuration (median reported; CI smoke uses 1)")
 		resizePath   = flag.String("resizejson", "BENCH_resize.json", "rs1 trajectory output path (empty disables)")
 		resizeReps   = flag.Int("rs1reps", rs1Reps, "rs1 repetitions per configuration (median reported; CI smoke uses 1)")
+		cachePath    = flag.String("cachejson", "BENCH_cache.json", "cc1 trajectory output path (empty disables)")
+		cacheReps    = flag.Int("cc1reps", cc1Reps, "cc1 repetitions per configuration (median reported; CI smoke uses 1)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath, *allocsPath, *combinePath, *combineReps, *adaptivePath, *adaptiveReps, *resizePath, *resizeReps); err != nil {
+	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath, *allocsPath, *combinePath, *combineReps, *adaptivePath, *adaptiveReps, *resizePath, *resizeReps, *cachePath, *cacheReps); err != nil {
 		fmt.Fprintln(os.Stderr, "triebench:", err)
 		os.Exit(1)
 	}
@@ -66,13 +68,13 @@ func main() {
 // nothing).
 func experimentIDs() []string {
 	return []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7",
-		"a1", "a2", "a3", "s1", "cb1", "ad1", "rs1", "all"}
+		"a1", "a2", "a3", "s1", "cb1", "ad1", "rs1", "cc1", "all"}
 }
 
 // runnersFor binds the experiment table to this invocation's artifact
 // paths and repetition counts. Split from run so the id registry is
 // testable against experimentIDs.
-func runnersFor(shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int, resizePath string, resizeReps int) map[string]func(int, int, int64) error {
+func runnersFor(shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int, resizePath string, resizeReps int, cachePath string, cacheReps int) map[string]func(int, int, int64) error {
 	return map[string]func(int, int, int64) error{
 		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5,
 		"c6": expC6, "c7": expC7, "a1": expA1, "a2": expA2,
@@ -91,16 +93,20 @@ func runnersFor(shards int, jsonPath, allocsPath, combinePath string, combineRep
 		"rs1": func(ops, workers int, seed int64) error {
 			return expRS1(ops, workers, seed, resizeReps, resizePath)
 		},
+		"cc1": func(ops, _ int, seed int64) error {
+			return expCC1(ops, seed, cacheReps, cachePath)
+		},
 	}
 }
 
-func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int, resizePath string, resizeReps int) error {
-	runners := runnersFor(shards, jsonPath, allocsPath, combinePath, combineReps, adaptivePath, adaptiveReps, resizePath, resizeReps)
-	// "all" covers the paper-claim sweeps; s1, a3, cb1, ad1 and rs1 are
-	// opt-in because they overwrite the recorded BENCH_shards.json /
+func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int, resizePath string, resizeReps int, cachePath string, cacheReps int) error {
+	runners := runnersFor(shards, jsonPath, allocsPath, combinePath, combineReps, adaptivePath, adaptiveReps, resizePath, resizeReps, cachePath, cacheReps)
+	// "all" covers the paper-claim sweeps; s1, a3, cb1, ad1, rs1 and cc1
+	// are opt-in because they overwrite the recorded BENCH_shards.json /
 	// BENCH_allocs.json / BENCH_combine.json / BENCH_adaptive.json /
-	// BENCH_resize.json trajectory points (and s1/cb1/ad1/rs1 enforce
-	// their own ops/workers floors — minutes, not seconds).
+	// BENCH_resize.json / BENCH_cache.json trajectory points (and
+	// s1/cb1/ad1/rs1/cc1 enforce their own ops/workers floors — minutes,
+	// not seconds).
 	if experiment == "all" {
 		for _, id := range []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7", "a1", "a2"} {
 			if err := runners[id](ops, workers, seed); err != nil {
@@ -1544,6 +1550,236 @@ func expRS1(ops, workers int, seed int64, reps int, jsonPath string) error {
 		ad.SkewedOpsPerSec, ad.UniformOpsPerSec, ad.Grows, ad.Shrinks, ad.FinalShards)
 	fmt.Println(tab)
 	fmt.Printf("adaptive vs best fixed (median of per-rep ratios): %.3f\n", report.GateAdaptiveVsBestFixed)
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
+	return nil
+}
+
+// --- CC1: cache-compressed descents skip empty regions in one load -------------
+
+// cc1Reps is the default repetition count per configuration (-cc1reps
+// overrides); the median is reported and the gate is the median of
+// per-repetition ratios, for the same host-load-drift reasons as AD1.
+const cc1Reps = 5
+
+// cc1Side is one compression setting of a CC1 configuration.
+type cc1Side struct {
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	BitReadsPerOp float64 `json:"bit_reads_per_op"`
+	StepsPerOp    float64 `json:"traversal_steps_per_op"`
+	// SummaryLoadsPerOp / SkippedBitReadsPerOp quantify what the
+	// compression bought: occupancy words consulted, and interior bit
+	// reads the certified-empty skips made unnecessary. Zeros on the
+	// uncompressed side, whose descents never consult the summary.
+	SummaryLoadsPerOp    float64 `json:"summary_loads_per_op"`
+	SkippedBitReadsPerOp float64 `json:"skipped_bit_reads_per_op"`
+}
+
+// cc1Workload is one (occupancy, mix) configuration measured with
+// compression on and off.
+type cc1Workload struct {
+	Name        string  `json:"name"`
+	Universe    int64   `json:"universe"`
+	KeysPrefill int64   `json:"keys_prefilled"`
+	Compressed  cc1Side `json:"compressed"`
+	// Uncompressed is the baseline side, embedded alongside so the
+	// trajectory point is self-contained.
+	Uncompressed cc1Side `json:"uncompressed_baseline"`
+	// SpeedupX is the median of per-repetition compressed/uncompressed
+	// throughput ratios: the two sides run back-to-back inside each
+	// repetition, so a drifting host-load phase hits both and cancels.
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+// cc1Report is the BENCH_cache.json trajectory point.
+type cc1Report struct {
+	Experiment string        `json:"experiment"`
+	Timestamp  string        `json:"timestamp"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Ops        int           `json:"ops"`
+	Reps       int           `json:"reps_median_of"`
+	Workloads  []cc1Workload `json:"workloads"`
+	// GateSparsePredSpeedupX is the sparse-pred-heavy speedup the
+	// acceptance gate tracks (≥ 1.15).
+	GateSparsePredSpeedupX float64 `json:"gate_sparse_pred_heavy_speedup_x"`
+}
+
+// cc1VacuousGate returns a non-nil error when the trie's ever-inserted
+// summary is all-ones: every summary probe would answer "maybe occupied",
+// no descent could skip anything, and a compressed-vs-uncompressed gate
+// measured in that state compares two identical traversals plus probe
+// overhead — it can only pass by measuring noise. A miscalibrated prefill
+// must fail the run loudly (main exits non-zero), not record a trajectory
+// point that gated nothing.
+func cc1VacuousGate(bits *bitstrie.Trie) error {
+	if bits.SummaryAllOnes() {
+		return fmt.Errorf("cc1: ever-inserted summary is all-ones after prefill (u=%d, %d keys ever inserted): no descent can skip an empty region, so the compression gate is vacuous — sparsify the prefill", bits.U(), bits.EverInsertedCount())
+	}
+	return nil
+}
+
+// expCC1: compressed vs uncompressed descents. Compression is a
+// path-length effect — each descent consults per-64-node occupancy words
+// to step over certified-empty regions in one load — so the sweep
+// measures solo throughput; contention would only add scheduler noise
+// around the same per-descent delta. Updates touch only the prefilled
+// stride keys: the summary is monotone (ever-inserted), so uniform
+// random updates would densify it over the run and drift the measurement
+// out of the sparse regime under study.
+//
+// Rows: the sparse pred-heavy gate row (long certified-empty gaps
+// between occupied leaves — the regime the summaries exist for), a
+// sparse search row (Search reads its leaf in O(1) and never descends,
+// so compression must be free there), and a half-full pred-heavy control
+// (nothing to skip — the ratio bounds the summary-probe tax near 1×).
+// Writes the BENCH_cache.json trajectory point unless -cachejson is
+// empty.
+func expCC1(ops int, seed int64, reps int, jsonPath string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	if ops < 200000 {
+		fmt.Printf("cc1: raising -ops to 200000 (short solo runs measure cache warm-up, not the descent steady state)\n")
+		ops = 200000
+	}
+	fmt.Println("== CC1: compressed vs uncompressed descents (solo ops/s) ==")
+	type cc1Config struct {
+		name string
+		u    int64
+		gap  int64 // prefill stride; u/gap keys ever inserted
+		// pred/search are op-mix percentages; the remainder is stride-key
+		// updates (half Insert, half Delete).
+		pred, search int
+		// opsMul scales the op budget: rows dominated by sub-µs operations
+		// need more ops for the same wall-clock measurement window.
+		opsMul int
+		gate   bool
+	}
+	configs := []cc1Config{
+		{name: "sparse-pred-heavy", u: 1 << 22, gap: 16384, pred: 80, opsMul: 1, gate: true},
+		{name: "sparse-search", u: 1 << 20, gap: 4096, search: 90, opsMul: 8},
+		{name: "half-full-pred-heavy", u: 1 << 16, gap: 2, pred: 80, opsMul: 4},
+	}
+	report := cc1Report{
+		Experiment: "cc1-cache",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Ops:        ops,
+		Reps:       reps,
+	}
+	// One measurement: fresh trie with the compression setting applied
+	// before any insert, stride prefill, vacuous-gate check, stats
+	// attached post-prefill (construction traffic stays out of the
+	// metric), then the timed solo loop over precomputed keys.
+	measure := func(cfg cc1Config, compressed bool) (cc1Side, error) {
+		tr := mustTrie(cfg.u)
+		tr.Bits().SetCompressedDescents(compressed)
+		for k := int64(0); k < cfg.u; k += cfg.gap {
+			tr.Insert(k)
+		}
+		if cfg.gate {
+			if err := cc1VacuousGate(tr.Bits()); err != nil {
+				return cc1Side{}, err
+			}
+		}
+		bstats := &bitstrie.Stats{}
+		tr.Bits().SetStats(bstats)
+		rng := rand.New(rand.NewSource(seed))
+		queries := make([]int64, 4096)
+		strides := make([]int64, 4096)
+		picks := make([]int, 4096)
+		for i := range queries {
+			queries[i] = rng.Int63n(cfg.u)
+			strides[i] = rng.Int63n(cfg.u/cfg.gap) * cfg.gap
+			picks[i] = rng.Intn(100)
+		}
+		n0 := ops * cfg.opsMul
+		t0 := time.Now()
+		for i := 0; i < n0; i++ {
+			j := i & 4095
+			switch p := picks[j]; {
+			case p < cfg.pred:
+				tr.Predecessor(queries[j])
+			case p < cfg.pred+cfg.search:
+				tr.Search(queries[j])
+			case p&1 == 0:
+				tr.Insert(strides[j])
+			default:
+				tr.Delete(strides[j])
+			}
+		}
+		elapsed := time.Since(t0)
+		n := float64(n0)
+		return cc1Side{
+			OpsPerSec:            n / elapsed.Seconds(),
+			BitReadsPerOp:        float64(bstats.BitReads.Load()) / n,
+			StepsPerOp:           float64(bstats.TraversalSteps.Load()) / n,
+			SummaryLoadsPerOp:    float64(bstats.SummaryLoads.Load()) / n,
+			SkippedBitReadsPerOp: float64(bstats.SkippedBitReads.Load()) / n,
+		}, nil
+	}
+	tab := harness.NewTable("workload", "ops/s off", "ops/s on", "speedup x",
+		"bitreads/op off", "bitreads/op on", "skipped/op")
+	for _, cfg := range configs {
+		var offT, onT, offB, onB, offS, onS, onSum, onSkip, ratios []float64
+		for rep := 0; rep < reps; rep++ {
+			// Rotate which side runs first per repetition so monotone
+			// host-load drift cannot systematically penalize one side.
+			var on, off cc1Side
+			for j := 0; j < 2; j++ {
+				compressed := (rep+j)%2 == 0
+				side, err := measure(cfg, compressed)
+				if err != nil {
+					return err
+				}
+				if compressed {
+					on = side
+				} else {
+					off = side
+				}
+			}
+			offT, onT = append(offT, off.OpsPerSec), append(onT, on.OpsPerSec)
+			offB, onB = append(offB, off.BitReadsPerOp), append(onB, on.BitReadsPerOp)
+			offS, onS = append(offS, off.StepsPerOp), append(onS, on.StepsPerOp)
+			onSum = append(onSum, on.SummaryLoadsPerOp)
+			onSkip = append(onSkip, on.SkippedBitReadsPerOp)
+			if off.OpsPerSec > 0 {
+				ratios = append(ratios, on.OpsPerSec/off.OpsPerSec)
+			}
+		}
+		wl := cc1Workload{
+			Name:        cfg.name,
+			Universe:    cfg.u,
+			KeysPrefill: cfg.u / cfg.gap,
+			Compressed: cc1Side{
+				OpsPerSec: median(onT), BitReadsPerOp: median(onB), StepsPerOp: median(onS),
+				SummaryLoadsPerOp: median(onSum), SkippedBitReadsPerOp: median(onSkip),
+			},
+			Uncompressed: cc1Side{
+				OpsPerSec: median(offT), BitReadsPerOp: median(offB), StepsPerOp: median(offS),
+			},
+			SpeedupX: median(ratios),
+		}
+		if cfg.gate {
+			report.GateSparsePredSpeedupX = wl.SpeedupX
+		}
+		report.Workloads = append(report.Workloads, wl)
+		tab.AddRow(cfg.name, wl.Uncompressed.OpsPerSec, wl.Compressed.OpsPerSec, wl.SpeedupX,
+			wl.Uncompressed.BitReadsPerOp, wl.Compressed.BitReadsPerOp,
+			wl.Compressed.SkippedBitReadsPerOp)
+	}
+	fmt.Println(tab)
 	if jsonPath == "" {
 		return nil
 	}

@@ -10,7 +10,7 @@ import (
 // experiment steps depend on a bad id failing the step loudly. The error
 // must also name the valid ids, so the typo is a one-glance fix.
 func TestRunUnknownExperimentFails(t *testing.T) {
-	err := run("cbl", 1000, 1, 1, 16, "", "", "", 1, "", 1, "", 1)
+	err := run("cbl", 1000, 1, 1, 16, "", "", "", 1, "", 1, "", 1, "", 1)
 	if err == nil {
 		t.Fatal(`run("cbl") returned nil for an unknown experiment id`)
 	}
@@ -28,7 +28,7 @@ func TestRunUnknownExperimentFails(t *testing.T) {
 // table cannot drift apart — every advertised id (except the "all" meta
 // id) has a runner, and every runner is advertised.
 func TestExperimentRegistryMatchesIDs(t *testing.T) {
-	runners := runnersFor(16, "", "", "", 1, "", 1, "", 1)
+	runners := runnersFor(16, "", "", "", 1, "", 1, "", 1, "", 1)
 	advertised := map[string]bool{}
 	for _, id := range experimentIDs() {
 		advertised[id] = true
@@ -48,7 +48,34 @@ func TestExperimentRegistryMatchesIDs(t *testing.T) {
 
 // TestEmptyExperimentFails: the empty string is not a silent no-op either.
 func TestEmptyExperimentFails(t *testing.T) {
-	if err := run("", 1000, 1, 1, 16, "", "", "", 1, "", 1, "", 1); err == nil {
+	if err := run("", 1000, 1, 1, 16, "", "", "", 1, "", 1, "", 1, "", 1); err == nil {
 		t.Fatal(`run("") returned nil`)
+	}
+}
+
+// TestCC1VacuousGateRefusesAllOnes: when every key has ever been inserted
+// the occupancy summary is all-ones, no descent can skip anything, and a
+// compression gate measured there is vacuous. The guard must refuse (main
+// exits non-zero on the error) with a message naming the condition; a
+// sparse prefill must pass.
+func TestCC1VacuousGateRefusesAllOnes(t *testing.T) {
+	dense := mustTrie(256)
+	for k := int64(0); k < 256; k++ {
+		dense.Insert(k)
+	}
+	err := cc1VacuousGate(dense.Bits())
+	if err == nil {
+		t.Fatal("cc1VacuousGate accepted an all-ones summary")
+	}
+	if !strings.Contains(err.Error(), "vacuous") {
+		t.Fatalf("error %q does not explain the gate is vacuous", err)
+	}
+
+	sparse := mustTrie(256)
+	for k := int64(0); k < 256; k += 64 {
+		sparse.Insert(k)
+	}
+	if err := cc1VacuousGate(sparse.Bits()); err != nil {
+		t.Fatalf("cc1VacuousGate rejected a sparse prefill: %v", err)
 	}
 }

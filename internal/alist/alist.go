@@ -11,33 +11,56 @@
 //
 // # Allocation discipline
 //
-// The hot paths run one heap allocation per Insert (the Cell itself) and
-// zero per Remove in the common case. Every successor reference a cell's
-// lifecycle publishes — the initial reference, the reference that links it
-// into its predecessor, the marked reference that logically deletes it and
-// the reference that physically unlinks it — is embedded in the Cell and
-// written only while it is still private to a single writer:
+// The hot paths are allocation-free in steady state: cells come from a
+// sync.Pool and every successor reference a cell's lifecycle publishes —
+// the initial reference, the reference that links it into its predecessor,
+// the marked reference that logically deletes it and the reference that
+// physically unlinks it — is embedded in the Cell and written only while it
+// is still private to a single writer:
 //
 //   - selfRef and linkRef are written by the inserting goroutine before the
 //     linking CAS publishes the cell (a failed CAS publishes nothing, so
 //     rewriting them across retries is single-threaded by construction);
-//   - markRef and unlinkRef may be contended (owner and helpers race to
-//     remove the same cell, concurrent searches race to unlink it), so they
-//     are guarded by one-shot claim flags: the claim winner is the unique
-//     writer and publishes the ref at most once; losers fall back to a heap
-//     allocation. A claimed ref whose CAS fails is abandoned (never
-//     published), preserving the single-writer rule.
+//   - markRef may be contended (owner and helpers race to remove the same
+//     cell), so it is guarded by a one-shot claim flag: the claim winner is
+//     the unique writer and publishes the ref at most once; losers fall
+//     back to a heap allocation. A claimed ref whose CAS fails is abandoned
+//     (never published), preserving the single-writer rule.
 //
-// Embedded refs are never recycled: once published their identity is a CAS
-// witness exactly like a heap-allocated ref's, and Go's GC reclaims them
-// with the cell. See DESIGN.md §Memory & reclamation for why the cells
-// themselves are left to the GC rather than pooled.
+// Unlink refs are deliberately NOT embedded in the cell they unlink. An
+// installed unlink ref lives in the PREDECESSOR's next field and stays
+// readable there until an arbitrarily later CAS replaces it — long after
+// the unlinked cell's grace period has expired and its memory has been
+// reissued, at which point a reset of an embedded ref would corrupt the
+// live predecessor's link. They come from their own pool instead (see
+// refPool), with their own retire point.
+//
+// # Reclamation
+//
+// Cells (and their embedded refs) are pooled under epoch-based reclamation
+// (internal/ebr, DESIGN.md §Memory & reclamation). The retire point is the
+// successful unlink CAS in search: a success proves the predecessor held
+// the expected unmarked reference at that instant — marking a cell swings
+// its next pointer to a different ref object and ref objects are never
+// reinstalled, so the predecessor was unmarked, hence still reachable, and
+// the CAS removed the last reachable edge to the cell. That makes the
+// unlink win unique per cell incarnation and the retired cell unreachable
+// from the list. The same CAS also replaced the predecessor's previous
+// reference, so every successful CAS on a next field doubles as the unique
+// retire point for the pooled ref it displaced. Callers pass their
+// operation's pin (*ebr.Slot); readers that traverse the list while
+// holding a pin can never observe a recycled cell or ref, which restores
+// the pointer-identity CAS witness the embedded-ref scheme relies on. A
+// nil slot skips retiring (cells and refs are left to the GC, never
+// reused) — correct, just not allocation-free.
 package alist
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/ebr"
 	"repro/internal/unode"
 )
 
@@ -70,10 +93,6 @@ type Cell struct {
 	// written only by the winner of markClaim.
 	markRef   ref
 	markClaim atomic.Bool
-	// unlinkRef is the reference that physically unlinks this cell from its
-	// predecessor; written only by the winner of unlinkClaim.
-	unlinkRef   ref
-	unlinkClaim atomic.Bool
 
 	// res is the interned resolved position cell for Pos slots (val ==
 	// this cell); see pos.go.
@@ -83,6 +102,43 @@ type Cell struct {
 type ref struct {
 	next   *Cell
 	marked bool
+	// pooled marks standalone unlink refs drawn from refPool. Embedded
+	// refs (pooled == false) die with their cell; a pooled ref displaced
+	// from a next field is retired by the displacing CAS winner.
+	pooled bool
+}
+
+// refPool recycles the standalone unlink references search installs. An
+// installed unlink ref outlives the cell it unlinked (it sits in the
+// predecessor's next field until a later CAS replaces it), so it has its
+// own lifecycle: Get → written while private → published by the unlink
+// CAS → displaced by the next successful CAS on the same field, whose
+// winner retires it → recycled after grace.
+var refPool = sync.Pool{New: func() any { return new(ref) }}
+
+// newUnlinkRef draws a pooled ref for an unlink CAS. The ref is private
+// until that CAS publishes it.
+func newUnlinkRef(next *Cell) *ref {
+	r := refPool.Get().(*ref)
+	r.next = next
+	r.marked = false
+	r.pooled = true
+	return r
+}
+
+// Recycle implements ebr.Recyclable for pooled unlink refs.
+func (r *ref) Recycle() {
+	r.next = nil
+	refPool.Put(r)
+}
+
+// retireDisplaced retires the reference a successful next-field CAS just
+// displaced, if it was a pooled unlink ref (embedded refs are covered by
+// their cell's retirement). A nil slot leaves it to the GC.
+func retireDisplaced(r *ref, s *ebr.Slot) {
+	if r.pooled && s != nil {
+		s.Retire(r)
+	}
 }
 
 // intern initializes the cell's self-referential interned fields. Called
@@ -90,6 +146,32 @@ type ref struct {
 func (c *Cell) intern() {
 	c.linkRef.next = c
 	c.res.val = c
+}
+
+// cellPool recycles cells under EBR grace periods; see the package
+// comment's reclamation section.
+var cellPool = sync.Pool{New: func() any { return new(Cell) }}
+
+// newCell draws a cell from the pool and resets it for a new incarnation.
+// The cell is private until the linking CAS publishes it, so plain writes
+// suffice; the one-shot claim flags must be re-armed here because their
+// claimed state survived the previous incarnation.
+func newCell(key int64, u *unode.UpdateNode) *Cell {
+	c := cellPool.Get().(*Cell)
+	c.Key, c.Upd = key, u
+	c.selfRef = ref{}
+	c.markRef = ref{}
+	c.markClaim.Store(false)
+	c.intern()
+	return c
+}
+
+// Recycle implements ebr.Recyclable: called once per retired cell after its
+// grace period, when no pinned traversal can still reach it.
+func (c *Cell) Recycle() {
+	c.Upd = nil
+	c.next.Store(nil)
+	cellPool.Put(c)
 }
 
 // claimMarkRef returns the embedded marked ref if this caller is the first
@@ -100,15 +182,6 @@ func (c *Cell) claimMarkRef() *ref {
 		return &c.markRef
 	}
 	return &ref{marked: true}
-}
-
-// claimUnlinkRef returns the embedded unlink ref if this caller is the first
-// to claim it, or a fresh allocation otherwise.
-func (c *Cell) claimUnlinkRef() *ref {
-	if c.unlinkClaim.CompareAndSwap(false, true) {
-		return &c.unlinkRef
-	}
-	return &ref{}
 }
 
 // Next returns the successor cell, whether or not this cell is marked. The
@@ -173,8 +246,10 @@ func (l *List) precedes(a, b int64) bool {
 
 // search returns adjacent unmarked cells (pred, succ) such that pred is the
 // last cell preceding key and succ the first not preceding it, physically
-// unlinking any marked cells encountered (Harris search).
-func (l *List) search(key int64) (pred *Cell, predRef *ref, succ *Cell) {
+// unlinking any marked cells encountered (Harris search). Unlinked cells
+// are retired on s (the caller's pin) — see the package comment for why the
+// successful unlink CAS is the unique retire point.
+func (l *List) search(key int64, s *ebr.Slot) (pred *Cell, predRef *ref, succ *Cell) {
 retry:
 	for {
 		pred = l.head
@@ -184,12 +259,17 @@ retry:
 			curRef := cur.next.Load()
 			for curRef != nil && curRef.marked {
 				// Unlink the marked cell. On failure the neighborhood
-				// changed; restart. The unlink ref comes from the cell's
-				// one-shot claim when possible (see package comment).
-				ur := cur.claimUnlinkRef()
-				ur.next = curRef.next
+				// changed; restart (the unpublished ref goes straight back
+				// to its pool). On success this CAS is the unique retire
+				// point for both the cell and the ref it displaced.
+				ur := newUnlinkRef(curRef.next)
 				if !pred.next.CompareAndSwap(predRef, ur) {
+					ur.Recycle()
 					continue retry
+				}
+				retireDisplaced(predRef, s)
+				if s != nil {
+					s.Retire(cur)
 				}
 				predRef = pred.next.Load()
 				if predRef.marked {
@@ -209,20 +289,21 @@ retry:
 
 // Insert adds a new cell for u (key u.Key) after all cells with equal key
 // and returns the cell. Duplicate cells for the same update node are
-// permitted (helper re-insertion). One heap allocation: the cell; its
-// successor references are embedded and written only while the cell is
-// private (a failed linking CAS publishes nothing).
-func (l *List) Insert(u *unode.UpdateNode) *Cell {
-	cell := &Cell{Key: u.Key, Upd: u}
-	cell.intern()
+// permitted (helper re-insertion). Allocation-free in steady state: the
+// cell comes from the EBR-guarded pool and its successor references are
+// embedded, written only while the cell is private (a failed linking CAS
+// publishes nothing). s is the caller's pin (nil disables reclamation).
+func (l *List) Insert(u *unode.UpdateNode, s *ebr.Slot) *Cell {
+	cell := newCell(u.Key, u)
 	for {
-		pred, predRef, succ := l.search(u.Key)
+		pred, predRef, succ := l.search(u.Key, s)
 		if predRef.marked || predRef.next != succ {
 			continue
 		}
 		cell.selfRef.next = succ
 		cell.next.Store(&cell.selfRef)
 		if pred.next.CompareAndSwap(predRef, &cell.linkRef) {
+			retireDisplaced(predRef, s)
 			return cell
 		}
 	}
@@ -238,11 +319,11 @@ func (l *List) Insert(u *unode.UpdateNode) *Cell {
 // walk links the whole run instead of one walk per announcement. On
 // contention the walk restarts from the head for the remaining suffix,
 // which keeps the pass lock-free for the same reason Insert is.
-func (l *List) InsertRun(us []*unode.UpdateNode) {
+func (l *List) InsertRun(us []*unode.UpdateNode, s *ebr.Slot) {
 	i := 0
 restart:
 	for i < len(us) {
-		pred, predRef, succ := l.search(us[i].Key)
+		pred, predRef, succ := l.search(us[i].Key, s)
 		for i < len(us) {
 			u := us[i]
 			// Advance (pred, succ) from the previous insertion point to
@@ -258,13 +339,13 @@ restart:
 			if predRef.marked || predRef.next != succ {
 				continue restart
 			}
-			cell := &Cell{Key: u.Key, Upd: u}
-			cell.intern()
+			cell := newCell(u.Key, u)
 			cell.selfRef.next = succ
 			cell.next.Store(&cell.selfRef)
 			if !pred.next.CompareAndSwap(predRef, &cell.linkRef) {
 				continue restart
 			}
+			retireDisplaced(predRef, s)
 			pred, predRef = cell, cell.next.Load()
 			succ = predRef.next
 			i++
@@ -280,7 +361,7 @@ restart:
 // mirrors Remove's loop and catches cells a helper re-inserted behind the
 // scan cursor (helpers stop re-inserting once the node's Completed flag is
 // set, so the loop terminates).
-func (l *List) RemoveRun(us []*unode.UpdateNode) {
+func (l *List) RemoveRun(us []*unode.UpdateNode, s *ebr.Slot) {
 	if len(us) == 0 {
 		return
 	}
@@ -308,6 +389,7 @@ func (l *List) RemoveRun(us []*unode.UpdateNode) {
 				}
 				mr.next = r.next
 				if cur.next.CompareAndSwap(r, mr) {
+					retireDisplaced(r, s)
 					marked++
 					break
 				}
@@ -319,7 +401,7 @@ func (l *List) RemoveRun(us []*unode.UpdateNode) {
 		if l.descending {
 			end = KeyNegInf
 		}
-		l.search(end)
+		l.search(end, s)
 		if marked == 0 {
 			return
 		}
@@ -337,8 +419,8 @@ func (l *List) strictlyPrecedes(a, b int64) bool {
 
 // Remove logically deletes every cell carrying u and physically unlinks
 // them. It returns the number of cells removed. Removing an absent node is
-// a no-op returning 0.
-func (l *List) Remove(u *unode.UpdateNode) int {
+// a no-op returning 0. s is the caller's pin (nil disables reclamation).
+func (l *List) Remove(u *unode.UpdateNode, s *ebr.Slot) int {
 	removed := 0
 	for {
 		cell := l.findCell(u)
@@ -356,12 +438,13 @@ func (l *List) Remove(u *unode.UpdateNode) int {
 			}
 			mr.next = r.next
 			if cell.next.CompareAndSwap(r, mr) {
+				retireDisplaced(r, s)
 				removed++
 				break
 			}
 		}
 		// Physically unlink via a search around the key.
-		l.search(u.Key)
+		l.search(u.Key, s)
 	}
 }
 

@@ -27,7 +27,7 @@ func TestEmptyList(t *testing.T) {
 func TestInsertAscendingOrder(t *testing.T) {
 	l := New(false)
 	for _, k := range []int64{5, 1, 9, 3, 7} {
-		l.Insert(ins(k))
+		l.Insert(ins(k), nil)
 	}
 	want := []int64{1, 3, 5, 7, 9}
 	got := l.Keys()
@@ -44,7 +44,7 @@ func TestInsertAscendingOrder(t *testing.T) {
 func TestInsertDescendingOrder(t *testing.T) {
 	l := New(true)
 	for _, k := range []int64{5, 1, 9, 3, 7} {
-		l.Insert(ins(k))
+		l.Insert(ins(k), nil)
 	}
 	want := []int64{9, 7, 5, 3, 1}
 	got := l.Keys()
@@ -61,9 +61,9 @@ func TestDuplicateKeysFIFO(t *testing.T) {
 	for _, desc := range []bool{false, true} {
 		l := New(desc)
 		first, second, third := ins(4), ins(4), ins(4)
-		l.Insert(first)
-		l.Insert(second)
-		l.Insert(third)
+		l.Insert(first, nil)
+		l.Insert(second, nil)
+		l.Insert(third, nil)
 		var got []*unode.UpdateNode
 		for c := l.Head().Next(); c != nil && c.Upd != nil; c = c.Next() {
 			got = append(got, c.Upd)
@@ -77,10 +77,10 @@ func TestDuplicateKeysFIFO(t *testing.T) {
 func TestRemove(t *testing.T) {
 	l := New(false)
 	a, b, c := ins(1), ins(2), ins(3)
-	l.Insert(a)
-	l.Insert(b)
-	l.Insert(c)
-	if n := l.Remove(b); n != 1 {
+	l.Insert(a, nil)
+	l.Insert(b, nil)
+	l.Insert(c, nil)
+	if n := l.Remove(b, nil); n != 1 {
 		t.Fatalf("Remove(b) = %d, want 1", n)
 	}
 	if l.Contains(b) {
@@ -90,7 +90,7 @@ func TestRemove(t *testing.T) {
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Fatalf("Keys() = %v, want [1 3]", got)
 	}
-	if n := l.Remove(b); n != 0 {
+	if n := l.Remove(b, nil); n != 0 {
 		t.Fatalf("second Remove(b) = %d, want 0", n)
 	}
 }
@@ -100,10 +100,10 @@ func TestRemove(t *testing.T) {
 func TestRemoveAllDuplicates(t *testing.T) {
 	l := New(false)
 	u := ins(5)
-	l.Insert(u)
-	l.Insert(u)
-	l.Insert(u)
-	if n := l.Remove(u); n != 3 {
+	l.Insert(u, nil)
+	l.Insert(u, nil)
+	l.Insert(u, nil)
+	if n := l.Remove(u, nil); n != 3 {
 		t.Fatalf("Remove = %d, want 3", n)
 	}
 	if l.Len() != 0 {
@@ -114,13 +114,13 @@ func TestRemoveAllDuplicates(t *testing.T) {
 func TestReinsertAfterRemove(t *testing.T) {
 	l := New(false)
 	u := ins(6)
-	l.Insert(u)
-	l.Remove(u)
-	l.Insert(u) // helper re-inserts: must get a fresh cell, list stays valid
+	l.Insert(u, nil)
+	l.Remove(u, nil)
+	l.Insert(u, nil) // helper re-inserts: must get a fresh cell, list stays valid
 	if !l.Contains(u) {
 		t.Fatal("node absent after re-insert")
 	}
-	if n := l.Remove(u); n != 1 {
+	if n := l.Remove(u, nil); n != 1 {
 		t.Fatalf("Remove after re-insert = %d, want 1", n)
 	}
 }
@@ -131,7 +131,7 @@ func TestQuickSortedness(t *testing.T) {
 	f := func(keys []int16, desc bool) bool {
 		l := New(desc)
 		for _, k := range keys {
-			l.Insert(ins(int64(k)))
+			l.Insert(ins(int64(k)), nil)
 		}
 		got := l.Keys()
 		if len(got) != len(keys) {
@@ -176,9 +176,9 @@ func TestConcurrentInsertRemove(t *testing.T) {
 				rng := rand.New(rand.NewSource(int64(id + 1)))
 				for i := 0; i < perG; i++ {
 					u := ins(int64(rng.Intn(64)))
-					l.Insert(u)
+					l.Insert(u, nil)
 					if rng.Intn(2) == 0 {
-						l.Remove(u)
+						l.Remove(u, nil)
 					} else {
 						keep[id] = append(keep[id], u)
 					}
@@ -217,7 +217,7 @@ func TestConcurrentInsertRemove(t *testing.T) {
 func TestConcurrentRemoveSameNode(t *testing.T) {
 	l := New(false)
 	u := ins(9)
-	l.Insert(u)
+	l.Insert(u, nil)
 	const removers = 8
 	var wg sync.WaitGroup
 	total := make([]int, removers)
@@ -227,7 +227,7 @@ func TestConcurrentRemoveSameNode(t *testing.T) {
 		go func(idx int) {
 			defer wg.Done()
 			<-start
-			total[idx] = l.Remove(u)
+			total[idx] = l.Remove(u, nil)
 		}(r)
 	}
 	close(start)
@@ -250,10 +250,10 @@ func TestConcurrentRemoveSameNode(t *testing.T) {
 func TestTraversalThroughMarkedCells(t *testing.T) {
 	l := New(false)
 	a, b, c := ins(1), ins(2), ins(3)
-	l.Insert(a)
-	cellB := l.Insert(b)
-	l.Insert(c)
-	l.Remove(b)
+	l.Insert(a, nil)
+	cellB := l.Insert(b, nil)
+	l.Insert(c, nil)
+	l.Remove(b, nil)
 	if !cellB.Marked() {
 		t.Fatal("cell b should be marked")
 	}
@@ -271,15 +271,15 @@ func TestInsertRunOrderAndContent(t *testing.T) {
 		l := New(desc)
 		// Interleave singles and a run; keys of the run must land sorted
 		// among existing cells.
-		l.Insert(ins(4))
-		l.Insert(ins(12))
+		l.Insert(ins(4), nil)
+		l.Insert(ins(12), nil)
 		run := []*unode.UpdateNode{ins(2), ins(6), ins(10), ins(14)}
 		if desc {
 			for i, j := 0, len(run)-1; i < j; i, j = i+1, j-1 {
 				run[i], run[j] = run[j], run[i]
 			}
 		}
-		l.InsertRun(run)
+		l.InsertRun(run, nil)
 		got := l.Keys()
 		want := []int64{2, 4, 6, 10, 12, 14}
 		if desc {
@@ -304,9 +304,9 @@ func TestInsertRunOrderAndContent(t *testing.T) {
 func TestInsertRunEqualKeysAfterExisting(t *testing.T) {
 	l := New(false)
 	first := ins(5)
-	l.Insert(first)
+	l.Insert(first, nil)
 	second := ins(5)
-	l.InsertRun([]*unode.UpdateNode{ins(3), second, ins(7)})
+	l.InsertRun([]*unode.UpdateNode{ins(3), second, ins(7)}, nil)
 	// The run's key-5 cell must sit after the pre-existing key-5 cell.
 	cur := l.Head().Next()
 	var at5 []*unode.UpdateNode
@@ -324,13 +324,13 @@ func TestRemoveRunDrainsBatch(t *testing.T) {
 	for _, desc := range []bool{false, true} {
 		l := New(desc)
 		keep := ins(8)
-		l.Insert(keep)
+		l.Insert(keep, nil)
 		run := []*unode.UpdateNode{ins(1), ins(8), ins(15)}
 		if desc {
 			run[0], run[2] = run[2], run[0]
 		}
-		l.InsertRun(run)
-		l.RemoveRun(run)
+		l.InsertRun(run, nil)
+		l.RemoveRun(run, nil)
 		if got := l.Len(); got != 1 {
 			t.Fatalf("descending=%v: Len() = %d after RemoveRun, want 1", desc, got)
 		}
@@ -348,9 +348,9 @@ func TestRemoveRunDrainsBatch(t *testing.T) {
 func TestRemoveRunRemovesHelperDuplicates(t *testing.T) {
 	l := New(false)
 	u := ins(6)
-	l.Insert(u)
-	l.Insert(u) // helper re-insertion: duplicate cell for the same node
-	l.RemoveRun([]*unode.UpdateNode{u})
+	l.Insert(u, nil)
+	l.Insert(u, nil) // helper re-insertion: duplicate cell for the same node
+	l.RemoveRun([]*unode.UpdateNode{u}, nil)
 	if l.Contains(u) {
 		t.Fatal("duplicate cell survived RemoveRun")
 	}
@@ -385,12 +385,12 @@ func TestConcurrentRunsAndSingles(t *testing.T) {
 							}
 							return run[a].Key < run[b].Key
 						})
-						l.InsertRun(run)
-						l.RemoveRun(run)
+						l.InsertRun(run, nil)
+						l.RemoveRun(run, nil)
 					} else {
 						u := ins(base + rng.Int63n(40))
-						l.Insert(u)
-						l.Remove(u)
+						l.Insert(u, nil)
+						l.Remove(u, nil)
 					}
 				}
 			}(g)

@@ -11,8 +11,8 @@
 //   - resolved cells are interned: every Cell carries its own immutable
 //     posCell{val: itself}, installed by whichever process wins the resolve
 //     CAS. Interning is safe because resolved cells are only ever the NEW
-//     value of a CAS — the old value is always a freshly allocated
-//     descriptor, whose unique identity is the protocol's ABA guard.
+//     value of a CAS — the old value is always a descriptor unique to the
+//     in-flight copy, whose identity is the protocol's ABA guard.
 //
 // Between posting a descriptor and its resolution no process can observe a
 // stale position — every reader helps resolve first — so the copy linearizes
@@ -20,15 +20,33 @@
 // the interleaving this prevents).
 package alist
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ebr"
+)
 
 // posCell is either a resolved position (src == nil) or a pending copy
-// descriptor (src != nil). Descriptors are freshly allocated per copy and
-// never reused, so pointer identity is a safe CAS witness; resolved cells
-// are immutable and may be shared by any number of slots.
+// descriptor (src != nil). A descriptor's pointer identity is the CAS
+// witness of its copy, so descriptors are pooled only under EBR grace: the
+// owner retires its descriptor after the resolve completes (the slot can
+// never hold it again), and any helper still holding the pointer is pinned,
+// so the descriptor cannot be reissued — and its src cannot be rewritten —
+// until that helper unpins. Resolved cells are immutable and may be shared
+// by any number of slots.
 type posCell struct {
 	val *Cell // resolved position
 	src *Cell // descriptor: the cell whose successor is being copied
+}
+
+var posCellPool = sync.Pool{New: func() any { return new(posCell) }}
+
+// Recycle implements ebr.Recyclable (descriptors only; interned resolved
+// cells are embedded in their Cell and recycled with it).
+func (d *posCell) Recycle() {
+	d.val, d.src = nil, nil
+	posCellPool.Put(d)
 }
 
 // nilPos is the shared resolved cell for a nil position (severed tail).
@@ -57,7 +75,9 @@ func (p *Pos) Init(c *Cell) {
 
 // Read returns the current position, helping resolve an in-flight CopyNext
 // if one is posted. It never returns a position older than the latest
-// completed Init or CopyNext.
+// completed Init or CopyNext. Callers must hold a pin on the trie's EBR
+// domain: a loaded descriptor stays valid (and un-reissued) only for the
+// duration of the reader's pin.
 func (p *Pos) Read() *Cell {
 	c := p.cell.Load()
 	if c == nil {
@@ -71,14 +91,24 @@ func (p *Pos) Read() *Cell {
 
 // CopyNext atomically performs *p = src.Next(): the read of the successor
 // and the write to the slot appear to happen at a single instant. Owner
-// only. One allocation (the descriptor).
-func (p *Pos) CopyNext(src *Cell) *Cell {
-	d := &posCell{src: src}
+// only; s is the owner's pin (nil leaves the descriptor to the GC).
+// Allocation-free in steady state: the descriptor is pooled and retired
+// here once resolve guarantees the slot no longer holds it.
+func (p *Pos) CopyNext(src *Cell, s *ebr.Slot) *Cell {
+	d := posCellPool.Get().(*posCell)
+	d.src = src
 	// The owner is the only writer and its previous copy resolved before
 	// returning, so the current cell is resolved and a plain store suffices
 	// to post the descriptor.
 	p.cell.Store(d)
-	return p.resolve(d)
+	v := p.resolve(d)
+	// d left the slot during resolve and is posted at most once, so it can
+	// only reach a helper that already holds the pointer — retiring on the
+	// owner's pin is the unique reclamation point.
+	if s != nil {
+		s.Retire(d)
+	}
+	return v
 }
 
 // resolve completes descriptor d: the first successful CAS installs the

@@ -12,7 +12,7 @@ import (
 func TestPosCopyAdvances(t *testing.T) {
 	l := New(true) // descending, like the RU-ALL
 	for _, k := range []int64{3, 7, 5} {
-		l.Insert(unode.NewIns(k))
+		l.Insert(unode.NewIns(k), nil)
 	}
 	var p Pos
 	p.Init(l.Head())
@@ -22,7 +22,7 @@ func TestPosCopyAdvances(t *testing.T) {
 	want := []int64{7, 5, 3, KeyNegInf}
 	cur := l.Head()
 	for _, k := range want {
-		cur = p.CopyNext(cur)
+		cur = p.CopyNext(cur, nil)
 		if cur == nil || cur.Key != k {
 			t.Fatalf("CopyNext advanced to %v, want key %d", cur, k)
 		}
@@ -50,7 +50,7 @@ func TestPosConcurrentReaders(t *testing.T) {
 	l := New(true)
 	const n = 200
 	for i := int64(0); i < n; i++ {
-		l.Insert(unode.NewIns(i))
+		l.Insert(unode.NewIns(i), nil)
 	}
 	var p Pos
 	p.Init(l.Head())
@@ -83,7 +83,7 @@ func TestPosConcurrentReaders(t *testing.T) {
 	}
 	cur := l.Head()
 	for cur != nil && cur.Key != KeyNegInf {
-		cur = p.CopyNext(cur)
+		cur = p.CopyNext(cur, nil)
 	}
 	close(stop)
 	wg.Wait()
@@ -96,11 +96,11 @@ func TestInsertRemoveChurnReusesEmbeddedRefs(t *testing.T) {
 	l := New(false)
 	for i := 0; i < 1000; i++ {
 		u := unode.NewIns(int64(i % 7))
-		l.Insert(u)
+		l.Insert(u, nil)
 		if !l.Contains(u) {
 			t.Fatalf("cycle %d: inserted node missing", i)
 		}
-		if got := l.Remove(u); got != 1 {
+		if got := l.Remove(u, nil); got != 1 {
 			t.Fatalf("cycle %d: Remove = %d, want 1", i, got)
 		}
 		if l.Len() != 0 {
@@ -117,15 +117,15 @@ func TestConcurrentRemoveDuplicateCells(t *testing.T) {
 	for iter := 0; iter < 200; iter++ {
 		l := New(false)
 		u := unode.NewIns(5)
-		l.Insert(u)
-		l.Insert(u) // duplicate cell, as a helper would leave
+		l.Insert(u, nil)
+		l.Insert(u, nil) // duplicate cell, as a helper would leave
 		var wg sync.WaitGroup
 		total := make([]int, 2)
 		for g := 0; g < 2; g++ {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
-				total[g] = l.Remove(u)
+				total[g] = l.Remove(u, nil)
 			}(g)
 		}
 		wg.Wait()

@@ -13,6 +13,7 @@ import (
 type scriptOracle struct {
 	mu       sync.Mutex
 	b        int
+	tr       *Trie // for the MarkEverInserted publication contract
 	latest   map[int64]*unode.UpdateNode
 	notFirst map[*unode.UpdateNode]bool
 }
@@ -46,6 +47,12 @@ func (o *scriptOracle) FirstActivated(n *unode.UpdateNode) bool {
 }
 
 func (o *scriptOracle) set(x int64, n *unode.UpdateNode) {
+	// Honor the summary publication contract the real tries follow: a
+	// winning insert marks the key ever-inserted before it can become the
+	// first activated node of latest[x].
+	if n.Kind == unode.Ins && o.tr != nil {
+		o.tr.MarkEverInserted(x)
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.latest[x] = n
@@ -67,6 +74,7 @@ func newEngine(t *testing.T, u int64) (*Trie, *scriptOracle) {
 		t.Fatalf("New(%d): %v", u, err)
 	}
 	o.b = tr.B()
+	o.tr = tr
 	return tr, o
 }
 

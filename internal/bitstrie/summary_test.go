@@ -1,0 +1,193 @@
+package bitstrie
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/unode"
+)
+
+// TestPrevNextEverInserted cross-checks the hierarchical summary scans
+// against brute force over random mark sets, on a universe deep enough for
+// multiple summary levels (b = 20 ⇒ 4 levels).
+func TestPrevNextEverInserted(t *testing.T) {
+	tr, _ := newEngine(t, 1<<20)
+	rng := rand.New(rand.NewSource(7))
+	marked := map[int64]bool{}
+	for n := 0; n < 200; n++ {
+		k := rng.Int63n(tr.U())
+		tr.MarkEverInserted(k)
+		marked[k] = true
+	}
+	probe := func(y int64) {
+		t.Helper()
+		wantPrev, wantNext := int64(-1), int64(-1)
+		for k := y - 1; k >= 0; k-- {
+			if marked[k] {
+				wantPrev = k
+				break
+			}
+		}
+		for k := y + 1; k < tr.U(); k++ {
+			if marked[k] {
+				wantNext = k
+				break
+			}
+		}
+		if got := tr.prevEverInserted(y); got != wantPrev {
+			t.Fatalf("prevEverInserted(%d) = %d, want %d", y, got, wantPrev)
+		}
+		if got := tr.nextEverInserted(y); got != wantNext {
+			t.Fatalf("nextEverInserted(%d) = %d, want %d", y, got, wantNext)
+		}
+	}
+	probe(0)
+	probe(tr.U() - 1)
+	for k := range marked {
+		probe(k)
+		if k > 0 {
+			probe(k - 1)
+		}
+		if k < tr.U()-1 {
+			probe(k + 1)
+		}
+	}
+	for n := 0; n < 500; n++ {
+		probe(rng.Int63n(tr.U()))
+	}
+}
+
+// TestCertifiedClear checks the single-word range test against the mark set
+// for nodes at every height.
+func TestCertifiedClear(t *testing.T) {
+	tr, _ := newEngine(t, 1<<14)
+	rng := rand.New(rand.NewSource(11))
+	marked := map[int64]bool{}
+	for n := 0; n < 40; n++ {
+		k := rng.Int63n(tr.U())
+		tr.MarkEverInserted(k)
+		marked[k] = true
+	}
+	// Walk every node of the first few subtrees plus random nodes.
+	checkNode := func(i int64) {
+		t.Helper()
+		lo := tr.leftmostKey(i)
+		hi := lo + (int64(1) << uint(tr.height(i)))
+		anyMarked := false
+		for k := lo; k < hi; k++ {
+			if marked[k] {
+				anyMarked = true
+				break
+			}
+		}
+		if got := tr.certifiedClear(i); got == anyMarked {
+			t.Fatalf("certifiedClear(%d) = %v, range [%d,%d) marked=%v", i, got, lo, hi, anyMarked)
+		}
+	}
+	for i := int64(1); i < 2048; i++ {
+		checkNode(i)
+	}
+	for n := 0; n < 2000; n++ {
+		checkNode(1 + rng.Int63n(2*tr.U()-1))
+	}
+}
+
+// TestCompressedMatchesDense drives a random quiescent workload and checks
+// that the accelerated traversals return exactly what the paper-literal
+// ones do at every probe point (at quiescence both must be exact, Lemma
+// 4.20 / the mirror).
+func TestCompressedMatchesDense(t *testing.T) {
+	for _, u := range []int64{16, 1 << 10, 1 << 17} {
+		tr, o := newEngine(t, u)
+		rng := rand.New(rand.NewSource(u))
+		present := map[int64]*unode.UpdateNode{}
+		for step := 0; step < 400; step++ {
+			k := rng.Int63n(tr.U())
+			if iNode, ok := present[k]; !ok {
+				n := unode.NewIns(k)
+				o.set(k, n)
+				tr.InsertBinaryTrie(n)
+				present[k] = n
+			} else {
+				_ = iNode
+				n := unode.NewDel(k, tr.B())
+				o.set(k, n)
+				tr.DeleteBinaryTrie(n)
+				delete(present, k)
+			}
+			for probe := 0; probe < 4; probe++ {
+				y := rng.Int63n(tr.U())
+				tr.compressed = true
+				gotP, okP := tr.RelaxedPredecessor(y)
+				gotS, okS := tr.RelaxedSuccessor(y)
+				tr.compressed = false
+				wantP, wokP := tr.RelaxedPredecessor(y)
+				wantS, wokS := tr.RelaxedSuccessor(y)
+				tr.compressed = true
+				if gotP != wantP || okP != wokP {
+					t.Fatalf("u=%d step=%d: RelaxedPredecessor(%d) compressed=(%d,%v) dense=(%d,%v)",
+						u, step, y, gotP, okP, wantP, wokP)
+				}
+				if gotS != wantS || okS != wokS {
+					t.Fatalf("u=%d step=%d: RelaxedSuccessor(%d) compressed=(%d,%v) dense=(%d,%v)",
+						u, step, y, gotS, okS, wantS, wokS)
+				}
+			}
+		}
+	}
+}
+
+// TestSummaryIntrospection covers EverInsertedCount, SummaryAllOnes and the
+// summary stats counters the cc1 experiment reports.
+func TestSummaryIntrospection(t *testing.T) {
+	tr, o := newEngine(t, 128)
+	if tr.EverInsertedCount() != 0 {
+		t.Fatalf("EverInsertedCount = %d on fresh trie", tr.EverInsertedCount())
+	}
+	if tr.SummaryAllOnes() {
+		t.Fatal("SummaryAllOnes = true on fresh trie")
+	}
+	stats := &Stats{}
+	tr.SetStats(stats)
+	n := unode.NewIns(100)
+	o.set(100, n)
+	tr.InsertBinaryTrie(n)
+	if got := tr.EverInsertedCount(); got != 1 {
+		t.Fatalf("EverInsertedCount = %d, want 1", got)
+	}
+	// A sparse traversal must hit the summaries and skip sibling reads.
+	if p, ok := tr.RelaxedPredecessor(127); !ok || p != 100 {
+		t.Fatalf("RelaxedPredecessor(127) = (%d,%v), want (100,true)", p, ok)
+	}
+	if stats.SummaryLoads.Load() == 0 {
+		t.Error("expected SummaryLoads > 0")
+	}
+	if stats.SkippedBitReads.Load() == 0 {
+		t.Error("expected SkippedBitReads > 0")
+	}
+	for k := int64(0); k < tr.U(); k++ {
+		tr.MarkEverInserted(k)
+	}
+	if !tr.SummaryAllOnes() {
+		t.Fatal("SummaryAllOnes = false with every key marked")
+	}
+	if got := tr.EverInsertedCount(); got != tr.U() {
+		t.Fatalf("EverInsertedCount = %d, want %d", got, tr.U())
+	}
+}
+
+// TestCompressedDescentsSwitch checks the baseline switch and its default.
+func TestCompressedDescentsSwitch(t *testing.T) {
+	tr, _ := newEngine(t, 16)
+	if !tr.CompressedDescents() {
+		t.Fatal("compressed descents should default on")
+	}
+	tr.SetCompressedDescents(false)
+	if tr.CompressedDescents() {
+		t.Fatal("SetCompressedDescents(false) did not stick")
+	}
+	// Dense path must still answer correctly with summaries maintained.
+	if p, ok := tr.RelaxedPredecessor(7); !ok || p != -1 {
+		t.Fatalf("dense RelaxedPredecessor(7) = (%d,%v), want (-1,true)", p, ok)
+	}
+}

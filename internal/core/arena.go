@@ -228,6 +228,11 @@ type arena struct {
 	// scan.
 	lastIdx, edge, deleted, start keyTable
 	startKeys                     []int64
+	// slab is the notify-node slab this operation draws from (notify.go);
+	// acquired lazily, the hold released with the arena. Unlike the rest of
+	// the arena, drawn nodes ARE published — their reclamation is the
+	// slab's refcount under the announcement's EBR grace, not this reset.
+	slab *notifySlab
 }
 
 var arenaPool = sync.Pool{New: func() any { return new(arena) }}
@@ -263,7 +268,27 @@ func (a *arena) release() {
 	a.deleted.reset()
 	a.start.reset()
 	a.startKeys = a.startKeys[:0]
+	if a.slab != nil {
+		a.slab.release()
+		a.slab = nil
+	}
 	arenaPool.Put(a)
+}
+
+// notifyNode draws the next notification node from the operation's slab,
+// starting a fresh slab when the current one is exhausted (the old slab's
+// hold is dropped; its published nodes keep it alive until they recycle).
+func (a *arena) notifyNode() *notifyNode {
+	if a.slab == nil || a.slab.used == notifySlabSize {
+		if a.slab != nil {
+			a.slab.release()
+		}
+		a.slab = getNotifySlab()
+	}
+	n := &a.slab.nodes[a.slab.used]
+	a.slab.used++
+	*n = notifyNode{slab: a.slab}
+	return n
 }
 
 func clearUpds(s *[]*unode.UpdateNode) {

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"repro/internal/ebr"
 	"repro/internal/unode"
 )
 
@@ -98,6 +99,8 @@ func (t *Trie) ApplyBatch(ops []BatchOp) {
 	}
 	b := batchPool.Get().(*batchScratch)
 	defer b.release()
+	s := t.dom.Pin()
+	defer s.Unpin()
 
 	// --- Phase 1: prepare. findLatest both classifies obvious no-ops
 	// (those ops linearize here, at the read) and yields the node the
@@ -128,34 +131,34 @@ func (t *Trie) ApplyBatch(ops []BatchOp) {
 	if t.stats != nil {
 		t.stats.Announces.Add(1)
 	}
-	t.uall.InsertRun(b.nodes)
+	t.uall.InsertRun(b.nodes, s)
 	for i := len(b.nodes) - 1; i >= 0; i-- {
 		b.rev = append(b.rev, b.nodes[i])
 	}
-	t.ruall.InsertRun(b.rev)
+	t.ruall.InsertRun(b.rev, s)
 
 	// --- Phase 3: apply, op by op, via the per-op protocol minus its
 	// announce/retire steps.
 	for i, n := range b.nodes {
 		op := &ops[b.idx[i]]
 		if op.Del {
-			op.Won = t.applyBatchedDelete(n)
+			op.Won = t.applyBatchedDelete(n, s)
 		} else {
-			op.Won = t.applyBatchedInsert(n)
+			op.Won = t.applyBatchedInsert(n, s)
 		}
 	}
 
 	// --- Phase 4: retire once. Dead nodes (lost CAS, or phase-3 no-op)
 	// ride along: they were never activated, so nothing else references
 	// their cells.
-	t.uall.RemoveRun(b.nodes)
-	t.ruall.RemoveRun(b.rev)
+	t.uall.RemoveRun(b.nodes, s)
+	t.ruall.RemoveRun(b.rev, s)
 }
 
 // applyBatchedInsert is Add (paper lines 162–180) for a node that is
 // already announced; returns whether the insert won. Mirrors Add line for
 // line except announcing (done) and list removal (deferred).
-func (t *Trie) applyBatchedInsert(iNode *unode.UpdateNode) bool {
+func (t *Trie) applyBatchedInsert(iNode *unode.UpdateNode, s *ebr.Slot) bool {
 	x := iNode.Key
 	dNode := t.findLatest(x)
 	if dNode.Kind != unode.Del {
@@ -168,8 +171,9 @@ func (t *Trie) applyBatchedInsert(iNode *unode.UpdateNode) bool {
 		}
 	}
 	dNode.LatestNext.Store(nil) // line 169
+	t.bits.MarkEverInserted(x)  // summary publication contract (bitstrie)
 	if !t.latest[x].CompareAndSwap(dNode, iNode) {
-		t.helpActivate(t.latest[x].Load()) // line 171
+		t.helpActivate(t.latest[x].Load(), s) // line 171
 		return false
 	}
 	iNode.Status.Store(unode.StatusActive) // line 174: linearization point
@@ -185,21 +189,21 @@ func (t *Trie) applyBatchedInsert(iNode *unode.UpdateNode) bool {
 // already announced. The DEL node's embedded-predecessor fields are set
 // here, before the publishing CAS — they are plain fields, and no reader
 // reaches them until the node is activated (which orders after).
-func (t *Trie) applyBatchedDelete(dNode *unode.UpdateNode) bool {
+func (t *Trie) applyBatchedDelete(dNode *unode.UpdateNode, s *ebr.Slot) bool {
 	x := dNode.Key
 	iNode := t.findLatest(x)
 	if iNode.Kind != unode.Ins {
 		return false // x not in S; linearizes at the read
 	}
-	delPred, pNode1 := t.predHelper(x) // line 184: first embedded predecessor
+	delPred, pNode1 := t.predHelper(x, s) // line 184: first embedded predecessor
 	dNode.DelPred = delPred
 	dNode.DelPredNode = pNode1
 	dNode.LatestNext.Store(iNode)
 	iNode.LatestNext.Store(nil) // line 190
 	t.notifyPredOps(iNode)      // line 191
 	if !t.latest[x].CompareAndSwap(iNode, dNode) {
-		t.helpActivate(t.latest[x].Load()) // line 193
-		t.pall.remove(pNode1)              // line 194
+		t.helpActivate(t.latest[x].Load(), s) // line 193
+		t.pall.remove(pNode1, s)              // line 194: never published in dNode
 		return false
 	}
 	dNode.Status.Store(unode.StatusActive) // line 197: linearization point
@@ -207,13 +211,19 @@ func (t *Trie) applyBatchedDelete(dNode *unode.UpdateNode) bool {
 	if tg := iNode.Target.Load(); tg != nil { // line 198
 		tg.Stop.Store(true)
 	}
-	dNode.LatestNext.Store(nil)         // line 199
-	delPred2, pNode2 := t.predHelper(x) // line 200
-	dNode.DelPred2.Store(delPred2)      // line 201
-	t.bits.DeleteBinaryTrie(dNode)      // line 202
-	t.notifyPredOps(dNode)              // line 203
-	dNode.Completed.Store(true)         // line 204
-	t.pall.remove(pNode1)               // line 206
-	t.pall.remove(pNode2)
+	dNode.LatestNext.Store(nil)            // line 199
+	delPred2, pNode2 := t.predHelper(x, s) // line 200
+	dNode.DelPred2.Store(delPred2)         // line 201
+	t.bits.DeleteBinaryTrie(dNode)         // line 202
+	t.notifyPredOps(dNode)                 // line 203
+	dNode.Completed.Store(true)            // line 204
+	// pNode1 is published as dNode.DelPredNode, and on the batch path
+	// dNode's announcement cells stay linked until the phase-4 RemoveRun —
+	// arbitrarily long after this unlink. The per-op retire ordering (cells
+	// removed before the pall.remove) does not hold here, so no epoch bound
+	// covers pNode1: leak it to the GC instead of retiring (nil slot).
+	// pNode2 is never published in dNode and retires normally.
+	t.pall.remove(pNode1, nil) // line 206
+	t.pall.remove(pNode2, s)
 	return true
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/alist"
 	"repro/internal/atomicx"
 	"repro/internal/bitstrie"
+	"repro/internal/ebr"
 	"repro/internal/unode"
 )
 
@@ -65,7 +66,13 @@ type Trie struct {
 	uall   *alist.List // ascending update announcement list
 	ruall  *alist.List // descending reverse update announcement list
 	pall   pall        // predecessor announcement list
-	stats  *Stats
+	// dom is the trie's epoch-based reclamation domain: every operation
+	// that traverses or retires pooled announcement state (U-ALL/RU-ALL
+	// cells, PredNodes, notify slabs, RU-ALL copy descriptors) runs pinned
+	// on it. One domain per trie keeps cross-structure references (a
+	// PredNode holding an RU-ALL cell) inside a single grace argument.
+	dom   *ebr.Domain
+	stats *Stats
 	// count is the occupancy counter behind Len: incremented by the winning
 	// Insert and decremented by the winning Delete, each after its
 	// linearization point. Padded on BOTH sides — the leading pad keeps the
@@ -90,8 +97,12 @@ func New(u int64) (*Trie, error) {
 	t.uall = alist.New(false)
 	t.ruall = alist.New(true)
 	t.pall.init()
+	t.dom = ebr.NewDomain()
 	return t, nil
 }
+
+// Reclaimer exposes the trie's EBR domain (tests, metrics).
+func (t *Trie) Reclaimer() *ebr.Domain { return t.dom }
 
 // U returns the (padded) universe size.
 func (t *Trie) U() int64 { return t.u }
@@ -114,10 +125,20 @@ func (t *Trie) SetStats(s *Stats) { t.stats = s }
 func (t *Trie) Len() int64 { return t.count.Load() }
 
 // AnnouncedUpdates returns the current U-ALL occupancy (metrics; O(n)).
-func (t *Trie) AnnouncedUpdates() int { return t.uall.Len() }
+// Pinned: the traversal touches pooled cells.
+func (t *Trie) AnnouncedUpdates() int {
+	s := t.dom.Pin()
+	defer s.Unpin()
+	return t.uall.Len()
+}
 
 // AnnouncedPredecessors returns the current P-ALL occupancy (metrics; O(n)).
-func (t *Trie) AnnouncedPredecessors() int { return t.pall.len() }
+// Pinned: the traversal touches pooled announcement nodes.
+func (t *Trie) AnnouncedPredecessors() int {
+	s := t.dom.Pin()
+	defer s.Unpin()
+	return t.pall.len()
+}
 
 // Search reports whether x is in the set (paper lines 121–124). O(1)
 // worst-case: at most three reads.
@@ -155,6 +176,10 @@ func (t *Trie) Add(x int64) bool {
 	if dNode.Kind != unode.Del {
 		return false // x already in S
 	}
+	// Pin after the no-op fast path: only the announcement machinery below
+	// touches pooled memory.
+	s := t.dom.Pin()
+	defer s.Unpin()
 	iNode := unode.NewIns(x)
 	iNode.LatestNext.Store(dNode)
 	// Paper line 168: help stop the Delete the previous Insert(x) was
@@ -166,23 +191,26 @@ func (t *Trie) Add(x int64) bool {
 		}
 	}
 	dNode.LatestNext.Store(nil) // line 169: reopen the latest[x] list
+	// Summary publication contract (bitstrie.MarkEverInserted): the
+	// ever-inserted bit must be set before iNode can enter latest[x].
+	t.bits.MarkEverInserted(x)
 	if !t.latest[x].CompareAndSwap(dNode, iNode) {
-		t.helpActivate(t.latest[x].Load()) // line 171
+		t.helpActivate(t.latest[x].Load(), s) // line 171
 		return false
 	}
 	if t.stats != nil {
 		t.stats.Announces.Add(1)
 	}
-	t.uall.Insert(iNode) // line 173
-	t.ruall.Insert(iNode)
+	t.uall.Insert(iNode, s) // line 173
+	t.ruall.Insert(iNode, s)
 	iNode.Status.Store(unode.StatusActive) // line 174: linearization point
 	t.count.Add(1)
 	iNode.LatestNext.Store(nil)    // line 175
 	t.bits.InsertBinaryTrie(iNode) // line 176
 	t.notifyPredOps(iNode)         // line 177
 	iNode.Completed.Store(true)    // line 178
-	t.uall.Remove(iNode)           // line 179
-	t.ruall.Remove(iNode)
+	t.uall.Remove(iNode, s)        // line 179
+	t.ruall.Remove(iNode, s)
 	return true
 }
 
@@ -201,7 +229,9 @@ func (t *Trie) Remove(x int64) bool {
 	if iNode.Kind != unode.Ins {
 		return false // x not in S
 	}
-	delPred, pNode1 := t.predHelper(x) // line 184: first embedded predecessor
+	s := t.dom.Pin()
+	defer s.Unpin()
+	delPred, pNode1 := t.predHelper(x, s) // line 184: first embedded predecessor
 	dNode := unode.NewDel(x, t.b)
 	dNode.LatestNext.Store(iNode)
 	dNode.DelPred = delPred
@@ -209,15 +239,15 @@ func (t *Trie) Remove(x int64) bool {
 	iNode.LatestNext.Store(nil) // line 190
 	t.notifyPredOps(iNode)      // line 191: help the previous Insert notify
 	if !t.latest[x].CompareAndSwap(iNode, dNode) {
-		t.helpActivate(t.latest[x].Load()) // line 193
-		t.pall.remove(pNode1)              // line 194
+		t.helpActivate(t.latest[x].Load(), s) // line 193
+		t.pall.remove(pNode1, s)              // line 194
 		return false
 	}
 	if t.stats != nil {
 		t.stats.Announces.Add(1)
 	}
-	t.uall.Insert(dNode) // line 196
-	t.ruall.Insert(dNode)
+	t.uall.Insert(dNode, s) // line 196
+	t.ruall.Insert(dNode, s)
 	dNode.Status.Store(unode.StatusActive) // line 197: linearization point
 	t.count.Add(-1)
 	// Line 198: stop the Delete whose DEL node the replaced Insert was
@@ -225,16 +255,16 @@ func (t *Trie) Remove(x int64) bool {
 	if tg := iNode.Target.Load(); tg != nil {
 		tg.Stop.Store(true)
 	}
-	dNode.LatestNext.Store(nil)         // line 199
-	delPred2, pNode2 := t.predHelper(x) // line 200: second embedded predecessor
-	dNode.DelPred2.Store(delPred2)      // line 201
-	t.bits.DeleteBinaryTrie(dNode)      // line 202
-	t.notifyPredOps(dNode)              // line 203
-	dNode.Completed.Store(true)         // line 204
-	t.uall.Remove(dNode)                // line 205
-	t.ruall.Remove(dNode)
-	t.pall.remove(pNode1) // line 206
-	t.pall.remove(pNode2)
+	dNode.LatestNext.Store(nil)            // line 199
+	delPred2, pNode2 := t.predHelper(x, s) // line 200: second embedded predecessor
+	dNode.DelPred2.Store(delPred2)         // line 201
+	t.bits.DeleteBinaryTrie(dNode)         // line 202
+	t.notifyPredOps(dNode)                 // line 203
+	dNode.Completed.Store(true)            // line 204
+	t.uall.Remove(dNode, s)                // line 205
+	t.ruall.Remove(dNode, s)
+	t.pall.remove(pNode1, s) // line 206
+	t.pall.remove(pNode2, s)
 	return true
 }
 
@@ -244,7 +274,9 @@ func (t *Trie) Remove(x int64) bool {
 //
 // Precondition: 0 ≤ y < U().
 func (t *Trie) Predecessor(y int64) int64 {
-	pred, pNode := t.predHelper(y)
-	t.pall.remove(pNode)
+	s := t.dom.Pin()
+	defer s.Unpin()
+	pred, pNode := t.predHelper(y, s)
+	t.pall.remove(pNode, s)
 	return pred
 }

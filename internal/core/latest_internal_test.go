@@ -114,7 +114,7 @@ func TestHelpActivateFullPath(t *testing.T) {
 	dNode.LatestNext.Store(prevIns)
 	tr.latest[5].Store(dNode)
 
-	tr.helpActivate(dNode)
+	tr.helpActivate(dNode, nil)
 
 	if !dNode.Active() {
 		t.Fatal("helpActivate must activate the node")
@@ -129,7 +129,7 @@ func TestHelpActivateFullPath(t *testing.T) {
 		t.Error("node must be announced in both lists (line 130)")
 	}
 	// Idempotent on an already-active node: no duplicate announcements.
-	tr.helpActivate(dNode)
+	tr.helpActivate(dNode, nil)
 	if got := tr.uall.Len(); got != 1 {
 		t.Errorf("U-ALL length after repeat helpActivate = %d, want 1", got)
 	}
@@ -141,7 +141,7 @@ func TestHelpActivateRemovesCompletedNode(t *testing.T) {
 	iNode.Completed.Store(true) // owner already finished; helper re-adds
 	tr.latest[2].Store(iNode)
 
-	tr.helpActivate(iNode)
+	tr.helpActivate(iNode, nil)
 
 	// Lines 135–136: the helper must undo its own announcement.
 	if tr.uall.Contains(iNode) || tr.ruall.Contains(iNode) {
@@ -151,9 +151,9 @@ func TestHelpActivateRemovesCompletedNode(t *testing.T) {
 
 func TestHelpActivateIgnoresDummiesAndNil(t *testing.T) {
 	tr := mustNew(t, 8)
-	tr.helpActivate(nil) // must not panic
+	tr.helpActivate(nil, nil) // must not panic
 	d := tr.loadLatest(1)
-	tr.helpActivate(d)
+	tr.helpActivate(d, nil)
 	if tr.uall.Len() != 0 {
 		t.Error("dummy must never be announced")
 	}
@@ -174,7 +174,7 @@ func TestConcurrentHelpActivate(t *testing.T) {
 			go func() {
 				defer wg.Done()
 				<-start
-				tr.helpActivate(iNode)
+				tr.helpActivate(iNode, nil)
 			}()
 		}
 		wg.Add(1)
@@ -184,8 +184,8 @@ func TestConcurrentHelpActivate(t *testing.T) {
 			iNode.Status.Store(unode.StatusActive)
 			iNode.LatestNext.Store(nil)
 			iNode.Completed.Store(true)
-			tr.uall.Remove(iNode)
-			tr.ruall.Remove(iNode)
+			tr.uall.Remove(iNode, nil)
+			tr.ruall.Remove(iNode, nil)
 		}()
 		close(start)
 		wg.Wait()
@@ -214,8 +214,8 @@ func TestPallConcurrentInsertRemove(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 300; i++ {
 				p := newPredNode(id, tr.ruall.Head())
-				tr.pall.insert(p)
-				tr.pall.remove(p)
+				tr.pall.insert(p, nil)
+				tr.pall.remove(p, nil)
 			}
 		}(int64(g))
 	}

@@ -1,9 +1,47 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/alist"
 	"repro/internal/unode"
 )
+
+// notifySlabSize is the number of notify nodes per slab: large enough that
+// a notifying update amortizes the pool round-trip across the announced
+// predecessors it notifies, small enough that a mostly-unused slab pinned
+// by one long-lived notification wastes little.
+const notifySlabSize = 8
+
+// notifySlab is a block of notify nodes drawn by one operation at a time
+// (the arena holds it; used is the owner-only draw cursor). live counts the
+// published nodes plus one hold for the drawing operation; the last release
+// returns the slab to the pool. A published node is released only by
+// PredNode.Recycle — after the announcement's grace period — so a slab
+// re-issues nodes only when no pinned operation can reach any of them.
+type notifySlab struct {
+	nodes [notifySlabSize]notifyNode
+	used  int
+	live  atomic.Int32
+}
+
+var notifySlabPool = sync.Pool{New: func() any { return new(notifySlab) }}
+
+func getNotifySlab() *notifySlab {
+	s := notifySlabPool.Get().(*notifySlab)
+	s.used = 0
+	s.live.Store(1) // the drawing operation's hold
+	return s
+}
+
+// release drops one reference (a recycled notification, or the drawing
+// operation's hold at arena release); the last one recycles the slab.
+func (s *notifySlab) release() {
+	if s.live.Add(-1) == 0 {
+		notifySlabPool.Put(s)
+	}
+}
 
 // traverseUall collects the update nodes with key < x that are announced in
 // the U-ALL and currently first activated in their latest lists (paper
@@ -45,12 +83,11 @@ func (t *Trie) notifyPredOps(uNode *unode.UpdateNode) {
 		if !t.firstActivated(uNode) { // line 149
 			return false
 		}
-		n := &notifyNode{
-			key:             uNode.Key,
-			updateNode:      uNode,
-			updateNodeMax:   maxInsBelow(ins, pNode.key),
-			notifyThreshold: ruallPosKey(pNode),
-		}
+		n := a.notifyNode()
+		n.key = uNode.Key
+		n.updateNode = uNode
+		n.updateNodeMax = maxInsBelow(ins, pNode.key)
+		n.notifyThreshold = ruallPosKey(pNode)
 		return t.sendNotification(n, pNode) // line 155
 	})
 }
@@ -81,7 +118,8 @@ func maxInsBelow(ins []*unode.UpdateNode, bound int64) *unode.UpdateNode {
 // sendNotification prepends nNode to pNode's notify list with CAS (paper
 // lines 156–161), re-validating that the update node is still first
 // activated before every attempt. Returns false if the sender should stop
-// notifying.
+// notifying (the drawn node stays unpublished; its slab slot is simply
+// unused until the slab's other references drain).
 func (t *Trie) sendNotification(nNode *notifyNode, pNode *PredNode) bool {
 	for {
 		head := pNode.notifyHead.Load()
@@ -90,6 +128,12 @@ func (t *Trie) sendNotification(nNode *notifyNode, pNode *PredNode) bool {
 			return false
 		}
 		if pNode.notifyHead.CompareAndSwap(head, nNode) { // line 161
+			if nNode.slab != nil {
+				// The published node now holds its slab until the owning
+				// announcement recycles (we are still pinned, so this
+				// cannot race the slab's other releases reaching zero).
+				nNode.slab.live.Add(1)
+			}
 			if t.stats != nil {
 				t.stats.Notifications.Add(1)
 			}

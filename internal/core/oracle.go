@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/bitstrie"
+	"repro/internal/ebr"
 	"repro/internal/unode"
 )
 
@@ -62,8 +63,12 @@ func (t *Trie) firstActivated(n *unode.UpdateNode) bool {
 // linearized (paper lines 128–136): announce it in both announcement lists,
 // flip its status, perform the stop handshake for DEL nodes, reopen the
 // latest list, and — if the owner already finished — undo the announcement
-// we may have just re-added.
-func (t *Trie) helpActivate(uNode *unode.UpdateNode) {
+// we may have just re-added. s is the caller's EBR pin: this is the
+// re-publication path the four-epoch grace covers (the re-inserted
+// announcement can briefly lead readers to already-retired state; see
+// internal/ebr's package comment), so callers must hold s for the whole
+// call.
+func (t *Trie) helpActivate(uNode *unode.UpdateNode, s *ebr.Slot) {
 	if uNode == nil || uNode.DummyNode {
 		return
 	}
@@ -74,8 +79,8 @@ func (t *Trie) helpActivate(uNode *unode.UpdateNode) {
 		t.stats.HelpActivations.Add(1)
 		t.stats.Announces.Add(1)
 	}
-	t.uall.Insert(uNode) // line 130
-	t.ruall.Insert(uNode)
+	t.uall.Insert(uNode, s) // line 130
+	t.ruall.Insert(uNode, s)
 	uNode.Status.Store(unode.StatusActive) // line 131
 	if uNode.Kind == unode.Del {
 		// Line 133: uNode.latestNext.target.stop ← true, ignoring ⊥ links.
@@ -87,7 +92,7 @@ func (t *Trie) helpActivate(uNode *unode.UpdateNode) {
 	}
 	uNode.LatestNext.Store(nil) // line 134
 	if uNode.Completed.Load() { // line 135
-		t.uall.Remove(uNode) // line 136
-		t.ruall.Remove(uNode)
+		t.uall.Remove(uNode, s) // line 136
+		t.ruall.Remove(uNode, s)
 	}
 }

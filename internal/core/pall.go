@@ -1,9 +1,11 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/alist"
+	"repro/internal/ebr"
 	"repro/internal/unode"
 )
 
@@ -12,14 +14,24 @@ import (
 // one, Delete operations make two (their embedded predecessors) that stay
 // announced until the Delete finishes.
 //
-// Like alist.Cell, a PredNode embeds every successor reference its P-ALL
-// lifecycle publishes, so announcing and removing allocate nothing beyond
-// the node itself: selfRef/linkRef are written only while the node is
-// private to the announcing goroutine (a failed CAS publishes nothing);
-// markRef is written only by the owner (pall.remove is owner-only); the
-// contended unlink ref is guarded by a one-shot claim. PredNodes themselves
-// are NOT pooled — see DESIGN.md §Memory & reclamation for the ABA argument
-// (announcement snapshots and DelPredNode links can outlive the operation).
+// Like alist.Cell, a PredNode embeds the successor references whose
+// lifetime is bounded by the node's own: selfRef/linkRef are written only
+// while the node is private to the announcing goroutine (a failed CAS
+// publishes nothing); markRef is written only by the owner (pall.remove
+// is owner-only). Unlink refs are NOT embedded — an installed unlink ref
+// lives in the predecessor's next field until an arbitrarily later CAS
+// displaces it, which can be long after the unlinked node recycles — so
+// they come from predRefPool with the displacing CAS as their retire
+// point, exactly as in alist.
+//
+// PredNodes are pooled under epoch-based reclamation. The references that
+// outlive the announcement window — P-ALL snapshots, the preds table of the
+// Definition 5.1 recovery, and a DEL node's DelPredNode link — are all
+// obtained by a pinned operation starting from state it reached under its
+// own pin (the P-ALL head, or a DEL node met in its own RU-ALL traversal,
+// which implies the owning Delete had not yet removed its announcements
+// when the pin began), so the node's retire orders after every such pin
+// and recycling waits for them all. See DESIGN.md §Memory & reclamation.
 type PredNode struct {
 	// key is the predecessor operation's input key y (immutable).
 	key int64
@@ -35,25 +47,46 @@ type PredNode struct {
 	// deletion; insertions only at the head).
 	next atomic.Pointer[predRef]
 
-	selfRef     predRef // initial successor ref; written pre-publication
-	linkRef     predRef // {next: this node}; constant content
-	markRef     predRef // owner-written marked ref
-	unlinkRef   predRef // claim-guarded physical-unlink ref
-	unlinkClaim atomic.Bool
+	selfRef predRef // initial successor ref; written pre-publication
+	linkRef predRef // {next: this node}; constant content
+	markRef predRef // owner-written marked ref
 }
 
 type predRef struct {
 	next   *PredNode
 	marked bool
+	// pooled marks standalone unlink refs from predRefPool; a displaced
+	// pooled ref is retired by the displacing CAS winner (embedded refs
+	// die with their node).
+	pooled bool
 }
 
-// claimUnlinkRef returns the embedded unlink ref if this caller is the
-// first to claim it, or a fresh allocation otherwise.
-func (p *PredNode) claimUnlinkRef() *predRef {
-	if p.unlinkClaim.CompareAndSwap(false, true) {
-		return &p.unlinkRef
+// predRefPool recycles the standalone unlink references cleanup installs;
+// same lifecycle as alist's refPool.
+var predRefPool = sync.Pool{New: func() any { return new(predRef) }}
+
+// newPredUnlinkRef draws a pooled ref for an unlink CAS; private until
+// that CAS publishes it.
+func newPredUnlinkRef(next *PredNode) *predRef {
+	r := predRefPool.Get().(*predRef)
+	r.next = next
+	r.marked = false
+	r.pooled = true
+	return r
+}
+
+// Recycle implements ebr.Recyclable for pooled unlink refs.
+func (r *predRef) Recycle() {
+	r.next = nil
+	predRefPool.Put(r)
+}
+
+// retireDisplacedPredRef retires the reference a successful next-field CAS
+// just displaced, if pooled. A nil slot leaves it to the GC.
+func retireDisplacedPredRef(r *predRef, s *ebr.Slot) {
+	if r.pooled && s != nil {
+		s.Retire(r)
 	}
-	return &predRef{}
 }
 
 // Key returns the announced key (tests and trieviz).
@@ -61,23 +94,52 @@ func (p *PredNode) Key() int64 { return p.key }
 
 // notifyNode is one notification (paper lines 109–113). All fields are
 // immutable once the node is published by the CAS in sendNotification.
+// Nodes are drawn from per-operation slabs (notify.go); slab points back to
+// the block this node lives in so PredNode.Recycle can release it.
 type notifyNode struct {
 	key             int64
 	updateNode      *unode.UpdateNode
 	updateNodeMax   *unode.UpdateNode // INS node with largest key < pNode.key seen in U-ALL; may be nil (⊥)
 	notifyThreshold int64
 	next            *notifyNode
+	slab            *notifySlab // owning slab; nil for directly constructed nodes (tests)
 }
 
+// predNodePool recycles announcement nodes under EBR grace periods.
+var predNodePool = sync.Pool{New: func() any { return new(PredNode) }}
+
 // newPredNode builds an announcement for key y with ruallPos pointing at
-// the RU-ALL head sentinel (key +∞), per paper line 108. One allocation:
-// the node (the position slot interns the head's resolved cell).
+// the RU-ALL head sentinel (key +∞), per paper line 108. Allocation-free in
+// steady state: the node comes from the EBR-guarded pool (the position slot
+// interns the head's resolved cell). The node is private until pall.insert
+// publishes it, so plain writes re-arm the embedded refs and the one-shot
+// claim, whose state survived the previous incarnation.
 func newPredNode(y int64, ruallHead *alist.Cell) *PredNode {
-	p := &PredNode{key: y}
+	p := predNodePool.Get().(*PredNode)
+	p.key = y
 	p.ruallPos.Init(ruallHead)
+	p.selfRef = predRef{}
+	p.markRef = predRef{}
 	p.linkRef.next = p
 	p.next.Store(&p.selfRef)
 	return p
+}
+
+// Recycle implements ebr.Recyclable: called once per retired node after its
+// grace period, when no pinned operation can still reach it. It releases
+// the node's notifications back to their slabs (notify.go) — safe for the
+// same reason the node itself is: the notify list is only reachable through
+// the node.
+func (p *PredNode) Recycle() {
+	for n := p.notifyHead.Load(); n != nil; {
+		next := n.next
+		if n.slab != nil {
+			n.slab.release()
+		}
+		n = next
+	}
+	p.notifyHead.Store(nil)
+	predNodePool.Put(p)
 }
 
 // pall is the predecessor announcement list: a lock-free linked list with
@@ -92,13 +154,16 @@ func (l *pall) init() {
 }
 
 // insert links n at the head of the list. Allocation-free: both published
-// refs are embedded in n and written before the linking CAS publishes them.
-func (l *pall) insert(n *PredNode) {
+// refs are embedded in n and written before the linking CAS publishes
+// them. s is the caller's pin, used to retire a pooled unlink ref the
+// linking CAS displaces from the head.
+func (l *pall) insert(n *PredNode, s *ebr.Slot) {
 	for {
 		r := l.head.next.Load()
 		n.selfRef.next = r.next
 		n.next.Store(&n.selfRef)
 		if l.head.next.CompareAndSwap(r, &n.linkRef) {
+			retireDisplacedPredRef(r, s)
 			return
 		}
 	}
@@ -107,8 +172,8 @@ func (l *pall) insert(n *PredNode) {
 // remove marks n deleted and physically unlinks marked nodes. Owner-only
 // (each operation removes exactly its own announcements), which is what
 // makes the embedded markRef single-writer; removing a node twice is a
-// harmless no-op.
-func (l *pall) remove(n *PredNode) {
+// harmless no-op. s is the caller's pin, used to retire unlinked nodes.
+func (l *pall) remove(n *PredNode, s *ebr.Slot) {
 	for {
 		r := n.next.Load()
 		if r.marked {
@@ -117,16 +182,19 @@ func (l *pall) remove(n *PredNode) {
 		n.markRef.next = r.next
 		n.markRef.marked = true
 		if n.next.CompareAndSwap(r, &n.markRef) {
+			retireDisplacedPredRef(r, s)
 			break
 		}
 	}
-	l.cleanup()
+	l.cleanup(s)
 }
 
-// cleanup unlinks every marked node it can reach. Restarting on CAS failure
-// keeps it lock-free; the list length is bounded by point contention so the
-// scan is O(ċ).
-func (l *pall) cleanup() {
+// cleanup unlinks every marked node it can reach, retiring each on s (the
+// unlink CAS is the unique retire point: its success proves pred was
+// unmarked — hence reachable — at that instant, exactly as in
+// alist.search). Restarting on CAS failure keeps it lock-free; the list
+// length is bounded by point contention so the scan is O(ċ).
+func (l *pall) cleanup(s *ebr.Slot) {
 retry:
 	for {
 		pred := &l.head
@@ -138,10 +206,14 @@ retry:
 		for cur != nil {
 			curRef := cur.next.Load()
 			if curRef.marked {
-				ur := cur.claimUnlinkRef()
-				ur.next = curRef.next
+				ur := newPredUnlinkRef(curRef.next)
 				if !pred.next.CompareAndSwap(predRef0, ur) {
+					ur.Recycle() // never published
 					continue retry
+				}
+				retireDisplacedPredRef(predRef0, s)
+				if s != nil {
+					s.Retire(cur)
 				}
 				predRef0 = pred.next.Load()
 				if predRef0.marked {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/alist"
+	"repro/internal/ebr"
 	"repro/internal/unode"
 )
 
@@ -12,20 +13,22 @@ import (
 // announcement node for the caller to remove.
 //
 // All transient state — the snapshot Q, the traversal classifications and
-// the Definition 5.1 recovery's tables — lives in a pooled scratch arena,
-// so a steady-state predecessor allocates only its announcement node and
-// the RU-ALL copy descriptors (see arena.go for the safety argument).
-func (t *Trie) predHelper(y int64) (int64, *PredNode) {
+// the Definition 5.1 recovery's tables — lives in a pooled scratch arena;
+// the announcement node and RU-ALL copy descriptors come from EBR-guarded
+// pools, so a steady-state predecessor allocates nothing (see arena.go and
+// internal/ebr for the safety arguments). s is the caller's pin, held for
+// the whole call.
+func (t *Trie) predHelper(y int64, s *ebr.Slot) (int64, *PredNode) {
 	a := getArena()
 	defer a.release()
 
 	// --- Announce (lines 208–214) ---------------------------------------
 	pNode := newPredNode(y, t.ruall.Head())
-	t.pall.insert(pNode)
+	t.pall.insert(pNode, s)
 	q := snapshotAfter(pNode, a) // newest→oldest; the paper's Q reversed
 
 	// --- Traverse the RU-ALL (line 215) ---------------------------------
-	iruall, druall := t.traverseRUall(pNode, a)
+	iruall, druall := t.traverseRUall(pNode, a, s)
 
 	// --- Traverse the relaxed binary trie (line 216) ---------------------
 	r0, r0ok := t.bits.RelaxedPredecessor(y)
@@ -106,14 +109,14 @@ func collectNotifications(pNode *PredNode, y int64, iruall, druall []*unode.Upda
 // the INS and DEL nodes with key < pNode.key that were first activated when
 // visited; their update operations were linearized before — or shortly
 // after — the start of this predecessor operation.
-func (t *Trie) traverseRUall(pNode *PredNode, a *arena) (ins, del []*unode.UpdateNode) {
+func (t *Trie) traverseRUall(pNode *PredNode, a *arena, s *ebr.Slot) (ins, del []*unode.UpdateNode) {
 	y := pNode.key
 	cur := pNode.ruallPos.Read() // head sentinel, key +∞
 	for cur != nil && cur.Key != alist.KeyNegInf {
 		if t.stats != nil {
 			t.stats.RuallTraversalSteps.Add(1)
 		}
-		cur = pNode.ruallPos.CopyNext(cur) // line 262: atomic copy
+		cur = pNode.ruallPos.CopyNext(cur, s) // line 262: atomic copy
 		if cur == nil {
 			break // defensive: severed tail, treat as end
 		}

@@ -317,7 +317,7 @@ func TestTraverseRUallClassification(t *testing.T) {
 		if latest {
 			tr.latest[key].Store(n)
 		}
-		tr.ruall.Insert(n)
+		tr.ruall.Insert(n, nil)
 		return n
 	}
 	iGood := mk(3, unode.Ins, true, true)
@@ -329,7 +329,7 @@ func TestTraverseRUallClassification(t *testing.T) {
 	pNode := newPredNode(15, tr.ruall.Head())
 	a := getArena()
 	defer a.release()
-	ins, del := tr.traverseRUall(pNode, a)
+	ins, del := tr.traverseRUall(pNode, a, nil)
 	if len(ins) != 1 || ins[0] != iGood {
 		t.Errorf("ins = %v, want [INS(3)]", ins)
 	}
@@ -348,9 +348,9 @@ func TestSnapshotAfterOrder(t *testing.T) {
 	oldest := newPredNode(1, tr.ruall.Head())
 	middle := newPredNode(2, tr.ruall.Head())
 	newest := newPredNode(3, tr.ruall.Head())
-	tr.pall.insert(oldest)
-	tr.pall.insert(middle)
-	tr.pall.insert(newest)
+	tr.pall.insert(oldest, nil)
+	tr.pall.insert(middle, nil)
+	tr.pall.insert(newest, nil)
 	a := getArena()
 	defer a.release()
 	q := snapshotAfter(newest, a)
@@ -360,11 +360,11 @@ func TestSnapshotAfterOrder(t *testing.T) {
 	if got := tr.pall.len(); got != 3 {
 		t.Errorf("pall.len = %d, want 3", got)
 	}
-	tr.pall.remove(middle)
+	tr.pall.remove(middle, nil)
 	if got := tr.pall.len(); got != 2 {
 		t.Errorf("pall.len after remove = %d, want 2", got)
 	}
-	tr.pall.remove(middle) // double remove is a no-op
+	tr.pall.remove(middle, nil) // double remove is a no-op
 	if got := tr.pall.len(); got != 2 {
 		t.Errorf("pall.len after double remove = %d, want 2", got)
 	}

@@ -1,0 +1,254 @@
+// Package ebr implements epoch-based reclamation for the lock-free trie's
+// pooled objects (PredNodes, notify-node slabs, announcement cells, copy
+// descriptors — DESIGN.md §Memory & reclamation).
+//
+// The scheme is epoch-based in the classic shape (Fraser): a global epoch
+// counter, per-participant pinned-epoch slots, and per-slot limbo rings. An
+// operation Pins a slot on entry — publishing the epoch it read — works,
+// Retires the objects it physically unlinked, and Unpins on exit. The
+// global epoch advances from e to e+1 only when every pinned slot has
+// observed e; objects retired at epoch e are recycled once the epoch
+// reaches e+3 (a four-epoch grace, one epoch wider than the classic
+// scheme — see below).
+//
+// Why this is ABA-safe where plain pooling is not: an object is Retired
+// only after the CAS that made it unreachable from the structure (the
+// unique unlink win). A concurrent reader holding a pre-unlink pointer is
+// pinned at an epoch ≤ the retire epoch e, which blocks the advance past
+// e+1; every such reader has unpinned before the epoch can reach e+2. A
+// reader that pins at e+1 or later starts after the advance to e+1, which
+// (atomics are seq-cst in Go) orders after the unlink, so it cannot reach
+// the object through the structure at all.
+//
+// The extra epoch covers helper re-publication: the trie's helping protocol
+// can transiently re-link state that leads to a retired object (e.g.
+// HelpActivate re-announces a completed update whose DEL node still points
+// at a retired PredNode). Every such helper observed the pre-retire state
+// under a pin that began before the retire, so its pin epoch is ≤ e and,
+// while it is pinned, the global epoch stays ≤ e+1 — meaning any reader
+// that reaches the object through the re-published window is pinned at an
+// epoch ≤ e+1. A reader pinned at e+1 blocks the advance past e+2, so
+// recycling at e+3 ≤ global cannot race it; with the classic e+2 condition
+// it could. See DESIGN.md §Memory & reclamation for the per-structure
+// reachability audit behind this bound.
+//
+// Participants are slots in append-only blocks, claimed by CAS per Pin —
+// not per-goroutine state — so any number of goroutines can operate
+// concurrently; the block list grows (and never shrinks) to the peak pin
+// concurrency. All hot-path operations are allocation-free in steady
+// state.
+package ebr
+
+import (
+	randv2 "math/rand/v2"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+)
+
+// Recyclable is implemented by pooled objects. Recycle is called exactly
+// once per Retire, after the grace period, and typically resets the object
+// and returns it to a type-specific sync.Pool. Implementations are called
+// from whatever goroutine triggers the limbo flush and must be safe to run
+// there.
+type Recyclable interface {
+	Recycle()
+}
+
+// graceEpochs is the reclamation delay: an object retired at epoch e is
+// recycled once e+graceEpochs ≤ global. Three (a four-epoch scheme) rather
+// than the classic two, to cover helper re-publication windows — see the
+// package comment.
+const graceEpochs = 3
+
+// numRings is one more than graceEpochs so a ring is never reused before
+// its grace period has passed.
+const numRings = graceEpochs + 1
+
+// epochBase keeps ring-epoch arithmetic (epoch−graceEpochs, epoch−numRings)
+// off the zero boundary forever.
+const epochBase = numRings
+
+// blockSlots is the number of slots per block. One block covers typical
+// machines; the list grows only if more goroutines hold pins concurrently.
+const blockSlots = 64
+
+// advanceEvery is the number of retires a slot accumulates between global
+// epoch advance attempts.
+const advanceEvery = 64
+
+// ring is one limbo generation of a slot: objects retired while the slot
+// was pinned at epoch. Owner-only (the goroutine holding the pin).
+type ring struct {
+	epoch uint64
+	objs  []Recyclable
+}
+
+// Slot is one participant's state. The only cross-goroutine field is
+// state; the rings are owned by whichever goroutine holds the pin.
+type Slot struct {
+	// state packs (epoch << 1) | pinned. Claimed unpinned→pinned by CAS in
+	// Pin, released by a plain store in Unpin. Padded so advance scans do
+	// not false-share with neighbouring slots' claims.
+	state atomic.Uint64
+	_     [atomicx.CacheLine - 8]byte
+
+	d       *Domain
+	rings   [numRings]ring
+	pending int   // objects across all rings awaiting recycle
+	retires int64 // retires since the last advance attempt
+	// Tail pad to a 256-byte slot (TestSlotPadding pins the arithmetic):
+	// 64 (state line) + 8 + 128 + 8 + 8 = 216 owner bytes.
+	_ [40]byte
+}
+
+type block struct {
+	slots [blockSlots]Slot
+	next  atomic.Pointer[block]
+}
+
+// Domain is an independent reclamation domain. All structures of one trie
+// share one Domain (cross-structure pointers — e.g. a PredNode holding an
+// RU-ALL cell — then need no cross-domain reasoning).
+type Domain struct {
+	epoch atomic.Uint64
+	_     [atomicx.CacheLine - 8]byte
+	head  atomic.Pointer[block]
+}
+
+// NewDomain returns a Domain with one slot block.
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.epoch.Store(epochBase)
+	d.head.Store(d.newBlock())
+	return d
+}
+
+func (d *Domain) newBlock() *block {
+	b := &block{}
+	for i := range b.slots {
+		b.slots[i].d = d
+	}
+	return b
+}
+
+// Pin claims a slot, publishes the current epoch in it, and returns it.
+// Every trie operation that may traverse or retire pooled objects runs
+// between Pin and Unpin. Lock-free: a full probe miss appends a fresh
+// block, so Pin never waits on another goroutine's progress.
+func (d *Domain) Pin() *Slot {
+	// Random probe start spreads concurrent pinners across the block.
+	start := int(randv2.Uint64() % blockSlots)
+	for b := d.head.Load(); ; {
+		for i := 0; i < blockSlots; i++ {
+			s := &b.slots[(start+i)%blockSlots]
+			st := s.state.Load()
+			if st&1 != 0 {
+				continue
+			}
+			e := d.epoch.Load()
+			if !s.state.CompareAndSwap(st, e<<1|1) {
+				continue
+			}
+			// Refresh until the published epoch is current, so a stalled
+			// claim cannot park the domain at an old epoch.
+			for {
+				cur := d.epoch.Load()
+				if cur == e {
+					break
+				}
+				e = cur
+				s.state.Store(e<<1 | 1)
+			}
+			if s.pending > 0 {
+				s.flush(e)
+			}
+			return s
+		}
+		next := b.next.Load()
+		if next == nil {
+			nb := d.newBlock()
+			e := d.epoch.Load()
+			nb.slots[0].state.Store(e<<1 | 1)
+			if b.next.CompareAndSwap(nil, nb) {
+				return &nb.slots[0]
+			}
+			next = b.next.Load()
+		}
+		b = next
+	}
+}
+
+// Unpin releases the slot. The slot keeps its last epoch; its limbo rings
+// stay queued until a later pin of the same slot flushes them.
+func (s *Slot) Unpin() {
+	s.state.Store(s.state.Load() &^ 1)
+}
+
+// Epoch returns the domain's current global epoch (introspection, tests).
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// Retire queues obj for recycling after the grace period. The caller must
+// hold the pin on s and must have already made obj unreachable (won the
+// unique unlink CAS). Amortized O(1); every advanceEvery retires it
+// attempts one global epoch advance.
+//
+// The ring is tagged with the CURRENT global epoch, not the slot's pinned
+// epoch: the tag must be ≥ the epoch at which the unlink happened, and the
+// slot's published epoch may lag the global one (it is deliberately frozen
+// for the whole pin — refreshing it mid-pin would stop this operation's
+// earlier-acquired references from blocking the advance that guards them).
+func (s *Slot) Retire(obj Recyclable) {
+	e := s.d.epoch.Load()
+	r := &s.rings[e%numRings]
+	if r.epoch != e {
+		// The ring last held an epoch ≡ e (mod numRings) and < e, i.e.
+		// ≤ e−numRings: always past grace.
+		s.recycleRing(r)
+		r.epoch = e
+	}
+	r.objs = append(r.objs, obj)
+	s.pending++
+	s.retires++
+	if s.retires >= advanceEvery {
+		s.retires = 0
+		s.d.Advance()
+	}
+}
+
+// flush recycles every ring whose grace period has passed: objects retired
+// at ring.epoch are safe once the global epoch reached ring.epoch+graceEpochs.
+// Owner-only.
+func (s *Slot) flush(global uint64) {
+	for i := range s.rings {
+		r := &s.rings[i]
+		if len(r.objs) > 0 && r.epoch+graceEpochs <= global {
+			s.recycleRing(r)
+		}
+	}
+}
+
+func (s *Slot) recycleRing(r *ring) {
+	for i, obj := range r.objs {
+		obj.Recycle()
+		r.objs[i] = nil
+	}
+	s.pending -= len(r.objs)
+	r.objs = r.objs[:0]
+}
+
+// Advance attempts one global epoch advance: e → e+1 iff every pinned slot
+// has published e. Returns whether the epoch moved. Safe to call from any
+// goroutine; exported for tests and metrics.
+func (d *Domain) Advance() bool {
+	e := d.epoch.Load()
+	for b := d.head.Load(); b != nil; b = b.next.Load() {
+		for i := range b.slots {
+			st := b.slots[i].state.Load()
+			if st&1 != 0 && st>>1 != e {
+				return false
+			}
+		}
+	}
+	return d.epoch.CompareAndSwap(e, e+1)
+}

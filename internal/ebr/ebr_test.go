@@ -1,0 +1,272 @@
+package ebr
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+
+	"repro/internal/atomicx"
+)
+
+func TestSlotPadding(t *testing.T) {
+	if got := unsafe.Sizeof(Slot{}); got != 256 || got%atomicx.CacheLine != 0 {
+		t.Fatalf("Slot size = %d, want 256 (the tail-pad comment in ebr.go is stale)", got)
+	}
+}
+
+// recorder counts Recycle calls.
+type recorder struct{ recycled atomic.Int64 }
+
+func (r *recorder) Recycle() { r.recycled.Add(1) }
+
+// TestGraceDeterministic walks the four-epoch protocol by hand: an object
+// retired at epoch e must stay queued while any pin from ≤ e is held, must
+// block the second advance, and must recycle only once the epoch reaches
+// e+graceEpochs (= e+3) — one epoch later than the classic scheme, covering
+// helper re-publication (readers pinned at e+1 that reach the object
+// through a transiently re-linked announcement).
+func TestGraceDeterministic(t *testing.T) {
+	d := NewDomain()
+	e0 := d.Epoch()
+	h1 := d.Pin()
+	h2 := d.Pin()
+	if h1 == h2 {
+		t.Fatal("two concurrent pins share a slot")
+	}
+	obj := &recorder{}
+	h1.Retire(obj)
+
+	// Both pins published e0, so one advance goes through…
+	if !d.Advance() {
+		t.Fatal("advance with all pins at the current epoch should succeed")
+	}
+	// …and the second is blocked by the pins still at e0.
+	if d.Advance() {
+		t.Fatal("advance past pinned epoch+1 should be blocked")
+	}
+	if got := obj.recycled.Load(); got != 0 {
+		t.Fatalf("object recycled %d times while pins from its epoch are held", got)
+	}
+	h1.FlushForTest() // flush must also refuse: epoch is e0+1 < e0+3
+	if got := obj.recycled.Load(); got != 0 {
+		t.Fatalf("flush recycled the object before grace: epoch %d, retired at %d", d.Epoch(), e0)
+	}
+
+	h2.Unpin()
+	if d.Advance() {
+		t.Fatal("h1 still pinned at e0; advance should stay blocked")
+	}
+	h1.Unpin()
+	if !d.Advance() {
+		t.Fatal("advance with no pins should succeed")
+	}
+	if d.Epoch() != e0+2 {
+		t.Fatalf("epoch = %d, want %d", d.Epoch(), e0+2)
+	}
+	// e0+2 would satisfy the classic two-epoch grace; the four-epoch scheme
+	// must still refuse (a re-publication reader pinned at e0+1 could hold
+	// the object while the epoch sits at e0+2).
+	h1.FlushForTest()
+	if got := obj.recycled.Load(); got != 0 {
+		t.Fatalf("flush recycled the object at retire+2 (classic grace); the four-epoch scheme must wait for retire+%d", graceEpochs)
+	}
+	if !d.Advance() {
+		t.Fatal("advance with no pins should succeed")
+	}
+	if d.Epoch() != e0+3 {
+		t.Fatalf("epoch = %d, want %d", d.Epoch(), e0+3)
+	}
+	h1.FlushForTest()
+	if got := obj.recycled.Load(); got != 1 {
+		t.Fatalf("object recycled %d times after grace, want 1", got)
+	}
+	if h1.PendingForTest() != 0 {
+		t.Fatalf("slot still reports %d pending", h1.PendingForTest())
+	}
+}
+
+// TestPinRepublishesFreshEpoch: a slot whose last pin is epochs behind must
+// publish the current epoch when re-claimed, not park the domain.
+func TestPinRepublishesFreshEpoch(t *testing.T) {
+	d := NewDomain()
+	h := d.Pin()
+	h.Unpin()
+	d.Advance()
+	d.Advance()
+	h2 := d.Pin()
+	defer h2.Unpin()
+	e, pinned := h2.PinnedEpochForTest()
+	if !pinned || e != d.Epoch() {
+		t.Fatalf("re-claimed slot published epoch %d (pinned=%v), global is %d", e, pinned, d.Epoch())
+	}
+}
+
+// TestRetireSameSlotManyEpochs drives one participant through many epochs
+// and checks every object eventually recycles exactly once.
+func TestRetireSameSlotManyEpochs(t *testing.T) {
+	d := NewDomain()
+	objs := make([]*recorder, 0, 500)
+	for i := 0; i < 500; i++ {
+		h := d.Pin()
+		o := &recorder{}
+		h.Retire(o)
+		objs = append(objs, o)
+		h.Unpin()
+		d.Advance()
+	}
+	// graceEpochs trailing advances plus a pin-flush cycle drain the tail.
+	for i := 0; i < graceEpochs; i++ {
+		d.Advance()
+	}
+	for i := 0; i < blockSlots; i++ { // hit every slot the loop may have used
+		h := d.Pin()
+		h.FlushForTest()
+		h.Unpin()
+	}
+	for b := d.head.Load(); b != nil; b = b.next.Load() {
+		for i := range b.slots {
+			b.slots[i].FlushForTest()
+		}
+	}
+	for i, o := range objs {
+		if got := o.recycled.Load(); got != 1 {
+			t.Fatalf("obj %d recycled %d times, want 1", i, got)
+		}
+	}
+}
+
+// TestBlockGrowth holds more concurrent pins than one block has slots; the
+// domain must grow and serve them all.
+func TestBlockGrowth(t *testing.T) {
+	d := NewDomain()
+	const pins = 3 * blockSlots
+	handles := make([]*Slot, pins)
+	var wg sync.WaitGroup
+	var ready sync.WaitGroup
+	release := make(chan struct{})
+	ready.Add(pins)
+	wg.Add(pins)
+	for i := 0; i < pins; i++ {
+		go func(i int) {
+			defer wg.Done()
+			handles[i] = d.Pin()
+			ready.Done()
+			<-release
+			handles[i].Unpin()
+		}(i)
+	}
+	ready.Wait()
+	seen := map[*Slot]bool{}
+	for _, h := range handles {
+		if h == nil || seen[h] {
+			t.Fatal("nil or duplicate slot handed to concurrent pins")
+		}
+		seen[h] = true
+	}
+	close(release)
+	wg.Wait()
+}
+
+// stamped is the ABA canary: Recycle bumps gen, so a reader that obtained
+// the pointer under a pin and sees gen change mid-pin has witnessed a
+// premature recycle — exactly what a skipped grace period causes.
+type stamped struct {
+	gen  atomic.Uint64
+	free func(*stamped)
+}
+
+func (s *stamped) Recycle() {
+	s.gen.Add(1)
+	s.free(s)
+}
+
+// TestABARegressionStress is the grace-period regression: writers publish
+// an object, unlink it, retire it, and reuse recycled ones from a pool;
+// pinned readers re-validate the generation stamp of a pointer they read
+// under the pin. Any premature recycle trips the gen check (and, under
+// -race, the racing reuse itself). Fails if Retire/Advance/flush ever stop
+// honoring the grace period.
+func TestABARegressionStress(t *testing.T) {
+	d := NewDomain()
+	var slot atomic.Pointer[stamped]
+	pool := sync.Pool{}
+	newObj := func() *stamped {
+		if v := pool.Get(); v != nil {
+			return v.(*stamped)
+		}
+		return &stamped{free: func(s *stamped) { pool.Put(s) }}
+	}
+	slot.Store(newObj())
+
+	var stop atomic.Bool
+	var fails atomic.Int64
+	var wg sync.WaitGroup
+	writers := 2
+	readers := runtime.GOMAXPROCS(0)
+	wg.Add(writers + readers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				h := d.Pin()
+				next := newObj()
+				old := slot.Swap(next) // the unique unlink
+				if old != nil {
+					h.Retire(old)
+				}
+				h.Unpin()
+				runtime.Gosched() // keep GOMAXPROCS=1 schedules fair
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				h := d.Pin()
+				p := slot.Load()
+				g1 := p.gen.Load()
+				runtime.Gosched() // widen the hold window
+				if p.gen.Load() != g1 {
+					fails.Add(1)
+				}
+				h.Unpin()
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		d.Advance()
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := fails.Load(); n != 0 {
+		t.Fatalf("%d readers observed a generation change under an active pin (grace period violated)", n)
+	}
+}
+
+// TestPinSteadyStateAllocFree: pin/retire/unpin must not allocate once the
+// slot blocks and limbo rings are warm.
+func TestPinSteadyStateAllocFree(t *testing.T) {
+	d := NewDomain()
+	obj := &recorder{}
+	// Warm up ring capacity.
+	for i := 0; i < 4*advanceEvery; i++ {
+		h := d.Pin()
+		h.Retire(obj)
+		h.Unpin()
+		d.Advance()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		h := d.Pin()
+		h.Retire(obj)
+		h.Unpin()
+	})
+	if avg > 0.05 {
+		t.Fatalf("pin+retire+unpin allocates %.2f/op in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,14 @@
+package ebr
+
+// FlushForTest runs the owner-side limbo flush against the current global
+// epoch. Tests only, and only while no other goroutine holds the slot.
+func (s *Slot) FlushForTest() { s.flush(s.d.epoch.Load()) }
+
+// PendingForTest reports the slot's queued-but-unrecycled object count.
+func (s *Slot) PendingForTest() int { return s.pending }
+
+// PinnedEpochForTest returns (epoch, pinned) from the slot's state word.
+func (s *Slot) PinnedEpochForTest() (uint64, bool) {
+	st := s.state.Load()
+	return st >> 1, st&1 != 0
+}

@@ -127,6 +127,9 @@ func (t *Trie) Add(x int64) bool {
 			tg.Stop.Store(true)
 		}
 	}
+	// Summary publication contract (bitstrie.MarkEverInserted): the
+	// ever-inserted bit must be set before iNode can enter latest[x].
+	t.bits.MarkEverInserted(x)
 	if !t.latest[x].CompareAndSwap(dNode, iNode) {
 		return false // another TrieInsert(x) linearized first (Lemma 4.3)
 	}

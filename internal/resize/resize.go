@@ -1,7 +1,7 @@
 // Package resize re-partitions a live sharded trie from k to k′ shards
 // without blocking readers: a coordinator builds the new partition in
-// private, journals concurrent updates through per-shard versioned dirty
-// tries, and hands authority over in one epoch flip (DESIGN.md §Shard
+// private, journals concurrent updates through per-shard dirty bitmaps,
+// and hands authority over in one epoch flip (DESIGN.md §Shard
 // resize).
 //
 // # Epochs
@@ -70,7 +70,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/atomicx"
-	"repro/internal/versioned"
+	"repro/internal/bitmap"
 )
 
 // Stage identifies a point of the migration protocol, for the test hook.
@@ -151,11 +151,16 @@ type epoch[T migTable] struct {
 	// migrations). Private to the coordinator until activation.
 	next T
 	// dirty journals the keys updated during this journal-phase
-	// generation, one versioned trie per cur shard (nil outside the
-	// journal phase). Updates insert their key BEFORE applying, so at
-	// any instant dirty covers every key whose cur-state changed since
-	// the generation was installed.
-	dirty []*versioned.Trie
+	// generation, one bitmap per cur shard (nil outside the journal
+	// phase): one bit per shard-local key, marked with a single atomic OR
+	// (bitmap.Words — the same summary-word helpers behind the bitstrie
+	// descent compression). Updates set their key's bit BEFORE applying,
+	// so at any instant dirty covers every key whose cur-state changed
+	// since the generation was installed. Only the coordinator ever reads
+	// the bits (after draining the generation's writers), so the journal
+	// needs no per-key versioning — membership at replay time is re-read
+	// from cur.
+	dirty []bitmap.Words
 	// gates admit updates, one padded counter per cur shard. A drained
 	// epoch (all gates observed zero after a successor epoch was
 	// installed) can never regain a writer: late acquirers fail the
@@ -251,13 +256,9 @@ func newEpoch[T migTable](phase int, cur, next T) (*epoch[T], error) {
 		shardBits: uint(bits.Len64(uint64(width)) - 1),
 	}
 	if phase == phaseJournal {
-		e.dirty = make([]*versioned.Trie, k)
+		e.dirty = make([]bitmap.Words, k)
 		for i := range e.dirty {
-			d, err := versioned.New(width)
-			if err != nil {
-				return nil, err
-			}
-			e.dirty[i] = d
+			e.dirty[i] = bitmap.NewWords(width)
 		}
 	}
 	return e, nil
@@ -354,7 +355,7 @@ func (r *resizer[T]) Insert(x int64) {
 	r.tick(x)
 	e, gi := r.enter(x)
 	if e.phase == phaseJournal {
-		e.dirty[gi].Insert(x & (e.width - 1))
+		e.dirty[gi].Set(x & (e.width - 1)) // one atomic OR
 	}
 	e.cur.Insert(x)
 	e.gates[gi].Add(-1)
@@ -366,7 +367,7 @@ func (r *resizer[T]) Delete(x int64) {
 	r.tick(x)
 	e, gi := r.enter(x)
 	if e.phase == phaseJournal {
-		e.dirty[gi].Insert(x & (e.width - 1))
+		e.dirty[gi].Set(x & (e.width - 1)) // one atomic OR
 	}
 	e.cur.Delete(x)
 	e.gates[gi].Add(-1)
@@ -402,14 +403,14 @@ func (r *resizer[T]) drain(e *epoch[T]) {
 func (r *resizer[T]) replay(e *epoch[T], next T) {
 	for i := range e.dirty {
 		base := int64(i) << e.shardBits
-		for _, lx := range e.dirty[i].Keys() {
+		e.dirty[i].ForEachSet(func(lx int64) {
 			x := base | lx
 			if e.cur.Search(x) {
 				next.Insert(x)
 			} else {
 				next.Delete(x)
 			}
-		}
+		})
 	}
 }
 
@@ -417,7 +418,7 @@ func (r *resizer[T]) replay(e *epoch[T], next T) {
 func (e *epoch[T]) dirtySize() int64 {
 	var n int64
 	for i := range e.dirty {
-		n += e.dirty[i].Size()
+		n += e.dirty[i].PopCount()
 	}
 	return n
 }

@@ -183,7 +183,7 @@ func (s *Set) ApplyBatch(ops []core.BatchOp) {
 	e, gi := r.enter(ops[0].Key)
 	if e.phase == phaseJournal {
 		for i := range ops {
-			e.dirty[e.shardOf(ops[i].Key)].Insert(ops[i].Key & (e.width - 1))
+			e.dirty[e.shardOf(ops[i].Key)].Set(ops[i].Key & (e.width - 1))
 		}
 	}
 	e.cur.ApplyBatch(ops)

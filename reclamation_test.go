@@ -1,0 +1,146 @@
+package lockfreetrie_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	lockfreetrie "repro"
+	"repro/internal/lincheck"
+	"repro/internal/settest"
+)
+
+// The reclamation matrix: the settest and lincheck rows below rerun the
+// conformance and linearizability suites against the pooled build —
+// epoch-based reclamation of PredNodes, announcement cells, copy
+// descriptors and notify slabs is always on (internal/ebr; there is no
+// opt-out), so every row exercises operations running over recycled
+// memory. The workloads are delete/predecessor heavy on a small universe:
+// deletes retire the most pooled objects (two embedded predecessors, four
+// announcement cells each) and predecessors walk the recycled nodes.
+
+func pooledFactory(k int) settest.Factory {
+	return func(u int64) (settest.Set, error) {
+		tr, err := lockfreetrie.New(u, lockfreetrie.WithShards(k))
+		if err != nil {
+			return nil, err
+		}
+		return apiSet{tr}, nil
+	}
+}
+
+// TestReclamationConformance runs the full settest suite against the
+// pooled trie at every shard geometry of the matrix (k ∈ {1, 4, 16}).
+func TestReclamationConformance(t *testing.T) {
+	forEachShardCount(t, func(t *testing.T, k int) {
+		t.Run("sequential", func(t *testing.T) {
+			settest.RunSequential(t, pooledFactory(k), 64)
+		})
+		t.Run("edge", func(t *testing.T) {
+			settest.RunEdgeCases(t, pooledFactory(k), 64)
+		})
+		t.Run("concurrent", func(t *testing.T) {
+			opsPerG := 1200
+			if testing.Short() {
+				opsPerG = 300
+			}
+			settest.RunConcurrent(t, pooledFactory(k), 256, 8, opsPerG)
+		})
+	})
+}
+
+// reclRunner wraps the plain facade with lincheck recording (the pooled
+// twin of combRunner, minus combining).
+type reclRunner struct {
+	tr  *lockfreetrie.Trie
+	rec *lincheck.Recorder
+}
+
+func (r reclRunner) insert(k int64) {
+	inv := r.rec.Begin()
+	if err := r.tr.Insert(k); err != nil {
+		panic(err)
+	}
+	r.rec.End(lincheck.OpInsert, k, 0, inv)
+}
+
+func (r reclRunner) delete(k int64) {
+	inv := r.rec.Begin()
+	if err := r.tr.Delete(k); err != nil {
+		panic(err)
+	}
+	r.rec.End(lincheck.OpDelete, k, 0, inv)
+}
+
+func (r reclRunner) search(k int64) {
+	inv := r.rec.Begin()
+	got, err := r.tr.Contains(k)
+	if err != nil {
+		panic(err)
+	}
+	res := int64(0)
+	if got {
+		res = 1
+	}
+	r.rec.End(lincheck.OpSearch, k, res, inv)
+}
+
+func (r reclRunner) predecessor(y int64) {
+	inv := r.rec.Begin()
+	got, err := r.tr.Predecessor(y)
+	if err != nil {
+		panic(err)
+	}
+	r.rec.End(lincheck.OpPredecessor, y, got, inv)
+}
+
+// TestReclamationLinearizable checks recorded histories of a
+// delete/predecessor-heavy mix at k ∈ {1, 4, 16}: the regime where pooled
+// objects cycle fastest. A grace-period bug shows up as a history the
+// checker rejects (a predecessor answering from a recycled node's stale
+// fields) long before it corrupts a sequential run.
+func TestReclamationLinearizable(t *testing.T) {
+	rounds := 150
+	if testing.Short() {
+		rounds = 30
+	}
+	forEachShardCount(t, func(t *testing.T, k int) {
+		for round := 0; round < rounds; round++ {
+			tr, err := lockfreetrie.New(64, lockfreetrie.WithShards(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := lincheck.NewRecorder()
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(round)*131 + int64(id)*104729 + 13))
+					do := reclRunner{tr: tr, rec: rec}
+					for i := 0; i < 5; i++ {
+						key := rng.Int63n(64)
+						switch rng.Intn(6) {
+						case 0:
+							do.insert(key)
+						case 1, 2: // delete-heavy: deletes retire the most
+							do.delete(key)
+						case 3, 4: // pred-heavy: walks recycled nodes
+							do.predecessor(key)
+						default:
+							do.search(key)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			ok, msg, err := lincheck.CheckOrExplain(rec.History())
+			if err != nil {
+				t.Fatalf("checker error: %v", err)
+			}
+			if !ok {
+				t.Fatalf("shards=%d pooled: %s", k, msg)
+			}
+		}
+	})
+}

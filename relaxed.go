@@ -37,14 +37,28 @@ type Relaxed struct {
 // relaxedShardedFactory mirrors config.shardedFactory for the relaxed
 // backends.
 func relaxedShardedFactory(c *config, universe int64) func(k int) (*sharded.Relaxed, error) {
+	var base func(k int) (*sharded.Relaxed, error)
 	switch {
 	case c.adaptive:
 		acfg := c.acfg
-		return func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxedAdaptive(universe, k, acfg) }
+		base = func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxedAdaptive(universe, k, acfg) }
 	case c.combining:
-		return func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxedCombining(universe, k) }
+		base = func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxedCombining(universe, k) }
 	default:
-		return func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxed(universe, k) }
+		base = func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxed(universe, k) }
+	}
+	if !c.noCompress {
+		return base
+	}
+	return func(k int) (*sharded.Relaxed, error) {
+		t, err := base(k)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < t.Shards(); i++ {
+			t.Shard(i).Bits().SetCompressedDescents(false)
+		}
+		return t, nil
 	}
 }
 
@@ -86,6 +100,9 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lockfreetrie: %w", err)
 		}
+		if cfg.noCompress {
+			r.Bits().SetCompressedDescents(false)
+		}
 		var s relaxedSet
 		if cfg.adaptive {
 			s = combine.WrapRelaxedAdaptive(r, cfg.acfg, 0)
@@ -94,20 +111,11 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 		}
 		return &Relaxed{set: s, shards: 1, adaptive: cfg.adaptive}, nil
 	}
-	var s relaxedSet
-	var err error
-	switch {
-	case cfg.adaptive:
-		s, err = sharded.NewRelaxedAdaptive(universe, cfg.shards, cfg.acfg)
-	case cfg.combining:
-		s, err = sharded.NewRelaxedCombining(universe, cfg.shards)
-	default:
-		s, err = sharded.NewRelaxed(universe, cfg.shards)
-	}
+	st, err := relaxedShardedFactory(&cfg, universe)(cfg.shards)
 	if err != nil {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}
-	return &Relaxed{set: s, shards: cfg.shards, adaptive: cfg.adaptive}, nil
+	return &Relaxed{set: st, shards: cfg.shards, adaptive: cfg.adaptive}, nil
 }
 
 // Universe returns the padded universe size.

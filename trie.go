@@ -80,6 +80,7 @@ type config struct {
 	adaptiveShards bool
 	minShards      int
 	maxShards      int
+	noCompress     bool
 }
 
 // Option configures New and NewRelaxed.
@@ -160,6 +161,23 @@ func WithAdaptiveShards(min, max int) Option {
 		}
 		c.adaptiveShards = true
 		c.minShards, c.maxShards = min, max
+		return nil
+	}
+}
+
+// WithoutCompressedDescents disables the cache-compressed trie descents:
+// Predecessor/Successor walk the dense node array instead of consulting
+// the per-64-node occupancy summary words that let them skip empty
+// subtrie regions in one load (internal/bitstrie, DESIGN.md
+// §Cache-compressed descents). The summaries are advisory — every answer
+// is identical either way — so the only reason to turn them off is
+// measurement: triebench's cc1 experiment uses this switch to embed the
+// uncompressed baseline. Composes with every other option; under
+// WithAdaptiveShards every partition the trie migrates to inherits the
+// setting.
+func WithoutCompressedDescents() Option {
+	return func(c *config) error {
+		c.noCompress = true
 		return nil
 	}
 }
@@ -354,14 +372,30 @@ func (c *config) resizeBounds() (initial int, err error) {
 // resizable trie, carrying the combining/adaptive configuration into
 // every partition the trie migrates to.
 func (c *config) shardedFactory(universe int64) func(k int) (*sharded.Trie, error) {
+	var base func(k int) (*sharded.Trie, error)
 	switch {
 	case c.adaptive:
 		acfg := c.acfg
-		return func(k int) (*sharded.Trie, error) { return sharded.NewAdaptive(universe, k, acfg) }
+		base = func(k int) (*sharded.Trie, error) { return sharded.NewAdaptive(universe, k, acfg) }
 	case c.combining:
-		return func(k int) (*sharded.Trie, error) { return sharded.NewCombining(universe, k) }
+		base = func(k int) (*sharded.Trie, error) { return sharded.NewCombining(universe, k) }
 	default:
-		return func(k int) (*sharded.Trie, error) { return sharded.New(universe, k) }
+		base = func(k int) (*sharded.Trie, error) { return sharded.New(universe, k) }
+	}
+	if !c.noCompress {
+		return base
+	}
+	return func(k int) (*sharded.Trie, error) {
+		t, err := base(k)
+		if err != nil {
+			return nil, err
+		}
+		// The table is still private to the migration coordinator here, so
+		// the plain-field switch is safe.
+		for i := 0; i < t.Shards(); i++ {
+			t.Shard(i).Bits().SetCompressedDescents(false)
+		}
+		return t, nil
 	}
 }
 
@@ -396,6 +430,9 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lockfreetrie: %w", err)
 		}
+		if cfg.noCompress {
+			c.Bits().SetCompressedDescents(false)
+		}
 		var s set
 		if cfg.adaptive {
 			s = combine.WrapCoreAdaptive(c, cfg.acfg, 0)
@@ -409,20 +446,11 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 			adaptive:  cfg.adaptive,
 		}, nil
 	}
-	var s set
-	var err error
-	switch {
-	case cfg.adaptive:
-		s, err = sharded.NewAdaptive(universe, cfg.shards, cfg.acfg)
-	case cfg.combining:
-		s, err = sharded.NewCombining(universe, cfg.shards)
-	default:
-		s, err = sharded.New(universe, cfg.shards)
-	}
+	st, err := cfg.shardedFactory(universe)(cfg.shards)
 	if err != nil {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}
-	return &Trie{set: s, shards: cfg.shards,
+	return &Trie{set: st, shards: cfg.shards,
 		combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive}, nil
 }
 
