@@ -18,6 +18,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -40,27 +41,152 @@ import (
 
 func main() {
 	var (
-		experiment   = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1,cb1,ad1,rs1,cc1, or all (the paper-claim sweeps c1–a2; s1, a3, cb1, ad1, rs1 and cc1 run only when named, since they rewrite their recorded trajectory artifacts; the combining experiment is cb1 because c1 is the paper's C1 Search-cost claim)")
-		ops          = flag.Int("ops", 100000, "operations per measurement")
-		workers      = flag.Int("workers", 4, "default worker count")
-		seed         = flag.Int64("seed", 1, "workload seed")
-		shards       = flag.Int("shards", 16, "high shard count for the s1 sharding sweep and the a3 sharded variant")
-		jsonPath     = flag.String("json", "BENCH_shards.json", "s1 trajectory output path (empty disables)")
-		allocsPath   = flag.String("allocsjson", "BENCH_allocs.json", "a3 trajectory output path (empty disables)")
-		combinePath  = flag.String("combinejson", "BENCH_combine.json", "cb1 trajectory output path (empty disables)")
-		combineReps  = flag.Int("cb1reps", cb1Reps, "cb1 repetitions per configuration (median reported; CI smoke uses 1)")
-		adaptivePath = flag.String("adaptivejson", "BENCH_adaptive.json", "ad1 trajectory output path (empty disables)")
-		adaptiveReps = flag.Int("ad1reps", ad1Reps, "ad1 repetitions per configuration (median reported; CI smoke uses 1)")
-		resizePath   = flag.String("resizejson", "BENCH_resize.json", "rs1 trajectory output path (empty disables)")
-		resizeReps   = flag.Int("rs1reps", rs1Reps, "rs1 repetitions per configuration (median reported; CI smoke uses 1)")
-		cachePath    = flag.String("cachejson", "BENCH_cache.json", "cc1 trajectory output path (empty disables)")
-		cacheReps    = flag.Int("cc1reps", cc1Reps, "cc1 repetitions per configuration (median reported; CI smoke uses 1)")
+		experiment    = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1,cb1,ad1,rs1,cc1,mp1, or all (the paper-claim sweeps c1–a2; s1, a3, cb1, ad1, rs1, cc1 and mp1 run only when named, since they rewrite their recorded trajectory artifacts; the combining experiment is cb1 because c1 is the paper's C1 Search-cost claim)")
+		ops           = flag.Int("ops", 100000, "operations per measurement")
+		workers       = flag.Int("workers", 4, "default worker count")
+		seed          = flag.Int64("seed", 1, "workload seed")
+		shards        = flag.Int("shards", 16, "high shard count for the s1 sharding sweep and the a3 sharded variant")
+		gomaxprocs    = flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS sweep for the trajectory experiments (e.g. 1,4,8); empty keeps the current setting (mp1 defaults to 1,4,8)")
+		jsonPath      = flag.String("json", "BENCH_shards.json", "s1 trajectory output path (empty disables)")
+		allocsPath    = flag.String("allocsjson", "BENCH_allocs.json", "a3 trajectory output path (empty disables)")
+		combinePath   = flag.String("combinejson", "BENCH_combine.json", "cb1 trajectory output path (empty disables)")
+		combineReps   = flag.Int("cb1reps", cb1Reps, "cb1 repetitions per configuration (median reported; CI smoke uses 1)")
+		adaptivePath  = flag.String("adaptivejson", "BENCH_adaptive.json", "ad1 trajectory output path (empty disables)")
+		adaptiveReps  = flag.Int("ad1reps", ad1Reps, "ad1 repetitions per configuration (median reported; CI smoke uses 1)")
+		resizePath    = flag.String("resizejson", "BENCH_resize.json", "rs1 trajectory output path (empty disables)")
+		resizeReps    = flag.Int("rs1reps", rs1Reps, "rs1 repetitions per configuration (median reported; CI smoke uses 1)")
+		cachePath     = flag.String("cachejson", "BENCH_cache.json", "cc1 trajectory output path (empty disables)")
+		cacheReps     = flag.Int("cc1reps", cc1Reps, "cc1 repetitions per configuration (median reported; CI smoke uses 1)")
+		multicorePath = flag.String("multicorejson", "BENCH_multicore.json", "mp1 trajectory output path (empty disables)")
+		multicoreReps = flag.Int("mp1reps", mp1Reps, "mp1 repetitions per configuration (median reported; CI smoke uses 1)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *ops, *workers, *seed, *shards, *jsonPath, *allocsPath, *combinePath, *combineReps, *adaptivePath, *adaptiveReps, *resizePath, *resizeReps, *cachePath, *cacheReps); err != nil {
+	inv := invocation{
+		ops: *ops, workers: *workers, seed: *seed, shards: *shards,
+		gomaxprocs: *gomaxprocs,
+		jsonPath:   *jsonPath, allocsPath: *allocsPath,
+		combinePath: *combinePath, combineReps: *combineReps,
+		adaptivePath: *adaptivePath, adaptiveReps: *adaptiveReps,
+		resizePath: *resizePath, resizeReps: *resizeReps,
+		cachePath: *cachePath, cacheReps: *cacheReps,
+		multicorePath: *multicorePath, multicoreReps: *multicoreReps,
+	}
+	if err := run(*experiment, inv); err != nil {
 		fmt.Fprintln(os.Stderr, "triebench:", err)
 		os.Exit(1)
 	}
+}
+
+// invocation carries one triebench run's parameters: the shared workload
+// knobs, the GOMAXPROCS sweep, and each trajectory experiment's artifact
+// path and repetition count.
+type invocation struct {
+	ops     int
+	workers int
+	seed    int64
+	shards  int
+	// gomaxprocs is the raw -gomaxprocs value: a comma-separated list of
+	// GOMAXPROCS settings every trajectory experiment re-measures each of
+	// its configurations under. Empty means "the current setting only",
+	// except mp1, whose whole point is the P sweep (default 1,4,8).
+	gomaxprocs    string
+	jsonPath      string
+	allocsPath    string
+	combinePath   string
+	combineReps   int
+	adaptivePath  string
+	adaptiveReps  int
+	resizePath    string
+	resizeReps    int
+	cachePath     string
+	cacheReps     int
+	multicorePath string
+	multicoreReps int
+}
+
+// procs resolves the -gomaxprocs sweep; empty means the current setting.
+func (inv invocation) procs() ([]int, error) {
+	return parseGomaxprocs(inv.gomaxprocs)
+}
+
+// procsDefault resolves the sweep with an experiment-specific default for
+// the empty flag (mp1 sweeps 1,4,8 unless told otherwise).
+func (inv invocation) procsDefault(def []int) ([]int, error) {
+	if strings.TrimSpace(inv.gomaxprocs) == "" {
+		return def, nil
+	}
+	return parseGomaxprocs(inv.gomaxprocs)
+}
+
+// parseGomaxprocs parses a comma-separated GOMAXPROCS list. Entries must
+// be positive integers; duplicates collapse (re-measuring the same P
+// twice would only double the runtime, not the information). An empty
+// string resolves to the process's current setting, preserving the
+// single-P behaviour of every pre-sweep invocation.
+func parseGomaxprocs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{runtime.GOMAXPROCS(0)}, nil
+	}
+	var procs []int
+	seen := map[int]bool{}
+	for _, field := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || p <= 0 {
+			return nil, fmt.Errorf("-gomaxprocs %q: %q is not a positive integer", s, field)
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		procs = append(procs, p)
+	}
+	return procs, nil
+}
+
+// hostTopology is the per-point parallelism metadata every multi-P
+// trajectory point carries: the GOMAXPROCS it was measured under plus
+// what the host actually offers, so a reader (or the CI host-shape
+// guard) can tell a true 8-core measurement from 8-way timeslicing on
+// one core. Oversubscribed flags the latter: P above NumCPU is a legal
+// and useful setting — it exercises the preemption-driven interleavings
+// single-P runs cannot reach — but its throughput numbers measure
+// scheduler pressure, not parallel speedup.
+type hostTopology struct {
+	GoMaxProcs     int    `json:"gomaxprocs"`
+	NumCPU         int    `json:"num_cpu"`
+	GOOS           string `json:"goos"`
+	GOARCH         string `json:"goarch"`
+	Oversubscribed bool   `json:"oversubscribed"`
+}
+
+// topologyAt describes the host at GOMAXPROCS=p.
+func topologyAt(p int) hostTopology {
+	return hostTopology{
+		GoMaxProcs:     p,
+		NumCPU:         runtime.NumCPU(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Oversubscribed: p > runtime.NumCPU(),
+	}
+}
+
+// perP runs f once per requested GOMAXPROCS setting and restores the
+// original value afterwards. The setting applies process-wide, so the
+// sweep is strictly sequential — each point must finish (and its worker
+// goroutines exit) before the next setting takes effect.
+func perP(procs []int, f func(p int) error) error {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		if len(procs) > 1 {
+			fmt.Printf("-- GOMAXPROCS=%d (NumCPU=%d) --\n", p, runtime.NumCPU())
+		}
+		if err := f(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // experimentIDs lists every runnable -experiment id, for the unknown-id
@@ -68,48 +194,45 @@ func main() {
 // nothing).
 func experimentIDs() []string {
 	return []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7",
-		"a1", "a2", "a3", "s1", "cb1", "ad1", "rs1", "cc1", "all"}
+		"a1", "a2", "a3", "s1", "cb1", "ad1", "rs1", "cc1", "mp1", "all"}
 }
 
 // runnersFor binds the experiment table to this invocation's artifact
 // paths and repetition counts. Split from run so the id registry is
 // testable against experimentIDs.
-func runnersFor(shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int, resizePath string, resizeReps int, cachePath string, cacheReps int) map[string]func(int, int, int64) error {
-	return map[string]func(int, int, int64) error{
-		"c1": expC1, "c2": expC2, "c3": expC3, "c4": expC4, "c5": expC5,
-		"c6": expC6, "c7": expC7, "a1": expA1, "a2": expA2,
-		"s1": func(ops, workers int, seed int64) error {
-			return expS1(ops, workers, seed, shards, jsonPath)
-		},
-		"a3": func(ops, workers int, seed int64) error {
-			return expA3(ops, workers, seed, shards, allocsPath)
-		},
-		"cb1": func(ops, workers int, seed int64) error {
-			return expCB1(ops, workers, seed, combineReps, combinePath)
-		},
-		"ad1": func(ops, workers int, seed int64) error {
-			return expAD1(ops, workers, seed, adaptiveReps, adaptivePath)
-		},
-		"rs1": func(ops, workers int, seed int64) error {
-			return expRS1(ops, workers, seed, resizeReps, resizePath)
-		},
-		"cc1": func(ops, _ int, seed int64) error {
-			return expCC1(ops, seed, cacheReps, cachePath)
-		},
+func runnersFor(inv invocation) map[string]func() error {
+	simple := func(f func(ops, workers int, seed int64) error) func() error {
+		return func() error { return f(inv.ops, inv.workers, inv.seed) }
+	}
+	return map[string]func() error{
+		"c1": simple(expC1), "c2": simple(expC2), "c3": simple(expC3),
+		"c4": simple(expC4), "c5": simple(expC5), "c6": simple(expC6),
+		"c7": simple(expC7), "a1": simple(expA1), "a2": simple(expA2),
+		"s1":  func() error { return expS1(inv) },
+		"a3":  func() error { return expA3(inv) },
+		"cb1": func() error { return expCB1(inv) },
+		"ad1": func() error { return expAD1(inv) },
+		"rs1": func() error { return expRS1(inv) },
+		"cc1": func() error { return expCC1(inv) },
+		"mp1": func() error { return expMP1(inv) },
 	}
 }
 
-func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, allocsPath, combinePath string, combineReps int, adaptivePath string, adaptiveReps int, resizePath string, resizeReps int, cachePath string, cacheReps int) error {
-	runners := runnersFor(shards, jsonPath, allocsPath, combinePath, combineReps, adaptivePath, adaptiveReps, resizePath, resizeReps, cachePath, cacheReps)
-	// "all" covers the paper-claim sweeps; s1, a3, cb1, ad1, rs1 and cc1
-	// are opt-in because they overwrite the recorded BENCH_shards.json /
-	// BENCH_allocs.json / BENCH_combine.json / BENCH_adaptive.json /
-	// BENCH_resize.json / BENCH_cache.json trajectory points (and
-	// s1/cb1/ad1/rs1/cc1 enforce their own ops/workers floors — minutes,
-	// not seconds).
+func run(experiment string, inv invocation) error {
+	// A malformed -gomaxprocs must fail before any experiment burns time.
+	if _, err := inv.procs(); err != nil {
+		return err
+	}
+	runners := runnersFor(inv)
+	// "all" covers the paper-claim sweeps; s1, a3, cb1, ad1, rs1, cc1 and
+	// mp1 are opt-in because they overwrite the recorded BENCH_shards.json
+	// / BENCH_allocs.json / BENCH_combine.json / BENCH_adaptive.json /
+	// BENCH_resize.json / BENCH_cache.json / BENCH_multicore.json
+	// trajectory points (and s1/cb1/ad1/rs1/cc1/mp1 enforce their own
+	// ops/workers floors — minutes, not seconds).
 	if experiment == "all" {
 		for _, id := range []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7", "a1", "a2"} {
-			if err := runners[id](ops, workers, seed); err != nil {
+			if err := runners[id](); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
 		}
@@ -119,7 +242,7 @@ func run(experiment string, ops, workers int, seed int64, shards int, jsonPath, 
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (valid: %s)", experiment, strings.Join(experimentIDs(), ", "))
 	}
-	return fn(ops, workers, seed)
+	return fn()
 }
 
 func mustTrie(u int64) *core.Trie {
@@ -514,17 +637,28 @@ type s1Workload struct {
 	Speedup float64    `json:"speedup_high_vs_1"`
 }
 
-// s1Report is the BENCH_shards.json trajectory point.
+// s1ProcPoint is one GOMAXPROCS setting's full sweep.
+type s1ProcPoint struct {
+	hostTopology
+	Workloads []s1Workload `json:"workloads"`
+}
+
+// s1Report is the BENCH_shards.json trajectory point. The top-level
+// GoMaxProcs/NumCPU/Workloads fields are the first swept P's point
+// repeated — the compatibility row every pre-sweep consumer (and the
+// recorded gate history) keeps reading — while Points carries the full
+// -gomaxprocs sweep with per-point topology.
 type s1Report struct {
-	Experiment string       `json:"experiment"`
-	Timestamp  string       `json:"timestamp"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"num_cpu"`
-	Universe   int64        `json:"universe"`
-	Goroutines int          `json:"goroutines"`
-	Ops        int          `json:"ops"`
-	HighShards int          `json:"high_shards"`
-	Workloads  []s1Workload `json:"workloads"`
+	Experiment string        `json:"experiment"`
+	Timestamp  string        `json:"timestamp"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Universe   int64         `json:"universe"`
+	Goroutines int           `json:"goroutines"`
+	Ops        int           `json:"ops"`
+	HighShards int           `json:"high_shards"`
+	Workloads  []s1Workload  `json:"workloads"`
+	Points     []s1ProcPoint `json:"proc_points"`
 }
 
 // expS1: sharding sweep — k=1 vs k=highShards at ≥ 8 goroutines on
@@ -532,12 +666,20 @@ type s1Report struct {
 // bands are the announcement-list-bottleneck regime the sharded layer
 // exists for: workers never collide on keys, so all remaining contention is
 // the shared U-ALL/RU-ALL/P-ALL traffic that sharding splits. On a
-// single-core host (the report records GOMAXPROCS/NumCPU) the measured
+// single-core host (each point records its topology) the measured
 // relief comes from shorter announcement-list traversals and notify scans,
 // not cache-line transfer; hotrange is expected to show no benefit at any
-// core count since its hot keys map to a single shard. Writes the
-// BENCH_shards.json trajectory point unless -json is empty.
-func expS1(ops, workers int, seed int64, highShards int, jsonPath string) error {
+// core count since its hot keys map to a single shard. The whole sweep
+// repeats per -gomaxprocs setting; the first setting doubles as the
+// compatibility row. Writes the BENCH_shards.json trajectory point unless
+// -json is empty.
+func expS1(inv invocation) error {
+	ops, workers, seed := inv.ops, inv.workers, inv.seed
+	highShards, jsonPath := inv.shards, inv.jsonPath
+	procs, err := inv.procs()
+	if err != nil {
+		return err
+	}
 	const u = int64(1 << 16)
 	// The announcement-list tax grows with the number of operations parked
 	// mid-announcement, so the sweep needs enough goroutines to keep the
@@ -570,8 +712,6 @@ func expS1(ops, workers int, seed int64, highShards int, jsonPath string) error 
 	report := s1Report{
 		Experiment: "s1-sharding",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
 		Universe:   u,
 		Goroutines: workers,
 		Ops:        ops,
@@ -609,26 +749,38 @@ func expS1(ops, workers int, seed int64, highShards int, jsonPath string) error 
 	// scheduling luck — whether preemptions park operations mid-
 	// announcement — which IS the contention under study, and best-of
 	// would select exactly the baseline runs where it failed to manifest.
-	tab := harness.NewTable("dist", "k=1 ops/s", fmt.Sprintf("k=%d ops/s", highShards), "speedup")
-	for d := range dists {
-		wl := s1Workload{Dist: dists[d].name, Mix: "update-heavy"}
-		samples := map[int][]float64{}
-		for rep := 0; rep < s1Reps; rep++ {
-			for _, k := range []int{1, highShards} {
-				tput, err := measure(k, d)
-				if err != nil {
-					return err
+	if err := perP(procs, func(p int) error {
+		pt := s1ProcPoint{hostTopology: topologyAt(p)}
+		tab := harness.NewTable("dist", "k=1 ops/s", fmt.Sprintf("k=%d ops/s", highShards), "speedup")
+		for d := range dists {
+			wl := s1Workload{Dist: dists[d].name, Mix: "update-heavy"}
+			samples := map[int][]float64{}
+			for rep := 0; rep < s1Reps; rep++ {
+				for _, k := range []int{1, highShards} {
+					tput, err := measure(k, d)
+					if err != nil {
+						return err
+					}
+					samples[k] = append(samples[k], tput)
 				}
-				samples[k] = append(samples[k], tput)
 			}
+			lo, hi := median(samples[1]), median(samples[highShards])
+			wl.Results = []s1Result{{Shards: 1, OpsPerSec: lo}, {Shards: highShards, OpsPerSec: hi}}
+			wl.Speedup = hi / lo
+			pt.Workloads = append(pt.Workloads, wl)
+			tab.AddRow(dists[d].name, lo, hi, wl.Speedup)
 		}
-		lo, hi := median(samples[1]), median(samples[highShards])
-		wl.Results = []s1Result{{Shards: 1, OpsPerSec: lo}, {Shards: highShards, OpsPerSec: hi}}
-		wl.Speedup = hi / lo
-		report.Workloads = append(report.Workloads, wl)
-		tab.AddRow(dists[d].name, lo, hi, wl.Speedup)
+		fmt.Println(tab)
+		report.Points = append(report.Points, pt)
+		return nil
+	}); err != nil {
+		return err
 	}
-	fmt.Println(tab)
+	// Compatibility row: the first swept P, where the recorded trajectory
+	// history lives.
+	report.GoMaxProcs = report.Points[0].GoMaxProcs
+	report.NumCPU = report.Points[0].NumCPU
+	report.Workloads = report.Points[0].Workloads
 	if jsonPath == "" {
 		return nil
 	}
@@ -713,7 +865,19 @@ type a3Point struct {
 	ReductionPct   float64 `json:"allocs_reduction_pct"`
 }
 
-// a3Report is the BENCH_allocs.json trajectory point.
+// a3ProcPoint is one GOMAXPROCS setting's full impl×mix sweep. The gate
+// rides per point: allocation discipline must hold at every P, not just
+// the compatibility row.
+type a3ProcPoint struct {
+	hostTopology
+	Points           []a3Point `json:"points"`
+	GateReductionPct float64   `json:"gate_core_pred_heavy_reduction_pct"`
+}
+
+// a3Report is the BENCH_allocs.json trajectory point. Top-level
+// GoMaxProcs/NumCPU/Points/GateReductionPct are the first swept P's
+// values — the compatibility row — while ProcPoints carries the full
+// -gomaxprocs sweep.
 type a3Report struct {
 	Experiment string    `json:"experiment"`
 	Timestamp  string    `json:"timestamp"`
@@ -727,7 +891,8 @@ type a3Report struct {
 	Points     []a3Point `json:"points"`
 	// GateReductionPct is the core/pred-heavy allocs/op reduction the
 	// acceptance gate tracks (≥ 70).
-	GateReductionPct float64 `json:"gate_core_pred_heavy_reduction_pct"`
+	GateReductionPct float64       `json:"gate_core_pred_heavy_reduction_pct"`
+	ProcPoints       []a3ProcPoint `json:"proc_points"`
 }
 
 // expA3: steady-state allocs/op and B/op across the three trie variants and
@@ -737,8 +902,15 @@ type a3Report struct {
 // steady state the allocation-free-hot-paths work targets, not construction
 // cost. Writes the BENCH_allocs.json trajectory point unless -allocsjson is
 // empty; the recorded pre-arena baseline rides along in every point so the
-// ≥70% predecessor-mix reduction gate stays machine-checkable.
-func expA3(ops, workers int, seed int64, highShards int, jsonPath string) error {
+// ≥70% predecessor-mix reduction gate stays machine-checkable. The whole
+// impl×mix sweep repeats per -gomaxprocs setting.
+func expA3(inv invocation) error {
+	ops, workers, seed := inv.ops, inv.workers, inv.seed
+	highShards, jsonPath := inv.shards, inv.allocsPath
+	procs, err := inv.procs()
+	if err != nil {
+		return err
+	}
 	const u = int64(1 << 16)
 	if workers < 1 {
 		workers = 1
@@ -765,85 +937,101 @@ func expA3(ops, workers int, seed int64, highShards int, jsonPath string) error 
 	report := a3Report{
 		Experiment: "a3-allocs",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
 		Universe:   u,
 		Goroutines: workers,
 		Ops:        ops,
 		Shards:     highShards,
 		Baseline:   "pre-arena PR-1 tree (commit 0ff536f), go test -bench=BenchmarkPredMixes -benchmem",
 	}
-	tab := harness.NewTable("impl", "mix", "allocs/op", "B/op", "ns/op", "baseline allocs/op", "reduction %")
-	for _, impl := range impls {
-		for _, m := range workload.BenchMixes {
-			s, err := impl.mk()
-			if err != nil {
-				return err
-			}
-			for k := int64(0); k < u; k += 8 {
-				s.Insert(k)
-			}
-			gens := make([]*workload.Generator, workers)
-			for i := range gens {
-				g, err := workload.NewGenerator(m.Mix, workload.Uniform{U: u}, seed+int64(i))
+	measurePoint := func(p int) (a3ProcPoint, error) {
+		pt := a3ProcPoint{hostTopology: topologyAt(p)}
+		tab := harness.NewTable("impl", "mix", "allocs/op", "B/op", "ns/op", "baseline allocs/op", "reduction %")
+		for _, impl := range impls {
+			for _, m := range workload.BenchMixes {
+				s, err := impl.mk()
 				if err != nil {
-					return err
+					return a3ProcPoint{}, err
 				}
-				gens[i] = g
-			}
-			runOps := func(n int) time.Duration {
-				var wg sync.WaitGroup
-				start := make(chan struct{})
-				for w := 0; w < workers; w++ {
-					wg.Add(1)
-					go func(id int) {
-						defer wg.Done()
-						<-start
-						g := gens[id]
-						for i := 0; i < n/workers; i++ {
-							harness.ApplyOp(s, g.Next())
-						}
-					}(w)
+				for k := int64(0); k < u; k += 8 {
+					s.Insert(k)
 				}
-				// Workers are parked on the barrier; the clock starts when
-				// they are released, so spawn cost stays out of ns/op.
-				t0 := time.Now()
-				close(start)
-				wg.Wait()
-				return time.Since(t0)
+				gens := make([]*workload.Generator, workers)
+				for i := range gens {
+					g, err := workload.NewGenerator(m.Mix, workload.Uniform{U: u}, seed+int64(i))
+					if err != nil {
+						return a3ProcPoint{}, err
+					}
+					gens[i] = g
+				}
+				runOps := func(n int) time.Duration {
+					var wg sync.WaitGroup
+					start := make(chan struct{})
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func(id int) {
+							defer wg.Done()
+							<-start
+							g := gens[id]
+							for i := 0; i < n/workers; i++ {
+								harness.ApplyOp(s, g.Next())
+							}
+						}(w)
+					}
+					// Workers are parked on the barrier; the clock starts when
+					// they are released, so spawn cost stays out of ns/op.
+					t0 := time.Now()
+					close(start)
+					wg.Wait()
+					return time.Since(t0)
+				}
+				// Warm up pools and dummies, settle the heap, then re-warm the
+				// pools (a GC cycles sync.Pool through its victim cache).
+				runOps(ops / 2)
+				runtime.GC()
+				runOps(ops / 10)
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				elapsed := runOps(ops)
+				runtime.ReadMemStats(&m1)
+				n := float64(ops / workers * workers)
+				key := impl.name + "/" + m.Name
+				p := a3Point{
+					Impl:           impl.name,
+					Mix:            m.Name,
+					AllocsPerOp:    float64(m1.Mallocs-m0.Mallocs) / n,
+					BytesPerOp:     float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+					NsPerOp:        float64(elapsed.Nanoseconds()) / n,
+					BaselineAllocs: a3BaselineAllocs[key],
+					BaselineBytes:  a3BaselineBytes[key],
+				}
+				if p.BaselineAllocs > 0 {
+					p.ReductionPct = 100 * (1 - p.AllocsPerOp/p.BaselineAllocs)
+				}
+				if key == "core/pred-heavy" {
+					pt.GateReductionPct = p.ReductionPct
+				}
+				pt.Points = append(pt.Points, p)
+				tab.AddRow(impl.name, m.Name, p.AllocsPerOp, p.BytesPerOp, p.NsPerOp,
+					p.BaselineAllocs, p.ReductionPct)
 			}
-			// Warm up pools and dummies, settle the heap, then re-warm the
-			// pools (a GC cycles sync.Pool through its victim cache).
-			runOps(ops / 2)
-			runtime.GC()
-			runOps(ops / 10)
-			var m0, m1 runtime.MemStats
-			runtime.ReadMemStats(&m0)
-			elapsed := runOps(ops)
-			runtime.ReadMemStats(&m1)
-			n := float64(ops / workers * workers)
-			key := impl.name + "/" + m.Name
-			p := a3Point{
-				Impl:           impl.name,
-				Mix:            m.Name,
-				AllocsPerOp:    float64(m1.Mallocs-m0.Mallocs) / n,
-				BytesPerOp:     float64(m1.TotalAlloc-m0.TotalAlloc) / n,
-				NsPerOp:        float64(elapsed.Nanoseconds()) / n,
-				BaselineAllocs: a3BaselineAllocs[key],
-				BaselineBytes:  a3BaselineBytes[key],
-			}
-			if p.BaselineAllocs > 0 {
-				p.ReductionPct = 100 * (1 - p.AllocsPerOp/p.BaselineAllocs)
-			}
-			if key == "core/pred-heavy" {
-				report.GateReductionPct = p.ReductionPct
-			}
-			report.Points = append(report.Points, p)
-			tab.AddRow(impl.name, m.Name, p.AllocsPerOp, p.BytesPerOp, p.NsPerOp,
-				p.BaselineAllocs, p.ReductionPct)
 		}
+		fmt.Println(tab)
+		return pt, nil
 	}
-	fmt.Println(tab)
+	if err := perP(procs, func(p int) error {
+		pt, err := measurePoint(p)
+		if err != nil {
+			return err
+		}
+		report.ProcPoints = append(report.ProcPoints, pt)
+		return nil
+	}); err != nil {
+		return err
+	}
+	report.GoMaxProcs = report.ProcPoints[0].GoMaxProcs
+	report.NumCPU = report.ProcPoints[0].NumCPU
+	report.Points = report.ProcPoints[0].Points
+	report.GateReductionPct = report.ProcPoints[0].GateReductionPct
 	if jsonPath == "" {
 		return nil
 	}
@@ -888,7 +1076,20 @@ type cb1Workload struct {
 	ThroughputRatio    float64 `json:"throughput_ratio_combined_vs_uncombined"`
 }
 
-// cb1Report is the BENCH_combine.json trajectory point.
+// cb1ProcPoint is one GOMAXPROCS setting's full sweep. The announce-
+// reduction gate rides per point: at P=1 it guards the recorded history
+// (the spin-then-park wait beat must not regress the single-P pacing),
+// at P>1 it proves combining still amortizes when submitters genuinely
+// overlap instead of interleaving on one core.
+type cb1ProcPoint struct {
+	hostTopology
+	Workloads                 []cb1Workload `json:"workloads"`
+	GateUpdateHeavyReductionX float64       `json:"gate_update_heavy_announce_reduction_x"`
+}
+
+// cb1Report is the BENCH_combine.json trajectory point. Top-level
+// GoMaxProcs/NumCPU/Workloads/Gate are the first swept P's values — the
+// compatibility row — while Points carries the full -gomaxprocs sweep.
 type cb1Report struct {
 	Experiment string        `json:"experiment"`
 	Timestamp  string        `json:"timestamp"`
@@ -904,7 +1105,8 @@ type cb1Report struct {
 	// update-heavy mix at the LOWEST shard count measured — the
 	// worst-case-contention shard all 16 goroutines share; the acceptance
 	// gate tracks ≥ 2.
-	GateUpdateHeavyReductionX float64 `json:"gate_update_heavy_announce_reduction_x"`
+	GateUpdateHeavyReductionX float64        `json:"gate_update_heavy_announce_reduction_x"`
+	Points                    []cb1ProcPoint `json:"proc_points"`
 }
 
 // expCB1: per-shard flat combining vs the per-op announcement path.
@@ -922,9 +1124,16 @@ type cb1Report struct {
 // (uniform keys over k ≥ 4 shards leaves ~1 publisher per combiner) makes
 // batches degenerate toward size 1 and the handoff pure overhead (measured
 // 0.65–0.9× throughput on this host) — WithCombining is a workload
-// decision, exactly like WithShards. Writes the BENCH_combine.json
-// trajectory point unless -combinejson is empty.
-func expCB1(ops, workers int, seed int64, reps int, jsonPath string) error {
+// decision, exactly like WithShards. The whole sweep repeats per
+// -gomaxprocs setting. Writes the BENCH_combine.json trajectory point
+// unless -combinejson is empty.
+func expCB1(inv invocation) error {
+	ops, workers, seed := inv.ops, inv.workers, inv.seed
+	reps, jsonPath := inv.combineReps, inv.combinePath
+	procs, err := inv.procs()
+	if err != nil {
+		return err
+	}
 	const u = int64(1 << 16)
 	if workers < 16 {
 		fmt.Printf("cb1: raising -workers to 16 (the gate is defined at 16 goroutines)\n")
@@ -941,8 +1150,6 @@ func expCB1(ops, workers int, seed int64, reps int, jsonPath string) error {
 	report := cb1Report{
 		Experiment: "cb1-combining",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
 		Universe:   u,
 		Goroutines: workers,
 		Ops:        ops,
@@ -1018,49 +1225,60 @@ func expCB1(ops, workers int, seed int64, reps int, jsonPath string) error {
 		{"hotshard-update-heavy", workload.MixUpdateOnly, 16,
 			workload.HotRange{U: u, HotLo: u / 2, HotWidth: u / 16, HotPct: 90}},
 	}
-	tab := harness.NewTable("workload", "k", "ops/s off", "ops/s on", "ann/op off", "ann/op on", "reduction x", "tput ratio", "avg batch")
-	for _, cfg := range configs {
-		var offT, onT, offA, onA, onB, onD []float64
-		for rep := 0; rep < reps; rep++ {
-			// Interleave sides so machine-noise phases hit both.
-			off, err := measure(cfg.k, false, cfg.mix, cfg.dist)
-			if err != nil {
-				return err
+	if err := perP(procs, func(p int) error {
+		pt := cb1ProcPoint{hostTopology: topologyAt(p)}
+		tab := harness.NewTable("workload", "k", "ops/s off", "ops/s on", "ann/op off", "ann/op on", "reduction x", "tput ratio", "avg batch")
+		for _, cfg := range configs {
+			var offT, onT, offA, onA, onB, onD []float64
+			for rep := 0; rep < reps; rep++ {
+				// Interleave sides so machine-noise phases hit both.
+				off, err := measure(cfg.k, false, cfg.mix, cfg.dist)
+				if err != nil {
+					return err
+				}
+				on, err := measure(cfg.k, true, cfg.mix, cfg.dist)
+				if err != nil {
+					return err
+				}
+				offT, onT = append(offT, off.OpsPerSec), append(onT, on.OpsPerSec)
+				offA, onA = append(offA, off.AnnouncesPerOp), append(onA, on.AnnouncesPerOp)
+				onB, onD = append(onB, on.AvgBatch), append(onD, on.DirectPct)
 			}
-			on, err := measure(cfg.k, true, cfg.mix, cfg.dist)
-			if err != nil {
-				return err
+			wl := cb1Workload{
+				Mix:    cfg.name,
+				Shards: cfg.k,
+				Uncombined: cb1Side{
+					OpsPerSec: median(offT), AnnouncesPerOp: median(offA),
+				},
+				Combined: cb1Side{
+					OpsPerSec: median(onT), AnnouncesPerOp: median(onA),
+					AvgBatch: median(onB), DirectPct: median(onD),
+				},
 			}
-			offT, onT = append(offT, off.OpsPerSec), append(onT, on.OpsPerSec)
-			offA, onA = append(offA, off.AnnouncesPerOp), append(onA, on.AnnouncesPerOp)
-			onB, onD = append(onB, on.AvgBatch), append(onD, on.DirectPct)
+			if wl.Combined.AnnouncesPerOp > 0 {
+				wl.AnnounceReductionX = wl.Uncombined.AnnouncesPerOp / wl.Combined.AnnouncesPerOp
+			}
+			if wl.Uncombined.OpsPerSec > 0 {
+				wl.ThroughputRatio = wl.Combined.OpsPerSec / wl.Uncombined.OpsPerSec
+			}
+			if cfg.name == "update-heavy" && cfg.k == 1 {
+				pt.GateUpdateHeavyReductionX = wl.AnnounceReductionX
+			}
+			pt.Workloads = append(pt.Workloads, wl)
+			tab.AddRow(cfg.name, cfg.k, wl.Uncombined.OpsPerSec, wl.Combined.OpsPerSec,
+				wl.Uncombined.AnnouncesPerOp, wl.Combined.AnnouncesPerOp,
+				wl.AnnounceReductionX, wl.ThroughputRatio, wl.Combined.AvgBatch)
 		}
-		wl := cb1Workload{
-			Mix:    cfg.name,
-			Shards: cfg.k,
-			Uncombined: cb1Side{
-				OpsPerSec: median(offT), AnnouncesPerOp: median(offA),
-			},
-			Combined: cb1Side{
-				OpsPerSec: median(onT), AnnouncesPerOp: median(onA),
-				AvgBatch: median(onB), DirectPct: median(onD),
-			},
-		}
-		if wl.Combined.AnnouncesPerOp > 0 {
-			wl.AnnounceReductionX = wl.Uncombined.AnnouncesPerOp / wl.Combined.AnnouncesPerOp
-		}
-		if wl.Uncombined.OpsPerSec > 0 {
-			wl.ThroughputRatio = wl.Combined.OpsPerSec / wl.Uncombined.OpsPerSec
-		}
-		if cfg.name == "update-heavy" && cfg.k == 1 {
-			report.GateUpdateHeavyReductionX = wl.AnnounceReductionX
-		}
-		report.Workloads = append(report.Workloads, wl)
-		tab.AddRow(cfg.name, cfg.k, wl.Uncombined.OpsPerSec, wl.Combined.OpsPerSec,
-			wl.Uncombined.AnnouncesPerOp, wl.Combined.AnnouncesPerOp,
-			wl.AnnounceReductionX, wl.ThroughputRatio, wl.Combined.AvgBatch)
+		fmt.Println(tab)
+		report.Points = append(report.Points, pt)
+		return nil
+	}); err != nil {
+		return err
 	}
-	fmt.Println(tab)
+	report.GoMaxProcs = report.Points[0].GoMaxProcs
+	report.NumCPU = report.Points[0].NumCPU
+	report.Workloads = report.Points[0].Workloads
+	report.GateUpdateHeavyReductionX = report.Points[0].GateUpdateHeavyReductionX
 	if jsonPath == "" {
 		return nil
 	}
@@ -1127,17 +1345,31 @@ type ad1Workload struct {
 	AdaptiveVsCombined   float64 `json:"adaptive_vs_combined"`
 }
 
-// ad1Report is the BENCH_adaptive.json trajectory point.
+// ad1ProcPoint is one GOMAXPROCS setting's full sweep, gates included:
+// the adaptive controller must pick the winning mode at every P, not
+// just under single-P timeslicing (the throughput-derived enable signal
+// exists precisely because peer counts read differently at P>1).
+type ad1ProcPoint struct {
+	hostTopology
+	Workloads                  []ad1Workload `json:"workloads"`
+	GateThinVsUncombined       float64       `json:"gate_thin_spread_adaptive_vs_uncombined"`
+	GateClusteredVsCombinedMin float64       `json:"gate_clustered_adaptive_vs_combined_min"`
+}
+
+// ad1Report is the BENCH_adaptive.json trajectory point. Top-level
+// GoMaxProcs/NumCPU/Workloads/gates are the first swept P's values — the
+// compatibility row — while Points carries the full -gomaxprocs sweep.
 type ad1Report struct {
-	Experiment string        `json:"experiment"`
-	Timestamp  string        `json:"timestamp"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Universe   int64         `json:"universe"`
-	Goroutines int           `json:"goroutines"`
-	Ops        int           `json:"ops"`
-	Reps       int           `json:"reps_median_of"`
-	Workloads  []ad1Workload `json:"workloads"`
+	Experiment string         `json:"experiment"`
+	Timestamp  string         `json:"timestamp"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Universe   int64          `json:"universe"`
+	Goroutines int            `json:"goroutines"`
+	Ops        int            `json:"ops"`
+	Reps       int            `json:"reps_median_of"`
+	Workloads  []ad1Workload  `json:"workloads"`
+	Points     []ad1ProcPoint `json:"proc_points"`
 	// GateThinVsUncombined is adaptive/uncombined throughput on the
 	// thin-spread mix; the acceptance gate tracks ≥ 0.95 (adaptive must
 	// not pay for a combining layer the workload cannot use).
@@ -1163,9 +1395,16 @@ const (
 // catchment). Adaptive starts every shard direct and must converge to the
 // winning mode per shard at runtime, paying only the sampling tax and the
 // convergence transient; per-point mode-transition counts make the
-// convergence itself part of the recorded trajectory. Writes the
-// BENCH_adaptive.json trajectory point unless -adaptivejson is empty.
-func expAD1(ops, workers int, seed int64, reps int, jsonPath string) error {
+// convergence itself part of the recorded trajectory. The whole sweep
+// repeats per -gomaxprocs setting. Writes the BENCH_adaptive.json
+// trajectory point unless -adaptivejson is empty.
+func expAD1(inv invocation) error {
+	ops, workers, seed := inv.ops, inv.workers, inv.seed
+	reps, jsonPath := inv.adaptiveReps, inv.adaptivePath
+	procs, err := inv.procs()
+	if err != nil {
+		return err
+	}
 	const u = int64(1 << 16)
 	if workers < 16 {
 		fmt.Printf("ad1: raising -workers to 16 (both gates are defined at 16 goroutines)\n")
@@ -1189,8 +1428,6 @@ func expAD1(ops, workers int, seed int64, reps int, jsonPath string) error {
 	report := ad1Report{
 		Experiment: "ad1-adaptive",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
 		Universe:   u,
 		Goroutines: workers,
 		Ops:        ops,
@@ -1265,73 +1502,85 @@ func expAD1(ops, workers int, seed int64, reps int, jsonPath string) error {
 		{"hotshard-update-heavy", "clustered", workload.MixUpdateOnly, 16,
 			workload.HotRange{U: u, HotLo: u / 2, HotWidth: u / 16, HotPct: 90}},
 	}
-	tab := harness.NewTable("workload", "k", "ops/s uncomb", "ops/s comb", "ops/s adaptive",
-		"ad/uncomb", "ad/comb", "flips", "comb shards")
-	for _, cfg := range configs {
-		sides := make([][]float64, 3)
-		var avgB, avgBC, en, dis, rUnc, rComb, shardsOn []float64
-		for rep := 0; rep < reps; rep++ {
-			// The three variants run back-to-back inside a repetition so
-			// machine-noise phases hit all of them (and cancel in the
-			// per-repetition ratios below), and the order ROTATES per
-			// repetition: with a fixed order, load drifting monotonically
-			// across a repetition systematically penalizes whichever
-			// variant always runs last.
-			var repSides [3]ad1Side
-			for j := 0; j < 3; j++ {
-				v := (rep + j) % 3
-				side, err := measure(cfg.k, v, cfg.mix, cfg.dist)
-				if err != nil {
-					return err
+	if err := perP(procs, func(p int) error {
+		pt := ad1ProcPoint{hostTopology: topologyAt(p)}
+		tab := harness.NewTable("workload", "k", "ops/s uncomb", "ops/s comb", "ops/s adaptive",
+			"ad/uncomb", "ad/comb", "flips", "comb shards")
+		for _, cfg := range configs {
+			sides := make([][]float64, 3)
+			var avgB, avgBC, en, dis, rUnc, rComb, shardsOn []float64
+			for rep := 0; rep < reps; rep++ {
+				// The three variants run back-to-back inside a repetition so
+				// machine-noise phases hit all of them (and cancel in the
+				// per-repetition ratios below), and the order ROTATES per
+				// repetition: with a fixed order, load drifting monotonically
+				// across a repetition systematically penalizes whichever
+				// variant always runs last.
+				var repSides [3]ad1Side
+				for j := 0; j < 3; j++ {
+					v := (rep + j) % 3
+					side, err := measure(cfg.k, v, cfg.mix, cfg.dist)
+					if err != nil {
+						return err
+					}
+					repSides[v] = side
+					sides[v] = append(sides[v], side.OpsPerSec)
+					if v == ad1Combined {
+						avgBC = append(avgBC, side.AvgBatch)
+					}
+					if v == ad1Adaptive {
+						avgB = append(avgB, side.AvgBatch)
+						en = append(en, float64(side.Enables))
+						dis = append(dis, float64(side.Disables))
+						shardsOn = append(shardsOn, float64(side.CombiningShards))
+					}
 				}
-				repSides[v] = side
-				sides[v] = append(sides[v], side.OpsPerSec)
-				if v == ad1Combined {
-					avgBC = append(avgBC, side.AvgBatch)
+				if repSides[ad1Uncombined].OpsPerSec > 0 {
+					rUnc = append(rUnc, repSides[ad1Adaptive].OpsPerSec/repSides[ad1Uncombined].OpsPerSec)
 				}
-				if v == ad1Adaptive {
-					avgB = append(avgB, side.AvgBatch)
-					en = append(en, float64(side.Enables))
-					dis = append(dis, float64(side.Disables))
-					shardsOn = append(shardsOn, float64(side.CombiningShards))
+				if repSides[ad1Combined].OpsPerSec > 0 {
+					rComb = append(rComb, repSides[ad1Adaptive].OpsPerSec/repSides[ad1Combined].OpsPerSec)
 				}
 			}
-			if repSides[ad1Uncombined].OpsPerSec > 0 {
-				rUnc = append(rUnc, repSides[ad1Adaptive].OpsPerSec/repSides[ad1Uncombined].OpsPerSec)
+			wl := ad1Workload{
+				Mix: cfg.name, Shards: cfg.k, Regime: cfg.regime,
+				Uncombined: ad1Side{OpsPerSec: median(sides[ad1Uncombined])},
+				Combined: ad1Side{OpsPerSec: median(sides[ad1Combined]),
+					AvgBatch: median(avgBC), CombiningShards: cfg.k},
+				Adaptive: ad1Side{
+					OpsPerSec: median(sides[ad1Adaptive]), AvgBatch: median(avgB),
+					Enables: int64(median(en)), Disables: int64(median(dis)),
+					CombiningShards: int(median(shardsOn)),
+				},
 			}
-			if repSides[ad1Combined].OpsPerSec > 0 {
-				rComb = append(rComb, repSides[ad1Adaptive].OpsPerSec/repSides[ad1Combined].OpsPerSec)
+			if len(rUnc) > 0 {
+				wl.AdaptiveVsUncombined = median(rUnc)
 			}
+			if len(rComb) > 0 {
+				wl.AdaptiveVsCombined = median(rComb)
+			}
+			if cfg.regime == "thin-spread" {
+				pt.GateThinVsUncombined = wl.AdaptiveVsUncombined
+			} else if pt.GateClusteredVsCombinedMin == 0 ||
+				wl.AdaptiveVsCombined < pt.GateClusteredVsCombinedMin {
+				pt.GateClusteredVsCombinedMin = wl.AdaptiveVsCombined
+			}
+			pt.Workloads = append(pt.Workloads, wl)
+			tab.AddRow(cfg.name, cfg.k, wl.Uncombined.OpsPerSec, wl.Combined.OpsPerSec,
+				wl.Adaptive.OpsPerSec, wl.AdaptiveVsUncombined, wl.AdaptiveVsCombined,
+				wl.Adaptive.Enables+wl.Adaptive.Disables, wl.Adaptive.CombiningShards)
 		}
-		wl := ad1Workload{
-			Mix: cfg.name, Shards: cfg.k, Regime: cfg.regime,
-			Uncombined: ad1Side{OpsPerSec: median(sides[ad1Uncombined])},
-			Combined: ad1Side{OpsPerSec: median(sides[ad1Combined]),
-				AvgBatch: median(avgBC), CombiningShards: cfg.k},
-			Adaptive: ad1Side{
-				OpsPerSec: median(sides[ad1Adaptive]), AvgBatch: median(avgB),
-				Enables: int64(median(en)), Disables: int64(median(dis)),
-				CombiningShards: int(median(shardsOn)),
-			},
-		}
-		if len(rUnc) > 0 {
-			wl.AdaptiveVsUncombined = median(rUnc)
-		}
-		if len(rComb) > 0 {
-			wl.AdaptiveVsCombined = median(rComb)
-		}
-		if cfg.regime == "thin-spread" {
-			report.GateThinVsUncombined = wl.AdaptiveVsUncombined
-		} else if report.GateClusteredVsCombinedMin == 0 ||
-			wl.AdaptiveVsCombined < report.GateClusteredVsCombinedMin {
-			report.GateClusteredVsCombinedMin = wl.AdaptiveVsCombined
-		}
-		report.Workloads = append(report.Workloads, wl)
-		tab.AddRow(cfg.name, cfg.k, wl.Uncombined.OpsPerSec, wl.Combined.OpsPerSec,
-			wl.Adaptive.OpsPerSec, wl.AdaptiveVsUncombined, wl.AdaptiveVsCombined,
-			wl.Adaptive.Enables+wl.Adaptive.Disables, wl.Adaptive.CombiningShards)
+		fmt.Println(tab)
+		report.Points = append(report.Points, pt)
+		return nil
+	}); err != nil {
+		return err
 	}
-	fmt.Println(tab)
+	report.GoMaxProcs = report.Points[0].GoMaxProcs
+	report.NumCPU = report.Points[0].NumCPU
+	report.Workloads = report.Points[0].Workloads
+	report.GateThinVsUncombined = report.Points[0].GateThinVsUncombined
+	report.GateClusteredVsCombinedMin = report.Points[0].GateClusteredVsCombinedMin
 	if jsonPath == "" {
 		return nil
 	}
@@ -1370,7 +1619,20 @@ type rs1Side struct {
 	FinalShards int   `json:"final_shards"`
 }
 
-// rs1Report is the BENCH_resize.json trajectory point.
+// rs1ProcPoint is one GOMAXPROCS setting's full ladder, gate included:
+// online resizing must stay competitive with the best fixed k at every
+// P (migrations pause differently when shard drains genuinely overlap).
+type rs1ProcPoint struct {
+	hostTopology
+	Fixed                   map[string]rs1Side `json:"fixed"`
+	Adaptive                rs1Side            `json:"adaptive"`
+	GateAdaptiveVsBestFixed float64            `json:"gate_adaptive_vs_best_fixed"`
+}
+
+// rs1Report is the BENCH_resize.json trajectory point. Top-level
+// GoMaxProcs/NumCPU/Fixed/Adaptive/gate are the first swept P's values —
+// the compatibility row — while Points carries the full -gomaxprocs
+// sweep.
 type rs1Report struct {
 	Experiment string             `json:"experiment"`
 	Timestamp  string             `json:"timestamp"`
@@ -1384,6 +1646,7 @@ type rs1Report struct {
 	MaxShards  int                `json:"max_shards"`
 	Fixed      map[string]rs1Side `json:"fixed"`
 	Adaptive   rs1Side            `json:"adaptive"`
+	Points     []rs1ProcPoint     `json:"proc_points"`
 	// GateAdaptiveVsBestFixed is the median over repetitions of
 	// adaptive / best-fixed-in-that-repetition total throughput; the
 	// acceptance gate tracks ≥ 0.95 (online resizing must not cost more
@@ -1399,9 +1662,16 @@ type rs1Report struct {
 // (where k=16 measured 2–3× k=1). No fixed k is right for both phases;
 // the resize decision layer must carry the partition toward the
 // contention, paying for its migrations out of the winnings. Per-point
-// transition counts make the trajectory auditable. Writes the
-// BENCH_resize.json trajectory point unless -resizejson is empty.
-func expRS1(ops, workers int, seed int64, reps int, jsonPath string) error {
+// transition counts make the trajectory auditable. The whole ladder
+// repeats per -gomaxprocs setting. Writes the BENCH_resize.json
+// trajectory point unless -resizejson is empty.
+func expRS1(inv invocation) error {
+	ops, workers, seed := inv.ops, inv.workers, inv.seed
+	reps, jsonPath := inv.resizeReps, inv.resizePath
+	procs, err := inv.procs()
+	if err != nil {
+		return err
+	}
 	const (
 		u         = int64(1 << 16)
 		minShards = 1
@@ -1429,15 +1699,12 @@ func expRS1(ops, workers int, seed int64, reps int, jsonPath string) error {
 	report := rs1Report{
 		Experiment: "rs1-resize",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
 		Universe:   u,
 		Goroutines: workers,
 		Ops:        ops,
 		Reps:       reps,
 		MinShards:  minShards,
 		MaxShards:  maxShards,
-		Fixed:      map[string]rs1Side{},
 	}
 	skewed := workload.HotRange{U: u, HotLo: u / 2, HotWidth: u / 16, HotPct: 90}
 	// One measurement: fresh structure, half-full prefill, then the two
@@ -1478,78 +1745,90 @@ func expRS1(ops, workers int, seed int64, reps int, jsonPath string) error {
 	variants := append([]int{}, rs1FixedKs...)
 	const adaptiveVariant = -1
 	variants = append(variants, adaptiveVariant)
-	samples := map[int][]rs1Side{}
-	var ratios []float64
-	for rep := 0; rep < reps; rep++ {
-		repSides := map[int]rs1Side{}
-		for j := range variants {
-			// Rotate the run order per repetition so monotone host-load
-			// drift cannot systematically penalize one variant (the AD1
-			// lesson).
-			v := variants[(rep+j)%len(variants)]
-			var side rs1Side
-			var err error
-			if v == adaptiveVariant {
-				var s *resize.Set
-				s, err = resize.NewSet(midShards,
-					func(k int) (*sharded.Trie, error) { return sharded.New(u, k) },
-					resize.Config{MinShards: minShards, MaxShards: maxShards})
-				if err == nil {
-					side, err = measure(s, s)
+	if err := perP(procs, func(p int) error {
+		pt := rs1ProcPoint{hostTopology: topologyAt(p), Fixed: map[string]rs1Side{}}
+		samples := map[int][]rs1Side{}
+		var ratios []float64
+		for rep := 0; rep < reps; rep++ {
+			repSides := map[int]rs1Side{}
+			for j := range variants {
+				// Rotate the run order per repetition so monotone host-load
+				// drift cannot systematically penalize one variant (the AD1
+				// lesson).
+				v := variants[(rep+j)%len(variants)]
+				var side rs1Side
+				var err error
+				if v == adaptiveVariant {
+					var s *resize.Set
+					s, err = resize.NewSet(midShards,
+						func(k int) (*sharded.Trie, error) { return sharded.New(u, k) },
+						resize.Config{MinShards: minShards, MaxShards: maxShards})
+					if err == nil {
+						side, err = measure(s, s)
+					}
+				} else {
+					var s *sharded.Trie
+					s, err = sharded.New(u, v)
+					if err == nil {
+						side, err = measure(s, nil)
+						side.FinalShards = v // fixed by construction
+					}
 				}
-			} else {
-				var s *sharded.Trie
-				s, err = sharded.New(u, v)
-				if err == nil {
-					side, err = measure(s, nil)
-					side.FinalShards = v // fixed by construction
+				if err != nil {
+					return err
+				}
+				repSides[v] = side
+				samples[v] = append(samples[v], side)
+			}
+			bestFixed := 0.0
+			for _, k := range rs1FixedKs {
+				if t := repSides[k].OpsPerSec; t > bestFixed {
+					bestFixed = t
 				}
 			}
-			if err != nil {
-				return err
+			if bestFixed > 0 {
+				ratios = append(ratios, repSides[adaptiveVariant].OpsPerSec/bestFixed)
 			}
-			repSides[v] = side
-			samples[v] = append(samples[v], side)
 		}
-		bestFixed := 0.0
+		medianSide := func(sides []rs1Side) rs1Side {
+			var tot, sk, un, gr, sh, fs []float64
+			for _, s := range sides {
+				tot = append(tot, s.OpsPerSec)
+				sk = append(sk, s.SkewedOpsPerSec)
+				un = append(un, s.UniformOpsPerSec)
+				gr = append(gr, float64(s.Grows))
+				sh = append(sh, float64(s.Shrinks))
+				fs = append(fs, float64(s.FinalShards))
+			}
+			return rs1Side{
+				OpsPerSec: median(tot), SkewedOpsPerSec: median(sk), UniformOpsPerSec: median(un),
+				Grows: int64(median(gr)), Shrinks: int64(median(sh)), FinalShards: int(median(fs)),
+			}
+		}
+		tab := harness.NewTable("variant", "total ops/s", "skewed ops/s", "uniform ops/s", "grows", "shrinks", "final k")
 		for _, k := range rs1FixedKs {
-			if t := repSides[k].OpsPerSec; t > bestFixed {
-				bestFixed = t
-			}
+			side := medianSide(samples[k])
+			pt.Fixed[fmt.Sprintf("k=%d", k)] = side
+			tab.AddRow(fmt.Sprintf("fixed k=%d", k), side.OpsPerSec, side.SkewedOpsPerSec, side.UniformOpsPerSec,
+				side.Grows, side.Shrinks, k)
 		}
-		if bestFixed > 0 {
-			ratios = append(ratios, repSides[adaptiveVariant].OpsPerSec/bestFixed)
-		}
+		ad := medianSide(samples[adaptiveVariant])
+		pt.Adaptive = ad
+		pt.GateAdaptiveVsBestFixed = median(ratios)
+		tab.AddRow(fmt.Sprintf("adaptive [%d,%d]", minShards, maxShards), ad.OpsPerSec,
+			ad.SkewedOpsPerSec, ad.UniformOpsPerSec, ad.Grows, ad.Shrinks, ad.FinalShards)
+		fmt.Println(tab)
+		fmt.Printf("adaptive vs best fixed (median of per-rep ratios): %.3f\n", pt.GateAdaptiveVsBestFixed)
+		report.Points = append(report.Points, pt)
+		return nil
+	}); err != nil {
+		return err
 	}
-	medianSide := func(sides []rs1Side) rs1Side {
-		var tot, sk, un, gr, sh, fs []float64
-		for _, s := range sides {
-			tot = append(tot, s.OpsPerSec)
-			sk = append(sk, s.SkewedOpsPerSec)
-			un = append(un, s.UniformOpsPerSec)
-			gr = append(gr, float64(s.Grows))
-			sh = append(sh, float64(s.Shrinks))
-			fs = append(fs, float64(s.FinalShards))
-		}
-		return rs1Side{
-			OpsPerSec: median(tot), SkewedOpsPerSec: median(sk), UniformOpsPerSec: median(un),
-			Grows: int64(median(gr)), Shrinks: int64(median(sh)), FinalShards: int(median(fs)),
-		}
-	}
-	tab := harness.NewTable("variant", "total ops/s", "skewed ops/s", "uniform ops/s", "grows", "shrinks", "final k")
-	for _, k := range rs1FixedKs {
-		side := medianSide(samples[k])
-		report.Fixed[fmt.Sprintf("k=%d", k)] = side
-		tab.AddRow(fmt.Sprintf("fixed k=%d", k), side.OpsPerSec, side.SkewedOpsPerSec, side.UniformOpsPerSec,
-			side.Grows, side.Shrinks, k)
-	}
-	ad := medianSide(samples[adaptiveVariant])
-	report.Adaptive = ad
-	report.GateAdaptiveVsBestFixed = median(ratios)
-	tab.AddRow(fmt.Sprintf("adaptive [%d,%d]", minShards, maxShards), ad.OpsPerSec,
-		ad.SkewedOpsPerSec, ad.UniformOpsPerSec, ad.Grows, ad.Shrinks, ad.FinalShards)
-	fmt.Println(tab)
-	fmt.Printf("adaptive vs best fixed (median of per-rep ratios): %.3f\n", report.GateAdaptiveVsBestFixed)
+	report.GoMaxProcs = report.Points[0].GoMaxProcs
+	report.NumCPU = report.Points[0].NumCPU
+	report.Fixed = report.Points[0].Fixed
+	report.Adaptive = report.Points[0].Adaptive
+	report.GateAdaptiveVsBestFixed = report.Points[0].GateAdaptiveVsBestFixed
 	if jsonPath == "" {
 		return nil
 	}
@@ -1600,15 +1879,27 @@ type cc1Workload struct {
 	SpeedupX float64 `json:"speedup_x"`
 }
 
-// cc1Report is the BENCH_cache.json trajectory point.
+// cc1ProcPoint is one GOMAXPROCS setting's full sweep. CC1 measures solo
+// descents, so P mostly moves GC/background scheduling; the per-point
+// gate documents that the compression win is not a single-P accident.
+type cc1ProcPoint struct {
+	hostTopology
+	Workloads              []cc1Workload `json:"workloads"`
+	GateSparsePredSpeedupX float64       `json:"gate_sparse_pred_heavy_speedup_x"`
+}
+
+// cc1Report is the BENCH_cache.json trajectory point. Top-level
+// GoMaxProcs/NumCPU/Workloads/gate are the first swept P's values — the
+// compatibility row — while Points carries the full -gomaxprocs sweep.
 type cc1Report struct {
-	Experiment string        `json:"experiment"`
-	Timestamp  string        `json:"timestamp"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Ops        int           `json:"ops"`
-	Reps       int           `json:"reps_median_of"`
-	Workloads  []cc1Workload `json:"workloads"`
+	Experiment string         `json:"experiment"`
+	Timestamp  string         `json:"timestamp"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Ops        int            `json:"ops"`
+	Reps       int            `json:"reps_median_of"`
+	Workloads  []cc1Workload  `json:"workloads"`
+	Points     []cc1ProcPoint `json:"proc_points"`
 	// GateSparsePredSpeedupX is the sparse-pred-heavy speedup the
 	// acceptance gate tracks (≥ 1.15).
 	GateSparsePredSpeedupX float64 `json:"gate_sparse_pred_heavy_speedup_x"`
@@ -1642,9 +1933,15 @@ func cc1VacuousGate(bits *bitstrie.Trie) error {
 // sparse search row (Search reads its leaf in O(1) and never descends,
 // so compression must be free there), and a half-full pred-heavy control
 // (nothing to skip — the ratio bounds the summary-probe tax near 1×).
-// Writes the BENCH_cache.json trajectory point unless -cachejson is
-// empty.
-func expCC1(ops int, seed int64, reps int, jsonPath string) error {
+// The whole sweep repeats per -gomaxprocs setting. Writes the
+// BENCH_cache.json trajectory point unless -cachejson is empty.
+func expCC1(inv invocation) error {
+	ops, seed := inv.ops, inv.seed
+	reps, jsonPath := inv.cacheReps, inv.cachePath
+	procs, err := inv.procs()
+	if err != nil {
+		return err
+	}
 	if reps < 1 {
 		reps = 1
 	}
@@ -1673,8 +1970,6 @@ func expCC1(ops int, seed int64, reps int, jsonPath string) error {
 	report := cc1Report{
 		Experiment: "cc1-cache",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
 		Ops:        ops,
 		Reps:       reps,
 	}
@@ -1729,57 +2024,270 @@ func expCC1(ops int, seed int64, reps int, jsonPath string) error {
 			SkippedBitReadsPerOp: float64(bstats.SkippedBitReads.Load()) / n,
 		}, nil
 	}
-	tab := harness.NewTable("workload", "ops/s off", "ops/s on", "speedup x",
-		"bitreads/op off", "bitreads/op on", "skipped/op")
-	for _, cfg := range configs {
-		var offT, onT, offB, onB, offS, onS, onSum, onSkip, ratios []float64
+	if err := perP(procs, func(p int) error {
+		pt := cc1ProcPoint{hostTopology: topologyAt(p)}
+		tab := harness.NewTable("workload", "ops/s off", "ops/s on", "speedup x",
+			"bitreads/op off", "bitreads/op on", "skipped/op")
+		for _, cfg := range configs {
+			var offT, onT, offB, onB, offS, onS, onSum, onSkip, ratios []float64
+			for rep := 0; rep < reps; rep++ {
+				// Rotate which side runs first per repetition so monotone
+				// host-load drift cannot systematically penalize one side.
+				var on, off cc1Side
+				for j := 0; j < 2; j++ {
+					compressed := (rep+j)%2 == 0
+					side, err := measure(cfg, compressed)
+					if err != nil {
+						return err
+					}
+					if compressed {
+						on = side
+					} else {
+						off = side
+					}
+				}
+				offT, onT = append(offT, off.OpsPerSec), append(onT, on.OpsPerSec)
+				offB, onB = append(offB, off.BitReadsPerOp), append(onB, on.BitReadsPerOp)
+				offS, onS = append(offS, off.StepsPerOp), append(onS, on.StepsPerOp)
+				onSum = append(onSum, on.SummaryLoadsPerOp)
+				onSkip = append(onSkip, on.SkippedBitReadsPerOp)
+				if off.OpsPerSec > 0 {
+					ratios = append(ratios, on.OpsPerSec/off.OpsPerSec)
+				}
+			}
+			wl := cc1Workload{
+				Name:        cfg.name,
+				Universe:    cfg.u,
+				KeysPrefill: cfg.u / cfg.gap,
+				Compressed: cc1Side{
+					OpsPerSec: median(onT), BitReadsPerOp: median(onB), StepsPerOp: median(onS),
+					SummaryLoadsPerOp: median(onSum), SkippedBitReadsPerOp: median(onSkip),
+				},
+				Uncompressed: cc1Side{
+					OpsPerSec: median(offT), BitReadsPerOp: median(offB), StepsPerOp: median(offS),
+				},
+				SpeedupX: median(ratios),
+			}
+			if cfg.gate {
+				pt.GateSparsePredSpeedupX = wl.SpeedupX
+			}
+			pt.Workloads = append(pt.Workloads, wl)
+			tab.AddRow(cfg.name, wl.Uncompressed.OpsPerSec, wl.Compressed.OpsPerSec, wl.SpeedupX,
+				wl.Uncompressed.BitReadsPerOp, wl.Compressed.BitReadsPerOp,
+				wl.Compressed.SkippedBitReadsPerOp)
+		}
+		fmt.Println(tab)
+		report.Points = append(report.Points, pt)
+		return nil
+	}); err != nil {
+		return err
+	}
+	report.GoMaxProcs = report.Points[0].GoMaxProcs
+	report.NumCPU = report.Points[0].NumCPU
+	report.Workloads = report.Points[0].Workloads
+	report.GateSparsePredSpeedupX = report.Points[0].GateSparsePredSpeedupX
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
+	return nil
+}
+
+// --- MP1: core-aware placement and the P-scaling curve -------------------------
+
+// mp1Reps is the default repetition count per (variant, P) configuration
+// (-mp1reps overrides); the median of per-repetition ratios is reported,
+// rotated per repetition, for the same host-load-drift reasons as AD1.
+const mp1Reps = 5
+
+// mp1Variant indexes the four structures each repetition measures.
+const (
+	mp1Placed = iota // combining shards with an identity placement hint
+	mp1Plain         // combining shards, unplaced (rotating slot claim)
+	mp1K             // plain sharded, high k — the P-scaling curve's top
+	mp1K1            // plain sharded, k=1 — the P-scaling curve's floor
+	mp1Variants
+)
+
+// mp1ProcPoint is one GOMAXPROCS setting's measurements: the placement
+// A/B pair plus the sharded-vs-k=1 scaling pair that anchors how much
+// parallelism the host actually delivers at this P.
+type mp1ProcPoint struct {
+	hostTopology
+	PlacedOpsPerSec float64 `json:"placed_ops_per_sec"`
+	PlainOpsPerSec  float64 `json:"plain_ops_per_sec"`
+	// PlacedVsPlain is the median of per-repetition placed/plain ratios
+	// (the two sides run adjacently inside each repetition, so drifting
+	// host load cancels).
+	PlacedVsPlain float64 `json:"placed_vs_plain"`
+	// The P-scaling curve: plain sharded high-k vs k=1 throughput at
+	// this P. Their ratio rising with P is the multicore payoff of the
+	// partition itself, placement aside.
+	ShardedOpsPerSec float64 `json:"sharded_k_ops_per_sec"`
+	K1OpsPerSec      float64 `json:"sharded_k1_ops_per_sec"`
+	ShardedVsK1      float64 `json:"sharded_vs_k1"`
+}
+
+// mp1Report is the BENCH_multicore.json trajectory point.
+type mp1Report struct {
+	Experiment string         `json:"experiment"`
+	Timestamp  string         `json:"timestamp"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Universe   int64          `json:"universe"`
+	Goroutines int            `json:"goroutines"`
+	Ops        int            `json:"ops"`
+	Shards     int            `json:"shards"`
+	Reps       int            `json:"reps_median_of"`
+	Placement  []int          `json:"placement_hint"`
+	Points     []mp1ProcPoint `json:"proc_points"`
+	// GatePlacedVsPlainMin is the minimum over the swept P values of the
+	// per-P median placed/plain throughput ratio; the acceptance gate
+	// tracks ≥ 1.0 (the hint must never cost throughput — it only
+	// narrows where a submitter looks for a slot).
+	GatePlacedVsPlainMin float64 `json:"gate_placed_vs_plain_min_over_p"`
+}
+
+// expMP1: core-aware shard placement across a GOMAXPROCS sweep. The
+// workload is the placement best case by construction — disjoint
+// per-worker key bands, so each worker funnels into one shard's combiner
+// and a sticky slot claim keeps it on the same publication slot (and the
+// same arena cache lines) round after round — measured against the
+// identical trie without the hint, where every claim starts from a
+// rotating ticket. The plain-sharded k vs k=1 pair rides along as the
+// P-scaling curve: how much the partition itself earns as real
+// parallelism (or oversubscribed timeslicing — each point records its
+// topology) increases. Unlike the other trajectory experiments, the P
+// sweep IS the experiment, so an empty -gomaxprocs defaults to 1,4,8
+// rather than the current setting. Writes the BENCH_multicore.json
+// trajectory point unless -multicorejson is empty.
+func expMP1(inv invocation) error {
+	ops, workers, seed := inv.ops, inv.workers, inv.seed
+	reps, jsonPath := inv.multicoreReps, inv.multicorePath
+	k := inv.shards
+	if k < 2 {
+		k = 16
+	}
+	procs, err := inv.procsDefault([]int{1, 4, 8})
+	if err != nil {
+		return err
+	}
+	const u = int64(1 << 16)
+	if workers < 16 {
+		fmt.Printf("mp1: raising -workers to 16 (the gate is defined at 16 goroutines)\n")
+		workers = 16
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if ops < 400000 {
+		fmt.Printf("mp1: raising -ops to 400000 (short runs measure warm-up, not the placement steady state)\n")
+		ops = 400000
+	}
+	fmt.Printf("== MP1: placed vs unplaced combining shards across GOMAXPROCS (ops/s, %d goroutines) ==\n", workers)
+	// Identity hint: each shard its own placement group, so each shard's
+	// combiner carves a private arena and every worker (pinned to one
+	// shard by its band) re-finds its slot in that arena.
+	identity := make([]int, k)
+	for i := range identity {
+		identity[i] = i
+	}
+	report := mp1Report{
+		Experiment: "mp1-multicore",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Universe:   u,
+		Goroutines: workers,
+		Ops:        ops,
+		Shards:     k,
+		Reps:       reps,
+		Placement:  identity,
+	}
+	bands := workload.Bands(u, workers)
+	mks := [mp1Variants]func() (*sharded.Trie, error){
+		mp1Placed: func() (*sharded.Trie, error) {
+			return sharded.NewWithOptions(u, k, sharded.Options{Combining: true, Placement: identity})
+		},
+		mp1Plain: func() (*sharded.Trie, error) { return sharded.NewCombining(u, k) },
+		mp1K:     func() (*sharded.Trie, error) { return sharded.New(u, k) },
+		mp1K1:    func() (*sharded.Trie, error) { return sharded.New(u, 1) },
+	}
+	// One measurement: fresh trie, half-full prefill, timed disjoint-band
+	// update-heavy run.
+	measure := func(variant int) (float64, error) {
+		tr, err := mks[variant]()
+		if err != nil {
+			return 0, err
+		}
+		for key := int64(0); key < u; key += 2 {
+			tr.Insert(key)
+		}
+		res, err := harness.Run(tr, harness.Config{
+			Workers:      workers,
+			OpsPerWorker: ops / workers,
+			Mix:          workload.MixUpdateHeavy,
+			DistFor:      func(w int) workload.KeyDist { return bands[w%len(bands)] },
+			Seed:         seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Throughput, nil
+	}
+	tab := harness.NewTable("gomaxprocs", "placed ops/s", "plain ops/s", "placed/plain",
+		fmt.Sprintf("k=%d ops/s", k), "k=1 ops/s", "scaling x")
+	if err := perP(procs, func(p int) error {
+		pt := mp1ProcPoint{hostTopology: topologyAt(p)}
+		samples := make([][]float64, mp1Variants)
+		var ratios []float64
 		for rep := 0; rep < reps; rep++ {
-			// Rotate which side runs first per repetition so monotone
-			// host-load drift cannot systematically penalize one side.
-			var on, off cc1Side
-			for j := 0; j < 2; j++ {
-				compressed := (rep+j)%2 == 0
-				side, err := measure(cfg, compressed)
+			// Rotate the variant order per repetition (the AD1 lesson:
+			// a fixed order lets monotone host-load drift systematically
+			// penalize whichever variant always runs last).
+			var repT [mp1Variants]float64
+			for j := 0; j < mp1Variants; j++ {
+				v := (rep + j) % mp1Variants
+				tput, err := measure(v)
 				if err != nil {
 					return err
 				}
-				if compressed {
-					on = side
-				} else {
-					off = side
-				}
+				repT[v] = tput
+				samples[v] = append(samples[v], tput)
 			}
-			offT, onT = append(offT, off.OpsPerSec), append(onT, on.OpsPerSec)
-			offB, onB = append(offB, off.BitReadsPerOp), append(onB, on.BitReadsPerOp)
-			offS, onS = append(offS, off.StepsPerOp), append(onS, on.StepsPerOp)
-			onSum = append(onSum, on.SummaryLoadsPerOp)
-			onSkip = append(onSkip, on.SkippedBitReadsPerOp)
-			if off.OpsPerSec > 0 {
-				ratios = append(ratios, on.OpsPerSec/off.OpsPerSec)
+			if repT[mp1Plain] > 0 {
+				ratios = append(ratios, repT[mp1Placed]/repT[mp1Plain])
 			}
 		}
-		wl := cc1Workload{
-			Name:        cfg.name,
-			Universe:    cfg.u,
-			KeysPrefill: cfg.u / cfg.gap,
-			Compressed: cc1Side{
-				OpsPerSec: median(onT), BitReadsPerOp: median(onB), StepsPerOp: median(onS),
-				SummaryLoadsPerOp: median(onSum), SkippedBitReadsPerOp: median(onSkip),
-			},
-			Uncompressed: cc1Side{
-				OpsPerSec: median(offT), BitReadsPerOp: median(offB), StepsPerOp: median(offS),
-			},
-			SpeedupX: median(ratios),
+		pt.PlacedOpsPerSec = median(samples[mp1Placed])
+		pt.PlainOpsPerSec = median(samples[mp1Plain])
+		pt.PlacedVsPlain = median(ratios)
+		pt.ShardedOpsPerSec = median(samples[mp1K])
+		pt.K1OpsPerSec = median(samples[mp1K1])
+		if pt.K1OpsPerSec > 0 {
+			pt.ShardedVsK1 = pt.ShardedOpsPerSec / pt.K1OpsPerSec
 		}
-		if cfg.gate {
-			report.GateSparsePredSpeedupX = wl.SpeedupX
+		tab.AddRow(p, pt.PlacedOpsPerSec, pt.PlainOpsPerSec, pt.PlacedVsPlain,
+			pt.ShardedOpsPerSec, pt.K1OpsPerSec, pt.ShardedVsK1)
+		report.Points = append(report.Points, pt)
+		return nil
+	}); err != nil {
+		return err
+	}
+	report.GoMaxProcs = report.Points[0].GoMaxProcs
+	report.NumCPU = report.Points[0].NumCPU
+	for i, pt := range report.Points {
+		if i == 0 || pt.PlacedVsPlain < report.GatePlacedVsPlainMin {
+			report.GatePlacedVsPlainMin = pt.PlacedVsPlain
 		}
-		report.Workloads = append(report.Workloads, wl)
-		tab.AddRow(cfg.name, wl.Uncompressed.OpsPerSec, wl.Compressed.OpsPerSec, wl.SpeedupX,
-			wl.Uncompressed.BitReadsPerOp, wl.Compressed.BitReadsPerOp,
-			wl.Compressed.SkippedBitReadsPerOp)
 	}
 	fmt.Println(tab)
+	fmt.Printf("placed vs plain, min over P (median of per-rep ratios): %.3f\n", report.GatePlacedVsPlainMin)
 	if jsonPath == "" {
 		return nil
 	}

@@ -51,6 +51,7 @@ package adapt
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/atomicx"
 )
@@ -92,6 +93,14 @@ const (
 	// DefaultMinDwell is the minimum samples between flips; 4 samples at
 	// the default cadence is ~512 ops of dwell per shard.
 	DefaultMinDwell = 4
+	// DefaultThroughputEnable is the secondary-enable collapse factor: a
+	// direct-mode shard whose measured ops/sec EWMA has fallen to half of
+	// the best throughput it achieved in direct mode is being slowed by
+	// something the peer-count estimate can miss (cache-line contention
+	// between publishers on different Ps shows up as latency, not as
+	// announcement-list length). Half is far outside run-to-run noise on
+	// the ad1/cb1 sweeps (≤ 10%), so the signal cannot fire on jitter.
+	DefaultThroughputEnable = 0.5
 )
 
 // Config sets the controller's thresholds. The zero value of any field
@@ -118,6 +127,14 @@ type Config struct {
 	// MinDwell is the minimum number of samples a shard stays in a mode
 	// before the controller may flip it again.
 	MinDwell int64
+	// ThroughputEnable is the secondary-enable factor: a direct-mode
+	// shard enables combining when its ops/sec EWMA falls to this
+	// fraction of its best direct-mode throughput AND the contention
+	// estimate shows concurrent publishers (above the Disable floor).
+	// The signal only fires when samples carry Ops/Nanos readings — a
+	// reader that leaves them zero keeps the controller on the
+	// peer-count estimate alone.
+	ThroughputEnable float64
 	// StartCombining selects the initial mode (default: direct).
 	StartCombining bool
 }
@@ -145,6 +162,9 @@ func (c Config) withDefaults() Config {
 	if c.MinDwell <= 0 {
 		c.MinDwell = DefaultMinDwell
 	}
+	if c.ThroughputEnable <= 0 || c.ThroughputEnable >= 1 {
+		c.ThroughputEnable = DefaultThroughputEnable
+	}
 	return c
 }
 
@@ -170,6 +190,13 @@ type Sample struct {
 	// when the caller has no such counter; the controller uses
 	// max(AnnLen, Pending)).
 	Pending int64
+	// Ops is the cumulative publication-op count at the sample instant
+	// and Nanos the cumulative nanoseconds since the controller started;
+	// together they give the throughput signal its per-interval ops/sec.
+	// Leaving both zero (a reader without timing) keeps the throughput
+	// signal inert — Tick fills them itself on the live path.
+	Ops   int64
+	Nanos int64
 }
 
 // Mode word values.
@@ -219,6 +246,13 @@ type Controller struct {
 	last  Sample
 	ewma  float64
 	dwell int64 // samples since the last flip
+	// Throughput signal state (sampler-owned): tput is the ops/sec EWMA
+	// over sample intervals, directPeak the best tput ever observed in
+	// direct mode — the baseline a collapse is measured against.
+	tput       float64
+	directPeak float64
+	// start anchors Tick's Nanos readings; set once in New.
+	start time.Time
 }
 
 // New returns a controller with cfg's thresholds (zero fields take the
@@ -228,7 +262,7 @@ type Controller struct {
 // fields the mode does not consult zero (AnnLen/Pending while combining).
 func New(cfg Config, read func(combining bool) Sample) *Controller {
 	cfg = cfg.withDefaults()
-	c := &Controller{cfg: cfg, read: read}
+	c := &Controller{cfg: cfg, read: read, start: time.Now()}
 	if cfg.StartCombining {
 		c.mode.Store(modeCombining)
 		// An optimistic start carries an optimistic estimate: the EWMA
@@ -262,6 +296,13 @@ func (c *Controller) Transitions() (enables, disables int64) {
 // monitoring.
 func (c *Controller) Estimate() float64 { return c.ewma }
 
+// Throughput returns the ops/sec EWMA and the best direct-mode value it
+// has reached — the throughput-enable signal's inputs. Same quiescent-
+// inspection caveat as Estimate.
+func (c *Controller) Throughput() (ewma, directPeak float64) {
+	return c.tput, c.directPeak
+}
+
 // Tick records one publication op and, every SampleEvery-th op, takes a
 // signal sample and runs the flip decision. The publication path calls it
 // before routing, so an op whose Tick flips the mode publishes under the
@@ -275,7 +316,14 @@ func (c *Controller) Tick() {
 	if !c.sampling.CompareAndSwap(0, 1) {
 		return
 	}
-	c.Step(c.read(c.Combining()))
+	s := c.read(c.Combining())
+	// The timing pair is the controller's own, not the reader's: ticks
+	// already counts this shard's publication ops, and the wall clock
+	// anchors at New, so every reader gets the throughput signal without
+	// carrying a clock.
+	s.Ops = c.ticks.Load()
+	s.Nanos = int64(time.Since(c.start))
+	c.Step(s)
 	c.sampling.Store(0)
 }
 
@@ -288,7 +336,6 @@ func (c *Controller) Step(s Sample) {
 	dBatched := s.Batched - c.last.Batched
 	dRetracts := s.Retracts - c.last.Retracts
 	dElect := s.ElectFails - c.last.ElectFails
-	c.last = s
 
 	// One observation of the contention estimate (see the package
 	// comment): measured batch size while combining, inferred from
@@ -312,11 +359,28 @@ func (c *Controller) Step(s Sample) {
 		c.ewma = c.cfg.Alpha*obs + (1-c.cfg.Alpha)*c.ewma
 	}
 
+	// Throughput signal: ops/sec over the sample interval, EWMA-smoothed
+	// with the same Alpha. Inert unless the sample carries a fresh timing
+	// pair (both deltas positive), so synthetic tests opt in per sample
+	// and a zero-filled reader never trips it.
+	if dOps, dNanos := s.Ops-c.last.Ops, s.Nanos-c.last.Nanos; dOps > 0 && dNanos > 0 {
+		inst := float64(dOps) / float64(dNanos) * 1e9
+		if c.tput == 0 {
+			c.tput = inst // first reading seeds the EWMA
+		} else {
+			c.tput = c.cfg.Alpha*inst + (1-c.cfg.Alpha)*c.tput
+		}
+		if !combining && c.tput > c.directPeak {
+			c.directPeak = c.tput
+		}
+	}
+	c.last = s
+
 	if c.dwell++; c.dwell < c.cfg.MinDwell {
 		return
 	}
 	switch {
-	case !combining && c.ewma >= c.cfg.Enable:
+	case !combining && (c.ewma >= c.cfg.Enable || c.throughputEnableWanted()):
 		c.mode.Store(modeCombining)
 		c.enables.Add(1)
 		c.dwell = 0
@@ -325,6 +389,20 @@ func (c *Controller) Step(s Sample) {
 		c.disables.Add(1)
 		c.dwell = 0
 	}
+}
+
+// throughputEnableWanted decides the secondary direct→combining flip: the
+// measured ops/sec EWMA has collapsed to ThroughputEnable of the best
+// direct-mode throughput AND the contention estimate sees concurrent
+// publishers (strictly above the Disable floor — a solo shard that merely
+// slowed down, e.g. because the host got busy, must not enable). This
+// catches the regime the peer-count estimate is blind to on multicore:
+// publishers on different Ps serializing on shared cache lines spend
+// their time in coherence stalls, not parked on the announcement list.
+func (c *Controller) throughputEnableWanted() bool {
+	return c.directPeak > 0 &&
+		c.tput <= c.cfg.ThroughputEnable*c.directPeak &&
+		c.ewma > c.cfg.Disable
 }
 
 // disableWanted decides the combining→direct flip for one post-dwell

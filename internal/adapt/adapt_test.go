@@ -247,7 +247,8 @@ func TestConfigDefaults(t *testing.T) {
 	got := Config{}.withDefaults()
 	want := Config{SampleEvery: DefaultSampleEvery, Alpha: DefaultAlpha,
 		Enable: DefaultEnable, Disable: DefaultDisable,
-		RetractDisable: DefaultRetractDisable, MinDwell: DefaultMinDwell}
+		RetractDisable: DefaultRetractDisable, MinDwell: DefaultMinDwell,
+		ThroughputEnable: DefaultThroughputEnable}
 	if got != want {
 		t.Fatalf("withDefaults() = %+v, want %+v", got, want)
 	}

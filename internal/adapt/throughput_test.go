@@ -1,0 +1,105 @@
+package adapt
+
+import "testing"
+
+// The throughput-enable signal is Step-injectable: tests feed synthetic
+// Ops/Nanos pairs and assert the collapse detection exactly, with no
+// clocks and no goroutines. The scenario each test builds: a direct-mode
+// shard establishes a healthy throughput baseline, then (with mild
+// contention visible) its measured ops/sec collapses — the multicore
+// cache-contention regime the peer-count estimate cannot see.
+
+// tputSample builds a direct-mode sample: n ops by t nanos cumulative,
+// with peers concurrent publishers visible.
+func tputSample(n, t, peers int64) Sample {
+	return Sample{AnnLen: peers, Ops: n, Nanos: t}
+}
+
+func TestThroughputCollapseEnables(t *testing.T) {
+	c := New(Config{MinDwell: 1}, nil)
+
+	// Baseline: 5 intervals at 1000 ops per 1 µs (1e9 ops/sec), 2 peers
+	// visible — contention above the Disable floor but far below Enable,
+	// so the peer-count estimate alone never flips.
+	for i := int64(1); i <= 5; i++ {
+		c.Step(tputSample(i*1000, i*1000, 2))
+		if c.Combining() {
+			t.Fatalf("enabled during baseline at sample %d (estimate %.2f)", i, c.Estimate())
+		}
+	}
+	ewma, peak := c.Throughput()
+	if peak <= 0 || ewma <= 0 {
+		t.Fatalf("baseline recorded no throughput: ewma %.0f peak %.0f", ewma, peak)
+	}
+
+	// Collapse: same op spacing now takes 100× longer per interval. The
+	// EWMA needs a few readings to fall through the 0.5×peak floor.
+	for i := int64(1); i <= 8; i++ {
+		c.Step(tputSample(5000+i*1000, 5000+i*100000, 2))
+		if c.Combining() {
+			return // enabled on the collapse, as designed
+		}
+	}
+	ewma, peak = c.Throughput()
+	t.Fatalf("throughput collapse never enabled combining: ewma %.0f peak %.0f estimate %.2f",
+		ewma, peak, c.Estimate())
+}
+
+// A solo shard that slows down (no concurrent publishers) must NOT
+// enable: collapse without contention means the host got busy, and
+// combining a solo publisher only adds handoff overhead.
+func TestThroughputCollapseSoloDoesNotEnable(t *testing.T) {
+	c := New(Config{MinDwell: 1}, nil)
+	for i := int64(1); i <= 5; i++ {
+		c.Step(tputSample(i*1000, i*1000, 0))
+	}
+	for i := int64(1); i <= 12; i++ {
+		c.Step(tputSample(5000+i*1000, 5000+i*100000, 0))
+		if c.Combining() {
+			t.Fatalf("solo collapse enabled combining at sample %d", i)
+		}
+	}
+}
+
+// Samples without timing pairs leave the signal inert: the controller
+// behaves exactly as before the signal existed.
+func TestThroughputSignalInertWithoutTiming(t *testing.T) {
+	c := New(Config{MinDwell: 1}, nil)
+	for i := 0; i < 20; i++ {
+		c.Step(Sample{AnnLen: 2})
+	}
+	if ewma, peak := c.Throughput(); ewma != 0 || peak != 0 {
+		t.Fatalf("zero-timing samples moved the throughput state: ewma %.0f peak %.0f", ewma, peak)
+	}
+	if c.Combining() {
+		t.Fatal("zero-timing samples enabled combining")
+	}
+}
+
+// The dwell discipline applies to throughput enables too: a collapse
+// observed before MinDwell samples have accumulated must wait.
+func TestThroughputEnableRespectsDwell(t *testing.T) {
+	c := New(Config{MinDwell: 6}, nil)
+	// Establish a peak, then collapse hard on the very next samples; the
+	// flip may not land before sample 6.
+	c.Step(tputSample(1000, 1000, 2))
+	for i := int64(1); i <= 3; i++ {
+		c.Step(tputSample(1000+i*10, 1000+i*1000000, 2))
+		if c.Combining() {
+			t.Fatalf("enabled at sample %d, inside the dwell window", i+1)
+		}
+	}
+}
+
+// The primary peer-count enable still works untouched: a burst of
+// visible publishers flips the mode with no timing data at all.
+func TestPeerCountEnableStillPrimary(t *testing.T) {
+	c := New(Config{MinDwell: 1}, nil)
+	for i := 0; i < 10; i++ {
+		c.Step(Sample{AnnLen: 8})
+		if c.Combining() {
+			return
+		}
+	}
+	t.Fatalf("sustained 8-peer samples never enabled (estimate %.2f)", c.Estimate())
+}

@@ -68,17 +68,27 @@ const (
 	slotDone
 )
 
-// spinBeat is how many state polls a submitter makes per wait beat before
-// reconsidering election/retraction; every 4th poll yields the processor
-// so a combiner (or peers still publishing) can run — without the yields a
-// single-CPU host would never form a batch.
-const spinBeat = 32
+// The wait beat is P-aware spin-then-park: at GOMAXPROCS > 1 a submitter
+// first busy-polls its slot state for spinPhase iterations WITHOUT
+// yielding — the procyield analog; Go exposes no portable PAUSE, so the
+// bounded poll count is the spin budget — because on a real multicore a
+// combiner on another P completes the op in tens of nanoseconds, and a
+// premature Gosched would trade that for a whole scheduler round-trip.
+// Only when the spin budget runs dry does the beat park: parkPolls polls
+// with a Gosched between each, handing the processor to the combiner (or
+// to peers still publishing). The totals keep the old beat's shape — 32
+// polls, 8 yields — so an oversubscribed host (more Ps than cores, where
+// the spin phase buys nothing) paces rounds exactly as before.
+const (
+	spinPhase = 24
+	parkPolls = 8
+)
 
-// yieldBeat replaces spinBeat on a single-P runtime, where polling between
-// yields is dead time (no other goroutine can change a slot while we hold
-// the only P): the beat is paced purely by Gosched round-trips — each one
-// runs every other runnable goroutine once, which is exactly the window
-// peers need to publish into the round.
+// yieldBeat replaces the spin-then-park beat on a single-P runtime, where
+// polling between yields is dead time (no other goroutine can change a
+// slot while we hold the only P): the beat is paced purely by Gosched
+// round-trips — each one runs every other runnable goroutine once, which
+// is exactly the window peers need to publish into the round.
 const yieldBeat = 3
 
 // retractAfter is how many whole beats a pending op waits out a busy
@@ -136,8 +146,10 @@ type Combiner struct {
 	applyOne func(op Op)    // direct lock-free per-op path
 	slots    []slot
 	mask     uint32
+	sticky   bool          // placed combiner: claim probes from last, not ticket
 	round    atomic.Uint32 // the round word: 0 free, 1 combining
-	ticket   atomic.Uint32 // rotates the slot-probe start point
+	ticket   atomic.Uint32 // rotates the slot-probe start point (unplaced)
+	last     atomic.Uint32 // last claimed slot index (placed; advisory)
 	taken    []*slot       // round scratch; guarded by the round word
 	batch    []Op          // round scratch; guarded by the round word
 	stats    Stats
@@ -198,6 +210,60 @@ func New(n int, apply func(ops []Op), applyOne func(op Op)) *Combiner {
 	}
 }
 
+// Arena is a contiguous block of publication slots shared by a placement
+// group of shards: carving every group member's slots from one allocation
+// keeps the slots the group's publisher goroutines touch on neighbouring
+// pages (arena locality), instead of scattering one 8-KiB slot array per
+// shard across the heap. Carve is not safe for concurrent use — arenas are
+// built at construction time, before any Submit.
+type Arena struct {
+	slots []slot
+	next  int
+}
+
+// NewArena allocates an arena holding total publication slots.
+func NewArena(total int) *Arena {
+	if total < 1 {
+		total = 1
+	}
+	return &Arena{slots: make([]slot, total)}
+}
+
+// Carve returns the next n slots of the arena. It panics if the arena is
+// exhausted — group sizing is a construction-time invariant, not a runtime
+// condition.
+func (a *Arena) Carve(n int) []slot {
+	if a.next+n > len(a.slots) {
+		panic("combine: arena exhausted")
+	}
+	s := a.slots[a.next : a.next+n : a.next+n]
+	a.next += n
+	return s
+}
+
+// NewPlaced returns a combiner over a caller-provided slot block (an arena
+// carve); len(slots) must be a power of two. A placed combiner claims
+// sticky — the probe starts where the last claim landed, so a shard's
+// owning publisher keeps hitting the same warm line — which is the
+// goroutine-to-shard slot-affinity half of the placement model (the arena
+// is the locality half).
+func NewPlaced(slots []slot, apply func(ops []Op), applyOne func(op Op)) *Combiner {
+	if len(slots) == 0 || len(slots)&(len(slots)-1) != 0 {
+		panic("combine: NewPlaced slot count must be a power of two")
+	}
+	return &Combiner{
+		apply:    apply,
+		applyOne: applyOne,
+		slots:    slots,
+		mask:     uint32(len(slots) - 1),
+		sticky:   true,
+	}
+}
+
+// Placed reports whether this combiner claims with sticky slot affinity
+// (constructed by NewPlaced over an arena carve).
+func (c *Combiner) Placed() bool { return c.sticky }
+
 // SlotCount returns the publication-slot count (metrics).
 func (c *Combiner) SlotCount() int { return len(c.slots) }
 
@@ -242,24 +308,9 @@ func (c *Combiner) Submit(op Op) {
 	for attempt := 0; ; attempt++ {
 		// Beat: wait for an in-flight round to pick us up, and give peers
 		// a chance to publish before anyone elects.
-		if singleP {
-			for i := 0; i < yieldBeat; i++ {
-				if s.state.Load() == slotDone {
-					s.state.Store(slotEmpty)
-					return
-				}
-				runtime.Gosched()
-			}
-		} else {
-			for i := 0; i < spinBeat; i++ {
-				if s.state.Load() == slotDone {
-					s.state.Store(slotEmpty)
-					return
-				}
-				if i&3 == 3 {
-					runtime.Gosched()
-				}
-			}
+		if waitBeat(s, singleP) {
+			s.state.Store(slotEmpty)
+			return
 		}
 		if s.state.Load() == slotDone {
 			s.state.Store(slotEmpty)
@@ -290,14 +341,55 @@ func (c *Combiner) Submit(op Op) {
 	}
 }
 
+// waitBeat runs one wait beat against slot s and reports whether the op
+// completed (state reached slotDone) during the beat. The discipline is
+// P-aware: spin-then-park at P > 1, pure Gosched pacing at P = 1 (see the
+// spinPhase/parkPolls and yieldBeat comments).
+func waitBeat(s *slot, singleP bool) bool {
+	if singleP {
+		for i := 0; i < yieldBeat; i++ {
+			if s.state.Load() == slotDone {
+				return true
+			}
+			runtime.Gosched()
+		}
+		return false
+	}
+	for i := 0; i < spinPhase; i++ {
+		if s.state.Load() == slotDone {
+			return true
+		}
+	}
+	for i := 0; i < parkPolls; i++ {
+		if s.state.Load() == slotDone {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
 // claim finds a free slot and moves it empty→writing, or returns nil after
 // one full scan — the combiner is saturated and the caller should go
-// direct.
+// direct. A placed combiner starts the probe at the slot the last claim
+// landed on (sticky affinity: a shard's dominant publisher keeps reusing
+// one warm cache line, and with few publishers per placed shard the
+// occasional collision just advances the scan by one); an unplaced one
+// rotates the start point so concurrent publishers spread across lines.
 func (c *Combiner) claim() *slot {
-	start := c.ticket.Add(1)
+	var start uint32
+	if c.sticky {
+		start = c.last.Load()
+	} else {
+		start = c.ticket.Add(1)
+	}
 	for i := uint32(0); i <= c.mask; i++ {
-		s := &c.slots[(start+i)&c.mask]
+		idx := (start + i) & c.mask
+		s := &c.slots[idx]
 		if s.state.Load() == slotEmpty && s.state.CompareAndSwap(slotEmpty, slotWriting) {
+			if c.sticky && idx != start {
+				c.last.Store(idx) // plain race-tolerant hint, not a protocol word
+			}
 			return s
 		}
 	}

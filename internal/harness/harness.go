@@ -11,6 +11,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -58,6 +59,10 @@ type Result struct {
 	Elapsed time.Duration
 	// Throughput is operations per second.
 	Throughput float64
+	// GoMaxProcs is runtime.GOMAXPROCS(0) captured during the measured
+	// phase, so a result carries the parallelism it was taken under even
+	// after a multi-P sweep has moved on to the next setting.
+	GoMaxProcs int
 }
 
 // String renders the result for reports.
@@ -128,6 +133,7 @@ func Run(s Set, cfg Config) (Result, error) {
 		Ops:        total,
 		Elapsed:    elapsed,
 		Throughput: float64(total) / elapsed.Seconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -49,6 +50,9 @@ func TestRunCore(t *testing.T) {
 	}
 	if !strings.Contains(res.String(), "ops/s") {
 		t.Error("String() missing throughput")
+	}
+	if res.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Errorf("GoMaxProcs = %d, want %d", res.GoMaxProcs, runtime.GOMAXPROCS(0))
 	}
 }
 

@@ -71,6 +71,10 @@ func (s *RelaxedSet) AdaptiveStats() (enables, disables int64) { return s.r.Adap
 // Decider returns the decision layer, or nil for manually driven sets.
 func (s *RelaxedSet) Decider() *Decider { return s.r.dec }
 
+// SealAssists returns the cumulative count of keys replayed by updates
+// that arrived inside a sealed migration window and helped drain it.
+func (s *RelaxedSet) SealAssists() int64 { return s.r.SealAssists() }
+
 // Resize synchronously migrates to target shards (ErrBusy if one is in
 // flight).
 func (s *RelaxedSet) Resize(target int) error { return s.r.Resize(target) }

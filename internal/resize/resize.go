@@ -177,6 +177,34 @@ type epoch[T migTable] struct {
 	// base and live (it reads one epoch: either cur == old with the old
 	// base, or cur == new with the folded base).
 	carryEnables, carryDisables int64
+	// help is the sealed epoch's shared replay state (nil in every other
+	// phase): updates that arrive inside the sealed window claim dirty
+	// words from it and replay them instead of burning their wait on
+	// Gosched — the seal drains faster the more writers it parks.
+	help *helpState[T]
+}
+
+// helpState coordinates the final dirty replay between the migration
+// coordinator and the sealed-window updates helping it. The dirty words
+// of the last journal generation form a flat work list (shard-major, one
+// bitmap word per unit); workers claim words with one atomic fetch-add,
+// so each word — and therefore each key — is replayed by exactly one
+// goroutine. Replay is pure state transfer (next[x] ← cur[x] on a frozen
+// cur), so helpers need no further synchronization with each other or
+// with the coordinator beyond the claim.
+type helpState[T migTable] struct {
+	// ready gates helpers out until the generation's writers are
+	// drained: before that, cur is still changing and a replayed word
+	// could transfer a value the frozen-replay argument does not cover.
+	ready         atomic.Bool
+	cursor        atomic.Int64 // next work-list word to claim
+	done          atomic.Int64 // words fully replayed
+	total         int64        // work-list length (shards × words per shard)
+	dirty         []bitmap.Words
+	cur           T // frozen retiring table (authoritative values)
+	next          T // under-construction table being completed
+	wordsPerShard int64
+	shardBits     uint
 }
 
 // shardOf returns the cur-shard index owning global key x.
@@ -239,6 +267,9 @@ type resizer[T migTable] struct {
 	sampling atomic.Uint32
 
 	grows, shrinks atomicx.PadInt64
+	// assists counts keys replayed by sealed-window helpers (monitoring;
+	// the helper-seal stress test asserts it moves).
+	assists atomicx.PadInt64
 }
 
 // newEpoch builds a generation around cur. journal selects the journal
@@ -329,14 +360,21 @@ func (r *resizer[T]) AdaptiveStats() (enables, disables int64) {
 
 // enter admits an update on key x: acquire the owning shard's gate in
 // the current epoch and validate the epoch did not move. Updates
-// arriving inside a sealed window yield until activation.
+// arriving inside a sealed window help drain it — they claim dirty words
+// from the final replay's work list and replay them — and only yield
+// when there is no work left to claim (replay not yet ready, or all
+// words taken and the activation flip pending).
 func (r *resizer[T]) enter(x int64) (*epoch[T], int) {
 	for {
 		e := r.epoch.Load()
 		if e.phase == phaseSealed {
 			// The seal window is bounded: in-flight retiring-epoch
-			// updates plus one frozen dirty replay (see package comment).
-			runtime.Gosched()
+			// updates plus one frozen dirty replay (see package comment)
+			// — and helping shrinks the replay term instead of just
+			// waiting it out.
+			if h := e.help; h == nil || !h.ready.Load() || r.helpReplay(h, true) == 0 {
+				runtime.Gosched()
+			}
 			continue
 		}
 		gi := e.shardOf(x)
@@ -413,6 +451,72 @@ func (r *resizer[T]) replay(e *epoch[T], next T) {
 		})
 	}
 }
+
+// newHelpState builds the sealed replay's shared work list over journal
+// generation ej's dirty bitmaps. All shards share one width, so the flat
+// word index w decomposes as (shard, word) = (w / wordsPerShard, w mod
+// wordsPerShard).
+func newHelpState[T migTable](ej *epoch[T], next T) *helpState[T] {
+	wps := bitmap.WordsFor(ej.width)
+	return &helpState[T]{
+		total:         int64(len(ej.dirty)) * wps,
+		dirty:         ej.dirty,
+		cur:           ej.cur,
+		next:          next,
+		wordsPerShard: wps,
+		shardBits:     ej.shardBits,
+	}
+}
+
+// helpReplay claims dirty words from h's work list and replays each
+// claimed word's keys as next[x] ← cur[x], returning how many words it
+// claimed. Safe for any number of concurrent workers: the fetch-add
+// hands each word to exactly one of them, cur is frozen (the generation
+// was drained before ready was set), and next's updates are themselves
+// concurrency-safe — so the coordinator and every helper replay disjoint
+// key sets of a table built for concurrent writers. helper distinguishes
+// sealed-window updates (counted in assists, never yielding — their goal
+// is to leave the window as fast as possible) from the coordinator
+// (which yields once per claimed word so parked updates get scheduled
+// and can start helping at all on a saturated host).
+func (r *resizer[T]) helpReplay(h *helpState[T], helper bool) int {
+	claimed := 0
+	for {
+		w := h.cursor.Add(1) - 1
+		if w >= h.total {
+			return claimed
+		}
+		claimed++
+		si := w / h.wordsPerShard
+		wi := w % h.wordsPerShard
+		word := h.dirty[si].Load(wi)
+		base := si<<h.shardBits | wi*bitmap.WordBits
+		var keys int64
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			x := base + int64(b)
+			if h.cur.Search(x) {
+				h.next.Insert(x)
+			} else {
+				h.next.Delete(x)
+			}
+			keys++
+		}
+		if helper && keys > 0 {
+			r.assists.Add(keys)
+		}
+		h.done.Add(1)
+		if !helper {
+			runtime.Gosched()
+		}
+	}
+}
+
+// SealAssists returns the cumulative count of keys replayed by
+// sealed-window helpers (monitoring; zero when every seal was drained by
+// the coordinator alone).
+func (r *resizer[T]) SealAssists() int64 { return r.assists.Load() }
 
 // dirtySize sums a generation's journaled key count.
 func (e *epoch[T]) dirtySize() int64 {
@@ -504,16 +608,27 @@ func (r *resizer[T]) migrate(target int) error {
 		prev = cur
 	}
 	// 5: seal, drain the last generation, final replay. After this,
-	// next equals old exactly and old is frozen.
+	// next equals old exactly and old is frozen. The replay is shared
+	// work: updates parked in the sealed window claim dirty words
+	// alongside the coordinator (see helpReplay), so the window shrinks
+	// with the number of waiters instead of growing with them.
 	es, err := newEpoch(phaseSealed, old, next)
 	if err != nil {
 		return err
 	}
 	es.carryEnables, es.carryDisables = e0.carryEnables, e0.carryDisables
+	es.help = newHelpState(ej, next)
 	r.epoch.Store(es)
 	hook(StageSealed)
 	r.drain(ej)
-	r.replay(ej, next)
+	// Only now is cur frozen; open the work list to helpers and join the
+	// replay. The coordinator claiming alongside them guarantees progress
+	// even if every parked update is descheduled.
+	es.help.ready.Store(true)
+	r.helpReplay(es.help, false)
+	for es.help.done.Load() != es.help.total {
+		runtime.Gosched() // helpers hold unfinished words; let them run
+	}
 	hook(StageReplayed)
 	// 6: activate.
 	ea, err := newEpoch(phaseStable, next, *new(T))

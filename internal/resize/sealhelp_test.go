@@ -1,0 +1,135 @@
+package resize_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/resize"
+)
+
+// The helper-capable seal window: updates arriving while a migration is
+// sealed claim dirty words from the final replay's work list instead of
+// burning their wait on Gosched. This stress test drives migrations with
+// a deliberately fat final dirty set (the migration hook churns a
+// dedicated key range right before the seal), keeps updaters hammering
+// their own bands throughout, and asserts (a) every key's final state is
+// exactly the last operation its owner performed — a lost or duplicated
+// helper replay would surface here — (b) untouched keys survive every
+// migration, and (c) the helpers actually replayed work (SealAssists
+// moved).
+func TestSealedWindowHelpersDrainTheReplay(t *testing.T) {
+	const (
+		u          = int64(1) << 14
+		numWorkers = 4
+		bandWidth  = int64(2048)  // workers own [0, 8192)
+		churnLo    = int64(8192)  // hook-churned range [8192, 12288)
+		churnHi    = int64(12288) //
+		staticLo   = int64(12288) // untouched prefill [12288, 16384)
+	)
+	migrations := 8
+	if testing.Short() {
+		migrations = 2 // the -race matrix runs -short; two seals still exercise the help path
+	}
+	s, err := resize.NewSet(4, plainFactory(u), resize.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := staticLo; x < u; x += 7 {
+		s.Insert(x)
+	}
+
+	// Fatten the final dirty set from the coordinator itself: right after
+	// the bulk copy (and after each catch-up replay, which starts a fresh
+	// journal generation) churn the dedicated range so the generation the
+	// seal freezes carries thousands of dirty keys — a replay long enough
+	// that parked updates reliably land inside the sealed window. The
+	// churn is insert-then-delete, so it leaves no state behind.
+	resize.SetTestHookMigration(func(st resize.Stage) {
+		if st != resize.StageCopied && st != resize.StageCatchup {
+			return
+		}
+		for x := churnLo; x < churnHi; x += 2 {
+			s.Insert(x)
+			s.Delete(x)
+		}
+	})
+	defer resize.SetTestHookMigration(nil)
+
+	// Workers churn disjoint bands, alternating insert and delete sweeps,
+	// and record the parity of the last completed sweep: after they stop,
+	// the set must show exactly that sweep's effect per band.
+	var stop atomic.Bool
+	finalInserted := make([]atomic.Bool, numWorkers)
+	var wg sync.WaitGroup
+	for g := 0; g < numWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := int64(g) * bandWidth
+			for sweep := 0; !stop.Load(); sweep++ {
+				ins := sweep%2 == 0
+				for x := base; x < base+bandWidth; x += 5 {
+					if ins {
+						s.Insert(x)
+					} else {
+						s.Delete(x)
+					}
+				}
+				finalInserted[g].Store(ins)
+			}
+		}(g)
+	}
+
+	for m := 0; m < migrations; m++ {
+		target := 8
+		if m%2 == 1 {
+			target = 4
+		}
+		if err := s.Resize(target); err != nil {
+			t.Fatalf("migration %d to %d shards: %v", m, target, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// (a) Per-band final state: each band key's membership equals its
+	// owner's last completed sweep.
+	for g := 0; g < numWorkers; g++ {
+		base := int64(g) * bandWidth
+		want := finalInserted[g].Load()
+		for x := base; x < base+bandWidth; x += 5 {
+			if got := s.Search(x); got != want {
+				t.Fatalf("worker %d key %d: Search = %v, want %v (last sweep insert=%v)",
+					g, x, got, want, want)
+			}
+		}
+		// Keys the worker never touched stay absent.
+		for x := base + 1; x < base+bandWidth; x += 5 {
+			if s.Search(x) {
+				t.Fatalf("untouched band key %d present", x)
+			}
+		}
+	}
+	// (b) The hook churn range ends empty, and the static prefill
+	// survived all migrations intact.
+	for x := churnLo; x < churnHi; x += 2 {
+		if s.Search(x) {
+			t.Fatalf("churn key %d survived its delete", x)
+		}
+	}
+	for x := staticLo; x < u; x += 7 {
+		if !s.Search(x) {
+			t.Fatalf("static key %d lost across migrations", x)
+		}
+	}
+	// (c) Sealed-window updates actually helped. Twelve migrations, each
+	// sealing a multi-thousand-key dirty set under four live updaters,
+	// give the helpers thousands of chances to claim a word; zero assists
+	// would mean the help path never ran at all.
+	if got := s.SealAssists(); got == 0 {
+		t.Fatal("SealAssists() == 0: no sealed-window update ever helped the replay")
+	} else {
+		t.Logf("sealed-window helpers replayed %d keys across %d migrations", got, migrations)
+	}
+}

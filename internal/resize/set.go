@@ -133,6 +133,10 @@ func (s *Set) AdaptiveStats() (enables, disables int64) { return s.r.AdaptiveSta
 // Decider returns the decision layer, or nil for manually driven sets.
 func (s *Set) Decider() *Decider { return s.r.dec }
 
+// SealAssists returns the cumulative count of keys replayed by updates
+// that arrived inside a sealed migration window and helped drain it.
+func (s *Set) SealAssists() int64 { return s.r.SealAssists() }
+
 // Resize synchronously migrates to target shards (ErrBusy if one is in
 // flight). Concurrent operations proceed throughout.
 func (s *Set) Resize(target int) error { return s.r.Resize(target) }

@@ -49,8 +49,22 @@ func adaptiveFlipFactory(t *testing.T, k int) settest.Factory {
 	}
 }
 
-// forEachVariant runs fn against the plain factory and the adaptive
-// flip-stressed one, at every shard count.
+// placedFactory builds combining tries with a grouped placement hint
+// (shards i and i+1 share a group), proving placement is pure layout:
+// the same conformance suite must pass with arena-carved sticky slots as
+// with the default per-shard rotating ones.
+func placedFactory(k int) settest.Factory {
+	hint := make([]int, k)
+	for i := range hint {
+		hint[i] = i / 2 * 2 // pair up adjacent shards; identity at k=1
+	}
+	return func(u int64) (settest.Set, error) {
+		return sharded.NewWithOptions(u, k, sharded.Options{Combining: true, Placement: hint})
+	}
+}
+
+// forEachVariant runs fn against the plain factory, the adaptive
+// flip-stressed one, and the placement-hinted one, at every shard count.
 func forEachVariant(t *testing.T, fn func(t *testing.T, f settest.Factory)) {
 	for _, k := range shardCounts {
 		k := k
@@ -59,6 +73,9 @@ func forEachVariant(t *testing.T, fn func(t *testing.T, f settest.Factory)) {
 		})
 		t.Run(fmt.Sprintf("shards=%d/adaptive", k), func(t *testing.T) {
 			fn(t, adaptiveFlipFactory(t, k))
+		})
+		t.Run(fmt.Sprintf("shards=%d/placed", k), func(t *testing.T) {
+			fn(t, placedFactory(k))
 		})
 	}
 }

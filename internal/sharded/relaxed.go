@@ -13,6 +13,7 @@
 package sharded
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/adapt"
@@ -42,6 +43,7 @@ type Relaxed struct {
 	width     int64
 	shardBits uint
 	shards    []rshard
+	placement []int // shard→group placement hint; nil when unplaced
 }
 
 // NewRelaxed returns an empty sharded relaxed trie over {0,…,u−1} split
@@ -62,10 +64,22 @@ func NewRelaxedCombining(u int64, k int) (*Relaxed, error) { return newRelaxed(u
 // until its drained batches degenerate (with hysteresis and dwell). cfg's
 // zero fields take the tuned defaults.
 func NewRelaxedAdaptive(u int64, k int, cfg adapt.Config) (*Relaxed, error) {
-	return newRelaxed(u, k, true, &cfg)
+	return NewRelaxedWithOptions(u, k, Options{Combining: true, Adaptive: &cfg})
 }
 
-func newRelaxed(u int64, k int, combining bool, acfg *adapt.Config) (*Relaxed, error) {
+// NewRelaxedWithOptions mirrors NewWithOptions over the relaxed backend,
+// with the same Options semantics (placement requires combining, arena
+// carves per placement group, sticky claims).
+func NewRelaxedWithOptions(u int64, k int, o Options) (*Relaxed, error) {
+	combining := o.Combining || o.Adaptive != nil
+	if o.Placement != nil {
+		if !combining {
+			return nil, fmt.Errorf("sharded: placement requires the combining layer (it shapes publication slots)")
+		}
+		if err := ValidatePlacement(o.Placement, k); err != nil {
+			return nil, err
+		}
+	}
 	pu, width, shardBits, err := geometry(u, k)
 	if err != nil {
 		return nil, err
@@ -76,6 +90,20 @@ func newRelaxed(u int64, k int, combining bool, acfg *adapt.Config) (*Relaxed, e
 		width:     width,
 		shardBits: shardBits,
 		shards:    make([]rshard, k),
+	}
+	var arenas map[int]*combine.Arena
+	var slotsPer int
+	if o.Placement != nil {
+		sizes := map[int]int{}
+		for _, g := range o.Placement {
+			sizes[g]++
+		}
+		slotsPer = placementSlots(len(sizes))
+		arenas = make(map[int]*combine.Arena, len(sizes))
+		for g, n := range sizes {
+			arenas[g] = combine.NewArena(slotsPer * n)
+		}
+		t.placement = append([]int(nil), o.Placement...)
 	}
 	for i := range t.shards {
 		r, err := relaxed.New(t.width)
@@ -92,17 +120,26 @@ func newRelaxed(u int64, k int, combining bool, acfg *adapt.Config) (*Relaxed, e
 					t.insertDirect(sh, op.Key)
 				}
 			}
-			sh.comb = combine.New(0, func(ops []combine.Op) {
+			apply := func(ops []combine.Op) {
 				for j := range ops {
 					apply1(ops[j])
 				}
-			}, apply1)
-			if acfg != nil {
-				sh.ctl = adapt.New(*acfg, combine.Sampler(sh.comb, nil, sh.pending.Load))
+			}
+			if arenas != nil {
+				sh.comb = combine.NewPlaced(arenas[o.Placement[i]].Carve(slotsPer), apply, apply1)
+			} else {
+				sh.comb = combine.New(0, apply, apply1)
+			}
+			if o.Adaptive != nil {
+				sh.ctl = adapt.New(*o.Adaptive, combine.Sampler(sh.comb, nil, sh.pending.Load))
 			}
 		}
 	}
 	return t, nil
+}
+
+func newRelaxed(u int64, k int, combining bool, acfg *adapt.Config) (*Relaxed, error) {
+	return NewRelaxedWithOptions(u, k, Options{Combining: combining, Adaptive: acfg})
 }
 
 // U returns the (padded) universe size.
@@ -220,6 +257,15 @@ func (t *Relaxed) Adaptive() bool { return t.shards[0].ctl != nil }
 // RelaxedShardController returns shard i's adaptive controller, or nil
 // (tests, stats).
 func (t *Relaxed) RelaxedShardController(i int) *adapt.Controller { return t.shards[i].ctl }
+
+// Placement returns a copy of the placement hint the trie was built with,
+// or nil when unplaced.
+func (t *Relaxed) Placement() []int {
+	if t.placement == nil {
+		return nil
+	}
+	return append([]int(nil), t.placement...)
+}
 
 // AdaptiveStats sums the per-shard mode-transition counters (zeros when
 // the trie is not adaptive).

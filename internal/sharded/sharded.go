@@ -30,6 +30,7 @@ package sharded
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -87,6 +88,71 @@ type Trie struct {
 	width     int64 // u / k, keys per shard
 	shardBits uint  // log2(width)
 	shards    []shard
+	placement []int // shard→group placement hint; nil when unplaced
+}
+
+// Options selects the publication machinery for NewWithOptions. The zero
+// value is plain New: per-op direct publication, no combiner, no
+// controller, no placement.
+type Options struct {
+	// Combining enables per-shard flat combining (NewCombining).
+	Combining bool
+	// Adaptive, when non-nil, adds per-shard controllers driving the
+	// publication mode at runtime (NewAdaptive; implies Combining). Zero
+	// fields of the config take the tuned defaults.
+	Adaptive *adapt.Config
+	// Placement is the core-aware placement hint: Placement[i] is the
+	// group id of the publisher population owning shard i's key range.
+	// Shards sharing a group carve their publication slots from one
+	// contiguous arena (so a group's slots live on neighbouring pages,
+	// near the goroutines that publish to them) and claim sticky (a
+	// shard's dominant publisher reuses one warm cache line between
+	// operations). Requires Combining — placement shapes the publication
+	// slots, and the direct path has none. Validate with
+	// ValidatePlacement; nil means unplaced (the identity of the default
+	// layout: one private slot array per shard, rotating claims).
+	Placement []int
+}
+
+// ValidatePlacement checks a placement hint against a shard count: the
+// hint must assign every one of the k shards a group id in [0, k). An
+// identity hint (Placement[i] = i) reproduces the unplaced slot layout
+// with sticky claims — the portable "each shard owned by its own
+// publisher" default.
+func ValidatePlacement(hint []int, k int) error {
+	if len(hint) != k {
+		return fmt.Errorf("sharded: placement hint has %d entries for %d shards", len(hint), k)
+	}
+	for i, g := range hint {
+		if g < 0 || g >= k {
+			return fmt.Errorf("sharded: placement hint[%d] = %d outside group range [0, %d)", i, g, k)
+		}
+	}
+	return nil
+}
+
+// placementSlots sizes one placed shard's publication-slot carve: the
+// GOMAXPROCS-proportional budget of DefaultSlots divided across the
+// placement groups (each group is one publisher population), floored at 8
+// so retraction pressure stays rare and rounded to the power of two the
+// claim mask needs.
+func placementSlots(groups int) int {
+	n := 4 * runtime.GOMAXPROCS(0) / groups
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return ceilPow2(n)
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // geometry validates (u, k) and returns the padded universe, shard width
@@ -129,10 +195,22 @@ func NewCombining(u int64, k int) (*Trie, error) { return newTrie(u, k, true, ni
 // hysteresis when batches degenerate (DESIGN.md §Adaptive combining).
 // cfg's zero fields take the tuned defaults.
 func NewAdaptive(u int64, k int, cfg adapt.Config) (*Trie, error) {
-	return newTrie(u, k, true, &cfg)
+	return NewWithOptions(u, k, Options{Combining: true, Adaptive: &cfg})
 }
 
-func newTrie(u int64, k int, combining bool, acfg *adapt.Config) (*Trie, error) {
+// NewWithOptions is the general constructor: New, NewCombining and
+// NewAdaptive are fixed points of its Options space, and Placement is
+// reachable only through it.
+func NewWithOptions(u int64, k int, o Options) (*Trie, error) {
+	combining := o.Combining || o.Adaptive != nil
+	if o.Placement != nil {
+		if !combining {
+			return nil, fmt.Errorf("sharded: placement requires the combining layer (it shapes publication slots)")
+		}
+		if err := ValidatePlacement(o.Placement, k); err != nil {
+			return nil, err
+		}
+	}
 	pu, width, shardBits, err := geometry(u, k)
 	if err != nil {
 		return nil, err
@@ -144,6 +222,22 @@ func newTrie(u int64, k int, combining bool, acfg *adapt.Config) (*Trie, error) 
 		shardBits: shardBits,
 		shards:    make([]shard, k),
 	}
+	// Placed construction: one arena per placement group, carved in shard
+	// order so a group's shards get contiguous slot blocks.
+	var arenas map[int]*combine.Arena
+	var slotsPer int
+	if o.Placement != nil {
+		sizes := map[int]int{}
+		for _, g := range o.Placement {
+			sizes[g]++
+		}
+		slotsPer = placementSlots(len(sizes))
+		arenas = make(map[int]*combine.Arena, len(sizes))
+		for g, n := range sizes {
+			arenas[g] = combine.NewArena(slotsPer * n)
+		}
+		t.placement = append([]int(nil), o.Placement...)
+	}
 	for i := range t.shards {
 		c, err := core.New(t.width)
 		if err != nil {
@@ -152,23 +246,31 @@ func newTrie(u int64, k int, combining bool, acfg *adapt.Config) (*Trie, error) 
 		t.shards[i].trie = c
 		if combining {
 			sh := &t.shards[i]
-			sh.comb = combine.New(0,
-				func(ops []combine.Op) { t.applyShardBatch(sh, ops) },
-				func(op combine.Op) {
-					if op.Del {
-						t.deleteDirect(sh, op.Key)
-					} else {
-						t.insertDirect(sh, op.Key)
-					}
-				})
-			if acfg != nil {
-				sh.ctl = adapt.New(*acfg, combine.Sampler(sh.comb,
+			apply := func(ops []combine.Op) { t.applyShardBatch(sh, ops) }
+			applyOne := func(op combine.Op) {
+				if op.Del {
+					t.deleteDirect(sh, op.Key)
+				} else {
+					t.insertDirect(sh, op.Key)
+				}
+			}
+			if arenas != nil {
+				sh.comb = combine.NewPlaced(arenas[o.Placement[i]].Carve(slotsPer), apply, applyOne)
+			} else {
+				sh.comb = combine.New(0, apply, applyOne)
+			}
+			if o.Adaptive != nil {
+				sh.ctl = adapt.New(*o.Adaptive, combine.Sampler(sh.comb,
 					func() int64 { return int64(sh.trie.AnnouncedUpdates()) },
 					sh.pending.Load))
 			}
 		}
 	}
 	return t, nil
+}
+
+func newTrie(u int64, k int, combining bool, acfg *adapt.Config) (*Trie, error) {
+	return NewWithOptions(u, k, Options{Combining: combining, Adaptive: acfg})
 }
 
 // U returns the (padded) universe size.
@@ -356,6 +458,15 @@ func (t *Trie) ShardCombining(i int) bool {
 // ShardController returns shard i's adaptive controller, or nil (tests,
 // stats).
 func (t *Trie) ShardController(i int) *adapt.Controller { return t.shards[i].ctl }
+
+// Placement returns a copy of the placement hint the trie was built with,
+// or nil when unplaced.
+func (t *Trie) Placement() []int {
+	if t.placement == nil {
+		return nil
+	}
+	return append([]int(nil), t.placement...)
+}
 
 // AdaptiveStats sums the per-shard mode-transition counters (zeros when
 // the trie is not adaptive): cumulative direct→combining enables and

@@ -140,6 +140,30 @@ func (d Band) Next(rng *rand.Rand) int64 { return d.Lo + rng.Int63n(d.Width) }
 // Name implements KeyDist.
 func (d Band) Name() string { return "band" }
 
+// Bands partitions [0, u) into n equal-width disjoint bands, one per
+// worker — the standard disjoint-range workload for the sharding (S1) and
+// multicore-placement (MP1) experiments, where worker i's keys never
+// collide with worker j's. The trailing band absorbs any remainder when n
+// does not divide u.
+func Bands(u int64, n int) []Band {
+	if n <= 0 {
+		return nil
+	}
+	width := u / int64(n)
+	if width <= 0 {
+		width = 1
+	}
+	bands := make([]Band, n)
+	for i := range bands {
+		bands[i] = Band{Lo: int64(i) * width, Width: width}
+	}
+	// Give the last band whatever remains so the union covers [0, u).
+	if last := &bands[n-1]; last.Lo+last.Width < u {
+		last.Width = u - last.Lo
+	}
+	return bands
+}
+
 // HotRange draws keys from a narrow hot range with probability HotPct/100,
 // otherwise uniformly — the contention knob for experiment C3 (point
 // contention concentrates where keys collide).

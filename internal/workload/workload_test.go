@@ -113,3 +113,49 @@ func TestHotRange(t *testing.T) {
 		t.Error("name mismatch")
 	}
 }
+
+func TestBandsPartition(t *testing.T) {
+	// Even split: n divides u, bands tile [0, u) exactly.
+	bands := Bands(1024, 4)
+	if len(bands) != 4 {
+		t.Fatalf("len(Bands(1024, 4)) = %d, want 4", len(bands))
+	}
+	var next int64
+	for i, b := range bands {
+		if b.Lo != next {
+			t.Fatalf("band %d starts at %d, want %d (gap or overlap)", i, b.Lo, next)
+		}
+		if b.Width <= 0 {
+			t.Fatalf("band %d has non-positive width %d", i, b.Width)
+		}
+		next = b.Lo + b.Width
+	}
+	if next != 1024 {
+		t.Fatalf("bands cover [0, %d), want [0, 1024)", next)
+	}
+
+	// Ragged split: the last band absorbs the remainder.
+	bands = Bands(1000, 3)
+	if got := bands[2].Lo + bands[2].Width; got != 1000 {
+		t.Fatalf("ragged bands end at %d, want 1000", got)
+	}
+
+	// Degenerate inputs.
+	if Bands(1024, 0) != nil {
+		t.Error("Bands(u, 0) should be nil")
+	}
+	if bands := Bands(2, 8); len(bands) != 8 {
+		t.Errorf("more workers than keys: len = %d, want 8", len(bands))
+	}
+
+	// Keys drawn from a band stay inside it.
+	rng := rand.New(rand.NewSource(7))
+	for i, b := range Bands(1<<16, 16) {
+		for j := 0; j < 100; j++ {
+			k := b.Next(rng)
+			if k < b.Lo || k >= b.Lo+b.Width {
+				t.Fatalf("band %d drew key %d outside [%d, %d)", i, k, b.Lo, b.Lo+b.Width)
+			}
+		}
+	}
+}

@@ -28,25 +28,25 @@ type relaxedSet interface {
 // than always-answering queries (e.g. real-time producers with a
 // best-effort scanner). The full Trie builds on it.
 type Relaxed struct {
-	set      relaxedSet
-	shards   int
-	adaptive bool
-	rz       *resize.RelaxedSet // non-nil under WithAdaptiveShards
+	set       relaxedSet
+	shards    int
+	adaptive  bool
+	placement []int              // WithPlacementHint copy; nil when unplaced
+	rz        *resize.RelaxedSet // non-nil under WithAdaptiveShards
 }
 
 // relaxedShardedFactory mirrors config.shardedFactory for the relaxed
 // backends.
 func relaxedShardedFactory(c *config, universe int64) func(k int) (*sharded.Relaxed, error) {
-	var base func(k int) (*sharded.Relaxed, error)
-	switch {
-	case c.adaptive:
+	o := sharded.Options{Combining: c.combining}
+	if c.adaptive {
 		acfg := c.acfg
-		base = func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxedAdaptive(universe, k, acfg) }
-	case c.combining:
-		base = func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxedCombining(universe, k) }
-	default:
-		base = func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxed(universe, k) }
+		o.Adaptive = &acfg
 	}
+	if c.placementSet {
+		o.Placement = c.placement
+	}
+	base := func(k int) (*sharded.Relaxed, error) { return sharded.NewRelaxedWithOptions(universe, k, o) }
 	if !c.noCompress {
 		return base
 	}
@@ -83,6 +83,9 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 			return nil, err
 		}
 	}
+	if err := cfg.validatePlacement(); err != nil {
+		return nil, err
+	}
 	if cfg.adaptiveShards {
 		initial, err := cfg.resizeBounds()
 		if err != nil {
@@ -95,7 +98,8 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 		}
 		return &Relaxed{set: rz, shards: initial, adaptive: cfg.adaptive, rz: rz}, nil
 	}
-	if cfg.shards == 1 {
+	// Placement always routes through the sharded factory, as in New.
+	if cfg.shards == 1 && !cfg.placementSet {
 		r, err := relaxed.New(universe)
 		if err != nil {
 			return nil, fmt.Errorf("lockfreetrie: %w", err)
@@ -115,7 +119,17 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}
-	return &Relaxed{set: st, shards: cfg.shards, adaptive: cfg.adaptive}, nil
+	return &Relaxed{set: st, shards: cfg.shards, adaptive: cfg.adaptive,
+		placement: cfg.placement}, nil
+}
+
+// PlacementHint returns a copy of the WithPlacementHint owners slice, or
+// nil when the trie is unplaced.
+func (t *Relaxed) PlacementHint() []int {
+	if t.placement == nil {
+		return nil
+	}
+	return append([]int(nil), t.placement...)
 }
 
 // Universe returns the padded universe size.

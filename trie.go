@@ -81,6 +81,8 @@ type config struct {
 	minShards      int
 	maxShards      int
 	noCompress     bool
+	placement      []int
+	placementSet   bool
 }
 
 // Option configures New and NewRelaxed.
@@ -323,6 +325,55 @@ func WithAdaptiveCombining(cfg ...AdaptiveConfig) Option {
 	}
 }
 
+// WithPlacementHint pins each shard's publication machinery to the
+// publisher population owning its key range: owners[i] is the placement
+// group of shard i, and shards sharing a group carve their combining
+// publication slots from one contiguous arena and claim them with sticky
+// slot affinity — a shard's dominant publisher keeps reusing one warm
+// cache line between operations instead of rotating across the slot
+// array. The hint is OS-portable by construction: it shapes goroutine-to-
+// shard slot affinity and arena locality, never hard thread pinning, so
+// its benefit depends on the runtime actually keeping publisher
+// goroutines on stable Ps (it usually does under steady load; see
+// DESIGN.md §Multicore methodology for the caveat and measurements —
+// the MP1 experiment records the trajectory in BENCH_multicore.json).
+//
+// owners must have exactly one entry per shard (the WithShards value; 1
+// by default) with group ids in [0, shards). The identity hint
+// (owners[i] = i) declares every shard privately owned. Requires
+// WithCombining or WithAdaptiveCombining — placement shapes publication
+// slots, and without a combining layer there are none — and is
+// incompatible with WithAdaptiveShards, whose migrations re-partition
+// the very key ranges a hint pins.
+func WithPlacementHint(owners []int) Option {
+	return func(c *config) error {
+		if len(owners) == 0 {
+			return fmt.Errorf("lockfreetrie: WithPlacementHint: empty hint (one group id per shard required)")
+		}
+		c.placement = append([]int(nil), owners...)
+		c.placementSet = true
+		return nil
+	}
+}
+
+// validatePlacement checks the placement hint against the rest of the
+// resolved configuration (shared by New and NewRelaxed).
+func (c *config) validatePlacement() error {
+	if !c.placementSet {
+		return nil
+	}
+	if c.adaptiveShards {
+		return fmt.Errorf("lockfreetrie: WithPlacementHint is incompatible with WithAdaptiveShards (a migration re-partitions the key ranges the hint pins)")
+	}
+	if !c.combining && !c.adaptive {
+		return fmt.Errorf("lockfreetrie: WithPlacementHint requires WithCombining or WithAdaptiveCombining (the hint shapes publication slots)")
+	}
+	if err := sharded.ValidatePlacement(c.placement, c.shards); err != nil {
+		return fmt.Errorf("lockfreetrie: WithPlacementHint: %w", err)
+	}
+	return nil
+}
+
 // set is the backend contract shared by the (wrapped) core trie and the
 // sharded façade; the exported API layers key validation and the composed
 // operations (Floor, Max, Range, Keys, Ceiling) on top of it.
@@ -350,6 +401,7 @@ type Trie struct {
 	shards    int
 	combining bool
 	adaptive  bool
+	placement []int       // WithPlacementHint copy; nil when unplaced
 	rz        *resize.Set // non-nil under WithAdaptiveShards
 }
 
@@ -372,16 +424,15 @@ func (c *config) resizeBounds() (initial int, err error) {
 // resizable trie, carrying the combining/adaptive configuration into
 // every partition the trie migrates to.
 func (c *config) shardedFactory(universe int64) func(k int) (*sharded.Trie, error) {
-	var base func(k int) (*sharded.Trie, error)
-	switch {
-	case c.adaptive:
+	o := sharded.Options{Combining: c.combining}
+	if c.adaptive {
 		acfg := c.acfg
-		base = func(k int) (*sharded.Trie, error) { return sharded.NewAdaptive(universe, k, acfg) }
-	case c.combining:
-		base = func(k int) (*sharded.Trie, error) { return sharded.NewCombining(universe, k) }
-	default:
-		base = func(k int) (*sharded.Trie, error) { return sharded.New(universe, k) }
+		o.Adaptive = &acfg
 	}
+	if c.placementSet {
+		o.Placement = c.placement
+	}
+	base := func(k int) (*sharded.Trie, error) { return sharded.NewWithOptions(universe, k, o) }
 	if !c.noCompress {
 		return base
 	}
@@ -412,6 +463,9 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 			return nil, err
 		}
 	}
+	if err := cfg.validatePlacement(); err != nil {
+		return nil, err
+	}
 	if cfg.adaptiveShards {
 		initial, err := cfg.resizeBounds()
 		if err != nil {
@@ -425,7 +479,9 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 		return &Trie{set: rz, shards: initial,
 			combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive, rz: rz}, nil
 	}
-	if cfg.shards == 1 {
+	// A placed k=1 trie still needs the sharded machinery (arena carve,
+	// sticky combiner), so placement always routes through the factory.
+	if cfg.shards == 1 && !cfg.placementSet {
 		c, err := core.New(universe)
 		if err != nil {
 			return nil, fmt.Errorf("lockfreetrie: %w", err)
@@ -451,7 +507,17 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}
 	return &Trie{set: st, shards: cfg.shards,
-		combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive}, nil
+		combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive,
+		placement: cfg.placement}, nil
+}
+
+// PlacementHint returns a copy of the WithPlacementHint owners slice, or
+// nil when the trie is unplaced.
+func (t *Trie) PlacementHint() []int {
+	if t.placement == nil {
+		return nil
+	}
+	return append([]int(nil), t.placement...)
 }
 
 // Universe returns the padded universe size 2^⌈log₂ u⌉.
