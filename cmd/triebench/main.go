@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	lockfreetrie "repro"
 	"repro/internal/adapt"
 	"repro/internal/bitstrie"
 	"repro/internal/combine"
@@ -41,7 +42,7 @@ import (
 
 func main() {
 	var (
-		experiment    = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1,cb1,ad1,rs1,cc1,mp1, or all (the paper-claim sweeps c1–a2; s1, a3, cb1, ad1, rs1, cc1 and mp1 run only when named, since they rewrite their recorded trajectory artifacts; the combining experiment is cb1 because c1 is the paper's C1 Search-cost claim)")
+		experiment    = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1,cb1,ad1,rs1,cc1,mp1,ob1, or all (the paper-claim sweeps c1–a2; s1, a3, cb1, ad1, rs1, cc1, mp1 and ob1 run only when named, since they rewrite their recorded trajectory artifacts; the combining experiment is cb1 because c1 is the paper's C1 Search-cost claim)")
 		ops           = flag.Int("ops", 100000, "operations per measurement")
 		workers       = flag.Int("workers", 4, "default worker count")
 		seed          = flag.Int64("seed", 1, "workload seed")
@@ -59,6 +60,8 @@ func main() {
 		cacheReps     = flag.Int("cc1reps", cc1Reps, "cc1 repetitions per configuration (median reported; CI smoke uses 1)")
 		multicorePath = flag.String("multicorejson", "BENCH_multicore.json", "mp1 trajectory output path (empty disables)")
 		multicoreReps = flag.Int("mp1reps", mp1Reps, "mp1 repetitions per configuration (median reported; CI smoke uses 1)")
+		obsPath       = flag.String("obsjson", "BENCH_obs.json", "ob1 trajectory output path (empty disables)")
+		obsReps       = flag.Int("ob1reps", ob1Reps, "ob1 repetitions per configuration (median reported; CI smoke uses 1)")
 	)
 	flag.Parse()
 	inv := invocation{
@@ -70,6 +73,7 @@ func main() {
 		resizePath: *resizePath, resizeReps: *resizeReps,
 		cachePath: *cachePath, cacheReps: *cacheReps,
 		multicorePath: *multicorePath, multicoreReps: *multicoreReps,
+		obsPath: *obsPath, obsReps: *obsReps,
 	}
 	if err := run(*experiment, inv); err != nil {
 		fmt.Fprintln(os.Stderr, "triebench:", err)
@@ -102,6 +106,8 @@ type invocation struct {
 	cacheReps     int
 	multicorePath string
 	multicoreReps int
+	obsPath       string
+	obsReps       int
 }
 
 // procs resolves the -gomaxprocs sweep; empty means the current setting.
@@ -194,7 +200,7 @@ func perP(procs []int, f func(p int) error) error {
 // nothing).
 func experimentIDs() []string {
 	return []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7",
-		"a1", "a2", "a3", "s1", "cb1", "ad1", "rs1", "cc1", "mp1", "all"}
+		"a1", "a2", "a3", "s1", "cb1", "ad1", "rs1", "cc1", "mp1", "ob1", "all"}
 }
 
 // runnersFor binds the experiment table to this invocation's artifact
@@ -215,6 +221,7 @@ func runnersFor(inv invocation) map[string]func() error {
 		"rs1": func() error { return expRS1(inv) },
 		"cc1": func() error { return expCC1(inv) },
 		"mp1": func() error { return expMP1(inv) },
+		"ob1": func() error { return expOB1(inv) },
 	}
 }
 
@@ -224,12 +231,13 @@ func run(experiment string, inv invocation) error {
 		return err
 	}
 	runners := runnersFor(inv)
-	// "all" covers the paper-claim sweeps; s1, a3, cb1, ad1, rs1, cc1 and
-	// mp1 are opt-in because they overwrite the recorded BENCH_shards.json
-	// / BENCH_allocs.json / BENCH_combine.json / BENCH_adaptive.json /
-	// BENCH_resize.json / BENCH_cache.json / BENCH_multicore.json
-	// trajectory points (and s1/cb1/ad1/rs1/cc1/mp1 enforce their own
-	// ops/workers floors — minutes, not seconds).
+	// "all" covers the paper-claim sweeps; s1, a3, cb1, ad1, rs1, cc1, mp1
+	// and ob1 are opt-in because they overwrite the recorded
+	// BENCH_shards.json / BENCH_allocs.json / BENCH_combine.json /
+	// BENCH_adaptive.json / BENCH_resize.json / BENCH_cache.json /
+	// BENCH_multicore.json / BENCH_obs.json trajectory points (and
+	// s1/cb1/ad1/rs1/cc1/mp1/ob1 enforce their own ops/workers floors —
+	// minutes, not seconds).
 	if experiment == "all" {
 		for _, id := range []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7", "a1", "a2"} {
 			if err := runners[id](); err != nil {
@@ -2288,6 +2296,288 @@ func expMP1(inv invocation) error {
 	}
 	fmt.Println(tab)
 	fmt.Printf("placed vs plain, min over P (median of per-rep ratios): %.3f\n", report.GatePlacedVsPlainMin)
+	if jsonPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", jsonPath)
+	return nil
+}
+
+// --- OB1: the observability layer's hot-path cost ------------------------------
+
+// ob1Reps is the default repetition count per configuration (-ob1reps
+// overrides); the median of per-repetition ratios is reported, rotated
+// per repetition, for the same host-load-drift reasons as MP1.
+const ob1Reps = 5
+
+// ob1Variant is one side (instrumented or stripped) of an OB1
+// configuration, measured from a MemStats delta around the timed run the
+// way A3 measures allocation cost.
+type ob1Variant struct {
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// ob1Workload is one gated mix: the default-instrumented facade against
+// the WithoutObservability build of the identical configuration.
+type ob1Workload struct {
+	Mix          string     `json:"mix"`
+	Workers      int        `json:"workers"`
+	Combining    bool       `json:"combining"`
+	Instrumented ob1Variant `json:"instrumented"`
+	Stripped     ob1Variant `json:"stripped_baseline"`
+	// ThroughputRatio is the median of per-repetition
+	// instrumented/stripped ratios — the two sides run adjacently inside
+	// each repetition with the order rotated, so drifting host load
+	// cancels instead of systematically penalizing one side.
+	ThroughputRatio float64 `json:"throughput_ratio_instrumented_vs_stripped"`
+}
+
+// ob1ProcPoint is one GOMAXPROCS setting's measurements with its gates.
+type ob1ProcPoint struct {
+	hostTopology
+	Workloads []ob1Workload `json:"workloads"`
+	// GateMinThroughputRatio is the smallest instrumented/stripped ratio
+	// across this point's workloads; the acceptance gate tracks ≥ 0.97.
+	GateMinThroughputRatio float64 `json:"gate_min_throughput_ratio"`
+	// GateCoreAllocsPerOp is the instrumented allocs/op on the
+	// core-pred-heavy mix — A3's ≤ 0.5 steady-state gate, re-measured
+	// with instrumentation on: the record path must stay
+	// allocation-free, so turning observability on cannot move it. The
+	// clustered-combining mix's allocs are recorded on both sides for
+	// the unchanged-vs-stripped comparison but not gated at 0.5 (the
+	// combining batch machinery allocates ~1.5/op with or without
+	// instrumentation).
+	GateCoreAllocsPerOp float64 `json:"gate_core_pred_heavy_allocs_per_op"`
+}
+
+// ob1Report is the BENCH_obs.json trajectory point. Top-level
+// GoMaxProcs/NumCPU/Workloads/gates are the first swept P's values — the
+// compatibility row — while Points carries the full -gomaxprocs sweep.
+type ob1Report struct {
+	Experiment             string         `json:"experiment"`
+	Timestamp              string         `json:"timestamp"`
+	GoMaxProcs             int            `json:"gomaxprocs"`
+	NumCPU                 int            `json:"num_cpu"`
+	Universe               int64          `json:"universe"`
+	Ops                    int            `json:"ops"`
+	Sampling               int64          `json:"latency_sampling_1_in_n"`
+	Reps                   int            `json:"reps_median_of"`
+	Workloads              []ob1Workload  `json:"workloads"`
+	GateMinThroughputRatio float64        `json:"gate_min_throughput_ratio"`
+	GateCoreAllocsPerOp    float64        `json:"gate_core_pred_heavy_allocs_per_op"`
+	Points                 []ob1ProcPoint `json:"proc_points"`
+}
+
+// ob1Set adapts the facade trie (error-returning methods over a
+// validated universe) to the harness's plain Set interface. The workload
+// generator only produces in-universe keys, so the errors cannot fire;
+// they are discarded rather than branched on to keep the adapter off the
+// measured difference between the two sides (both sides pay it equally).
+type ob1Set struct{ t *lockfreetrie.Trie }
+
+func (s ob1Set) Search(x int64) bool { ok, _ := s.t.Contains(x); return ok }
+func (s ob1Set) Insert(x int64)      { _ = s.t.Insert(x) }
+func (s ob1Set) Delete(x int64)      { _ = s.t.Delete(x) }
+func (s ob1Set) Predecessor(y int64) (p int64) {
+	p, _ = s.t.Predecessor(y)
+	return p
+}
+
+// expOB1: what the always-on observability layer costs where it hurts —
+// the two regimes the gate names. "core-pred-heavy" is the single-shard
+// read-dominated path where one extra branch per op would show; the
+// clustered update mix is cb1's oversubscribed-combiner regime, where
+// the instrumentation rides the combiner election/retraction path and
+// the EBR epoch-advance path as well as the op counters. Each side is a
+// complete facade build — the instrumented one with the default-on
+// registry, histograms (DefaultLatencySampling) and event ring; the
+// stripped one WithoutObservability, which compiles the same trie with
+// every o != nil branch dead. Writes the BENCH_obs.json trajectory
+// point unless -obsjson is empty.
+func expOB1(inv invocation) error {
+	ops, seed := inv.ops, inv.seed
+	reps, jsonPath := inv.obsReps, inv.obsPath
+	procs, err := inv.procs()
+	if err != nil {
+		return err
+	}
+	const u = int64(1 << 16)
+	coreWorkers := inv.workers
+	if coreWorkers < 2 {
+		coreWorkers = 2
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if ops < 400000 {
+		fmt.Printf("ob1: raising -ops to 400000 (short runs measure warm-up, not the steady-state overhead)\n")
+		ops = 400000
+	}
+	fmt.Println("== OB1: instrumented vs stripped facade (gate: ratio ≥ 0.97, allocs/op ≤ 0.5) ==")
+	report := ob1Report{
+		Experiment: "ob1-observability",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Universe:   u,
+		Ops:        ops,
+		Sampling:   lockfreetrie.DefaultLatencySampling,
+		Reps:       reps,
+	}
+	configs := []struct {
+		name      string
+		mix       workload.Mix
+		workers   int
+		combining bool
+		dist      workload.KeyDist
+	}{
+		{"core-pred-heavy", workload.MixPredHeavy, coreWorkers, false,
+			workload.Uniform{U: u}},
+		// cb1's oversubscribed-combiner regime: 16 goroutines funneling
+		// 90% of an update-only stream into one hot range.
+		{"clustered-update-combining", workload.MixUpdateOnly, 16, true,
+			workload.HotRange{U: u, HotLo: u / 2, HotWidth: u / 16, HotPct: 90}},
+	}
+	// One measurement: fresh facade trie, half-full prefill, A3's
+	// warm-settle-rewarm dance so sync.Pool victims and the first-GC heap
+	// growth stay out of the MemStats window, then a timed barrier run.
+	measure := func(ci int, instrumented bool) (ob1Variant, error) {
+		cfg := configs[ci]
+		var opts []lockfreetrie.Option
+		if cfg.combining {
+			opts = append(opts, lockfreetrie.WithCombining())
+		}
+		if !instrumented {
+			opts = append(opts, lockfreetrie.WithoutObservability())
+		}
+		tr, err := lockfreetrie.New(u, opts...)
+		if err != nil {
+			return ob1Variant{}, err
+		}
+		for key := int64(0); key < u; key += 2 {
+			if err := tr.Insert(key); err != nil {
+				return ob1Variant{}, err
+			}
+		}
+		s := ob1Set{tr}
+		gens := make([]*workload.Generator, cfg.workers)
+		for i := range gens {
+			g, err := workload.NewGenerator(cfg.mix, cfg.dist, seed+int64(i))
+			if err != nil {
+				return ob1Variant{}, err
+			}
+			gens[i] = g
+		}
+		runOps := func(n int) time.Duration {
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for w := 0; w < cfg.workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					<-start
+					g := gens[id]
+					for i := 0; i < n/cfg.workers; i++ {
+						harness.ApplyOp(s, g.Next())
+					}
+				}(w)
+			}
+			t0 := time.Now()
+			close(start)
+			wg.Wait()
+			return time.Since(t0)
+		}
+		runOps(ops / 2)
+		runtime.GC()
+		runOps(ops / 10)
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		elapsed := runOps(ops)
+		runtime.ReadMemStats(&m1)
+		n := float64(ops / cfg.workers * cfg.workers)
+		return ob1Variant{
+			OpsPerSec:   n / elapsed.Seconds(),
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
+			BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		}, nil
+	}
+	if err := perP(procs, func(p int) error {
+		pt := ob1ProcPoint{hostTopology: topologyAt(p)}
+		tab := harness.NewTable("workload", "workers", "ops/s instr", "ops/s stripped",
+			"ratio", "allocs/op instr", "allocs/op stripped")
+		for ci, cfg := range configs {
+			var instT, strT, instA, strA, instB, strB, ratios []float64
+			for rep := 0; rep < reps; rep++ {
+				// Rotate which side runs first (the AD1 lesson: a fixed
+				// order lets monotone host-load drift systematically
+				// penalize whichever side always runs last).
+				var inst, str ob1Variant
+				var err error
+				if rep%2 == 0 {
+					if inst, err = measure(ci, true); err == nil {
+						str, err = measure(ci, false)
+					}
+				} else {
+					if str, err = measure(ci, false); err == nil {
+						inst, err = measure(ci, true)
+					}
+				}
+				if err != nil {
+					return err
+				}
+				instT, strT = append(instT, inst.OpsPerSec), append(strT, str.OpsPerSec)
+				instA, strA = append(instA, inst.AllocsPerOp), append(strA, str.AllocsPerOp)
+				instB, strB = append(instB, inst.BytesPerOp), append(strB, str.BytesPerOp)
+				if str.OpsPerSec > 0 {
+					ratios = append(ratios, inst.OpsPerSec/str.OpsPerSec)
+				}
+			}
+			wl := ob1Workload{
+				Mix: cfg.name, Workers: cfg.workers, Combining: cfg.combining,
+				Instrumented: ob1Variant{
+					OpsPerSec: median(instT), AllocsPerOp: median(instA), BytesPerOp: median(instB),
+				},
+				Stripped: ob1Variant{
+					OpsPerSec: median(strT), AllocsPerOp: median(strA), BytesPerOp: median(strB),
+				},
+				ThroughputRatio: median(ratios),
+			}
+			if ci == 0 || wl.ThroughputRatio < pt.GateMinThroughputRatio {
+				pt.GateMinThroughputRatio = wl.ThroughputRatio
+			}
+			if cfg.name == "core-pred-heavy" {
+				pt.GateCoreAllocsPerOp = wl.Instrumented.AllocsPerOp
+			}
+			pt.Workloads = append(pt.Workloads, wl)
+			tab.AddRow(cfg.name, cfg.workers, wl.Instrumented.OpsPerSec, wl.Stripped.OpsPerSec,
+				wl.ThroughputRatio, wl.Instrumented.AllocsPerOp, wl.Stripped.AllocsPerOp)
+		}
+		fmt.Println(tab)
+		report.Points = append(report.Points, pt)
+		return nil
+	}); err != nil {
+		return err
+	}
+	report.GoMaxProcs = report.Points[0].GoMaxProcs
+	report.NumCPU = report.Points[0].NumCPU
+	report.Workloads = report.Points[0].Workloads
+	for i, pt := range report.Points {
+		if i == 0 || pt.GateMinThroughputRatio < report.GateMinThroughputRatio {
+			report.GateMinThroughputRatio = pt.GateMinThroughputRatio
+		}
+		if pt.GateCoreAllocsPerOp > report.GateCoreAllocsPerOp {
+			report.GateCoreAllocsPerOp = pt.GateCoreAllocsPerOp
+		}
+	}
+	fmt.Printf("gate, worst over P: throughput ratio %.3f (want ≥ 0.97), core-pred-heavy instrumented allocs/op %.3f (want ≤ 0.5)\n",
+		report.GateMinThroughputRatio, report.GateCoreAllocsPerOp)
 	if jsonPath == "" {
 		return nil
 	}

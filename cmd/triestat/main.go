@@ -1,0 +1,131 @@
+// Command triestat is a live terminal dashboard for a trie process that
+// serves its observability surface (e.g. `triestress -listen :8080`). It
+// polls the typed /snapshot endpoint, windows consecutive snapshots with
+// Delta, and renders per-second rates plus latency quantiles as a
+// refreshing table:
+//
+//	triestat -addr http://localhost:8080 -interval 1s
+//	triestat -addr http://localhost:8080 -once   # one cumulative dump
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the process serving /snapshot")
+		interval = flag.Duration("interval", time.Second, "polling interval")
+		once     = flag.Bool("once", false, "print one cumulative snapshot and exit")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *addr, *interval, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "triestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, addr string, interval time.Duration, once bool) error {
+	url := strings.TrimRight(addr, "/") + "/snapshot"
+	cur, err := fetch(url)
+	if err != nil {
+		return err
+	}
+	if once {
+		render(w, cur, cur, false)
+		return nil
+	}
+	for {
+		time.Sleep(interval)
+		next, err := fetch(url)
+		if err != nil {
+			return err
+		}
+		// Home + clear-to-end redraws in place without scrollback spam.
+		fmt.Fprint(w, "\x1b[H\x1b[2J")
+		render(w, next, next.Delta(cur), true)
+		cur = next
+	}
+}
+
+func fetch(url string) (obs.Snapshot, error) {
+	var s obs.Snapshot
+	resp, err := http.Get(url)
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return s, fmt.Errorf("decode %s: %w", url, err)
+	}
+	if s.Schema != obs.SchemaName || s.Version > obs.SchemaVersion {
+		return s, fmt.Errorf("endpoint speaks schema %q v%d, this triestat understands %q v%d",
+			s.Schema, s.Version, obs.SchemaName, obs.SchemaVersion)
+	}
+	return s, nil
+}
+
+// render writes one table: every counter/gauge with its cumulative value
+// and (when windowed) its per-second rate over the delta window, then
+// every histogram with windowed count, p50, p99, and mean.
+func render(w io.Writer, total, win obs.Snapshot, windowed bool) {
+	secs := float64(win.WindowNanos) / 1e9
+	if windowed {
+		fmt.Fprintf(w, "%s v%d  @ %s  (window %.2fs)\n\n",
+			total.Schema, total.Version,
+			time.Unix(0, total.UnixNanos).Format("15:04:05"), secs)
+	} else {
+		fmt.Fprintf(w, "%s v%d  @ %s  (cumulative)\n\n",
+			total.Schema, total.Version,
+			time.Unix(0, total.UnixNanos).Format("15:04:05"))
+	}
+
+	names := make([]string, 0, len(total.Counters))
+	for n := range total.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-34s %14s %12s\n", "COUNTER", "TOTAL", "RATE/s")
+	for _, n := range names {
+		rate := "-"
+		if windowed && secs > 0 {
+			rate = fmt.Sprintf("%.0f", float64(win.Counters[n])/secs)
+		}
+		fmt.Fprintf(w, "%-34s %14d %12s\n", n, total.Counters[n], rate)
+	}
+
+	if len(total.Hists) == 0 {
+		return
+	}
+	hnames := make([]string, 0, len(total.Hists))
+	for n := range total.Hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	fmt.Fprintf(w, "\n%-34s %10s %10s %10s %10s\n", "HISTOGRAM", "COUNT", "p50", "p99", "mean")
+	for _, n := range hnames {
+		h := total.Hists[n]
+		if windowed {
+			h = win.Hists[n]
+		}
+		mean := int64(0)
+		if h.Count > 0 {
+			mean = h.Sum / h.Count
+		}
+		fmt.Fprintf(w, "%-34s %10d %10d %10d %10d\n",
+			n, h.Count, h.Quantile(0.50), h.Quantile(0.99), mean)
+	}
+}

@@ -6,17 +6,28 @@
 // Usage:
 //
 //	triestress -rounds 500 -workers 4 -ops 8 -u 16
+//
+// With -listen it instead runs an endless randomized workload against
+// the facade trie and serves its live metrics (expvar JSON at
+// /debug/vars, Prometheus text at /metrics, the typed schema at
+// /snapshot) for cmd/triestat or any scraper to attach to:
+//
+//	triestress -listen :8080 -workers 8 -u 65536
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"sync"
 
+	lockfreetrie "repro"
 	"repro/internal/core"
 	"repro/internal/lincheck"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
 )
 
 func main() {
@@ -26,14 +37,55 @@ func main() {
 		ops     = flag.Int("ops", 8, "operations per goroutine per round")
 		u       = flag.Int64("u", 16, "universe size (≤ 64 for checking)")
 		seed    = flag.Int64("seed", 1, "base random seed")
+		listen  = flag.String("listen", "", "serve live metrics at this address and run an endless workload (no lin-checking)")
 	)
 	flag.Parse()
+	if *listen != "" {
+		if err := serve(*listen, *workers, *u, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "triestress:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*rounds, *workers, *ops, *u, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "triestress:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("triestress: %d rounds × %d workers × %d ops linearizable ✓\n",
 		*rounds, *workers, *ops)
+}
+
+// serve runs -workers goroutines in an endless mixed workload over the
+// facade trie and exposes its observability surface over HTTP. The
+// universe is not capped at 64 here — there is no history checker — so
+// pass a realistic -u (e.g. 65536).
+func serve(addr string, workers int, u, seed int64) error {
+	tr, err := lockfreetrie.New(u)
+	if err != nil {
+		return err
+	}
+	for w := 0; w < workers; w++ {
+		go func(id int64) {
+			rng := rand.New(rand.NewSource(seed + id))
+			for {
+				k := rng.Int63n(u)
+				switch rng.Intn(8) {
+				case 0, 1, 2:
+					_ = tr.Insert(k)
+				case 3:
+					_ = tr.Delete(k)
+				case 4, 5:
+					_, _ = tr.Contains(k)
+				default:
+					_, _ = tr.Predecessor(k)
+				}
+			}
+		}(int64(w))
+	}
+	mux := export.NewMux(func() obs.Snapshot { return tr.MetricsSnapshot() })
+	fmt.Printf("triestress: workload %d workers over u=%d; serving /debug/vars /metrics /snapshot on %s\n",
+		workers, u, addr)
+	return http.ListenAndServe(addr, mux)
 }
 
 func run(rounds, workers, ops int, u, seed int64) error {

@@ -65,9 +65,24 @@ func parseKeys(s string) ([]int64, error) {
 	return out, nil
 }
 
+// checkKeys validates every key against the PADDED universe (the trie
+// rounds u up to a power of two), so a bad -keys value is a clean error
+// instead of a render-time panic.
+func checkKeys(keys []int64, padded int64) error {
+	for _, k := range keys {
+		if k < 0 || k >= padded {
+			return fmt.Errorf("key %d outside universe [0, %d)", k, padded)
+		}
+	}
+	return nil
+}
+
 func renderSequential(u int64, keys []int64) error {
 	tr, err := seqtrie.New(u)
 	if err != nil {
+		return err
+	}
+	if err := checkKeys(keys, tr.U()); err != nil {
 		return err
 	}
 	for _, k := range keys {
@@ -81,6 +96,9 @@ func renderSequential(u int64, keys []int64) error {
 func renderLockFree(u int64, keys []int64) error {
 	tr, err := core.New(u)
 	if err != nil {
+		return err
+	}
+	if err := checkKeys(keys, tr.U()); err != nil {
 		return err
 	}
 	for _, k := range keys {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseKeys: the -keys flag's edge cases parse (or fail) cleanly.
+func TestParseKeys(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int64
+		wantErr string
+	}{
+		{in: "", want: nil},
+		{in: "3,7,12", want: []int64{3, 7, 12}},
+		{in: " 3 , 7 ", want: []int64{3, 7}},
+		{in: "0", want: []int64{0}},
+		{in: "3,7,", wantErr: "bad key"},                   // trailing comma
+		{in: ",3", wantErr: "bad key"},                     // leading comma
+		{in: "3,,7", wantErr: "bad key"},                   // empty element
+		{in: "3,x,7", wantErr: "bad key"},                  // not a number
+		{in: "3.5", wantErr: "bad key"},                    // not an integer
+		{in: "9999999999999999999999", wantErr: "bad key"}, // overflow
+	}
+	for _, c := range cases {
+		got, err := parseKeys(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("parseKeys(%q) err = %v, want containing %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseKeys(%q) failed: %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseKeys(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseKeys(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestRenderRejectsOutOfUniverseKeys: a key outside the padded universe
+// is a clean error from both renderers, not a render-time panic.
+func TestRenderRejectsOutOfUniverseKeys(t *testing.T) {
+	for _, k := range []int64{16, 100, -1} {
+		if err := renderLockFree(16, []int64{3, k}); err == nil ||
+			!strings.Contains(err.Error(), "outside universe") {
+			t.Errorf("renderLockFree(u=16, key %d) err = %v, want out-of-universe error", k, err)
+		}
+		if err := renderSequential(16, []int64{k}); err == nil ||
+			!strings.Contains(err.Error(), "outside universe") {
+			t.Errorf("renderSequential(u=16, key %d) err = %v, want out-of-universe error", k, err)
+		}
+	}
+	// The boundary itself is legal: u=10 pads to 16, so key 15 renders.
+	if err := renderLockFree(10, []int64{15}); err != nil {
+		t.Errorf("renderLockFree(u=10→16, key 15) failed: %v", err)
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/atomicx"
+	"repro/internal/obs"
 )
 
 // Default thresholds, tuned from the cb1/ad1 trajectories
@@ -253,6 +254,23 @@ type Controller struct {
 	directPeak float64
 	// start anchors Tick's Nanos readings; set once in New.
 	start time.Time
+
+	// events, when non-nil, receives one trace event per mode flip,
+	// carrying the signal values that justified the decision (set once via
+	// SetEvents, before concurrent use). Flips are rare — dwell bounds them
+	// to one per MinDwell samples — so the publish cost never rides the
+	// publication path.
+	events  *obs.Ring
+	evShard int32
+}
+
+// SetEvents routes this controller's mode flips — obs.KindAdaptiveEnable
+// and obs.KindAdaptiveDisable, with triggering signal values in the args —
+// to ring, tagged with shard. Install before concurrent use (the fields
+// are plain).
+func (c *Controller) SetEvents(ring *obs.Ring, shard int32) {
+	c.events = ring
+	c.evShard = shard
 }
 
 // New returns a controller with cfg's thresholds (zero fields take the
@@ -342,21 +360,21 @@ func (c *Controller) Step(s Sample) {
 	// visible concurrent publishers while direct. A combining sample with
 	// no rounds and no retractions saw no publication traffic at all and
 	// updates nothing.
-	obs, have := 0.0, false
+	est, have := 0.0, false
 	switch {
 	case combining && dRounds > 0:
-		obs, have = float64(dBatched)/float64(dRounds), true
+		est, have = float64(dBatched)/float64(dRounds), true
 	case combining && dRetracts > 0:
-		obs, have = 1, true // every submission escaped solo
+		est, have = 1, true // every submission escaped solo
 	case !combining:
 		peers := s.AnnLen
 		if s.Pending > peers {
 			peers = s.Pending
 		}
-		obs, have = float64(peers)+1, true
+		est, have = float64(peers)+1, true
 	}
 	if have {
-		c.ewma = c.cfg.Alpha*obs + (1-c.cfg.Alpha)*c.ewma
+		c.ewma = c.cfg.Alpha*est + (1-c.cfg.Alpha)*c.ewma
 	}
 
 	// Throughput signal: ops/sec over the sample interval, EWMA-smoothed
@@ -384,10 +402,29 @@ func (c *Controller) Step(s Sample) {
 		c.mode.Store(modeCombining)
 		c.enables.Add(1)
 		c.dwell = 0
+		if c.events != nil {
+			// Which signal fired: the primary estimate reaching Enable, or
+			// the secondary throughput collapse (the two are not exclusive;
+			// the flag records whether the flip NEEDED the secondary path).
+			tputFired := int64(0)
+			if c.ewma < c.cfg.Enable {
+				tputFired = 1
+			}
+			c.events.Publish(obs.KindAdaptiveEnable, c.evShard,
+				int64(c.ewma*1000), tputFired, int64(c.tput), int64(c.directPeak))
+		}
 	case combining && c.disableWanted(dRounds, dBatched, dRetracts, dElect):
 		c.mode.Store(modeDirect)
 		c.disables.Add(1)
 		c.dwell = 0
+		if c.events != nil {
+			var rate float64
+			if d := dBatched + dRetracts; d > 0 {
+				rate = float64(dRetracts) / float64(d)
+			}
+			c.events.Publish(obs.KindAdaptiveDisable, c.evShard,
+				int64(c.ewma*1000), int64(rate*1000), dRounds, dRetracts)
+		}
 	}
 }
 

@@ -53,6 +53,7 @@ import (
 
 	"repro/internal/atomicx"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Op is one submitted operation; Won is filled by the backend and is
@@ -153,6 +154,22 @@ type Combiner struct {
 	taken    []*slot       // round scratch; guarded by the round word
 	batch    []Op          // round scratch; guarded by the round word
 	stats    Stats
+
+	// events, when non-nil, receives sampled election and per-retraction
+	// trace events tagged with evShard (set once via SetEvents, before
+	// concurrent use). Publishing through a nil ring is a no-op, so the
+	// hot paths stay branch-cheap in the stripped configuration.
+	events  *obs.Ring
+	evShard int32
+}
+
+// SetEvents routes this combiner's control-plane trace — one
+// obs.KindCombinerElect per obs.ElectEventEvery rounds, one
+// obs.KindCombinerRetract per retraction — to ring, tagged with shard.
+// Install before concurrent use (the fields are plain).
+func (c *Combiner) SetEvents(ring *obs.Ring, shard int32) {
+	c.events = ring
+	c.evShard = shard
 }
 
 // testHookMidRound, when non-nil, runs after a round's slots are taken and
@@ -335,6 +352,7 @@ func (c *Combiner) Submit(op Op) {
 		if attempt >= retractAfter && s.state.CompareAndSwap(slotPending, slotEmpty) {
 			c.stats.Direct.Add(1)
 			c.stats.Retracts.Add(1)
+			c.events.Publish(obs.KindCombinerRetract, c.evShard, int64(attempt))
 			c.applyOne(op)
 			return
 		}
@@ -420,10 +438,18 @@ func (c *Combiner) runRound() {
 	for _, s := range c.taken {
 		s.state.Store(slotDone)
 	}
-	c.stats.Rounds.Add(1)
+	rounds := c.stats.Rounds.Add(1)
 	c.stats.Batched.Add(int64(len(c.taken)))
 	if n := int64(len(c.taken)); n > c.stats.MaxBatch.Load() {
 		c.stats.MaxBatch.Store(n) // monotone; the combiner is the only writer
+	}
+	// Elections happen once per round — far too hot to trace unsampled
+	// (a clustered mix runs a round every ~7 ops), so one round in
+	// ElectEventEvery carries the trace, with the batch size as its
+	// signal value. Retractions and the adaptive/resize events stay
+	// unsampled; they are rare and individually meaningful.
+	if c.events != nil && rounds%obs.ElectEventEvery == 0 {
+		c.events.Publish(obs.KindCombinerElect, c.evShard, int64(len(c.taken)), rounds)
 	}
 }
 

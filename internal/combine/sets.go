@@ -104,6 +104,10 @@ func (s *CoreSet) Adaptive() bool { return s.a != nil }
 // Controller returns the adaptive controller, or nil (tests, stats).
 func (s *CoreSet) Controller() *adapt.Controller { return s.a }
 
+// Combiner returns the combiner, or nil when combining is disabled
+// (observability wiring, tests).
+func (s *CoreSet) Combiner() *Combiner { return s.c }
+
 // AdaptiveStats returns the cumulative mode-transition counts (zeros
 // without a controller).
 func (s *CoreSet) AdaptiveStats() (enables, disables int64) {
@@ -240,6 +244,10 @@ func (s *RelaxedSet) Adaptive() bool { return s.a != nil }
 
 // Controller returns the adaptive controller, or nil (tests, stats).
 func (s *RelaxedSet) Controller() *adapt.Controller { return s.a }
+
+// Combiner returns the combiner, or nil when combining is disabled
+// (observability wiring, tests).
+func (s *RelaxedSet) Combiner() *Combiner { return s.c }
 
 // AdaptiveStats returns the cumulative mode-transition counts (zeros
 // without a controller).

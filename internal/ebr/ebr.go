@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/atomicx"
+	"repro/internal/obs"
 )
 
 // Recyclable is implemented by pooled objects. Recycle is called exactly
@@ -114,6 +115,20 @@ type Domain struct {
 	epoch atomic.Uint64
 	_     [atomicx.CacheLine - 8]byte
 	head  atomic.Pointer[block]
+
+	// events, when non-nil, receives one obs.KindEpochAdvance trace event
+	// per successful Advance (set once via SetEvents, before concurrent
+	// use). Advances are amortized — one attempt per advanceEvery retires
+	// per slot — so the publish cost never rides the retire path.
+	events  *obs.Ring
+	evShard int32
+}
+
+// SetEvents routes this domain's successful epoch advances to ring, tagged
+// with shard. Install before concurrent use (the fields are plain).
+func (d *Domain) SetEvents(ring *obs.Ring, shard int32) {
+	d.events = ring
+	d.evShard = shard
 }
 
 // NewDomain returns a Domain with one slot block.
@@ -250,5 +265,11 @@ func (d *Domain) Advance() bool {
 			}
 		}
 	}
-	return d.epoch.CompareAndSwap(e, e+1)
+	if !d.epoch.CompareAndSwap(e, e+1) {
+		return false
+	}
+	if d.events != nil {
+		d.events.Publish(obs.KindEpochAdvance, d.evShard, int64(e+1))
+	}
+	return true
 }

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries: the exact power-of-two edges. Bucket 0
+// holds only 0; bucket b ≥ 1 covers [2^(b−1), 2^b); past the last bound
+// everything clamps into the final bucket. Negative values (a clock
+// anomaly on the latency path) record as 0 instead of corrupting memory.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, // clamped clock anomaly
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{16, 5},
+		{1023, 10}, {1024, 11}, {1025, 11},
+		{(1 << 20) - 1, 20}, {1 << 20, 21},
+		{1 << 40, 41},
+		{1<<41 - 1, 41},
+		{1 << 41, 41},    // first clamped value
+		{1<<62 + 17, 41}, // deep clamp
+		{BucketBound(41), 41},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Record(c.v)
+		s := h.Snapshot()
+		got := -1
+		for b := range s.Buckets {
+			if s.Buckets[b] == 1 {
+				if got != -1 {
+					t.Fatalf("Record(%d) landed in two buckets", c.v)
+				}
+				got = b
+			}
+		}
+		if got != c.bucket {
+			t.Errorf("Record(%d) → bucket %d, want %d", c.v, got, c.bucket)
+		}
+		if s.Count != 1 {
+			t.Errorf("Record(%d): count %d, want 1", c.v, s.Count)
+		}
+	}
+}
+
+// TestBucketBoundMonotone: bounds are the inclusive upper edges the
+// boundary table above assumes — 0, then 2^b − 1, strictly increasing.
+func TestBucketBoundMonotone(t *testing.T) {
+	if BucketBound(0) != 0 || BucketBound(1) != 1 || BucketBound(4) != 15 {
+		t.Fatalf("BucketBound = %d,%d,%d, want 0,1,15", BucketBound(0), BucketBound(1), BucketBound(4))
+	}
+	for b := 1; b < HistBuckets; b++ {
+		if BucketBound(b) <= BucketBound(b-1) {
+			t.Fatalf("BucketBound(%d)=%d not above BucketBound(%d)=%d",
+				b, BucketBound(b), b-1, BucketBound(b-1))
+		}
+	}
+}
+
+// TestHistogramQuantile: quantiles report the covering bucket's upper
+// bound (≤ 2× relative error by construction).
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Record(100) // bucket 7, bound 127
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(5000) // bucket 13, bound 8191
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 != 127 {
+		t.Errorf("p50 = %d, want 127", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 != 8191 {
+		t.Errorf("p99 = %d, want 8191", p99)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty-histogram quantile = %d, want 0", got)
+	}
+}
+
+// TestHistogramConcurrentRecord: totals must be exact under concurrent
+// recording (and the test is a -race probe of the record path).
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(id*per+i) % 4096)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var sum int64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+// TestHistogramDelta: windowed readings subtract bucket-by-bucket.
+func TestHistogramDelta(t *testing.T) {
+	var h Histogram
+	h.Record(3)
+	s1 := h.Snapshot()
+	h.Record(3)
+	h.Record(300)
+	d := h.Snapshot().Delta(s1)
+	if d.Count != 2 || d.Sum != 303 {
+		t.Fatalf("delta count/sum = %d/%d, want 2/303", d.Count, d.Sum)
+	}
+	if d.Buckets[2] != 1 {
+		t.Fatalf("delta bucket 2 = %d, want 1", d.Buckets[2])
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterStripesSum: concurrent Adds with scattered hints must sum
+// exactly — striping changes placement, never arithmetic.
+func TestCounterStripesSum(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(int64(id*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Counter.Load() = %d, want %d", got, workers*per)
+	}
+}
+
+// TestCounterIncReturnsStripeValue: the sampling facades rely on Inc
+// returning a per-stripe sequence — a fixed hint must count 1,2,3,….
+func TestCounterIncReturnsStripeValue(t *testing.T) {
+	var c Counter
+	for i := int64(1); i <= 5; i++ {
+		if got := c.Inc(42); got != i {
+			t.Fatalf("Inc #%d on a fixed hint = %d, want %d", i, got, i)
+		}
+	}
+}
+
+// TestRegistryIdempotentHandles: re-asking for a name returns the same
+// hot-path object, never a fresh zeroed one.
+func TestRegistryIdempotentHandles(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("ops.search")
+	c1.Inc(0)
+	if c2 := r.Counter("ops.search"); c2 != c1 {
+		t.Fatal("Registry.Counter returned a different handle for the same name")
+	}
+	if h1, h2 := r.Histogram("lat"), r.Histogram("lat"); h1 != h2 {
+		t.Fatal("Registry.Histogram returned a different handle for the same name")
+	}
+}
+
+// TestSnapshotAndDelta: counters, gauges and histograms all land in the
+// schema; Delta subtracts per name, tolerates names missing from prev,
+// and stamps the window.
+func TestSnapshotAndDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops.add")
+	g := int64(3)
+	r.Gauge("resize.shards", func() int64 { return g })
+	h := r.Histogram("lat.add")
+
+	c.Add(1, 10)
+	h.Record(100)
+	s1 := r.Snapshot()
+	if s1.Schema != SchemaName || s1.Version != SchemaVersion {
+		t.Fatalf("snapshot schema %q/%d, want %q/%d", s1.Schema, s1.Version, SchemaName, SchemaVersion)
+	}
+	if s1.Counters["ops.add"] != 10 || s1.Counters["resize.shards"] != 3 {
+		t.Fatalf("snapshot counters = %v", s1.Counters)
+	}
+	if s1.Hists["lat.add"].Count != 1 {
+		t.Fatalf("snapshot histogram count = %d, want 1", s1.Hists["lat.add"].Count)
+	}
+
+	c.Add(2, 5)
+	g = 6
+	h.Record(200)
+	s2 := r.Snapshot()
+	d := s2.Delta(s1)
+	if d.Counters["ops.add"] != 5 {
+		t.Fatalf("delta ops.add = %d, want 5", d.Counters["ops.add"])
+	}
+	if d.Counters["resize.shards"] != 3 {
+		t.Fatalf("delta gauge = %d, want 3 (6−3)", d.Counters["resize.shards"])
+	}
+	if d.Hists["lat.add"].Count != 1 || d.Hists["lat.add"].Sum != 200 {
+		t.Fatalf("delta histogram = %+v", d.Hists["lat.add"])
+	}
+	if d.WindowNanos < 0 {
+		t.Fatalf("delta window %d < 0", d.WindowNanos)
+	}
+
+	// A name unknown to prev reads as a zero base.
+	r.Counter("ops.new").Add(0, 7)
+	d2 := r.Snapshot().Delta(s1)
+	if d2.Counters["ops.new"] != 7 {
+		t.Fatalf("delta of a fresh counter = %d, want 7", d2.Counters["ops.new"])
+	}
+}
+
+// TestRegistryNamesSorted: exposition iterates Names; it must be stable.
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a", func() int64 { return 0 })
+	r.Histogram("c")
+	names := r.Names()
+	want := []string{"a", "b", "c"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}

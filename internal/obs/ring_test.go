@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingPublishDrain: the single-threaded contract — FIFO order, seq
+// tickets, arg round-trip, nothing dropped while the ring is not full.
+func TestRingPublishDrain(t *testing.T) {
+	r := NewRing(8)
+	r.Publish(KindEpochAdvance, 3, 7)
+	r.Publish(KindResizeGrow, -1, 1, 2, 10, 20, 30, 40, 50, 60)
+	evs := r.Drain()
+	if len(evs) != 2 {
+		t.Fatalf("Drain returned %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != KindEpochAdvance || evs[0].Shard != 3 || evs[0].Args[0] != 7 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != KindResizeGrow || evs[1].Shard != -1 {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	want := [EventArgs]int64{1, 2, 10, 20, 30, 40, 50, 60}
+	if evs[1].Args != want {
+		t.Fatalf("event 1 args = %v, want %v", evs[1].Args, want)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("seqs = %d,%d, want 0,1", evs[0].Seq, evs[1].Seq)
+	}
+	if got := r.Drain(); len(got) != 0 {
+		t.Fatalf("second Drain returned %d events, want 0", len(got))
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", r.Dropped())
+	}
+}
+
+// TestRingOverwrite: a full ring drops the OLDEST events, keeps the
+// newest, and accounts every loss.
+func TestRingOverwrite(t *testing.T) {
+	r := NewRing(4)
+	for i := int64(0); i < 10; i++ {
+		r.Publish(KindEpochAdvance, 0, i)
+	}
+	evs := r.Drain()
+	if len(evs) != 4 {
+		t.Fatalf("Drain returned %d events, want 4 (ring capacity)", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(6 + i); e.Args[0] != want {
+			t.Fatalf("event %d carries arg %d, want %d (newest must survive)", i, e.Args[0], want)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+}
+
+// TestRingNilSafe: a nil ring is the stripped configuration — every
+// method is a no-op, not a panic.
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Publish(KindSealAssist, 0, 1)
+	if r.Drain() != nil || r.Dropped() != 0 || r.Cap() != 0 {
+		t.Fatal("nil ring methods must return zero values")
+	}
+}
+
+// TestRingStress: the -race stress of the seqlock protocol — concurrent
+// writers lapping a small ring while a reader drains. Three invariants:
+//
+//  1. accounting: drained + dropped == published (no lost update on the
+//     sequence word — every ticket is surfaced exactly once, as an event
+//     or as a drop);
+//  2. integrity: no torn payload survives validation (each event carries
+//     a writer/value/checksum triple that must be internally consistent);
+//  3. order: drained events arrive in strictly increasing Seq order.
+func TestRingStress(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 20000
+	)
+	r := NewRing(64) // small: force heavy wraparound and lapping
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var drained int64
+	var lastSeq int64 = -1
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		check := func(evs []Event) {
+			for _, e := range evs {
+				if int64(e.Seq) <= lastSeq {
+					t.Errorf("seq %d not above previous %d", e.Seq, lastSeq)
+				}
+				lastSeq = int64(e.Seq)
+				if e.Args[0]^e.Args[1] != e.Args[2] {
+					t.Errorf("torn event survived validation: %+v", e)
+				}
+				drained++
+			}
+		}
+		for {
+			select {
+			case <-stop:
+				check(r.Drain()) // final sweep at quiescence
+				return
+			default:
+				check(r.Drain())
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := int64(0); i < perW; i++ {
+				r.Publish(KindCombinerElect, int32(id), id, i, id^i)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	const published = writers * perW
+	if total := drained + r.Dropped(); total != published {
+		t.Fatalf("drained %d + dropped %d = %d, want %d published",
+			drained, r.Dropped(), total, published)
+	}
+	if drained == 0 {
+		t.Fatal("reader drained nothing — the ring never surfaced an event")
+	}
+}
+
+// TestRingQuiescentDrainLosesNothing: with no writer in flight, a drain
+// must surface every undrained event the ring still holds — in-progress
+// accounting must not leak drops at quiescence.
+func TestRingQuiescentDrainLosesNothing(t *testing.T) {
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for i := int64(0); i < 3; i++ {
+				r.Publish(KindSealAssist, int32(id), i)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := len(r.Drain()); got != 12 {
+		t.Fatalf("quiescent drain returned %d events, want 12", got)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0 (ring never filled)", r.Dropped())
+	}
+}

@@ -68,9 +68,11 @@ import (
 	"math/bits"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/atomicx"
 	"repro/internal/bitmap"
+	"repro/internal/obs"
 )
 
 // Stage identifies a point of the migration protocol, for the test hook.
@@ -270,7 +272,19 @@ type resizer[T migTable] struct {
 	// assists counts keys replayed by sealed-window helpers (monitoring;
 	// the helper-seal stress test asserts it moves).
 	assists atomicx.PadInt64
+
+	// events, when non-nil, receives migration trace events (set once via
+	// SetEvents, before concurrent use): one KindResizeGrow/KindResizeShrink
+	// per completed migration carrying the k→k′ transition and per-stage
+	// durations, and one KindSealAssist per helper-claimed dirty word that
+	// replayed keys. Migrations are rare and seal windows short, so none of
+	// this rides a steady-state path.
+	events *obs.Ring
 }
+
+// SetEvents routes migration trace events to ring. Install before
+// concurrent use (the field is plain).
+func (r *resizer[T]) SetEvents(ring *obs.Ring) { r.events = ring }
 
 // newEpoch builds a generation around cur. journal selects the journal
 // phase (with fresh dirty tries); sealedNext non-zero selects the sealed
@@ -505,6 +519,7 @@ func (r *resizer[T]) helpReplay(h *helpState[T], helper bool) int {
 		}
 		if helper && keys > 0 {
 			r.assists.Add(keys)
+			r.events.Publish(obs.KindSealAssist, int32(si), keys)
 		}
 		h.done.Add(1)
 		if !helper {
@@ -547,6 +562,16 @@ func (r *resizer[T]) Resize(target int) error {
 // resizing flag, which serializes coordinators — epoch installs are
 // plain stores.
 func (r *resizer[T]) migrate(target int) error {
+	// Stage clock for the migration trace event: mark() returns the
+	// nanoseconds since the previous mark, so the six readings below are
+	// exactly the per-stage durations the event carries.
+	stageStart := time.Now()
+	mark := func() int64 {
+		now := time.Now()
+		d := now.Sub(stageStart)
+		stageStart = now
+		return int64(d)
+	}
 	e0 := r.epoch.Load()
 	old := e0.cur
 	from := old.Shards()
@@ -564,6 +589,7 @@ func (r *resizer[T]) migrate(target int) error {
 	hook(StageJournal)
 	r.drain(e0)
 	hook(StageDrained)
+	dJournal := mark()
 	// 3: bulk copy (next is private; the dirty journal absorbs races),
 	// batched through the table's batch entrypoint where it has one.
 	if r.bulk != nil {
@@ -581,6 +607,7 @@ func (r *resizer[T]) migrate(target int) error {
 		r.scan(old, func(key int64) { next.Insert(key) })
 	}
 	hook(StageCopied)
+	dCopy := mark()
 	// 4: catch-up generations shrink the sealed window's replay — but
 	// only while they are actually shrinking it. A catch-up replays at
 	// CONTENDED speed (the journal writers keep the processors), so on a
@@ -607,6 +634,7 @@ func (r *resizer[T]) migrate(target int) error {
 		}
 		prev = cur
 	}
+	dCatchup := mark()
 	// 5: seal, drain the last generation, final replay. After this,
 	// next equals old exactly and old is frozen. The replay is shared
 	// work: updates parked in the sealed window claim dirty words
@@ -621,6 +649,7 @@ func (r *resizer[T]) migrate(target int) error {
 	r.epoch.Store(es)
 	hook(StageSealed)
 	r.drain(ej)
+	dSeal := mark()
 	// Only now is cur frozen; open the work list to helpers and join the
 	// replay. The coordinator claiming alongside them guarantees progress
 	// even if every parked update is descheduled.
@@ -630,6 +659,7 @@ func (r *resizer[T]) migrate(target int) error {
 		runtime.Gosched() // helpers hold unfinished words; let them run
 	}
 	hook(StageReplayed)
+	dReplay := mark()
 	// 6: activate.
 	ea, err := newEpoch(phaseStable, next, *new(T))
 	if err != nil {
@@ -652,6 +682,15 @@ func (r *resizer[T]) migrate(target int) error {
 		r.shrinks.Add(1)
 	}
 	hook(StageActivated)
+	if r.events != nil {
+		kind := obs.KindResizeGrow
+		if target < from {
+			kind = obs.KindResizeShrink
+		}
+		// Shard −1: the migration belongs to the whole set, not one shard.
+		r.events.Publish(kind, -1,
+			int64(from), int64(target), dJournal, dCopy, dCatchup, dSeal, dReplay, mark())
+	}
 	// Fairness on saturated hosts: updates that waited out the sealed
 	// window donated their scheduler slices to this coordinator, so a
 	// caller issuing back-to-back migrations would re-seal before they

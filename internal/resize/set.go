@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sharded"
 )
 
@@ -136,6 +137,10 @@ func (s *Set) Decider() *Decider { return s.r.dec }
 // SealAssists returns the cumulative count of keys replayed by updates
 // that arrived inside a sealed migration window and helped drain it.
 func (s *Set) SealAssists() int64 { return s.r.SealAssists() }
+
+// SetEvents routes migration trace events (grow/shrink with per-stage
+// durations, seal assists) to ring. Install before concurrent use.
+func (s *Set) SetEvents(ring *obs.Ring) { s.r.SetEvents(ring) }
 
 // Resize synchronously migrates to target shards (ErrBusy if one is in
 // flight). Concurrent operations proceed throughout.

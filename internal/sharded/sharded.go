@@ -459,6 +459,10 @@ func (t *Trie) ShardCombining(i int) bool {
 // stats).
 func (t *Trie) ShardController(i int) *adapt.Controller { return t.shards[i].ctl }
 
+// ShardCombiner returns shard i's combiner, or nil when combining is
+// disabled (observability wiring, tests).
+func (t *Trie) ShardCombiner(i int) *combine.Combiner { return t.shards[i].comb }
+
 // Placement returns a copy of the placement hint the trie was built with,
 // or nil when unplaced.
 func (t *Trie) Placement() []int {

@@ -48,6 +48,7 @@ package lockfreetrie
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/adapt"
 	"repro/internal/combine"
@@ -83,6 +84,11 @@ type config struct {
 	noCompress     bool
 	placement      []int
 	placementSet   bool
+	// Observability options (obs.go). latEvery 0 selects the default
+	// sampling cadence.
+	obsOff       bool
+	latEvery     int64
+	descentStats bool
 }
 
 // Option configures New and NewRelaxed.
@@ -403,6 +409,7 @@ type Trie struct {
 	adaptive  bool
 	placement []int       // WithPlacementHint copy; nil when unplaced
 	rz        *resize.Set // non-nil under WithAdaptiveShards
+	obs       *obsState   // nil under WithoutObservability
 }
 
 // resizeBounds validates the WithAdaptiveShards bounds against the other
@@ -466,18 +473,52 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 	if err := cfg.validatePlacement(); err != nil {
 		return nil, err
 	}
+	if err := cfg.validateObservability(); err != nil {
+		return nil, err
+	}
+	// Observability is on by default; every path below instruments its
+	// tables while they are still private (plain-store attach points),
+	// then finish wires the gauges over the assembled backend.
+	var o *obsState
+	if !cfg.obsOff {
+		o = newObsState(&cfg)
+	}
+	finish := func(t *Trie) *Trie {
+		t.obs = o
+		if o != nil {
+			t.registerObsGauges()
+		}
+		return t
+	}
 	if cfg.adaptiveShards {
 		initial, err := cfg.resizeBounds()
 		if err != nil {
 			return nil, err
 		}
-		rz, err := resize.NewSet(initial, cfg.shardedFactory(universe),
+		factory := cfg.shardedFactory(universe)
+		if o != nil {
+			// Each partition the trie migrates to is instrumented inside
+			// the factory, before the coordinator publishes it.
+			inner := factory
+			factory = func(k int) (*sharded.Trie, error) {
+				st, err := inner(k)
+				if err != nil {
+					return nil, err
+				}
+				o.instrumentSharded(st)
+				return st, nil
+			}
+		}
+		rz, err := resize.NewSet(initial, factory,
 			resize.Config{MinShards: cfg.minShards, MaxShards: cfg.maxShards})
 		if err != nil {
 			return nil, fmt.Errorf("lockfreetrie: %w", err)
 		}
-		return &Trie{set: rz, shards: initial,
-			combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive, rz: rz}, nil
+		if o != nil {
+			rz.SetEvents(o.ring)
+		}
+		return finish(&Trie{set: rz, shards: initial,
+			combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive, rz: rz}), nil
 	}
 	// A placed k=1 trie still needs the sharded machinery (arena carve,
 	// sticky combiner), so placement always routes through the factory.
@@ -491,24 +532,39 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 		}
 		var s set
 		if cfg.adaptive {
-			s = combine.WrapCoreAdaptive(c, cfg.acfg, 0)
+			cs := combine.WrapCoreAdaptive(c, cfg.acfg, 0)
+			if o != nil {
+				cs.Combiner().SetEvents(o.ring, 0)
+				cs.Controller().SetEvents(o.ring, 0)
+			}
+			s = cs
 		} else {
-			s = combine.WrapCore(c, cfg.combining, 0)
+			cs := combine.WrapCore(c, cfg.combining, 0)
+			if o != nil && cs.Combiner() != nil {
+				cs.Combiner().SetEvents(o.ring, 0)
+			}
+			s = cs
 		}
-		return &Trie{
+		if o != nil {
+			o.instrumentCore(c, 0)
+		}
+		return finish(&Trie{
 			set:       s,
 			shards:    1,
 			combining: cfg.combining || cfg.adaptive,
 			adaptive:  cfg.adaptive,
-		}, nil
+		}), nil
 	}
 	st, err := cfg.shardedFactory(universe)(cfg.shards)
 	if err != nil {
 		return nil, fmt.Errorf("lockfreetrie: %w", err)
 	}
-	return &Trie{set: st, shards: cfg.shards,
+	if o != nil {
+		o.instrumentSharded(st)
+	}
+	return finish(&Trie{set: st, shards: cfg.shards,
 		combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive,
-		placement: cfg.placement}, nil
+		placement: cfg.placement}), nil
 }
 
 // PlacementHint returns a copy of the WithPlacementHint owners slice, or
@@ -599,9 +655,22 @@ func (t *Trie) check(x int64) error {
 }
 
 // Contains reports whether x is in the set. O(1) worst-case steps.
+//
+// The primitive entrypoints (Contains, Insert, Delete, Predecessor,
+// Successor, ApplyBatch) each pay one striped counter increment for the
+// ops.* metrics, and every WithLatencySampling-th operation is timed into
+// the latency.*_ns histograms; composed operations (Floor, Max, Range,
+// Keys, …) run their legs through the backend directly and are not
+// separately counted. WithoutObservability removes all of it.
 func (t *Trie) Contains(x int64) (bool, error) {
 	if err := t.check(x); err != nil {
 		return false, err
+	}
+	if o := t.obs; o != nil && o.ops[opSearch].Inc(x)%o.every == 0 {
+		start := time.Now()
+		in := t.set.Search(x)
+		o.lats[opSearch].Record(int64(time.Since(start)))
+		return in, nil
 	}
 	return t.set.Search(x), nil
 }
@@ -611,6 +680,12 @@ func (t *Trie) Insert(x int64) error {
 	if err := t.check(x); err != nil {
 		return err
 	}
+	if o := t.obs; o != nil && o.ops[opInsert].Inc(x)%o.every == 0 {
+		start := time.Now()
+		t.set.Insert(x)
+		o.lats[opInsert].Record(int64(time.Since(start)))
+		return nil
+	}
 	t.set.Insert(x)
 	return nil
 }
@@ -619,6 +694,12 @@ func (t *Trie) Insert(x int64) error {
 func (t *Trie) Delete(x int64) error {
 	if err := t.check(x); err != nil {
 		return err
+	}
+	if o := t.obs; o != nil && o.ops[opDelete].Inc(x)%o.every == 0 {
+		start := time.Now()
+		t.set.Delete(x)
+		o.lats[opDelete].Record(int64(time.Since(start)))
+		return nil
 	}
 	t.set.Delete(x)
 	return nil
@@ -631,6 +712,12 @@ func (t *Trie) Delete(x int64) error {
 func (t *Trie) Predecessor(y int64) (int64, error) {
 	if err := t.check(y); err != nil {
 		return -1, err
+	}
+	if o := t.obs; o != nil && o.ops[opPredecessor].Inc(y)%o.every == 0 {
+		start := time.Now()
+		p := t.set.Predecessor(y)
+		o.lats[opPredecessor].Record(int64(time.Since(start)))
+		return p, nil
 	}
 	return t.set.Predecessor(y), nil
 }
@@ -649,6 +736,12 @@ func (t *Trie) Predecessor(y int64) (int64, error) {
 func (t *Trie) Successor(y int64) (int64, error) {
 	if err := t.check(y); err != nil {
 		return -1, err
+	}
+	if o := t.obs; o != nil && o.ops[opSuccessor].Inc(y)%o.every == 0 {
+		start := time.Now()
+		s := t.set.Successor(y)
+		o.lats[opSuccessor].Record(int64(time.Since(start)))
+		return s, nil
 	}
 	return t.set.Successor(y), nil
 }
@@ -791,6 +884,12 @@ func (t *Trie) ApplyBatch(ops []Op) []error {
 		bops = append(bops, core.BatchOp{Key: op.Key, Del: op.Kind == OpDelete})
 	}
 	if len(bops) > 0 {
+		if o := t.obs; o != nil && o.ops[opApplyBatch].Inc(bops[0].Key)%o.every == 0 {
+			start := time.Now()
+			t.set.ApplyBatch(combine.SortDedup(bops))
+			o.lats[opApplyBatch].Record(int64(time.Since(start)))
+			return errs
+		}
 		t.set.ApplyBatch(combine.SortDedup(bops))
 	}
 	return errs
