@@ -1,0 +1,126 @@
+package lockfreetrie_test
+
+import (
+	"fmt"
+	"testing"
+
+	lockfreetrie "repro"
+)
+
+// These tests pin the facade ApplyBatch semantics the server layer leans
+// on: errs indexed by the ORIGINAL op positions (a rejected op mid-batch
+// must not shift its neighbours' verdicts), empty batches as no-ops, and
+// duplicate keys resolving to the batch-order-last op.
+
+func TestApplyBatchEmpty(t *testing.T) {
+	tr, err := lockfreetrie.New(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := tr.ApplyBatch(nil); errs != nil {
+		t.Fatalf("ApplyBatch(nil) = %v, want nil", errs)
+	}
+	if errs := tr.ApplyBatch([]lockfreetrie.Op{}); errs != nil {
+		t.Fatalf("ApplyBatch(empty) = %v, want nil", errs)
+	}
+}
+
+func TestApplyBatchOutOfUniverseMidBatch(t *testing.T) {
+	const u = int64(1 << 10)
+	tr, err := lockfreetrie.New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []lockfreetrie.Op{
+		{Kind: lockfreetrie.OpInsert, Key: 3},
+		{Kind: lockfreetrie.OpInsert, Key: u}, // one past the universe
+		{Kind: lockfreetrie.OpInsert, Key: 7},
+		{Kind: lockfreetrie.OpInsert, Key: -1},
+		{Kind: lockfreetrie.OpDelete, Key: 7},
+	}
+	errs := tr.ApplyBatch(ops)
+	if errs == nil {
+		t.Fatal("ApplyBatch accepted out-of-universe keys")
+	}
+	if len(errs) != len(ops) {
+		t.Fatalf("len(errs) = %d, want %d (indexed by original position)", len(errs), len(ops))
+	}
+	for i, wantErr := range []bool{false, true, false, true, false} {
+		if (errs[i] != nil) != wantErr {
+			t.Errorf("errs[%d] = %v, want err=%v", i, errs[i], wantErr)
+		}
+	}
+	// The rejected ops must not have blocked their valid neighbours —
+	// including the delete AFTER the second rejection, which supersedes
+	// the earlier insert of the same key.
+	for k, want := range map[int64]bool{3: true, 7: false} {
+		if got, _ := tr.Contains(k); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestApplyBatchInvalidKind(t *testing.T) {
+	tr, err := lockfreetrie.New(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []lockfreetrie.Op{
+		{Kind: lockfreetrie.OpInsert, Key: 1},
+		{Kind: lockfreetrie.OpKind(99), Key: 2},
+	}
+	errs := tr.ApplyBatch(ops)
+	if errs == nil || errs[0] != nil || errs[1] == nil {
+		t.Fatalf("errs = %v, want [nil, invalid-kind]", errs)
+	}
+	if got, _ := tr.Contains(2); got {
+		t.Error("invalid-kind op mutated the set")
+	}
+	if got, _ := tr.Contains(1); !got {
+		t.Error("valid op skipped because a neighbour was invalid")
+	}
+}
+
+// TestApplyBatchDuplicateKeyLastWins: for every duplicated key the LAST
+// op in batch order decides the final state, across each starting state.
+func TestApplyBatchDuplicateKeyLastWins(t *testing.T) {
+	for _, preInserted := range []bool{false, true} {
+		for _, lastIsInsert := range []bool{false, true} {
+			name := fmt.Sprintf("pre=%v_last_insert=%v", preInserted, lastIsInsert)
+			t.Run(name, func(t *testing.T) {
+				tr, err := lockfreetrie.New(1 << 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const k = int64(42)
+				if preInserted {
+					tr.Insert(k)
+				}
+				first, last := lockfreetrie.OpInsert, lockfreetrie.OpDelete
+				if lastIsInsert {
+					first, last = last, first
+				}
+				// Interleave ops on other keys so the duplicates are not
+				// adjacent — dedup must match on key, not position.
+				errs := tr.ApplyBatch([]lockfreetrie.Op{
+					{Kind: first, Key: k},
+					{Kind: lockfreetrie.OpInsert, Key: 1},
+					{Kind: first, Key: k},
+					{Kind: lockfreetrie.OpInsert, Key: 2},
+					{Kind: last, Key: k},
+				})
+				if errs != nil {
+					t.Fatalf("ApplyBatch errs = %v", errs)
+				}
+				if got, _ := tr.Contains(k); got != lastIsInsert {
+					t.Fatalf("Contains(%d) = %v, want %v (last op wins)", k, got, lastIsInsert)
+				}
+				for _, other := range []int64{1, 2} {
+					if got, _ := tr.Contains(other); !got {
+						t.Errorf("interleaved insert of %d lost", other)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Command trieload drives a trieserve instance with an open-loop Poisson
+// workload (internal/harness.RunOpenLoop over internal/server.Client):
+// arrivals fire on a fixed schedule regardless of service speed, each
+// connection pipelines up to -window requests, and the exit report
+// separates the offered rate from the achieved completion rate — under
+// saturation the second number is the server's measured capacity.
+//
+// Usage:
+//
+//	trieload -addr localhost:7171 -duration 2s -rate 50000 -conns 4 -u 65536
+//
+// Exits non-zero if the run errors or (with -minops) fewer than -minops
+// operations complete — the CI smoke's assertion hook.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:7171", "trieserve address")
+		duration = flag.Duration("duration", 2*time.Second, "measured wall-clock window")
+		rate     = flag.Float64("rate", 50000, "aggregate offered arrivals per second")
+		conns    = flag.Int("conns", 4, "connections (one arrival generator each)")
+		window   = flag.Int("window", 64, "max in-flight requests per connection")
+		u        = flag.Int64("u", 1<<16, "key universe to draw from")
+		mixName  = flag.String("mix", "update-heavy", "operation mix: update-heavy, uniform, pred-heavy")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		minops   = flag.Int64("minops", 0, "exit non-zero unless at least this many ops complete")
+	)
+	flag.Parse()
+	if err := run(*addr, *duration, *rate, *conns, *window, *u, *mixName, *seed, *minops); err != nil {
+		fmt.Fprintln(os.Stderr, "trieload:", err)
+		os.Exit(1)
+	}
+}
+
+func pickMix(name string) (workload.Mix, error) {
+	for _, nm := range workload.BenchMixes {
+		if nm.Name == name {
+			return nm.Mix, nil
+		}
+	}
+	return workload.Mix{}, fmt.Errorf("unknown mix %q", name)
+}
+
+func run(addr string, duration time.Duration, rate float64, conns, window int, u int64, mixName string, seed, minops int64) error {
+	mix, err := pickMix(mixName)
+	if err != nil {
+		return err
+	}
+	clients := make([]*server.Client, conns)
+	for i := range clients {
+		c, err := server.Dial(addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	var failed atomic.Int64
+	res, err := harness.RunOpenLoop(harness.OpenLoopConfig{
+		Workers:     conns,
+		Duration:    duration,
+		RatePerSec:  rate,
+		Mix:         mix,
+		Dist:        workload.Uniform{U: u},
+		Seed:        seed,
+		MaxInFlight: window,
+	}, func(worker int, op workload.Op, done func()) {
+		c := clients[worker]
+		switch op.Kind {
+		case workload.OpInsert, workload.OpDelete:
+			c.UpdateAsync(op.Kind == workload.OpInsert, op.Key, func(err error) {
+				if err != nil {
+					failed.Add(1)
+				}
+				done()
+			})
+		case workload.OpSearch:
+			_, _ = c.Contains(op.Key)
+			done()
+		case workload.OpPredecessor:
+			_, _ = c.Predecessor(op.Key)
+			done()
+		default:
+			done()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trieload: %s mix=%s rate=%.0f/s conns=%d window=%d\n", addr, mixName, rate, conns, window)
+	fmt.Printf("trieload: offered %d (%.0f/s) completed %d (%.0f/s) in %v\n",
+		res.Offered, res.OfferedPerSec, res.Completed, res.AchievedPerSec, res.Elapsed.Round(time.Millisecond))
+	if n := failed.Load(); n > 0 {
+		fmt.Printf("trieload: %d update errors\n", n)
+	}
+	if res.Completed < minops {
+		return fmt.Errorf("completed %d ops, need ≥ %d", res.Completed, minops)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+// Command trieserve is predecessor-as-a-service: it owns one lock-free
+// binary trie and serves it over a length-prefixed TCP binary protocol
+// (internal/server). Insert/Delete requests from all connections are
+// coalesced into shared Trie.ApplyBatch sweeps — the network mirror of
+// the flat-combining layer — while Contains/Predecessor/Successor take
+// the direct lock-free path and Range streams in bounded chunks.
+//
+// Usage:
+//
+//	trieserve -addr :7171 -metrics :7172 -u 1048576
+//
+// The metrics address serves the shared observability surface (expvar
+// JSON at /debug/vars, Prometheus text at /metrics, the typed schema at
+// /snapshot) with the server's own metrics (server.* counters, batch
+// size and latency histograms) merged over the trie's; cmd/triestat
+// attaches to it directly.
+//
+// SIGINT/SIGTERM trigger a graceful drain: accepts stop, in-flight
+// requests complete and flush, then the process exits; a second signal
+// (or -draintimeout) force-closes.
+//
+// Options mirror the facade: -shards fixes the shard count,
+// -adaptmin/-adaptmax enable online resizing over that band, -combining
+// enables flat combining inside each shard. -perop disables request
+// coalescing (the sv1 baseline).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	lockfreetrie "repro"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7171", "TCP listen address for the wire protocol")
+		metrics = flag.String("metrics", "", "HTTP listen address for /debug/vars, /metrics, /snapshot (empty disables)")
+		u       = flag.Int64("u", 1<<20, "key universe size")
+
+		shards    = flag.Int("shards", 0, "fixed shard count (0 = unsharded)")
+		adaptMin  = flag.Int("adaptmin", 0, "min shards for online resizing (0 disables; use with -adaptmax)")
+		adaptMax  = flag.Int("adaptmax", 0, "max shards for online resizing")
+		combining = flag.Bool("combining", false, "enable flat combining inside shards")
+
+		perop        = flag.Bool("perop", false, "apply each update per-op instead of coalescing into ApplyBatch sweeps")
+		window       = flag.Int("window", server.DefaultWindow, "per-connection in-flight request window (backpressure bound)")
+		maxbatch     = flag.Int("maxbatch", server.DefaultMaxBatch, "max updates per ApplyBatch sweep")
+		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful drain deadline before force-close")
+	)
+	flag.Parse()
+	if err := run(*addr, *metrics, *u, *shards, *adaptMin, *adaptMax, *combining, !*perop, *window, *maxbatch, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "trieserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, metrics string, u int64, shards, adaptMin, adaptMax int, combining, coalesce bool, window, maxbatch int, drainTimeout time.Duration) error {
+	var opts []lockfreetrie.Option
+	if shards > 0 {
+		opts = append(opts, lockfreetrie.WithShards(shards))
+	}
+	if adaptMin > 0 {
+		opts = append(opts, lockfreetrie.WithAdaptiveShards(adaptMin, adaptMax))
+	}
+	if combining {
+		opts = append(opts, lockfreetrie.WithCombining())
+	}
+	tr, err := lockfreetrie.New(u, opts...)
+	if err != nil {
+		return err
+	}
+	srv := server.New(tr, server.Config{
+		CoalesceUpdates: coalesce,
+		Window:          window,
+		MaxBatch:        maxbatch,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mode := "coalescing"
+	if !coalesce {
+		mode = "per-op"
+	}
+	fmt.Printf("trieserve: serving u=%d (%s ingest, window %d) on %s\n", u, mode, window, ln.Addr())
+
+	if metrics != "" {
+		mln, err := net.Listen("tcp", metrics)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trieserve: metrics on http://%s/{debug/vars,metrics,snapshot}\n", mln.Addr())
+		go func() {
+			_ = http.Serve(mln, export.NewMux(func() obs.Snapshot { return srv.MetricsSnapshot() }))
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Printf("trieserve: %v — draining (deadline %v)\n", s, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		go func() {
+			<-sig
+			cancel() // second signal: force-close now
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain aborted: %w", err)
+		}
+		if err := <-serveErr; err != nil {
+			return err
+		}
+		fmt.Println("trieserve: drained cleanly")
+		return nil
+	}
+}

@@ -49,7 +49,13 @@ func run(w io.Writer, addr string, interval time.Duration, once bool) error {
 		time.Sleep(interval)
 		next, err := fetch(url)
 		if err != nil {
-			return err
+			// A restarting server drops the connection between polls;
+			// keep the dashboard up and retry instead of dying. When the
+			// process comes back its counters have reset, and the first
+			// window across the restart renders as "reset" cells.
+			fmt.Fprint(w, "\x1b[H\x1b[2J")
+			fmt.Fprintf(w, "poll %s: %v (retrying)\n", url, err)
+			continue
 		}
 		// Home + clear-to-end redraws in place without scrollback spam.
 		fmt.Fprint(w, "\x1b[H\x1b[2J")
@@ -100,10 +106,7 @@ func render(w io.Writer, total, win obs.Snapshot, windowed bool) {
 	sort.Strings(names)
 	fmt.Fprintf(w, "%-34s %14s %12s\n", "COUNTER", "TOTAL", "RATE/s")
 	for _, n := range names {
-		rate := "-"
-		if windowed && secs > 0 {
-			rate = fmt.Sprintf("%.0f", float64(win.Counters[n])/secs)
-		}
+		rate := rateCell(win.Counters[n], secs, windowed)
 		fmt.Fprintf(w, "%-34s %14d %12s\n", n, total.Counters[n], rate)
 	}
 
@@ -119,13 +122,10 @@ func render(w io.Writer, total, win obs.Snapshot, windowed bool) {
 	for _, n := range hnames {
 		h := total.Hists[n]
 		if windowed {
-			h = win.Hists[n]
+			h = win.Hists[n] // absent => zero reading; histCells handles it
 		}
-		mean := int64(0)
-		if h.Count > 0 {
-			mean = h.Sum / h.Count
-		}
-		fmt.Fprintf(w, "%-34s %10d %10d %10d %10d\n",
-			n, h.Count, h.Quantile(0.50), h.Quantile(0.99), mean)
+		row := histCells(h)
+		fmt.Fprintf(w, "%-34s %10s %10s %10s %10s\n",
+			n, row.Count, row.P50, row.P99, row.Mean)
 	}
 }

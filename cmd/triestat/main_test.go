@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRateCell(t *testing.T) {
+	cases := []struct {
+		name     string
+		delta    int64
+		secs     float64
+		windowed bool
+		want     string
+	}{
+		{"cumulative mode has no rate", 100, 1.0, false, "-"},
+		{"zero-length window", 100, 0, true, "-"},
+		{"negative window", 100, -0.5, true, "-"},
+		{"counter reset mid-window", -42, 1.0, true, "reset"},
+		{"ordinary rate", 1500, 2.0, true, "750"},
+		{"zero delta", 0, 1.0, true, "0"},
+	}
+	for _, c := range cases {
+		if got := rateCell(c.delta, c.secs, c.windowed); got != c.want {
+			t.Errorf("%s: rateCell(%d, %v, %v) = %q, want %q",
+				c.name, c.delta, c.secs, c.windowed, got, c.want)
+		}
+	}
+}
+
+func TestHistCells(t *testing.T) {
+	t.Run("empty or absent histogram", func(t *testing.T) {
+		// An absent histogram decodes as the zero HistSnapshot.
+		row := histCells(obs.HistSnapshot{})
+		want := histRow{Count: "0", P50: "-", P99: "-", Mean: "-"}
+		if row != want {
+			t.Fatalf("zero reading: got %+v, want %+v", row, want)
+		}
+	})
+	t.Run("reset window", func(t *testing.T) {
+		// A delta across a server restart: fresh counters minus old ones.
+		row := histCells(obs.HistSnapshot{Count: -10, Sum: -12345})
+		want := histRow{Count: "reset", P50: "-", P99: "-", Mean: "-"}
+		if row != want {
+			t.Fatalf("reset reading: got %+v, want %+v", row, want)
+		}
+	})
+	t.Run("live histogram", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		h := reg.Histogram("x")
+		for i := 0; i < 100; i++ {
+			h.Record(1000)
+		}
+		snap := reg.Snapshot().Hists["x"]
+		row := histCells(snap)
+		if row.Count != "100" {
+			t.Fatalf("count: got %q, want 100", row.Count)
+		}
+		if row.Mean != "1000" {
+			t.Fatalf("mean: got %q, want 1000", row.Mean)
+		}
+		if row.P50 == "-" || row.P99 == "-" {
+			t.Fatalf("quantiles missing on a populated histogram: %+v", row)
+		}
+	})
+}
+
+// TestRenderDegenerateWindow drives render end to end with the windowed
+// snapshot a restart produces — zero-length window, negative counter
+// deltas, negative histogram mass — and checks the table degrades to
+// markers instead of garbage numbers.
+func TestRenderDegenerateWindow(t *testing.T) {
+	total := obs.Snapshot{
+		Schema:   obs.SchemaName,
+		Version:  obs.SchemaVersion,
+		Counters: map[string]int64{"ops": 50},
+		Hists:    map[string]obs.HistSnapshot{"lat": {Count: 5, Sum: 5000}},
+	}
+	win := obs.Snapshot{
+		WindowNanos: 0,
+		Counters:    map[string]int64{"ops": -950},
+		Hists:       map[string]obs.HistSnapshot{"lat": {Count: -95, Sum: -1000000}},
+	}
+	var b strings.Builder
+	render(&b, total, win, true)
+	out := b.String()
+	for _, bad := range []string{"NaN", "Inf", "-950", "-95"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("degenerate window rendered %q:\n%s", bad, out)
+		}
+	}
+	// The zero-length window blanks the rates; the negative histogram
+	// mass shows as a reset row.
+	if !strings.Contains(out, "reset") {
+		t.Fatalf("expected a reset marker:\n%s", out)
+	}
+}

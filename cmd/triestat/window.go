@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// This file is the dashboard's windowing math, kept free of I/O so the
+// degenerate polls have unit tests: a zero-length delta window (two
+// snapshots with the same timestamp), a histogram absent from /snapshot,
+// and a serving process that restarted mid-poll — whose fresh registry
+// makes every windowed delta negative — must all render as explicit
+// markers, never as a division by zero or a negative rate.
+
+// rateCell formats the per-second rate of one windowed counter delta.
+// "-" when there is no window to rate over (cumulative mode, or a window
+// of zero or negative length); "reset" when the delta is negative, which
+// means the serving process restarted between polls and its counters
+// started over.
+func rateCell(delta int64, secs float64, windowed bool) string {
+	switch {
+	case !windowed || secs <= 0:
+		return "-"
+	case delta < 0:
+		return "reset"
+	default:
+		return fmt.Sprintf("%.0f", float64(delta)/secs)
+	}
+}
+
+// histRow is one histogram line, pre-formatted: the quantile columns
+// carry "-" whenever the reading has no usable mass.
+type histRow struct {
+	Count, P50, P99, Mean string
+}
+
+// histCells reduces one histogram reading to the dashboard's columns. A
+// delta spanning a restart goes negative and renders as "reset"; an
+// empty reading — including a histogram missing from the snapshot, which
+// decodes as the zero value — renders as a zero-count row rather than
+// fabricating quantiles.
+func histCells(h obs.HistSnapshot) histRow {
+	if h.Count < 0 || h.Sum < 0 {
+		return histRow{Count: "reset", P50: "-", P99: "-", Mean: "-"}
+	}
+	if h.Count == 0 {
+		return histRow{Count: "0", P50: "-", P99: "-", Mean: "-"}
+	}
+	return histRow{
+		Count: strconv.FormatInt(h.Count, 10),
+		P50:   strconv.FormatInt(h.Quantile(0.50), 10),
+		P99:   strconv.FormatInt(h.Quantile(0.99), 10),
+		Mean:  strconv.FormatInt(h.Sum/h.Count, 10),
+	}
+}

@@ -29,20 +29,23 @@ type BatchOp struct {
 // call and release clears the pointers.
 type batchScratch struct {
 	nodes []*unode.UpdateNode // prepared nodes, ascending key order
-	rev   []*unode.UpdateNode // the same nodes, descending (RU-ALL order)
+	old   []*unode.UpdateNode // old[i]: the latest node phase 1 read for nodes[i]
 	idx   []int               // nodes[i] implements ops[idx[i]]
 }
+
+// announceChunk is the announcement granularity of ApplyBatch: prepared
+// nodes enter the U-ALL one InsertRun pass per announceChunk ops. See the
+// phase 2+3 comment in ApplyBatch for the walk-cost bound it buys.
+const announceChunk = 32
 
 var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
 func (b *batchScratch) release() {
 	for i := range b.nodes {
 		b.nodes[i] = nil
+		b.old[i] = nil
 	}
-	for i := range b.rev {
-		b.rev[i] = nil
-	}
-	b.nodes, b.rev, b.idx = b.nodes[:0], b.rev[:0], b.idx[:0]
+	b.nodes, b.old, b.idx = b.nodes[:0], b.old[:0], b.idx[:0]
 	batchPool.Put(b)
 }
 
@@ -53,36 +56,46 @@ func (b *batchScratch) release() {
 // Precondition: ops is sorted by strictly ascending Key (one op per key;
 // combine.SortDedup produces this form) and every key is in [0, U()).
 //
-// The batch deviates from the per-op protocol (Add/Remove) in exactly two
-// ways, both invisible to concurrent operations:
+// The batch deviates from the per-op protocol (Add/Remove) in exactly
+// one way, confined to the U-ALL and invisible to concurrent operations:
 //
-//   - Announce-early: every prepared update node is linked into U-ALL and
-//     RU-ALL in a single InsertRun pass per list BEFORE its latest[x] CAS,
-//     instead of between the CAS and the activation. An announced node
-//     that is still inactive and not in any latest list is skipped by
-//     every traversal (traverseUall/traverseRUall check the status,
-//     firstActivated fails) and unreachable by helpers (helpActivate only
-//     sees latest-list nodes), so widening the announced window on the
-//     early side changes no observable behaviour.
-//   - Retire-late: announcement cells are removed in a single RemoveRun
-//     pass per list AFTER the last operation completes, instead of per op.
-//     Completed is still set per op before retirement, so helper
-//     re-insertions resolve exactly as in the per-op path; the lists are
-//     transiently longer by O(batch) ≤ O(concurrent publishers) = O(ċ),
-//     preserving the paper's announcement-space bound.
+//   - Announce-early: every prepared update node is linked into U-ALL in
+//     a single InsertRun pass BEFORE its latest[x] CAS, instead of
+//     between the CAS and the activation. An announced node that is
+//     still inactive and not in any latest list is skipped by every
+//     traversal (traverseUall checks the status, firstActivated fails)
+//     and unreachable by helpers (helpActivate only sees latest-list
+//     nodes), so widening the announced window on the early side changes
+//     no observable behaviour. Each op still RETIRES its U-ALL cell at
+//     the per-op protocol point (after its Completed store); cells of
+//     ops that lost their CAS or proved no-ops in phase 3 — never
+//     activated, so never referenced — are swept as their turn passes.
 //
-// Everything between — the latest-list CAS, activation (the linearization
+// Everything downstream of the announcement stays on exact per-op
+// timing, and for a reason: batch-wide windows on the announcement lists
+// are quadratic in batch size. A cell parked in the RU-ALL is walked,
+// through the atomic-copy slot, by EVERY embedded predecessor of every
+// delete in the batch (traverseRUall cannot skip cells without visiting
+// them); an applied-but-unretired U-ALL cell is walked AND collected by
+// every notifyPredOps full scan (it is active and firstActivated). Both
+// were tried batch-wide first, and a b-op update-heavy batch paid O(b²)
+// traversal steps where per-op pays O(b·ċ). With per-op windows the
+// scans stay O(ċ) — the only residue of announce-early is that scans
+// walk (and skip in O(1), on a status load) the still-inactive cells of
+// ops the batch has not reached yet — and the amortized bound stays the
+// intended O(batch·(ċ² + log u)).
+//
+// Everything else — the latest-list CAS, activation (the linearization
 // point), interpreted-bit updates, embedded predecessors of deletes, and
 // notifications — is the unmodified per-op protocol, executed op by op in
 // ascending key order. An op whose CAS fails is NOT retried (same single-
 // attempt contract as Add/Remove: the interfering operation reports the
-// transition); its dead node is never activated and its cells are retired
-// with the batch.
+// transition); its dead node is never activated, never enters the
+// RU-ALL, and its U-ALL cell is swept as its turn in phase 3 passes.
 //
 // Each operation linearizes individually (at its own activation or at the
 // findLatest read that proved it a no-op); the batch as a whole announces
-// once. Wall-clock cost: O(batch · (ċ² + log u)) amortized, with 2 list
-// passes instead of 2·batch.
+// once per list pass. Wall-clock cost: O(batch · (ċ² + log u)) amortized.
 func (t *Trie) ApplyBatch(ops []BatchOp) {
 	switch len(ops) {
 	case 0:
@@ -99,12 +112,21 @@ func (t *Trie) ApplyBatch(ops []BatchOp) {
 	}
 	b := batchPool.Get().(*batchScratch)
 	defer b.release()
-	s := t.dom.Pin()
-	defer s.Unpin()
+
+	// Pinning is per phase, and per OP inside phase 3 — NOT one pin for
+	// the whole call. A batch-long pin parks this goroutine's epoch for
+	// the entire sweep, so nothing retired during the batch (announcement
+	// cells, predecessor nodes, notify slabs — everything the deletes'
+	// embedded predecessors churn through) can reach its pool until the
+	// batch ends: the pools drain, every op allocates fresh, and the
+	// batch path pays GC costs the per-op path never sees. Per-op pin
+	// granularity is exactly what Add/Remove do, and the only references
+	// held across ops (b.nodes) are this batch's own freshly-allocated
+	// nodes, not pool-managed memory.
 
 	// --- Phase 1: prepare. findLatest both classifies obvious no-ops
 	// (those ops linearize here, at the read) and yields the node the
-	// phase-3 CAS will expect.
+	// phase-3 CAS will expect. Unpinned, like the per-op fast path.
 	for i := range ops {
 		ops[i].Won = false
 		cur := t.findLatest(ops[i].Key)
@@ -119,51 +141,73 @@ func (t *Trie) ApplyBatch(ops []BatchOp) {
 			}
 			b.nodes = append(b.nodes, unode.NewIns(ops[i].Key))
 		}
+		b.old = append(b.old, cur)
 		b.idx = append(b.idx, i)
 	}
 	if len(b.nodes) == 0 {
 		return
 	}
 
-	// --- Phase 2: announce once. One search pass per list links every
-	// prepared node; the nodes are inactive, hence invisible, until their
-	// phase-3 activation.
-	if t.stats != nil {
-		t.stats.Announces.Add(1)
-	}
-	t.uall.InsertRun(b.nodes, s)
-	for i := len(b.nodes) - 1; i >= 0; i-- {
-		b.rev = append(b.rev, b.nodes[i])
-	}
-	t.ruall.InsertRun(b.rev, s)
+	// --- Phases 2+3, interleaved per chunk of announceChunk ops.
+	//
+	// Phase 2 (announce): one search pass links a chunk's prepared nodes
+	// into the U-ALL; the nodes are inactive, hence invisible, until their
+	// phase-3 activation. The RU-ALL is NOT pre-announced — each op links
+	// and unlinks its own cell at the per-op protocol's points, so the
+	// embedded-predecessor scans of this batch's deletes never wade
+	// through the whole batch (see the quadratic-cost note above).
+	//
+	// Chunking bounds the one residual cost of announce-early: a full
+	// U-ALL scan (every delete's two notifyPredOps calls do one — the
+	// delete's own first embedded predecessor is announced in the P-ALL,
+	// so the scan cannot be skipped) walks the still-inactive cells of
+	// ops the batch has not reached yet. Announcing all b up front makes
+	// that walk O(b) per delete; announcing announceChunk at a time caps
+	// it at O(announceChunk) while a combining round of typical size
+	// (≲ announceChunk; cb1 measures a mean round of ~8) still announces
+	// in exactly one pass.
+	//
+	// Phase 3 (apply): op by op, via the per-op protocol minus its U-ALL
+	// announce step. One pin per op (see above). An op that wins retires
+	// its own U-ALL cell inside the apply (per-op ordering); a dead
+	// node's cell — never activated, never referenced — is swept here
+	// before moving on, keeping the list's active region O(ċ).
+	for lo := 0; lo < len(b.nodes); lo += announceChunk {
+		hi := min(lo+announceChunk, len(b.nodes))
+		if t.stats != nil {
+			t.stats.Announces.Add(1)
+		}
+		s := t.dom.Pin()
+		t.uall.InsertRun(b.nodes[lo:hi], s)
+		s.Unpin()
 
-	// --- Phase 3: apply, op by op, via the per-op protocol minus its
-	// announce/retire steps.
-	for i, n := range b.nodes {
-		op := &ops[b.idx[i]]
-		if op.Del {
-			op.Won = t.applyBatchedDelete(n, s)
-		} else {
-			op.Won = t.applyBatchedInsert(n, s)
+		for i := lo; i < hi; i++ {
+			n := b.nodes[i]
+			op := &ops[b.idx[i]]
+			s := t.dom.Pin()
+			if op.Del {
+				op.Won = t.applyBatchedDelete(n, b.old[i], s)
+			} else {
+				op.Won = t.applyBatchedInsert(n, b.old[i], s)
+			}
+			if !op.Won {
+				t.uall.Remove(n, s)
+			}
+			s.Unpin()
 		}
 	}
-
-	// --- Phase 4: retire once. Dead nodes (lost CAS, or phase-3 no-op)
-	// ride along: they were never activated, so nothing else references
-	// their cells.
-	t.uall.RemoveRun(b.nodes, s)
-	t.ruall.RemoveRun(b.rev, s)
 }
 
 // applyBatchedInsert is Add (paper lines 162–180) for a node that is
-// already announced; returns whether the insert won. Mirrors Add line for
-// line except announcing (done) and list removal (deferred).
-func (t *Trie) applyBatchedInsert(iNode *unode.UpdateNode, s *ebr.Slot) bool {
+// already announced, with dNode the DEL node phase 1's findLatest read —
+// reused here as the CAS expectation instead of a second read. The per-op
+// protocol itself holds one findLatest result across a wide window (Remove
+// reads once, then runs a whole embedded predecessor before its CAS), so
+// the only effect of the wider gap is the one the single-attempt contract
+// already covers: interference in the gap fails the CAS and the op reports
+// no transition. Returns whether the insert won.
+func (t *Trie) applyBatchedInsert(iNode, dNode *unode.UpdateNode, s *ebr.Slot) bool {
 	x := iNode.Key
-	dNode := t.findLatest(x)
-	if dNode.Kind != unode.Del {
-		return false // x already in S; linearizes at the read
-	}
 	iNode.LatestNext.Store(dNode)
 	if ln := dNode.LatestNext.Load(); ln != nil { // line 168
 		if tg := ln.Target.Load(); tg != nil {
@@ -176,25 +220,26 @@ func (t *Trie) applyBatchedInsert(iNode *unode.UpdateNode, s *ebr.Slot) bool {
 		t.helpActivate(t.latest[x].Load(), s) // line 171
 		return false
 	}
+	t.ruall.Insert(iNode, s)               // line 173 (U-ALL half done in phase 2)
 	iNode.Status.Store(unode.StatusActive) // line 174: linearization point
 	t.count.Add(1)
 	iNode.LatestNext.Store(nil)    // line 175
 	t.bits.InsertBinaryTrie(iNode) // line 176
 	t.notifyPredOps(iNode)         // line 177
 	iNode.Completed.Store(true)    // line 178
+	t.uall.Remove(iNode, s)        // line 179
+	t.ruall.Remove(iNode, s)
 	return true
 }
 
 // applyBatchedDelete is Remove (paper lines 181–206) for a node that is
-// already announced. The DEL node's embedded-predecessor fields are set
-// here, before the publishing CAS — they are plain fields, and no reader
-// reaches them until the node is activated (which orders after).
-func (t *Trie) applyBatchedDelete(dNode *unode.UpdateNode, s *ebr.Slot) bool {
+// already announced, with iNode the INS node phase 1's findLatest read
+// (the CAS expectation — see applyBatchedInsert on why one read suffices).
+// The DEL node's embedded-predecessor fields are set here, before the
+// publishing CAS — they are plain fields, and no reader reaches them until
+// the node is activated (which orders after).
+func (t *Trie) applyBatchedDelete(dNode, iNode *unode.UpdateNode, s *ebr.Slot) bool {
 	x := dNode.Key
-	iNode := t.findLatest(x)
-	if iNode.Kind != unode.Ins {
-		return false // x not in S; linearizes at the read
-	}
 	delPred, pNode1 := t.predHelper(x, s) // line 184: first embedded predecessor
 	dNode.DelPred = delPred
 	dNode.DelPredNode = pNode1
@@ -206,6 +251,7 @@ func (t *Trie) applyBatchedDelete(dNode *unode.UpdateNode, s *ebr.Slot) bool {
 		t.pall.remove(pNode1, s)              // line 194: never published in dNode
 		return false
 	}
+	t.ruall.Insert(dNode, s)               // line 196 (U-ALL half done in phase 2)
 	dNode.Status.Store(unode.StatusActive) // line 197: linearization point
 	t.count.Add(-1)
 	if tg := iNode.Target.Load(); tg != nil { // line 198
@@ -217,13 +263,16 @@ func (t *Trie) applyBatchedDelete(dNode *unode.UpdateNode, s *ebr.Slot) bool {
 	t.bits.DeleteBinaryTrie(dNode)         // line 202
 	t.notifyPredOps(dNode)                 // line 203
 	dNode.Completed.Store(true)            // line 204
-	// pNode1 is published as dNode.DelPredNode, and on the batch path
-	// dNode's announcement cells stay linked until the phase-4 RemoveRun —
-	// arbitrarily long after this unlink. The per-op retire ordering (cells
-	// removed before the pall.remove) does not hold here, so no epoch bound
-	// covers pNode1: leak it to the GC instead of retiring (nil slot).
-	// pNode2 is never published in dNode and retires normally.
-	t.pall.remove(pNode1, nil) // line 206
+	t.uall.Remove(dNode, s)                // line 205
+	t.ruall.Remove(dNode, s)
+	// pNode1 retires normally (line 206): the only deref of a published
+	// DelPredNode is bottomCase's, on DEL nodes captured from an RU-ALL
+	// traversal — and dNode's announcement cells were unlinked just above,
+	// before this retire, exactly the per-op ordering the pool's epoch
+	// argument needs (pall.go). (An earlier revision, whose announcement
+	// windows were batch-wide, had to leak pNode1 to the GC here; with
+	// per-op windows that cost is gone.)
+	t.pall.remove(pNode1, s)
 	t.pall.remove(pNode2, s)
 	return true
 }

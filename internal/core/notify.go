@@ -50,10 +50,9 @@ func (s *notifySlab) release() {
 // configuration during the traversal, keys of del are absent at some
 // configuration (Lemma 5.16).
 func (t *Trie) traverseUall(x int64, a *arena) (ins, del []*unode.UpdateNode) {
+	steps := int64(0)
 	for c := t.uall.Head().Next(); c != nil && c.Key < x; c = c.Next() {
-		if t.stats != nil {
-			t.stats.UallTraversalSteps.Add(1)
-		}
+		steps++
 		u := c.Upd
 		if u == nil {
 			continue // sentinel
@@ -66,6 +65,9 @@ func (t *Trie) traverseUall(x int64, a *arena) (ins, del []*unode.UpdateNode) {
 			}
 		}
 	}
+	if t.stats != nil {
+		t.stats.UallTraversalSteps.Add(steps)
+	}
 	return a.iuall, a.duall
 }
 
@@ -76,6 +78,17 @@ func (t *Trie) traverseUall(x int64, a *arena) (ins, del []*unode.UpdateNode) {
 // after the predecessor finished its own U-ALL traversal (Figure 9). It
 // stops as soon as uNode is no longer the first activated node for its key.
 func (t *Trie) notifyPredOps(uNode *unode.UpdateNode) {
+	// With no predecessor announced there is no one to notify: the U-ALL
+	// scan's only consumer is the loop below, and forEach takes a single
+	// head snapshot anyway, so reading the head here — a few instructions
+	// earlier inside the same execution window — is the same linearization
+	// with the dead scan (and its arena round-trip) skipped. Predecessors
+	// that announce after this read are exactly those that would have
+	// missed forEach's snapshot too; they find uNode in their own U-ALL
+	// traversal instead.
+	if t.pall.empty() {
+		return
+	}
 	a := getArena()
 	defer a.release()
 	ins, _ := t.traverseUall(alist.KeyPosInf, a) // line 147

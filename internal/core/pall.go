@@ -229,6 +229,13 @@ retry:
 	}
 }
 
+// empty reports whether the list has no nodes at all (marked nodes count
+// as present — the check is conservative). One atomic load; callers use it
+// to skip work whose only consumers would be announced predecessors.
+func (l *pall) empty() bool {
+	return l.head.next.Load().next == nil
+}
+
 // forEach visits the unmarked nodes from newest to oldest, stopping early if
 // f returns false.
 func (l *pall) forEach(f func(*PredNode) bool) {

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Alloc-count
+// gates skip under race: sync.Pool deliberately drops a fraction of Puts
+// when racing (to widen the interleavings it can catch), so "steady state
+// draws from pools" is unobservable there by design.
+const raceEnabled = true

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// OpenLoopConfig describes one open-loop measurement: Workers independent
+// Poisson arrival generators offering RatePerSec operations per second in
+// aggregate for Duration, each with at most MaxInFlight operations
+// outstanding. Unlike the closed-loop Config, arrivals do not wait for
+// completions — when the system under test falls behind, arrivals queue
+// against the in-flight window instead of silently slowing the offered
+// load, so the achieved completion rate measures capacity rather than
+// echoing the arrival loop's politeness.
+type OpenLoopConfig struct {
+	Workers    int
+	Duration   time.Duration
+	RatePerSec float64 // aggregate across all workers
+	Mix        workload.Mix
+	Dist       workload.KeyDist
+	// DistFor, when non-nil, overrides Dist per worker (as in Config).
+	DistFor func(worker int) workload.KeyDist
+	Seed    int64
+	// MaxInFlight bounds each worker's outstanding operations (its client
+	// window); 0 means 1, i.e. a fully synchronous client.
+	MaxInFlight int
+}
+
+// OpenLoopResult is one open-loop measurement.
+type OpenLoopResult struct {
+	// Offered is the number of arrivals generated inside the window.
+	Offered int64
+	// Completed is the number of those whose done callback fired.
+	Completed int64
+	// Elapsed spans arrival start through the drain of the in-flight
+	// tail (at most Workers×MaxInFlight operations past the deadline).
+	Elapsed time.Duration
+	// OfferedPerSec is Offered/Elapsed — under saturation this sags
+	// below the configured rate because arrival loops stall on the
+	// window, which is itself the saturation signal.
+	OfferedPerSec float64
+	// AchievedPerSec is Completed/Elapsed — the system's measured
+	// completion capacity once OfferedPerSec exceeds it.
+	AchievedPerSec float64
+	GoMaxProcs     int
+}
+
+// String renders the result for reports.
+func (r OpenLoopResult) String() string {
+	return fmt.Sprintf("offered %d completed %d in %v (%.0f/s achieved)",
+		r.Offered, r.Completed, r.Elapsed.Round(time.Microsecond), r.AchievedPerSec)
+}
+
+// RunOpenLoop drives submit with the configured arrival process. submit
+// issues one operation asynchronously and must arrange for done to be
+// called exactly once when the operation's response arrives (calling it
+// inline is fine for a synchronous path). Each worker draws its own
+// Poisson schedule at RatePerSec/Workers; an arrival whose window is full
+// blocks the worker's arrival loop, and the missed arrivals burst out
+// as soon as a slot frees (the schedule, not the service, owns the
+// timeline). Generation stops at the wall-clock deadline; the in-flight
+// tail is drained before returning.
+func RunOpenLoop(cfg OpenLoopConfig, submit func(worker int, op workload.Op, done func())) (OpenLoopResult, error) {
+	if cfg.Workers <= 0 || cfg.Duration <= 0 || cfg.RatePerSec <= 0 {
+		return OpenLoopResult{}, fmt.Errorf("harness: workers=%d duration=%v rate=%.0f must be positive",
+			cfg.Workers, cfg.Duration, cfg.RatePerSec)
+	}
+	if err := cfg.Mix.Validate(); err != nil {
+		return OpenLoopResult{}, err
+	}
+	window := cfg.MaxInFlight
+	if window <= 0 {
+		window = 1
+	}
+	gens := make([]*workload.Generator, cfg.Workers)
+	scheds := make([]*workload.PoissonSchedule, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		dist := cfg.Dist
+		if cfg.DistFor != nil {
+			dist = cfg.DistFor(w)
+		}
+		gen, err := workload.NewGenerator(cfg.Mix, dist, cfg.Seed+int64(w))
+		if err != nil {
+			return OpenLoopResult{}, err
+		}
+		gens[w] = gen
+		// Offset the schedule seed stream from the op seed stream so the
+		// arrival times and the op contents are independent draws.
+		scheds[w] = workload.NewPoissonSchedule(cfg.RatePerSec/float64(cfg.Workers), cfg.Seed+int64(w)+7919)
+	}
+
+	var offered, completed atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int, gen *workload.Generator, sched *workload.PoissonSchedule) {
+			defer wg.Done()
+			<-start
+			// sem is the client window: send = occupy a slot, receive (in
+			// done) = free it.
+			sem := make(chan struct{}, window)
+			next := time.Now()
+			deadline := next.Add(cfg.Duration)
+			for {
+				next = next.Add(sched.Next())
+				now := time.Now()
+				if now.After(deadline) {
+					break
+				}
+				if d := next.Sub(now); d > 0 {
+					time.Sleep(d)
+				}
+				op := gen.Next()
+				sem <- struct{}{}
+				offered.Add(1)
+				submit(id, op, func() {
+					completed.Add(1)
+					<-sem
+				})
+			}
+			// Drain: once every slot can be occupied, every done has fired.
+			for i := 0; i < window; i++ {
+				sem <- struct{}{}
+			}
+		}(w, gens[w], scheds[w])
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	r := OpenLoopResult{
+		Offered:    offered.Load(),
+		Completed:  completed.Load(),
+		Elapsed:    elapsed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	r.OfferedPerSec = float64(r.Offered) / elapsed.Seconds()
+	r.AchievedPerSec = float64(r.Completed) / elapsed.Seconds()
+	return r, nil
+}

@@ -83,8 +83,8 @@ func TestPrometheusFormat(t *testing.T) {
 		"repro_latency_predecessor_ns_count 3\n",
 		// 100 lands in bucket 7 (bound 127): cumulative 2 there.
 		`repro_latency_predecessor_ns_bucket{le="127"} 2`,
-		// 5000 lands in bucket 13 (bound 8191): cumulative 3.
-		`repro_latency_predecessor_ns_bucket{le="8191"} 3`,
+		// 5000 lands in the [4096, 5119] sub-bucket: cumulative 3.
+		`repro_latency_predecessor_ns_bucket{le="5119"} 3`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q\n--- got ---\n%s", want, out)

@@ -1,14 +1,17 @@
 package obs
 
 import (
+	"math"
 	"sync"
 	"testing"
 )
 
-// TestHistogramBucketBoundaries: the exact power-of-two edges. Bucket 0
-// holds only 0; bucket b ≥ 1 covers [2^(b−1), 2^b); past the last bound
-// everything clamps into the final bucket. Negative values (a clock
-// anomaly on the latency path) record as 0 instead of corrupting memory.
+// TestHistogramBucketBoundaries: the exact bucket edges of the
+// log-linear layout. Octaves below the split band get one bucket each
+// (bucket 0 holds only 0); octaves 11–27 are split into 4 equal-width
+// sub-buckets; octaves above get one bucket each again; past the last
+// bound everything clamps into the final bucket. Negative values (a
+// clock anomaly on the latency path) record as 0.
 func TestHistogramBucketBoundaries(t *testing.T) {
 	cases := []struct {
 		v      int64
@@ -21,13 +24,26 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		{4, 3}, {7, 3},
 		{8, 4}, {15, 4},
 		{16, 5},
-		{1023, 10}, {1024, 11}, {1025, 11},
-		{(1 << 20) - 1, 20}, {1 << 20, 21},
-		{1 << 40, 41},
-		{1<<41 - 1, 41},
-		{1 << 41, 41},    // first clamped value
-		{1<<62 + 17, 41}, // deep clamp
-		{BucketBound(41), 41},
+		{1023, 10}, // last unsplit octave below the band
+		// Octave 11 = [1024, 2048), split at 1280/1536/1792.
+		{1024, 11}, {1279, 11},
+		{1280, 12}, {1535, 12},
+		{1536, 13}, {1791, 13},
+		{1792, 14}, {2047, 14},
+		// Octave 12 = [2048, 4096), split at 2560/3072/3584.
+		{2048, 15}, {2559, 15}, {2560, 16}, {4095, 18},
+		// 5000 ns sits in octave 13's first quarter [4096, 5120).
+		{4096, 19}, {5000, 19}, {5119, 19}, {5120, 20},
+		// Octave 27 = [2^26, 2^27) is the last split octave; its final
+		// sub-bucket is index 11 + 16*4 + 3 = 78.
+		{1<<27 - 1, 78},
+		// Octave 28 is the first unsplit octave above the band: 28+51=79.
+		{1 << 27, 79},
+		{1 << 40, 92},
+		{1<<41 - 1, 92},
+		{1 << 41, 92},    // first clamped value
+		{1<<62 + 17, 92}, // deep clamp
+		{BucketBound(HistBuckets - 1), 92},
 	}
 	for _, c := range cases {
 		var h Histogram
@@ -51,39 +67,129 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 }
 
-// TestBucketBoundMonotone: bounds are the inclusive upper edges the
-// boundary table above assumes — 0, then 2^b − 1, strictly increasing.
-func TestBucketBoundMonotone(t *testing.T) {
-	if BucketBound(0) != 0 || BucketBound(1) != 1 || BucketBound(4) != 15 {
-		t.Fatalf("BucketBound = %d,%d,%d, want 0,1,15", BucketBound(0), BucketBound(1), BucketBound(4))
+// TestBucketBoundsContiguous: lower and upper bounds tile the int64 range
+// with no gaps and no overlaps — each bucket's lower bound is one above
+// its predecessor's upper bound, bounds are strictly increasing, and
+// every value maps into the bucket whose [lower, upper] contains it.
+func TestBucketBoundsContiguous(t *testing.T) {
+	if BucketBound(0) != 0 || BucketLowerBound(0) != 0 {
+		t.Fatalf("bucket 0 = [%d, %d], want [0, 0]", BucketLowerBound(0), BucketBound(0))
 	}
 	for b := 1; b < HistBuckets; b++ {
-		if BucketBound(b) <= BucketBound(b-1) {
-			t.Fatalf("BucketBound(%d)=%d not above BucketBound(%d)=%d",
-				b, BucketBound(b), b-1, BucketBound(b-1))
+		if BucketLowerBound(b) != BucketBound(b-1)+1 {
+			t.Fatalf("bucket %d lower %d, want %d (one above bucket %d upper)",
+				b, BucketLowerBound(b), BucketBound(b-1)+1, b-1)
 		}
+		if BucketBound(b) < BucketLowerBound(b) {
+			t.Fatalf("bucket %d upper %d below lower %d", b, BucketBound(b), BucketLowerBound(b))
+		}
+	}
+	// Every edge value maps back into its own bucket.
+	for b := 0; b < HistBuckets; b++ {
+		for _, v := range []int64{BucketLowerBound(b), BucketBound(b)} {
+			if got := bucketOf(v); got != b {
+				t.Fatalf("bucketOf(%d) = %d, want %d", v, got, b)
+			}
+		}
+	}
+	// The last bucket's bound is the 2^41−1 clamp edge.
+	if got := BucketBound(HistBuckets - 1); got != (1<<41)-1 {
+		t.Fatalf("final bound = %d, want 2^41-1", got)
 	}
 }
 
-// TestHistogramQuantile: quantiles report the covering bucket's upper
-// bound (≤ 2× relative error by construction).
+// TestHistogramQuantile: quantiles interpolate within the covering
+// bucket instead of reporting its upper bound.
 func TestHistogramQuantile(t *testing.T) {
 	var h Histogram
 	for i := 0; i < 90; i++ {
-		h.Record(100) // bucket 7, bound 127
+		h.Record(100) // bucket [64, 127]
 	}
 	for i := 0; i < 10; i++ {
-		h.Record(5000) // bucket 13, bound 8191
+		h.Record(5000) // sub-bucket [4096, 5119]
 	}
 	s := h.Snapshot()
-	if p50 := s.Quantile(0.5); p50 != 127 {
-		t.Errorf("p50 = %d, want 127", p50)
+	// p50: rank 50 of 90 in [64, 127] → 64 + (50/90)·64 = 99.
+	if p50 := s.Quantile(0.5); p50 != 99 {
+		t.Errorf("p50 = %d, want 99", p50)
 	}
-	if p99 := s.Quantile(0.99); p99 != 8191 {
-		t.Errorf("p99 = %d, want 8191", p99)
+	// p99: rank 99, 9 of 10 tail observations into [4096, 5119] →
+	// 4096 + 0.9·1024 = 5017 — within 0.4%% of the true 5000, where the
+	// old octave layout reported 8191 (64%% high).
+	if p99 := s.Quantile(0.99); p99 != 5017 {
+		t.Errorf("p99 = %d, want 5017", p99)
+	}
+	// Both quantiles stay inside their covering bucket's range.
+	if p := s.Quantile(0.999); p < 4096 || p > 5119 {
+		t.Errorf("p999 = %d outside covering bucket [4096, 5119]", p)
+	}
+}
+
+// TestQuantileTailResolution: a p999 read off a tail observation in the
+// split band lands in that observation's quarter-octave — the resolution
+// the server's SLO reporting needs.
+func TestQuantileTailResolution(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 999; i++ {
+		h.Record(20_000) // ~20 µs body
+	}
+	h.Record(10_000_000) // one 10 ms straggler
+	p999 := h.Snapshot().Quantile(0.999)
+	// 20000 is in octave 15 [16384, 32768), sub-bucket [20480...) — no:
+	// 20000 < 20480, so sub-bucket [16384, 20479]. rank 999 of 999 body
+	// observations → top of the body bucket, far below the straggler.
+	if p999 < 16384 || p999 > 20479 {
+		t.Errorf("p999 = %d, want within the body's sub-bucket [16384, 20479]", p999)
+	}
+	// p9995 (rank 999.5) crosses into the straggler's bucket.
+	p9995 := h.Snapshot().Quantile(0.9995)
+	if p9995 < 8388608 || p9995 > 10485759 {
+		t.Errorf("p9995 = %d, want within the straggler's sub-bucket [8388608, 10485759]", p9995)
+	}
+	// Relative sub-bucket width in the band is 25%, so the p9995 estimate
+	// is within 25% of the true 10 ms (octave-only buckets allowed 2×).
+	if err := math.Abs(float64(p9995)-1e7) / 1e7; err > 0.25 {
+		t.Errorf("p9995 relative error %.2f exceeds the 25%% sub-bucket width", err)
+	}
+}
+
+// TestQuantileEdgeCases: q=0, q=1, NaN, empty and reset-window
+// histograms all return well-defined values.
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Record(100)  // bucket [64, 127]
+	h.Record(5000) // sub-bucket [4096, 5119]
+	s := h.Snapshot()
+	if got := s.Quantile(0); got != 64 {
+		t.Errorf("q=0 → %d, want 64 (lower bound of first occupied bucket)", got)
+	}
+	if got := s.Quantile(-0.5); got != 64 {
+		t.Errorf("q=-0.5 → %d, want 64", got)
+	}
+	if got := s.Quantile(1); got != 5119 {
+		t.Errorf("q=1 → %d, want 5119 (upper bound of last occupied bucket)", got)
+	}
+	if got := s.Quantile(2); got != 5119 {
+		t.Errorf("q=2 → %d, want 5119", got)
+	}
+	if got := s.Quantile(math.NaN()); got != 64 {
+		t.Errorf("q=NaN → %d, want 64 (treated as q=0)", got)
 	}
 	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
 		t.Errorf("empty-histogram quantile = %d, want 0", got)
+	}
+	// A delta window spanning a server restart can go negative; the scan
+	// must skip the negative mass, not walk off it.
+	neg := HistSnapshot{Count: -3}
+	neg.Buckets[7] = -3
+	if got := neg.Quantile(0.5); got != 0 {
+		t.Errorf("all-negative window quantile = %d, want 0", got)
+	}
+	mixed := HistSnapshot{Count: 1}
+	mixed.Buckets[3] = -2 // reset artifact
+	mixed.Buckets[7] = 3  // bucket [64, 127]
+	if got := mixed.Quantile(1); got != 127 {
+		t.Errorf("mixed-sign window q=1 = %d, want 127", got)
 	}
 }
 

@@ -32,8 +32,11 @@ import (
 // (cmd/triestat, the export handlers) check Schema/Version instead of
 // guessing at field layouts.
 const (
-	SchemaName    = "repro.trie"
-	SchemaVersion = 1
+	SchemaName = "repro.trie"
+	// SchemaVersion 2: the histogram bucket array became log-linear
+	// (sub-bucketed 1 µs–134 ms band, 93 buckets) — a v1 consumer would
+	// misread the bucket indices, so the version gates it.
+	SchemaVersion = 2
 )
 
 // counterStripes is the number of padded stripes per counter. Sixteen
@@ -188,6 +191,51 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// Merge folds src into s and returns the combined snapshot: the union of
+// both metric sets, summing values (counter and bucket-wise histogram
+// addition) where names collide. This is how a process exposes several
+// registries — the server front-end's own metrics plus the embedded
+// trie's MetricsSnapshot — through one exposition endpoint without
+// cross-wiring the registries themselves. The result carries the later
+// timestamp; s and src are unmodified.
+func (s Snapshot) Merge(src Snapshot) Snapshot {
+	m := Snapshot{
+		Schema:      s.Schema,
+		Version:     s.Version,
+		UnixNanos:   s.UnixNanos,
+		WindowNanos: s.WindowNanos,
+		Counters:    make(map[string]int64, len(s.Counters)+len(src.Counters)),
+	}
+	if src.UnixNanos > m.UnixNanos {
+		m.UnixNanos = src.UnixNanos
+	}
+	for n, v := range s.Counters {
+		m.Counters[n] = v
+	}
+	for n, v := range src.Counters {
+		m.Counters[n] += v
+	}
+	if len(s.Hists)+len(src.Hists) > 0 {
+		m.Hists = make(map[string]HistSnapshot, len(s.Hists)+len(src.Hists))
+		for n, h := range s.Hists {
+			m.Hists[n] = h
+		}
+		for n, h := range src.Hists {
+			prev, ok := m.Hists[n]
+			if !ok {
+				m.Hists[n] = h
+				continue
+			}
+			sum := HistSnapshot{Count: prev.Count + h.Count, Sum: prev.Sum + h.Sum}
+			for i := range sum.Buckets {
+				sum.Buckets[i] = prev.Buckets[i] + h.Buckets[i]
+			}
+			m.Hists[n] = sum
+		}
+	}
+	return m
 }
 
 // Delta returns the window s − prev: counter-by-counter (names missing

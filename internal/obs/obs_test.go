@@ -117,3 +117,42 @@ func TestRegistryNamesSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotMerge: merging two registries' snapshots unions the metric
+// sets, sums collisions (counters and histograms bucket-wise), and keeps
+// the later timestamp — the multi-source exposition path trieserve uses.
+func TestSnapshotMerge(t *testing.T) {
+	trie := NewRegistry()
+	trie.Counter("ops.insert").Add(0, 10)
+	trie.Counter("shared.total").Add(0, 3)
+	trie.Histogram("latency.insert_ns").Record(100)
+
+	srv := NewRegistry()
+	srv.Counter("server.requests").Add(0, 7)
+	srv.Counter("shared.total").Add(0, 4)
+	srv.Histogram("latency.insert_ns").Record(100)
+	srv.Histogram("server.batch_size").Record(16)
+
+	a, b := trie.Snapshot(), srv.Snapshot()
+	m := a.Merge(b)
+
+	if m.Counters["ops.insert"] != 10 || m.Counters["server.requests"] != 7 {
+		t.Fatalf("disjoint counters not unioned: %v", m.Counters)
+	}
+	if m.Counters["shared.total"] != 7 {
+		t.Fatalf("colliding counter = %d, want 7", m.Counters["shared.total"])
+	}
+	if h := m.Hists["latency.insert_ns"]; h.Count != 2 || h.Sum != 200 || h.Buckets[bucketOf(100)] != 2 {
+		t.Fatalf("colliding histogram = %+v", h)
+	}
+	if m.Hists["server.batch_size"].Count != 1 {
+		t.Fatalf("src-only histogram missing")
+	}
+	if m.UnixNanos < a.UnixNanos || m.UnixNanos < b.UnixNanos {
+		t.Fatalf("merged timestamp %d older than inputs", m.UnixNanos)
+	}
+	// Inputs unmodified.
+	if a.Counters["shared.total"] != 3 || b.Counters["shared.total"] != 4 {
+		t.Fatalf("Merge mutated its inputs")
+	}
+}

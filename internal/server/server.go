@@ -1,0 +1,700 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	lockfreetrie "repro"
+	"repro/internal/obs"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// CoalesceUpdates routes Insert/Delete requests through the shared
+	// batcher goroutine, which drains every queued update — across all
+	// connections — into one Trie.ApplyBatch sweep. False applies each
+	// update inline on its connection's reader goroutine (the per-op
+	// baseline sv1 measures against).
+	CoalesceUpdates bool
+	// Window bounds each connection's in-flight requests. A reader that
+	// has Window requests outstanding stops reading its socket, so
+	// backpressure propagates to the client as TCP flow control rather
+	// than unbounded server-side queueing. 0 means DefaultWindow.
+	Window int
+	// MaxBatch caps one ApplyBatch sweep. 0 means DefaultMaxBatch.
+	MaxBatch int
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultWindow   = 256
+	DefaultMaxBatch = 1024
+)
+
+// updateReq is one Insert/Delete waiting for the batcher.
+type updateReq struct {
+	kind  lockfreetrie.OpKind
+	key   int64
+	c     *conn
+	id    uint64
+	start time.Time
+}
+
+// Server owns a Trie and serves the wire protocol over TCP.
+type Server struct {
+	trie *lockfreetrie.Trie
+	cfg  Config
+	reg  *obs.Registry
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+
+	upq         *updateQueue // nil when !CoalesceUpdates
+	batcherDone chan struct{}
+
+	readerWG sync.WaitGroup // per-conn reader goroutines
+	connWG   sync.WaitGroup // per-conn writer goroutines
+
+	active atomic.Int64
+
+	mAccepted, mReads, mUpdatesBatched, mUpdatesPerOp *obs.Counter
+	mSweeps, mErrProto, mErrOp                        *obs.Counter
+	hBatch, hUpdateNs, hReadNs                        *obs.Histogram
+}
+
+// New builds a Server over an existing trie. The caller keeps ownership
+// of the trie (and may keep using it in-process); the server only adds
+// the network front-end.
+func New(trie *lockfreetrie.Trie, cfg Config) *Server {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	s := &Server{
+		trie:  trie,
+		cfg:   cfg,
+		reg:   obs.NewRegistry(),
+		conns: map[*conn]struct{}{},
+	}
+	s.mAccepted = s.reg.Counter("server.conns.accepted")
+	s.mReads = s.reg.Counter("server.ops.read")
+	s.mUpdatesBatched = s.reg.Counter("server.ops.update.batched")
+	s.mUpdatesPerOp = s.reg.Counter("server.ops.update.perop")
+	s.mSweeps = s.reg.Counter("server.batch.sweeps")
+	s.mErrProto = s.reg.Counter("server.errors.protocol")
+	s.mErrOp = s.reg.Counter("server.errors.op")
+	s.hBatch = s.reg.Histogram("server.batch_size")
+	s.hUpdateNs = s.reg.Histogram("server.latency.update_ns")
+	s.hReadNs = s.reg.Histogram("server.latency.read_ns")
+	s.reg.Gauge("server.conns.active", s.active.Load)
+	if cfg.CoalesceUpdates {
+		s.upq = newUpdateQueue()
+		s.batcherDone = make(chan struct{})
+		go s.batcher()
+	}
+	return s
+}
+
+// updateQueue is the run queue between the reader goroutines and the
+// batcher. Readers publish whole RUNS (every update frame parsed out of
+// one socket read) under one lock acquisition; the batcher takes
+// everything queued in one swap. Length needs no bound of its own — each
+// queued update holds a window slot, so the queue never exceeds the sum
+// of the connection windows.
+type updateQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []updateReq
+	closed bool
+}
+
+func newUpdateQueue() *updateQueue {
+	u := &updateQueue{}
+	u.cond = sync.NewCond(&u.mu)
+	return u
+}
+
+// pushRun appends a run. Signals only on the empty→nonempty edge, the
+// only time the batcher can be waiting.
+func (u *updateQueue) pushRun(run []updateReq) {
+	u.mu.Lock()
+	wasEmpty := len(u.q) == 0
+	u.q = append(u.q, run...)
+	u.mu.Unlock()
+	if wasEmpty {
+		u.cond.Signal()
+	}
+}
+
+// swap blocks until the queue is nonempty (or closed), then hands the
+// whole backlog to the caller, taking ownership of prev (the caller's
+// previous batch, recycled as the new accumulation buffer). Returns
+// ok=false only when closed AND drained.
+func (u *updateQueue) swap(prev []updateReq) ([]updateReq, bool) {
+	u.mu.Lock()
+	for len(u.q) == 0 && !u.closed {
+		u.cond.Wait()
+	}
+	out := u.q
+	u.q = prev[:0]
+	u.mu.Unlock()
+	return out, len(out) > 0
+}
+
+// close wakes the batcher after the readers are gone; swap drains what
+// remains, then reports done.
+func (u *updateQueue) close() {
+	u.mu.Lock()
+	u.closed = true
+	u.mu.Unlock()
+	u.cond.Signal()
+}
+
+// MetricsSnapshot merges the server's own metrics with the embedded
+// trie's into one exposition-ready snapshot (the obs.Snapshot.Merge
+// multi-registry path).
+func (s *Server) MetricsSnapshot() obs.Snapshot {
+	return s.reg.Snapshot().Merge(s.trie.MetricsSnapshot())
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// Shutdown-initiated close, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// startConn registers and launches one connection's goroutine pair.
+func (s *Server) startConn(nc net.Conn) {
+	c := &conn{
+		srv:     s,
+		nc:      nc,
+		winWake: make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	c.out.cond = sync.NewCond(&c.out.mu)
+	// Finals in the queue are bounded by the window; chunk frames get the
+	// same budget again before the reader blocks.
+	c.out.capHint = 2 * s.cfg.Window
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.mAccepted.Inc(0)
+	s.active.Add(1)
+	s.readerWG.Add(1)
+	s.connWG.Add(1)
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+// batcher is the network combiner: it blocks for one update, drains
+// everything else already queued (bounded by MaxBatch), and applies the
+// run as ONE ApplyBatch — one announcement pass per shard-run for the
+// whole sweep, where the per-op path pays one per update. Responses fan
+// back out as one aggregated run per connection (see sweep). The queue
+// never blocks the batcher on a wedged connection: the sweep's pushes
+// are guaranteed-space (see respQueue).
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	var reqs []updateReq
+	var runs []respRun
+	ops := make([]lockfreetrie.Op, 0, s.cfg.MaxBatch)
+	agg := make(map[*conn]int)
+	for {
+		var ok bool
+		reqs, ok = s.upq.swap(reqs)
+		if !ok {
+			return
+		}
+		// The backlog can exceed MaxBatch (it is bounded by the summed
+		// windows); chunk it so each ApplyBatch stays in the size range
+		// where its per-op cost is flat.
+		for off := 0; off < len(reqs); off += s.cfg.MaxBatch {
+			end := off + s.cfg.MaxBatch
+			if end > len(reqs) {
+				end = len(reqs)
+			}
+			runs = s.sweep(reqs[off:end], ops, agg, runs)
+		}
+	}
+}
+
+// framePool recycles response-frame buffers between the sweeps that
+// encode them and the write loops that retire them, so the batched path's
+// steady-state frame traffic allocates nothing. The write loop is the
+// single point where every frame dies, which makes the recycle safe: no
+// other reference survives the push.
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+type frameBuf struct{ b []byte }
+
+// sweep applies one batch run and responds to every request in it. The
+// responses are aggregated per connection — every frame destined for one
+// conn is encoded into a single contiguous run, delivered with ONE
+// guaranteed-space push carrying the run's final count — so the response
+// side of a sweep costs O(conns) queue operations and wakeups rather
+// than O(batch).
+func (s *Server) sweep(reqs []updateReq, ops []lockfreetrie.Op, agg map[*conn]int, runs []respRun) []respRun {
+	ops = ops[:0]
+	for _, r := range reqs {
+		ops = append(ops, lockfreetrie.Op{Kind: r.kind, Key: r.key})
+	}
+	errs := s.trie.ApplyBatch(ops)
+	s.mSweeps.Inc(0)
+	s.hBatch.Record(int64(len(reqs)))
+	clear(agg)
+	runs = runs[:0]
+	// One clock read serves every latency sample in the sweep: the ops
+	// complete together (their responses leave in the same per-conn
+	// runs), so a shared end time is exact, not an approximation.
+	now := time.Now()
+	for i, r := range reqs {
+		var err error
+		if errs != nil {
+			err = errs[i]
+		}
+		// Requests enter the backlog as per-connection runs, so consecutive
+		// entries almost always share a conn: checking the run we just
+		// appended to skips the map on that hot path.
+		j := len(runs) - 1
+		if j < 0 || runs[j].c != r.c {
+			var ok bool
+			j, ok = agg[r.c]
+			if !ok {
+				j = len(runs)
+				runs = append(runs, respRun{c: r.c, fb: framePool.Get().(*frameBuf)})
+				agg[r.c] = j
+			}
+		}
+		run := &runs[j]
+		if err != nil {
+			s.mErrOp.Inc(int64(r.id))
+			run.fb.b = encodeErrResponse(run.fb.b, r.id, err)
+		} else {
+			run.fb.b = encodeValueResponse(run.fb.b, r.id, 0)
+		}
+		run.finals++
+		s.hUpdateNs.Record(int64(now.Sub(r.start)))
+	}
+	for i := range runs {
+		run := &runs[i]
+		run.c.out.push(respMsg{frame: run.fb.b, fb: run.fb, finals: run.finals}, true)
+		run.c.pending.Add(-run.finals)
+		runs[i] = respRun{} // the queue owns the buffer now
+	}
+	return runs[:0]
+}
+
+// respRun accumulates one connection's share of a sweep's responses in a
+// pooled frame buffer.
+type respRun struct {
+	c      *conn
+	fb     *frameBuf
+	finals int
+}
+
+// Shutdown drains gracefully: stop accepting, unblock every reader, let
+// in-flight requests (including queued batcher sweeps) complete and
+// their responses flush, then close the sockets. If ctx expires first,
+// connections are force-closed; the drain machinery still runs to
+// completion (discard mode makes it non-blocking) before return.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now()) // unblock the reader's pending Read
+	}
+	done := make(chan struct{})
+	go func() {
+		s.readerWG.Wait()
+		// All producers into s.upq are reader goroutines; with every
+		// reader gone the queue can close, and the batcher drains what
+		// remains before exiting.
+		if s.upq != nil {
+			s.upq.close()
+			<-s.batcherDone
+		}
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, c := range conns {
+			c.forceClose()
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// respMsg is one encoded run of response frames; finals counts the
+// requests this run completes (each releases one window slot). The
+// reader's pushes carry one frame with finals ≤ 1; the batcher's carry a
+// whole sweep's worth of frames for one connection in one push — one
+// queue transfer, one cond signal, and (usually) one socket write per
+// conn per sweep instead of one per update.
+type respMsg struct {
+	frame  []byte
+	fb     *frameBuf // non-nil when frame is pooled; the writer recycles it
+	finals int
+}
+
+// respQueue is the per-connection response queue between the producers
+// (this connection's reader; the shared batcher) and the writer. It is a
+// cond-guarded slice rather than a channel so the two producers get
+// different blocking contracts: the reader's push blocks past capHint
+// (range streaming backpressure, conn-local), while the batcher's push
+// is guaranteed-space — finals are bounded by the in-flight window, so
+// the shared batcher can never stall on one wedged connection.
+type respQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []respMsg
+	closed  bool
+	capHint int
+}
+
+// push appends m. force skips the capacity wait (batcher path).
+func (r *respQueue) push(m respMsg, force bool) {
+	r.mu.Lock()
+	for !force && len(r.q) >= r.capHint && !r.closed {
+		r.cond.Wait()
+	}
+	if !r.closed {
+		r.q = append(r.q, m)
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// pop removes the next frame, blocking until one arrives or the queue
+// closes empty.
+func (r *respQueue) pop() (respMsg, bool) {
+	r.mu.Lock()
+	for len(r.q) == 0 && !r.closed {
+		r.cond.Wait()
+	}
+	if len(r.q) == 0 {
+		r.mu.Unlock()
+		return respMsg{}, false
+	}
+	m := r.q[0]
+	r.q = r.q[1:]
+	r.mu.Unlock()
+	r.cond.Broadcast() // wake a reader blocked on capHint
+	return m, true
+}
+
+// empty reports whether the queue is momentarily drained (flush point).
+func (r *respQueue) empty() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.q) == 0
+}
+
+// close wakes every waiter; subsequent pushes are dropped.
+func (r *respQueue) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// conn is one client connection: a reader goroutine that decodes
+// requests and either answers reads inline or feeds updates to the
+// batcher, and a writer goroutine that flushes encoded responses.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out respQueue
+	// The in-flight window is an atomic counter, not a channel: the
+	// reader is the only acquirer, so winUsed.Add races with nothing on
+	// that side, and the writer releases a whole response run in ONE
+	// Add(-finals) instead of finals channel operations. winWake is a
+	// 1-buffered ping for the rare full-window case; a stale ping just
+	// makes the reader re-check the counter.
+	winUsed  atomic.Int64
+	winWake  chan struct{}
+	pending  sync.WaitGroup // updates handed to the batcher, unanswered
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// releaseWin returns n window slots and pings a possibly-waiting reader.
+func (c *conn) releaseWin(n int) {
+	c.winUsed.Add(int64(-n))
+	select {
+	case c.winWake <- struct{}{}:
+	default:
+	}
+}
+
+// forceClose abandons the connection: the socket closes (erroring the
+// writer into discard mode and the reader out of its Read) and any
+// reader blocked on a window slot unblocks.
+func (c *conn) forceClose() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.nc.Close()
+	})
+}
+
+// readLoop decodes and dispatches requests until the client hangs up,
+// the stream corrupts, or shutdown unblocks the pending Read. On the
+// coalescing path it accumulates consecutive update requests into a RUN
+// and publishes the run to the batcher in one queue operation, flushing
+// whenever it is about to block (an empty read buffer, or a full
+// window) — so a pipelining client's updates cost one lock acquisition
+// per socket read rather than one per request. It then runs the
+// connection's drain: wait for the batcher to answer this connection's
+// queued updates, close the response queue, and let the writer flush.
+func (c *conn) readLoop() {
+	defer c.srv.readerWG.Done()
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	buf := make([]byte, 0, maxRequestFrame)
+	var run []updateReq
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		c.pending.Add(len(run))
+		c.srv.upq.pushRun(run)
+		run = run[:0]
+	}
+	// One arrival stamp per socket read, not per request: every frame
+	// decoded out of one buffered read was already in the kernel buffer at
+	// that read, so the shared stamp IS their arrival time — and the clock
+	// call drops from once per update to once per burst.
+	var arrival time.Time
+	stale := true
+	for {
+		if br.Buffered() == 0 {
+			flush() // about to block in Read; publish what we have
+			stale = true
+		}
+		p, err := readFrame(br, buf, maxRequestFrame)
+		if err != nil {
+			break
+		}
+		if stale {
+			arrival = time.Now()
+			stale = false
+		}
+		buf = p[:0]
+		req, err := decodeRequest(p)
+		if err != nil {
+			c.srv.mErrProto.Inc(0)
+			break
+		}
+		if c.winUsed.Add(1) > int64(c.srv.cfg.Window) {
+			// Window full: give the slot back and flush first — the
+			// queued updates hold the very slots we are waiting on.
+			c.winUsed.Add(-1)
+			flush()
+			for c.winUsed.Load() >= int64(c.srv.cfg.Window) {
+				select {
+				case <-c.winWake:
+				case <-c.stop:
+					goto drain
+				}
+			}
+			c.winUsed.Add(1)
+		}
+		if c.srv.upq != nil && (req.op == opInsert || req.op == opDelete) {
+			kind := lockfreetrie.OpInsert
+			if req.op == opDelete {
+				kind = lockfreetrie.OpDelete
+			}
+			c.srv.mUpdatesBatched.Inc(req.key)
+			run = append(run, updateReq{kind: kind, key: req.key, c: c, id: req.id, start: arrival})
+			continue
+		}
+		flush() // keep response work roughly arrival-ordered
+		c.dispatch(req)
+	}
+drain:
+	flush()
+	c.pending.Wait()
+	c.out.close()
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+	c.srv.active.Add(-1)
+}
+
+// writeLoop streams queued response frames through one buffered writer,
+// flushing whenever the queue goes momentarily empty. On a write error
+// it switches to discard mode — it keeps draining the queue and
+// releasing window slots so the batcher and reader never block on a dead
+// peer — and closes the socket on exit either way.
+func (c *conn) writeLoop() {
+	defer c.srv.connWG.Done()
+	defer c.nc.Close()
+	w := bufio.NewWriterSize(c.nc, 32<<10)
+	discard := false
+	for {
+		if !discard && c.out.empty() {
+			if err := w.Flush(); err != nil {
+				discard = true
+				c.forceClose()
+			}
+		}
+		m, ok := c.out.pop()
+		if !ok {
+			if !discard {
+				w.Flush()
+			}
+			return
+		}
+		if !discard {
+			if _, err := w.Write(m.frame); err != nil {
+				discard = true
+				c.forceClose()
+			}
+		}
+		if m.fb != nil {
+			m.fb.b = m.frame[:0]
+			framePool.Put(m.fb)
+		}
+		if m.finals > 0 {
+			c.releaseWin(m.finals)
+		}
+	}
+}
+
+// dispatch executes one decoded request. Reads run inline on the reader
+// goroutine — the direct path, never queued behind an update sweep.
+func (c *conn) dispatch(req request) {
+	s := c.srv
+	start := time.Now()
+	switch req.op {
+	case opInsert, opDelete:
+		// Coalesced-mode updates never reach dispatch (readLoop routes
+		// them into its run); this is the per-op baseline path.
+		kind := lockfreetrie.OpInsert
+		if req.op == opDelete {
+			kind = lockfreetrie.OpDelete
+		}
+		s.mUpdatesPerOp.Inc(req.key)
+		var err error
+		if kind == lockfreetrie.OpInsert {
+			err = s.trie.Insert(req.key)
+		} else {
+			err = s.trie.Delete(req.key)
+		}
+		s.hUpdateNs.Record(int64(time.Since(start)))
+		c.reply(req.id, 0, err)
+	case opContains:
+		s.mReads.Inc(req.key)
+		in, err := s.trie.Contains(req.key)
+		var v int64
+		if in {
+			v = 1
+		}
+		s.hReadNs.Record(int64(time.Since(start)))
+		c.reply(req.id, v, err)
+	case opPredecessor:
+		s.mReads.Inc(req.key)
+		p, err := s.trie.Predecessor(req.key)
+		s.hReadNs.Record(int64(time.Since(start)))
+		c.reply(req.id, p, err)
+	case opSuccessor:
+		s.mReads.Inc(req.key)
+		p, err := s.trie.Successor(req.key)
+		s.hReadNs.Record(int64(time.Since(start)))
+		c.reply(req.id, p, err)
+	case opRange:
+		s.mReads.Inc(req.key)
+		c.streamRange(req)
+		s.hReadNs.Record(int64(time.Since(start)))
+	}
+}
+
+// reply queues one value-or-error response from the reader goroutine.
+func (c *conn) reply(id uint64, v int64, err error) {
+	var frame []byte
+	if err != nil {
+		c.srv.mErrOp.Inc(int64(id))
+		frame = encodeErrResponse(nil, id, err)
+	} else {
+		frame = encodeValueResponse(nil, id, v)
+	}
+	c.out.push(respMsg{frame: frame, finals: 1}, false)
+}
+
+// streamRange walks [key, hi] descending (the trie's native Range
+// order), emitting chunk frames of up to rangeChunkKeys keys and a
+// terminal count frame. Chunk pushes may block on the queue's capacity —
+// range backpressure is conn-local by design.
+func (c *conn) streamRange(req request) {
+	chunk := make([]int64, 0, rangeChunkKeys)
+	var count int64
+	flush := func() {
+		if len(chunk) > 0 {
+			c.out.push(respMsg{frame: encodeRangeChunk(nil, req.id, chunk)}, false)
+			chunk = chunk[:0]
+		}
+	}
+	err := c.srv.trie.Range(req.key, req.hi, func(k int64) bool {
+		chunk = append(chunk, k)
+		count++
+		if len(chunk) == rangeChunkKeys {
+			flush()
+		}
+		return true
+	})
+	if err != nil {
+		c.srv.mErrOp.Inc(int64(req.id))
+		c.out.push(respMsg{frame: encodeErrResponse(nil, req.id, err), finals: 1}, false)
+		return
+	}
+	flush()
+	c.out.push(respMsg{frame: encodeRangeEnd(nil, req.id, count), finals: 1}, false)
+}

@@ -1,0 +1,288 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	lockfreetrie "repro"
+)
+
+// startServer launches a server over a fresh trie and returns it with
+// its address and a cleanup that asserts a clean drain.
+func startServer(t *testing.T, universe int64, cfg Config) (*Server, string) {
+	t.Helper()
+	tr, err := lockfreetrie.New(universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(tr, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return s, ln.Addr().String()
+}
+
+// TestServerOps: the full op surface over a real socket, both ingest
+// modes.
+func TestServerOps(t *testing.T) {
+	for _, coalesce := range []bool{true, false} {
+		name := "perop"
+		if coalesce {
+			name = "coalesce"
+		}
+		t.Run(name, func(t *testing.T) {
+			_, addr := startServer(t, 1<<16, Config{CoalesceUpdates: coalesce})
+			c, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			for _, k := range []int64{5, 100, 7000} {
+				if err := c.Insert(k); err != nil {
+					t.Fatalf("insert %d: %v", k, err)
+				}
+			}
+			if err := c.Delete(100); err != nil {
+				t.Fatal(err)
+			}
+			if in, err := c.Contains(5); err != nil || !in {
+				t.Fatalf("contains 5 = %v, %v", in, err)
+			}
+			if in, err := c.Contains(100); err != nil || in {
+				t.Fatalf("contains 100 = %v, %v", in, err)
+			}
+			if p, err := c.Predecessor(7000); err != nil || p != 5 {
+				t.Fatalf("pred 7000 = %d, %v", p, err)
+			}
+			if s, err := c.Successor(5); err != nil || s != 7000 {
+				t.Fatalf("succ 5 = %d, %v", s, err)
+			}
+			if p, err := c.Predecessor(5); err != nil || p != -1 {
+				t.Fatalf("pred 5 = %d, %v", p, err)
+			}
+			var got []int64
+			if err := c.Range(0, 1<<16-1, func(k int64) bool {
+				got = append(got, k)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 2 || got[0] != 7000 || got[1] != 5 {
+				t.Fatalf("range = %v, want [7000 5]", got)
+			}
+		})
+	}
+}
+
+// TestServerRemoteErrors: out-of-universe keys come back as RemoteError
+// with the facade's message, and the connection stays usable.
+func TestServerRemoteErrors(t *testing.T) {
+	_, addr := startServer(t, 1<<10, Config{CoalesceUpdates: true})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var re *RemoteError
+	if err := c.Insert(1 << 20); !errors.As(err, &re) {
+		t.Fatalf("out-of-universe insert: %v, want RemoteError", err)
+	}
+	if _, err := c.Predecessor(-1); !errors.As(err, &re) {
+		t.Fatalf("negative predecessor: %v, want RemoteError", err)
+	}
+	if err := c.Insert(17); err != nil {
+		t.Fatalf("connection unusable after remote error: %v", err)
+	}
+	if in, err := c.Contains(17); err != nil || !in {
+		t.Fatalf("contains 17 = %v, %v", in, err)
+	}
+}
+
+// TestServerCoalesces: concurrent pipelined updates from several
+// connections land in shared ApplyBatch sweeps — fewer sweeps than ops,
+// with the batch-size histogram recording multi-op batches.
+func TestServerCoalesces(t *testing.T) {
+	srv, addr := startServer(t, 1<<20, Config{CoalesceUpdates: true, Window: 64})
+	const conns, perConn = 4, 500
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			var inner sync.WaitGroup
+			for j := 0; j < perConn; j++ {
+				inner.Add(1)
+				c.UpdateAsync(true, base+int64(j), func(err error) {
+					if err != nil {
+						t.Error(err)
+					}
+					inner.Done()
+				})
+			}
+			inner.Wait()
+		}(int64(i) * perConn)
+	}
+	wg.Wait()
+	snap := srv.MetricsSnapshot()
+	total := snap.Counters["server.ops.update.batched"]
+	sweeps := snap.Counters["server.batch.sweeps"]
+	if total != conns*perConn {
+		t.Fatalf("batched ops = %d, want %d", total, conns*perConn)
+	}
+	if sweeps == 0 || sweeps >= total {
+		t.Fatalf("sweeps = %d for %d ops — no coalescing happened", sweeps, total)
+	}
+	if h := snap.Hists["server.batch_size"]; h.Count != sweeps || h.Sum != total {
+		t.Fatalf("batch_size hist count/sum = %d/%d, want %d/%d", h.Count, h.Sum, sweeps, total)
+	}
+	// The batched ops must actually be in the trie.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if in, err := c.Contains(conns*perConn - 1); err != nil || !in {
+		t.Fatalf("contains last key = %v, %v", in, err)
+	}
+}
+
+// TestServerRangeChunks: a range spanning more than one chunk frame
+// streams completely and in order.
+func TestServerRangeChunks(t *testing.T) {
+	_, addr := startServer(t, 1<<18, Config{CoalesceUpdates: true})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 3000 // ≈3 chunks at 1024 keys each
+	var wg sync.WaitGroup
+	for k := int64(0); k < n; k++ {
+		wg.Add(1)
+		c.UpdateAsync(true, k, func(err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	prev := int64(n)
+	count := 0
+	if err := c.Range(0, 1<<18-1, func(k int64) bool {
+		if k >= prev {
+			t.Fatalf("range out of order: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("range streamed %d keys, want %d", count, n)
+	}
+}
+
+// TestServerGracefulDrain: a shutdown issued while pipelined updates are
+// in flight still answers every one of them before the sockets close.
+func TestServerGracefulDrain(t *testing.T) {
+	tr, err := lockfreetrie.New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(tr, Config{CoalesceUpdates: true, Window: 128})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 1000
+	results := make(chan error, n)
+	for k := int64(0); k < n; k++ {
+		c.UpdateAsync(true, k, func(err error) { results <- err })
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	// Every in-flight update was either answered (nil error) or the
+	// client saw the close — but nothing may hang.
+	for i := 0; i < n; i++ {
+		select {
+		case <-results:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("update %d never resolved after drain", i)
+		}
+	}
+	// New connections are refused.
+	if _, err := Dial(ln.Addr().String()); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestServerProtocolErrorClosesConn: garbage on one connection kills
+// that connection only; the server keeps serving others.
+func TestServerProtocolErrorClosesConn(t *testing.T) {
+	srv, addr := startServer(t, 1<<10, Config{CoalesceUpdates: true})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 17-byte frame with an unknown opcode.
+	frame := append([]byte{0, 0, 0, 17, 0xAB}, make([]byte, 16)...)
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	// The server should hang up on us.
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept the connection after a protocol error")
+	}
+	raw.Close()
+	// And still serve a well-behaved client.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Insert(9); err != nil {
+		t.Fatal(err)
+	}
+	if srv.MetricsSnapshot().Counters["server.errors.protocol"] == 0 {
+		t.Fatal("protocol error not counted")
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWireRequestRoundTrip: every opcode survives encode→decode.
+func TestWireRequestRoundTrip(t *testing.T) {
+	reqs := []request{
+		{op: opInsert, id: 1, key: 42},
+		{op: opDelete, id: 2, key: 0},
+		{op: opContains, id: 1 << 60, key: 7},
+		{op: opPredecessor, id: 3, key: 1<<31 - 1},
+		{op: opSuccessor, id: 4, key: 9},
+		{op: opRange, id: 5, key: 10, hi: 20},
+	}
+	var wire []byte
+	for _, r := range reqs {
+		wire = encodeRequest(wire, r)
+	}
+	rd := bytes.NewReader(wire)
+	for i, want := range reqs {
+		p, err := readFrame(rd, nil, maxRequestFrame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := decodeRequest(p)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+// TestWireResponseRoundTrip: each response shape survives encode→decode,
+// including negative values (Predecessor's −1) and multi-key chunks.
+func TestWireResponseRoundTrip(t *testing.T) {
+	var wire []byte
+	wire = encodeValueResponse(wire, 7, -1)
+	wire = encodeErrResponse(wire, 8, &RemoteError{Msg: "key 99 outside universe"})
+	wire = encodeRangeChunk(wire, 9, []int64{30, 20, 10})
+	wire = encodeRangeEnd(wire, 9, 3)
+	rd := bytes.NewReader(wire)
+
+	next := func() response {
+		t.Helper()
+		p, err := readFrame(rd, nil, maxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := decodeResponse(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if r := next(); r.status != statusOK || r.id != 7 || r.value != -1 {
+		t.Fatalf("value response %+v", r)
+	}
+	if r := next(); r.status != statusErr || r.id != 8 || !strings.Contains(r.msg, "universe") {
+		t.Fatalf("err response %+v", r)
+	}
+	if r := next(); r.status != statusRangeChunk || len(r.keys) != 3 || r.keys[0] != 30 {
+		t.Fatalf("chunk response %+v", r)
+	}
+	if r := next(); r.status != statusRangeEnd || r.value != 3 {
+		t.Fatalf("end response %+v", r)
+	}
+}
+
+// TestWireRejectsGarbage: oversized lengths, zero lengths, short frames
+// and unknown opcodes are errors, not panics or silent misreads.
+func TestWireRejectsGarbage(t *testing.T) {
+	if _, err := readFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1}), nil, maxRequestFrame); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0}), nil, maxRequestFrame); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	if _, err := decodeRequest([]byte{opInsert, 1, 2}); err == nil {
+		t.Fatal("short request accepted")
+	}
+	if _, err := decodeRequest(make([]byte, 17)); err == nil {
+		t.Fatal("opcode 0 accepted")
+	}
+	if _, err := decodeRequest(append([]byte{opRange}, make([]byte, 16)...)); err == nil {
+		t.Fatal("short range request accepted")
+	}
+	long := append([]byte{opInsert}, make([]byte, 24)...)
+	if _, err := decodeRequest(long); err == nil {
+		t.Fatal("overlong point request accepted")
+	}
+	if _, err := decodeResponse([]byte{99, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+}

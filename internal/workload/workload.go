@@ -8,6 +8,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // OpKind enumerates generated operation types.
@@ -231,4 +232,35 @@ func (g *Generator) Fill(n int) []Op {
 		ops[i] = g.Next()
 	}
 	return ops
+}
+
+// PoissonSchedule generates deterministic exponential inter-arrival gaps —
+// a Poisson arrival process at a configured rate. Closed-loop workers
+// (harness.Run) issue the next operation the moment the previous one
+// returns, so the measured system sets its own arrival rate and queueing
+// delay is invisible; an open-loop driver holds the arrival process fixed
+// regardless of service speed, which is what latency-under-load numbers
+// (and any p999 worth reporting) require. Same seed, same schedule.
+type PoissonSchedule struct {
+	rng    *rand.Rand
+	meanNs float64
+}
+
+// NewPoissonSchedule builds a schedule with the given mean arrival rate.
+// A non-positive rate yields zero gaps (arrive as fast as the consumer
+// can take, the closed-loop degenerate case).
+func NewPoissonSchedule(ratePerSec float64, seed int64) *PoissonSchedule {
+	p := &PoissonSchedule{rng: rand.New(rand.NewSource(seed))}
+	if ratePerSec > 0 {
+		p.meanNs = 1e9 / ratePerSec
+	}
+	return p
+}
+
+// Next returns the gap between this arrival and the next.
+func (p *PoissonSchedule) Next() time.Duration {
+	if p.meanNs == 0 {
+		return 0
+	}
+	return time.Duration(p.rng.ExpFloat64() * p.meanNs)
 }

@@ -3,6 +3,7 @@ package workload
 import (
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func TestMixValidate(t *testing.T) {
@@ -157,5 +158,47 @@ func TestBandsPartition(t *testing.T) {
 				t.Fatalf("band %d drew key %d outside [%d, %d)", i, k, b.Lo, b.Lo+b.Width)
 			}
 		}
+	}
+}
+
+// TestPoissonScheduleDeterministic: same seed, same schedule — the
+// reproducibility contract every other generator here honors.
+func TestPoissonScheduleDeterministic(t *testing.T) {
+	a := NewPoissonSchedule(10000, 42)
+	b := NewPoissonSchedule(10000, 42)
+	for i := 0; i < 1000; i++ {
+		if ga, gb := a.Next(), b.Next(); ga != gb {
+			t.Fatalf("gap %d: %v != %v", i, ga, gb)
+		}
+	}
+}
+
+// TestPoissonScheduleMean: the empirical mean gap converges on 1/rate
+// (within 5% over 100k draws), and gaps are never negative.
+func TestPoissonScheduleMean(t *testing.T) {
+	const rate = 50000.0
+	p := NewPoissonSchedule(rate, 7)
+	var sum time.Duration
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / n
+	want := 1e9 / rate
+	if mean < want*0.95 || mean > want*1.05 {
+		t.Fatalf("mean gap %.0fns, want %.0fns ±5%%", mean, want)
+	}
+}
+
+// TestPoissonScheduleZeroRate: a non-positive rate degenerates to
+// zero gaps rather than dividing by zero.
+func TestPoissonScheduleZeroRate(t *testing.T) {
+	p := NewPoissonSchedule(0, 1)
+	if g := p.Next(); g != 0 {
+		t.Fatalf("zero-rate gap = %v, want 0", g)
 	}
 }

@@ -48,6 +48,7 @@ package lockfreetrie
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/adapt"
@@ -871,7 +872,11 @@ func (t *Trie) ApplyBatch(ops []Op) []error {
 		}
 		errs[i] = err
 	}
-	bops := make([]core.BatchOp, 0, len(ops))
+	// The translated batch lives only for the duration of the call, so
+	// the buffer is pooled: a steady batching caller (the server's sweep
+	// loop) would otherwise allocate a batch-sized slice per sweep.
+	scratch := bopsPool.Get().(*bopsScratch)
+	bops := scratch.ops[:0]
 	for i, op := range ops {
 		if op.Kind != OpInsert && op.Kind != OpDelete {
 			fail(i, fmt.Errorf("lockfreetrie: ApplyBatch op %d: invalid kind %v", i, op.Kind))
@@ -888,12 +893,19 @@ func (t *Trie) ApplyBatch(ops []Op) []error {
 			start := time.Now()
 			t.set.ApplyBatch(combine.SortDedup(bops))
 			o.lats[opApplyBatch].Record(int64(time.Since(start)))
-			return errs
+		} else {
+			t.set.ApplyBatch(combine.SortDedup(bops))
 		}
-		t.set.ApplyBatch(combine.SortDedup(bops))
 	}
+	scratch.ops = bops
+	bopsPool.Put(scratch)
 	return errs
 }
+
+// bopsScratch pools ApplyBatch's translated-op buffers.
+type bopsScratch struct{ ops []core.BatchOp }
+
+var bopsPool = sync.Pool{New: func() any { return new(bopsScratch) }}
 
 // Keys returns the keys in [lo, hi] in ascending order under the same
 // weak-consistency contract as Range.
