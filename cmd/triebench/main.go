@@ -43,7 +43,7 @@ import (
 
 func main() {
 	var (
-		experiment    = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1,cb1,ad1,rs1,cc1,mp1,ob1,sv1, or all (the paper-claim sweeps c1–a2; s1, a3, cb1, ad1, rs1, cc1, mp1, ob1 and sv1 run only when named, since they rewrite their recorded trajectory artifacts; the combining experiment is cb1 because c1 is the paper's C1 Search-cost claim)")
+		experiment    = flag.String("experiment", "all", "experiment id: c1,c2,c3,c4,c5,c6,c7,a1,a2,a3,s1,cb1,ad1,rs1,cc1,mp1,ob1,sv1,wl1, or all (the paper-claim sweeps c1–a2; s1, a3, cb1, ad1, rs1, cc1, mp1, ob1, sv1 and wl1 run only when named, since they rewrite their recorded trajectory artifacts; the combining experiment is cb1 because c1 is the paper's C1 Search-cost claim)")
 		ops           = flag.Int("ops", 100000, "operations per measurement")
 		workers       = flag.Int("workers", 4, "default worker count")
 		seed          = flag.Int64("seed", 1, "workload seed")
@@ -66,6 +66,8 @@ func main() {
 		serverPath    = flag.String("sv1json", "BENCH_sv1.json", "sv1 trajectory output path (empty disables)")
 		serverReps    = flag.Int("sv1reps", sv1Reps, "sv1 repetitions per configuration (median reported; CI smoke uses 1)")
 		serverDur     = flag.Duration("sv1dur", 1500*time.Millisecond, "sv1 open-loop measurement window per side per rep")
+		walPath       = flag.String("waljson", "BENCH_wal.json", "wl1 trajectory output path (empty disables)")
+		walReps       = flag.Int("wl1reps", wl1Reps, "wl1 repetitions per configuration (median reported; CI smoke uses 1)")
 	)
 	flag.Parse()
 	inv := invocation{
@@ -79,6 +81,7 @@ func main() {
 		multicorePath: *multicorePath, multicoreReps: *multicoreReps,
 		obsPath: *obsPath, obsReps: *obsReps,
 		serverPath: *serverPath, serverReps: *serverReps, serverDur: *serverDur,
+		walPath: *walPath, walReps: *walReps,
 	}
 	if err := run(*experiment, inv); err != nil {
 		fmt.Fprintln(os.Stderr, "triebench:", err)
@@ -116,6 +119,8 @@ type invocation struct {
 	serverPath    string
 	serverReps    int
 	serverDur     time.Duration
+	walPath       string
+	walReps       int
 }
 
 // procs resolves the -gomaxprocs sweep; empty means the current setting.
@@ -208,7 +213,7 @@ func perP(procs []int, f func(p int) error) error {
 // nothing).
 func experimentIDs() []string {
 	return []string{"c1", "c2", "c3", "c4", "c5", "c6", "c7",
-		"a1", "a2", "a3", "s1", "cb1", "ad1", "rs1", "cc1", "mp1", "ob1", "sv1", "all"}
+		"a1", "a2", "a3", "s1", "cb1", "ad1", "rs1", "cc1", "mp1", "ob1", "sv1", "wl1", "all"}
 }
 
 // runnersFor binds the experiment table to this invocation's artifact
@@ -231,6 +236,7 @@ func runnersFor(inv invocation) map[string]func() error {
 		"mp1": func() error { return expMP1(inv) },
 		"ob1": func() error { return expOB1(inv) },
 		"sv1": func() error { return expSV1(inv) },
+		"wl1": func() error { return expWL1(inv) },
 	}
 }
 

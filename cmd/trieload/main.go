@@ -11,6 +11,11 @@
 //
 // Exits non-zero if the run errors or (with -minops) fewer than -minops
 // operations complete — the CI smoke's assertion hook.
+//
+// Two deterministic modes replace the open loop for the crash-recovery
+// e2e: -fill N (with -fillfrom) synchronously inserts a key range, each
+// insert acknowledged before the next; -verify N (with -verifyfrom)
+// checks the range is fully present, exiting non-zero on any miss.
 package main
 
 import (
@@ -36,12 +41,66 @@ func main() {
 		mixName  = flag.String("mix", "update-heavy", "operation mix: update-heavy, uniform, pred-heavy")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		minops   = flag.Int64("minops", 0, "exit non-zero unless at least this many ops complete")
+
+		fill       = flag.Int64("fill", 0, "deterministic mode: synchronously insert keys [-fillfrom, -fill) and exit")
+		fillFrom   = flag.Int64("fillfrom", 0, "first key of the -fill range")
+		verify     = flag.Int64("verify", 0, "deterministic mode: check keys [-verifyfrom, -verify) are all present and exit non-zero on any miss")
+		verifyFrom = flag.Int64("verifyfrom", 0, "first key of the -verify range")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *rate, *conns, *window, *u, *mixName, *seed, *minops); err != nil {
+	var err error
+	switch {
+	case *fill > 0:
+		err = runFill(*addr, *fillFrom, *fill)
+	case *verify > 0:
+		err = runVerify(*addr, *verifyFrom, *verify)
+	default:
+		err = run(*addr, *duration, *rate, *conns, *window, *u, *mixName, *seed, *minops)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "trieload:", err)
 		os.Exit(1)
 	}
+}
+
+// runFill synchronously inserts every key in [from, to) — each insert
+// acknowledged before the next is sent, so when it exits every key is
+// server-side applied (and, with -data -fsync 1 on the server, on disk).
+// The crash-recovery e2e's deterministic writer.
+func runFill(addr string, from, to int64) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for k := from; k < to; k++ {
+		if err := c.Insert(k); err != nil {
+			return fmt.Errorf("insert %d: %w", k, err)
+		}
+	}
+	fmt.Printf("trieload: filled [%d, %d) — %d keys acknowledged\n", from, to, to-from)
+	return nil
+}
+
+// runVerify checks every key in [from, to) is present, reporting the
+// first miss (non-zero exit). The crash-recovery e2e's checker.
+func runVerify(addr string, from, to int64) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for k := from; k < to; k++ {
+		in, err := c.Contains(k)
+		if err != nil {
+			return fmt.Errorf("contains %d: %w", k, err)
+		}
+		if !in {
+			return fmt.Errorf("key %d missing (verify range [%d, %d))", k, from, to)
+		}
+	}
+	fmt.Printf("trieload: verified [%d, %d) — all %d keys present\n", from, to, to-from)
+	return nil
 }
 
 func pickMix(name string) (workload.Mix, error) {

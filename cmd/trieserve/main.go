@@ -23,6 +23,13 @@
 // -adaptmin/-adaptmax enable online resizing over that band, -combining
 // enables flat combining inside each shard. -perop disables request
 // coalescing (the sv1 baseline).
+//
+// -data enables durability: updates append to a per-shard write-ahead
+// log under that directory before they apply, and a restart recovers
+// the set from the latest snapshot plus log replay (a recovery line is
+// printed on start). -fsync/-fsyncinterval pick the sync policy,
+// -walshards/-segbytes/-snapbytes the log geometry; POST /wal/snapshot
+// on the metrics address forces a checkpoint.
 package main
 
 import (
@@ -57,15 +64,60 @@ func main() {
 		window       = flag.Int("window", server.DefaultWindow, "per-connection in-flight request window (backpressure bound)")
 		maxbatch     = flag.Int("maxbatch", server.DefaultMaxBatch, "max updates per ApplyBatch sweep")
 		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful drain deadline before force-close")
+
+		data     = flag.String("data", "", "durability directory: WAL + snapshots, recovered on start (empty = in-memory only)")
+		fsync    = flag.Int("fsync", 0, "fsync the WAL every n logged ops (0 = library default of 1; needs -data)")
+		fsyncInt = flag.Duration("fsyncinterval", 0, "also fsync the WAL at this interval (0 disables; needs -data)")
+		walsh    = flag.Int("walshards", 0, "WAL stripe count, power of two (0 = library default; needs -data)")
+		segbytes = flag.Int64("segbytes", 0, "WAL segment rotation size in bytes (0 = library default; needs -data)")
+		snpbytes = flag.Int64("snapbytes", 0, "bytes logged between automatic snapshots (0 = library default, <0 disables; needs -data)")
 	)
 	flag.Parse()
-	if err := run(*addr, *metrics, *u, *shards, *adaptMin, *adaptMax, *combining, !*perop, *window, *maxbatch, *drainTimeout); err != nil {
+	dur := durFlags{dir: *data, fsync: *fsync, fsyncInt: *fsyncInt,
+		shards: *walsh, segBytes: *segbytes, snapBytes: *snpbytes}
+	if err := run(*addr, *metrics, *u, *shards, *adaptMin, *adaptMax, *combining, !*perop, *window, *maxbatch, *drainTimeout, dur); err != nil {
 		fmt.Fprintln(os.Stderr, "trieserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, metrics string, u int64, shards, adaptMin, adaptMax int, combining, coalesce bool, window, maxbatch int, drainTimeout time.Duration) error {
+// durFlags collects the -data flag family into one durability option.
+type durFlags struct {
+	dir       string
+	fsync     int
+	fsyncInt  time.Duration
+	shards    int
+	segBytes  int64
+	snapBytes int64
+}
+
+func (d durFlags) option() (lockfreetrie.Option, error) {
+	if d.dir == "" {
+		if d.fsync != 0 || d.fsyncInt != 0 || d.shards != 0 || d.segBytes != 0 || d.snapBytes != 0 {
+			return nil, fmt.Errorf("-fsync/-fsyncinterval/-walshards/-segbytes/-snapbytes need -data")
+		}
+		return nil, nil
+	}
+	var opts []lockfreetrie.DurabilityOption
+	if d.fsync != 0 {
+		opts = append(opts, lockfreetrie.WithSyncEvery(d.fsync))
+	}
+	if d.fsyncInt != 0 {
+		opts = append(opts, lockfreetrie.WithSyncInterval(d.fsyncInt))
+	}
+	if d.shards != 0 {
+		opts = append(opts, lockfreetrie.WithWALShards(d.shards))
+	}
+	if d.segBytes != 0 {
+		opts = append(opts, lockfreetrie.WithSegmentBytes(d.segBytes))
+	}
+	if d.snapBytes != 0 {
+		opts = append(opts, lockfreetrie.WithSnapshotBytes(d.snapBytes))
+	}
+	return lockfreetrie.WithDurability(d.dir, opts...), nil
+}
+
+func run(addr, metrics string, u int64, shards, adaptMin, adaptMax int, combining, coalesce bool, window, maxbatch int, drainTimeout time.Duration, dur durFlags) error {
 	var opts []lockfreetrie.Option
 	if shards > 0 {
 		opts = append(opts, lockfreetrie.WithShards(shards))
@@ -76,9 +128,21 @@ func run(addr, metrics string, u int64, shards, adaptMin, adaptMax int, combinin
 	if combining {
 		opts = append(opts, lockfreetrie.WithCombining())
 	}
+	dopt, err := dur.option()
+	if err != nil {
+		return err
+	}
+	if dopt != nil {
+		opts = append(opts, dopt)
+	}
 	tr, err := lockfreetrie.New(u, opts...)
 	if err != nil {
 		return err
+	}
+	if tr.Durable() {
+		rs := tr.RecoveryStats()
+		fmt.Printf("trieserve: recovered %d keys from %s (%d snapshot keys + %d replayed ops in %d records, torn tail: %v)\n",
+			rs.Keys, dur.dir, rs.SnapshotKeys, rs.ReplayedOps, rs.ReplayedRecords, rs.TornTail)
 	}
 	srv := server.New(tr, server.Config{
 		CoalesceUpdates: coalesce,
@@ -102,8 +166,21 @@ func run(addr, metrics string, u int64, shards, adaptMin, adaptMax int, combinin
 			return err
 		}
 		fmt.Printf("trieserve: metrics on http://%s/{debug/vars,metrics,snapshot}\n", mln.Addr())
+		mux := export.NewMux(func() obs.Snapshot { return srv.MetricsSnapshot() })
+		if tr.Durable() {
+			// POST /wal/snapshot forces a consistent WAL checkpoint — the
+			// deterministic hook the crash-recovery e2e uses to guarantee
+			// both a snapshot and a post-snapshot log tail exist.
+			mux.HandleFunc("/wal/snapshot", func(w http.ResponseWriter, req *http.Request) {
+				if err := tr.SnapshotWAL(); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				fmt.Fprintln(w, "ok")
+			})
+		}
 		go func() {
-			_ = http.Serve(mln, export.NewMux(func() obs.Snapshot { return srv.MetricsSnapshot() }))
+			_ = http.Serve(mln, mux)
 		}()
 	}
 
@@ -128,6 +205,11 @@ func run(addr, metrics string, u int64, shards, adaptMin, adaptMax int, combinin
 		}
 		if err := <-serveErr; err != nil {
 			return err
+		}
+		// Flush and close the WAL only after the drain: every acknowledged
+		// update is on disk before the process exits.
+		if err := tr.Close(); err != nil {
+			return fmt.Errorf("closing trie: %w", err)
 		}
 		fmt.Println("trieserve: drained cleanly")
 		return nil

@@ -151,6 +151,156 @@ func pow2AtLeast(x float64) int {
 	return k
 }
 
+// Catch-up defaults (see CatchupConfig). MaxRounds is higher than the
+// old fixed budget of 2 because the tracker can now bail out of a
+// non-converging loop early — the budget only binds on workloads whose
+// journal keeps genuinely (slowly) shrinking, where extra rounds pay.
+const (
+	DefaultCatchupRounds = 4
+	DefaultCatchupBelow  = 64
+	DefaultChurnRounds   = 2
+)
+
+// CatchupConfig tunes the migration catch-up convergence decision.
+type CatchupConfig struct {
+	// MaxRounds bounds the catch-up generations per migration.
+	MaxRounds int
+	// Below ends catch-up once the whole journal holds at most this many
+	// keys: the sealed replay of so small a window is trivially short.
+	Below int64
+	// ChurnRounds is the consecutive rounds a shard's journal must fail
+	// to halve before the shard is classified churn-heavy.
+	ChurnRounds int
+}
+
+// withDefaults fills zero fields with the tuned defaults.
+func (c CatchupConfig) withDefaults() CatchupConfig {
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = DefaultCatchupRounds
+	}
+	if c.Below <= 0 {
+		c.Below = DefaultCatchupBelow
+	}
+	if c.ChurnRounds <= 0 {
+		c.ChurnRounds = DefaultChurnRounds
+	}
+	return c
+}
+
+// CatchupVerdict is one Observe decision.
+type CatchupVerdict int
+
+const (
+	// CatchupContinue: run another catch-up round.
+	CatchupContinue CatchupVerdict = iota
+	// CatchupDone: the journal is below the Below threshold.
+	CatchupDone
+	// CatchupStalled: the whole journal failed to halve — the dirty set
+	// is the live hot set and replaying it again buys nothing.
+	CatchupStalled
+	// CatchupChurn: shards that individually failed to halve for
+	// ChurnRounds consecutive rounds hold the majority of the remaining
+	// journal. The converging shards are already drained; what is left
+	// re-dirties as fast as a contended replay clears it, while the
+	// sealed replay clears it nearly uncontended — skip to seal.
+	CatchupChurn
+	// CatchupExhausted: MaxRounds rounds have run.
+	CatchupExhausted
+)
+
+// String names the verdict for trace output and test failures.
+func (v CatchupVerdict) String() string {
+	switch v {
+	case CatchupContinue:
+		return "continue"
+	case CatchupDone:
+		return "done"
+	case CatchupStalled:
+		return "stalled"
+	case CatchupChurn:
+		return "churn"
+	case CatchupExhausted:
+		return "exhausted"
+	}
+	return "unknown"
+}
+
+// CatchupTracker decides when a migration's catch-up loop should stop
+// replaying journal generations and skip ahead to seal+replay. Like
+// Decider, it is a pure state machine over injected observations — the
+// per-shard journal sizes measured between rounds — so the unit suite
+// drives it with synthetic trajectories and asserts the exact round each
+// verdict fires, with no migrations and no concurrency.
+//
+// The old loop had only the global halving rule, which a single
+// churn-heavy shard hides: its steady re-dirtying is masked by the other
+// shards' convergence, so the loop burns its whole round budget
+// replaying — at contended speed — keys the sealed replay would clear in
+// microseconds. The per-shard churn rule catches exactly that shape.
+type CatchupTracker struct {
+	cfg       CatchupConfig
+	rounds    int     // Observe calls so far; calls-1 rounds have run
+	prevTotal int64   // last observation's journal total
+	prev      []int64 // last observation's per-shard sizes
+	churn     []int   // consecutive non-halving rounds per shard
+}
+
+// NewCatchupTracker returns a tracker with cfg's thresholds (zero
+// fields take the tuned defaults).
+func NewCatchupTracker(cfg CatchupConfig) *CatchupTracker {
+	return &CatchupTracker{cfg: cfg.withDefaults()}
+}
+
+// Observe feeds the current generation's per-shard journal sizes —
+// before the first round, then after each round — and returns whether to
+// run another round (CatchupContinue) or why to stop. The shard count
+// must be stable across calls (within one migration it is: every journal
+// generation is over the same retiring table).
+func (t *CatchupTracker) Observe(sizes []int64) CatchupVerdict {
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	first := t.rounds == 0
+	if !first {
+		for i, s := range sizes {
+			if s > 0 && s*2 > t.prev[i] {
+				t.churn[i]++
+			} else {
+				t.churn[i] = 0
+			}
+		}
+	} else {
+		t.prev = make([]int64, len(sizes))
+		t.churn = make([]int, len(sizes))
+	}
+	prevTotal := t.prevTotal
+	t.rounds++
+	copy(t.prev, sizes)
+	t.prevTotal = total
+	if total <= t.cfg.Below {
+		return CatchupDone
+	}
+	if !first {
+		if total*2 > prevTotal {
+			return CatchupStalled
+		}
+		var churnKeys int64
+		for i, s := range sizes {
+			if t.churn[i] >= t.cfg.ChurnRounds {
+				churnKeys += s
+			}
+		}
+		if churnKeys*2 > total {
+			return CatchupChurn
+		}
+	}
+	if t.rounds > t.cfg.MaxRounds {
+		return CatchupExhausted
+	}
+	return CatchupContinue
+}
+
 // Step feeds one signal through the decision: EWMA the peer estimate,
 // then — once MinDwell samples have accumulated since the last proposal
 // — propose growing at or above Grow (unless the occupancy guard or

@@ -186,3 +186,121 @@ func TestDeciderDefaults(t *testing.T) {
 		t.Fatal("zero config yields NaN estimate")
 	}
 }
+
+// catchupCfg is the deterministic catch-up configuration the tracker
+// tests share: a tight Below so small totals are meaningful, ChurnRounds
+// of 2 so churn classification needs exactly two non-halving rounds.
+func catchupCfg() CatchupConfig {
+	return CatchupConfig{MaxRounds: 4, Below: 10, ChurnRounds: 2}
+}
+
+// observeAll drives one tracker through a trajectory of per-round
+// observations and returns the verdict sequence.
+func observeAll(t *CatchupTracker, rounds [][]int64) []CatchupVerdict {
+	out := make([]CatchupVerdict, len(rounds))
+	for i, sizes := range rounds {
+		out[i] = t.Observe(sizes)
+	}
+	return out
+}
+
+// assertVerdicts pins a trajectory's exact verdict sequence.
+func assertVerdicts(t *testing.T, got, want []CatchupVerdict) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("verdicts %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round %d verdict %v, want %v (full: %v vs %v)", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestCatchupDoneBelowThreshold: a journal at or under Below skips
+// immediately — before any round runs — and after a converging round.
+func TestCatchupDoneBelowThreshold(t *testing.T) {
+	assertVerdicts(t,
+		observeAll(NewCatchupTracker(catchupCfg()), [][]int64{{4, 6}}),
+		[]CatchupVerdict{CatchupDone})
+	assertVerdicts(t,
+		observeAll(NewCatchupTracker(catchupCfg()), [][]int64{{100, 100}, {3, 2}}),
+		[]CatchupVerdict{CatchupContinue, CatchupDone})
+}
+
+// TestCatchupStalledGlobal: the old global rule still fires — a journal
+// that fails to halve round-over-round stops the loop on that round.
+func TestCatchupStalledGlobal(t *testing.T) {
+	assertVerdicts(t,
+		observeAll(NewCatchupTracker(catchupCfg()), [][]int64{{100, 100}, {60, 60}}),
+		[]CatchupVerdict{CatchupContinue, CatchupStalled})
+}
+
+// TestCatchupChurnShard: the bugfix scenario. Shard 0 converges cleanly
+// while shard 1 is pure churn (re-dirties to ~the same size every
+// round). The global total keeps halving — 1100, 520, 230 — so the old
+// rule would burn every remaining round replaying shard 1 at contended
+// speed; the per-shard rule classifies shard 1 churn-heavy after two
+// non-halving rounds and, its keys now the majority of the journal,
+// skips to seal on round 2.
+func TestCatchupChurnShard(t *testing.T) {
+	assertVerdicts(t,
+		observeAll(NewCatchupTracker(catchupCfg()), [][]int64{
+			{1000, 100}, // initial journal
+			{420, 100},  // round 1: total halved; shard 1 churn streak 1
+			{30, 200},   // round 2: total halved; shard 1 streak 2 → majority
+		}),
+		[]CatchupVerdict{CatchupContinue, CatchupContinue, CatchupChurn})
+}
+
+// TestCatchupChurnNeedsMajority: a churn-heavy shard whose keys stay a
+// minority of the journal does NOT end the loop — the converging
+// majority still pays for another round.
+func TestCatchupChurnNeedsMajority(t *testing.T) {
+	assertVerdicts(t,
+		observeAll(NewCatchupTracker(catchupCfg()), [][]int64{
+			{1000, 40},
+			{460, 40}, // streak 1
+			{200, 40}, // streak 2, but 40*2 <= 240
+			{80, 40},  // streak 3, 40*2 <= 120 — still minority
+			{20, 40},  // streak 4, 40*2 > 60 → majority now
+		}),
+		[]CatchupVerdict{CatchupContinue, CatchupContinue, CatchupContinue,
+			CatchupContinue, CatchupChurn})
+}
+
+// TestCatchupChurnStreakResets: one halving round resets a shard's churn
+// streak — only CONSECUTIVE non-halving rounds classify it.
+func TestCatchupChurnStreakResets(t *testing.T) {
+	assertVerdicts(t,
+		observeAll(NewCatchupTracker(catchupCfg()), [][]int64{
+			{1000, 200},
+			{380, 200}, // shard 1 streak 1
+			{100, 90},  // shard 1 halved: streak resets to 0
+			{15, 80},   // streak 1 again — not churn yet, total still halving
+		}),
+		[]CatchupVerdict{CatchupContinue, CatchupContinue, CatchupContinue,
+			CatchupContinue})
+}
+
+// TestCatchupExhausted: a slowly-but-genuinely converging journal runs
+// exactly MaxRounds rounds, then stops.
+func TestCatchupExhausted(t *testing.T) {
+	tr := NewCatchupTracker(CatchupConfig{MaxRounds: 2, Below: 10, ChurnRounds: 5})
+	assertVerdicts(t,
+		observeAll(tr, [][]int64{{1000}, {500}, {250}}),
+		[]CatchupVerdict{CatchupContinue, CatchupContinue, CatchupExhausted})
+}
+
+// TestCatchupDefaults: the zero config resolves to the documented
+// defaults and an empty journal skips immediately.
+func TestCatchupDefaults(t *testing.T) {
+	tr := NewCatchupTracker(CatchupConfig{})
+	if c := tr.cfg; c.MaxRounds != DefaultCatchupRounds || c.Below != DefaultCatchupBelow ||
+		c.ChurnRounds != DefaultChurnRounds {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if v := tr.Observe([]int64{0, 0}); v != CatchupDone {
+		t.Fatalf("empty journal verdict %v, want done", v)
+	}
+}

@@ -533,13 +533,14 @@ func (r *resizer[T]) helpReplay(h *helpState[T], helper bool) int {
 // the coordinator alone).
 func (r *resizer[T]) SealAssists() int64 { return r.assists.Load() }
 
-// dirtySize sums a generation's journaled key count.
-func (e *epoch[T]) dirtySize() int64 {
-	var n int64
+// dirtySizes returns a generation's per-shard journaled key counts (the
+// CatchupTracker's observation).
+func (e *epoch[T]) dirtySizes() []int64 {
+	s := make([]int64, len(e.dirty))
 	for i := range e.dirty {
-		n += e.dirty[i].PopCount()
+		s[i] = e.dirty[i].PopCount()
 	}
-	return n
+	return s
 }
 
 // ErrBusy is returned by Resize when a migration is already in flight.
@@ -615,9 +616,13 @@ func (r *resizer[T]) migrate(target int) error {
 	// replayed, rounds cost hundreds of milliseconds and converge to
 	// nothing — while the sealed replay below runs nearly uncontended
 	// (arriving writers yield their slices to the coordinator) and
-	// measures ~1µs/key. Stop as soon as a generation fails to halve.
-	prev := ej.dirtySize()
-	for round := 0; round < catchupRounds && prev > catchupBelow; round++ {
+	// measures ~1µs/key. The CatchupTracker watches the per-shard journal
+	// sizes between rounds and skips to seal as soon as the loop stops
+	// paying: journal trivially small, total no longer halving, or the
+	// remainder concentrated in churn-heavy shards that re-dirty as fast
+	// as they replay.
+	ct := NewCatchupTracker(CatchupConfig{})
+	for ct.Observe(ej.dirtySizes()) == CatchupContinue {
 		eNext, err := newEpoch(phaseJournal, old, next)
 		if err != nil {
 			return err
@@ -628,11 +633,6 @@ func (r *resizer[T]) migrate(target int) error {
 		r.replay(ej, next)
 		ej = eNext
 		hook(StageCatchup)
-		cur := ej.dirtySize()
-		if cur*2 > prev {
-			break // not converging: the dirty set is the live hot set
-		}
-		prev = cur
 	}
 	dCatchup := mark()
 	// 5: seal, drain the last generation, final replay. After this,
@@ -701,16 +701,9 @@ func (r *resizer[T]) migrate(target int) error {
 	return nil
 }
 
-// Catch-up tuning: up to catchupRounds extra journal generations run
-// before sealing, stopping early once a generation's journal is small
-// enough (catchupBelow keys) that the sealed replay is trivially short,
-// or stops halving (the convergence check in migrate). bulkRun sizes
-// the copy batches.
-const (
-	catchupRounds = 2
-	catchupBelow  = 64
-	bulkRun       = 64
-)
+// bulkRun sizes the migration copy batches. (Catch-up tuning lives in
+// CatchupConfig; see decide.go.)
+const bulkRun = 64
 
 // tickStripes is the number of padded stripes of the sample counter;
 // sixteen bounds the worst-case cadence dilation (a workload hammering

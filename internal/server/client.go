@@ -2,10 +2,13 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // RemoteError is an operation error reported by the server (e.g. a key
@@ -14,6 +17,50 @@ type RemoteError struct{ Msg string }
 
 // Error implements error.
 func (e *RemoteError) Error() string { return e.Msg }
+
+// ErrCallTimeout is wrapped into the error a call receives when the
+// server has not responded within the client's call timeout
+// (WithCallTimeout). The call fails; the client and its other
+// outstanding calls stay usable — a timeout says the SERVER is slow or
+// wedged, not that the transport died.
+var ErrCallTimeout = errors.New("server: call timed out")
+
+// ErrClientClosed is wrapped into the error outstanding calls receive
+// when Close tears the client down.
+var ErrClientClosed = errors.New("server: client closed")
+
+// DefaultCallTimeout bounds a call's wait for its response when Dial is
+// given no WithCallTimeout. Generous — it is a liveness backstop for a
+// dead-but-connected server, not a latency SLO.
+const DefaultCallTimeout = 30 * time.Second
+
+// ClientOption configures Dial.
+type ClientOption func(*Client) error
+
+// WithCallTimeout bounds how long any single call waits for its
+// response before failing with ErrCallTimeout (default
+// DefaultCallTimeout; 0 disables the timeout entirely). Without a
+// bound, a server that dies BETWEEN accepting a request and responding
+// — process wedged, VM paused, network silently dropping — leaves the
+// call hung forever: no response frame arrives and no socket error
+// fires. A Range call's deadline is refreshed by every streamed chunk,
+// so the timeout bounds server silence, not total stream length.
+func WithCallTimeout(d time.Duration) ClientOption {
+	return func(c *Client) error {
+		if d < 0 {
+			return fmt.Errorf("server: WithCallTimeout(%v): negative timeout", d)
+		}
+		c.callTimeout = d
+		return nil
+	}
+}
+
+// pendingCall is one outstanding request: its callback and the reaper's
+// deadline (zero when timeouts are disabled).
+type pendingCall struct {
+	cb       func(response, error)
+	deadline time.Time
+}
 
 // Client speaks the wire protocol over one connection. All methods are
 // safe for concurrent use; requests pipeline over the single connection
@@ -48,49 +95,114 @@ type Client struct {
 
 	nextID atomic.Uint64
 
+	callTimeout time.Duration
+
 	pmu     sync.Mutex
-	pending map[uint64]func(response, error)
+	pending map[uint64]*pendingCall
 	err     error
+	done    chan struct{} // closed by the first fail; stops the reaper
 }
 
-// Dial connects to a trieserve address.
-func Dial(addr string) (*Client, error) {
+// Dial connects to a trieserve address. With no options, calls carry
+// the DefaultCallTimeout liveness backstop (see WithCallTimeout).
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		callTimeout: DefaultCallTimeout,
+		pending:     map[uint64]*pendingCall{},
+		done:        make(chan struct{}),
+	}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{nc: nc, pending: map[uint64]func(response, error){}}
+	c.nc = nc
 	c.wcond.L = &c.wmu
 	go c.readLoop()
 	go c.flushLoop()
+	if c.callTimeout > 0 {
+		go c.reapLoop()
+	}
 	return c, nil
 }
 
-// Close tears down the connection; outstanding calls fail.
+// Close tears down the connection; outstanding calls fail with
+// ErrClientClosed.
 func (c *Client) Close() error {
 	err := c.nc.Close()
-	c.fail(fmt.Errorf("server: client closed"))
+	c.fail(fmt.Errorf("client torn down with call outstanding: %w", ErrClientClosed))
 	return err
 }
 
-// fail marks the client broken, stops the flush goroutine, and errors out
-// every pending call.
+// fail marks the client broken, stops the flush and reaper goroutines,
+// and errors out every pending call. Exactly-once per call: the map
+// swap under pmu hands each callback to precisely one failer, however
+// many paths (read loop, write path, Close) race here, and the first
+// caller's error wins as the client's sticky close reason.
 func (c *Client) fail(err error) {
 	c.pmu.Lock()
-	if c.err == nil {
+	first := c.err == nil
+	if first {
 		c.err = err
 	}
 	cbs := c.pending
-	c.pending = map[uint64]func(response, error){}
+	c.pending = map[uint64]*pendingCall{}
 	c.pmu.Unlock()
+	if first {
+		close(c.done)
+	}
 	c.wmu.Lock()
 	c.wclosed = true
 	c.wcond.Signal()
 	c.wmu.Unlock()
-	for _, cb := range cbs {
-		cb(response{}, err)
+	for _, p := range cbs {
+		p.cb(response{}, err)
 	}
 	c.outst.Store(0)
+}
+
+// reapLoop fails calls individually once their deadline passes. The
+// tick is a fraction of the timeout, so a timeout fires at most ~25%
+// late; the client itself stays healthy — only the expired calls error.
+func (c *Client) reapLoop() {
+	tick := c.callTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var expired []*pendingCall
+		c.pmu.Lock()
+		if c.err != nil {
+			c.pmu.Unlock()
+			return
+		}
+		for id, p := range c.pending {
+			if now.After(p.deadline) {
+				delete(c.pending, id)
+				expired = append(expired, p)
+			}
+		}
+		c.pmu.Unlock()
+		for _, p := range expired {
+			c.outst.Add(-1)
+			p.cb(response{}, fmt.Errorf("no response within %v: %w", c.callTimeout, ErrCallTimeout))
+		}
+	}
 }
 
 // readLoop dispatches response frames to their pending callbacks. A
@@ -102,6 +214,14 @@ func (c *Client) readLoop() {
 	for {
 		p, err := readFrame(br, buf, maxFrame)
 		if err != nil {
+			// Propagate a close REASON, not a bare EOF: the caller whose
+			// Insert fails wants to know the peer hung up mid-call.
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				err = fmt.Errorf("server: connection closed by peer (%d calls outstanding): %w",
+					c.outst.Load(), err)
+			} else {
+				err = fmt.Errorf("server: read loop: %w", err)
+			}
 			c.fail(err)
 			return
 		}
@@ -112,16 +232,20 @@ func (c *Client) readLoop() {
 			return
 		}
 		c.pmu.Lock()
-		cb := c.pending[resp.id]
+		pc := c.pending[resp.id]
 		if resp.status != statusRangeChunk {
 			delete(c.pending, resp.id)
+		} else if pc != nil && c.callTimeout > 0 {
+			// A streaming response proves the server alive: push the
+			// range call's deadline out per chunk.
+			pc.deadline = time.Now().Add(c.callTimeout)
 		}
 		c.pmu.Unlock()
-		if resp.status != statusRangeChunk && cb != nil {
+		if resp.status != statusRangeChunk && pc != nil {
 			c.outst.Add(-1)
 		}
-		if cb != nil {
-			cb(resp, nil)
+		if pc != nil {
+			pc.cb(resp, nil)
 		}
 	}
 }
@@ -130,6 +254,10 @@ func (c *Client) readLoop() {
 // read loop (or inline on a write failure) — keep it short.
 func (c *Client) do(req request, cb func(response, error)) {
 	req.id = c.nextID.Add(1)
+	pc := &pendingCall{cb: cb}
+	if c.callTimeout > 0 {
+		pc.deadline = time.Now().Add(c.callTimeout)
+	}
 	c.pmu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -137,7 +265,7 @@ func (c *Client) do(req request, cb func(response, error)) {
 		cb(response{}, err)
 		return
 	}
-	c.pending[req.id] = cb
+	c.pending[req.id] = pc
 	c.pmu.Unlock()
 	c.outst.Add(1)
 	c.send(req)
@@ -200,7 +328,8 @@ func (c *Client) flushLocked() {
 	if werr != nil {
 		// Frames left enqueued by concurrent senders are moot: fail
 		// errors every pending callback, and later sends bail on c.err.
-		c.fail(werr)
+		c.fail(fmt.Errorf("server: write (%d calls outstanding): %w",
+			c.outst.Load(), werr))
 	}
 }
 

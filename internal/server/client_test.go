@@ -1,0 +1,201 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startSilentServer returns the address of a TCP listener that accepts
+// connections and reads (and discards) everything, but never responds —
+// the wedged-server shape that used to hang clients forever.
+func startSilentServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := nc.Read(buf); err != nil {
+						nc.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientServerDies: N outstanding UpdateAsync calls against a server
+// that accepts, then drops the connection. Every callback must fire with
+// an error, exactly once, and the error must carry the close reason —
+// not hang (the bug) and not a bare EOF.
+func TestClientServerDies(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Drain the request frames so the client's writes succeed; the
+		// failure the client sees must come from the read side.
+		go func() {
+			buf := make([]byte, 4096)
+			for {
+				if _, err := nc.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		accepted <- nc
+	}()
+	c, err := Dial(ln.Addr().String(), WithCallTimeout(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 64
+	var fired, failed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		c.UpdateAsync(true, int64(i), func(err error) {
+			fired.Add(1)
+			if err != nil {
+				failed.Add(1)
+			}
+			wg.Done()
+		})
+	}
+	nc := <-accepted
+	nc.Close() // the server "dies"
+	wg.Wait()
+	if got := fired.Load(); got != n {
+		t.Fatalf("callbacks fired %d times, want exactly %d", got, n)
+	}
+	if got := failed.Load(); got != n {
+		t.Fatalf("%d callbacks errored, want all %d", got, n)
+	}
+	// Subsequent calls fail fast with the sticky close reason. The read
+	// loop and the flush loop race to notice the dead socket; whichever
+	// wins, the reason must carry the client's context, not a bare EOF.
+	err = c.Insert(1)
+	if err == nil {
+		t.Fatal("Insert after connection death succeeded")
+	}
+	if !strings.Contains(err.Error(), "connection closed by peer") &&
+		!strings.Contains(err.Error(), "read loop") &&
+		!strings.Contains(err.Error(), "calls outstanding") {
+		t.Fatalf("close reason not propagated: %v", err)
+	}
+}
+
+// TestClientCallTimeout: a server that never responds must not hang the
+// caller — WithCallTimeout fails the call with ErrCallTimeout while the
+// client (and the transport) stays alive for further calls.
+func TestClientCallTimeout(t *testing.T) {
+	addr := startSilentServer(t)
+	c, err := Dial(addr, WithCallTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Insert(42); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("Insert against silent server: %v, want ErrCallTimeout", err)
+	}
+	if wait := time.Since(start); wait > 5*time.Second {
+		t.Fatalf("timeout took %v", wait)
+	}
+	// The timeout failed the CALL, not the client: a new call goes out
+	// and times out the same way instead of failing fast on a sticky
+	// error.
+	if err := c.Delete(7); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("second call after timeout: %v, want ErrCallTimeout", err)
+	}
+}
+
+// TestClientCloseFailsOutstanding: Close must error outstanding calls
+// with ErrClientClosed rather than stranding them.
+func TestClientCloseFailsOutstanding(t *testing.T) {
+	addr := startSilentServer(t)
+	c, err := Dial(addr, WithCallTimeout(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	c.UpdateAsync(true, 9, func(err error) { errCh <- err })
+	time.Sleep(20 * time.Millisecond) // let the frame reach the wire
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-errCh:
+		// Close and the read loop race to fail the client; either close
+		// reason is correct, hanging or nil is not.
+		if err == nil {
+			t.Fatal("outstanding call completed without error after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("outstanding call still hung 5s after Close")
+	}
+}
+
+// TestClientNoGoroutineLeak: dial/timeout/close cycles leave no client
+// goroutines (read loop, flush loop, reaper) behind.
+func TestClientNoGoroutineLeak(t *testing.T) {
+	addr := startSilentServer(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		c, err := Dial(addr, WithCallTimeout(30*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(3)
+		for k := int64(0); k < 3; k++ {
+			c.UpdateAsync(true, k, func(error) { wg.Done() })
+		}
+		wg.Wait() // all three time out
+		c.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after close cycles", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClientTimeoutOptionValidation: negative timeouts are rejected at
+// Dial time.
+func TestClientTimeoutOptionValidation(t *testing.T) {
+	if _, err := Dial("127.0.0.1:0", WithCallTimeout(-time.Second)); err == nil {
+		t.Fatal("Dial accepted a negative call timeout")
+	}
+}

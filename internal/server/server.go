@@ -347,7 +347,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		ln.Close()
 	}
 	for _, c := range conns {
-		c.nc.SetReadDeadline(time.Now()) // unblock the reader's pending Read
+		// Unblock the reader's pending Read. A refused deadline (socket
+		// already dead, or a net.Conn that doesn't support deadlines)
+		// would leave that reader blocked forever; closing the socket
+		// unblocks it just as well, at the cost of the graceful flush.
+		if err := c.nc.SetReadDeadline(time.Now()); err != nil {
+			c.forceClose()
+		}
 	}
 	done := make(chan struct{})
 	go func() {
@@ -460,11 +466,20 @@ type conn struct {
 	// Add(-finals) instead of finals channel operations. winWake is a
 	// 1-buffered ping for the rare full-window case; a stale ping just
 	// makes the reader re-check the counter.
-	winUsed  atomic.Int64
-	winWake  chan struct{}
-	pending  sync.WaitGroup // updates handed to the batcher, unanswered
-	stop     chan struct{}
-	stopOnce sync.Once
+	winUsed   atomic.Int64
+	winWake   chan struct{}
+	pending   sync.WaitGroup // updates handed to the batcher, unanswered
+	stop      chan struct{}
+	stopOnce  sync.Once
+	closeOnce sync.Once // guards nc.Close across writeLoop exit and forceClose
+}
+
+// closeNC closes the socket exactly once. Both the write loop's normal
+// exit and forceClose funnel through here, so a forced shutdown racing a
+// draining writer never double-closes (and never surfaces the second
+// close's "use of closed connection" error anywhere).
+func (c *conn) closeNC() {
+	c.closeOnce.Do(func() { c.nc.Close() })
 }
 
 // releaseWin returns n window slots and pings a possibly-waiting reader.
@@ -482,7 +497,7 @@ func (c *conn) releaseWin(n int) {
 func (c *conn) forceClose() {
 	c.stopOnce.Do(func() {
 		close(c.stop)
-		c.nc.Close()
+		c.closeNC()
 	})
 }
 
@@ -576,7 +591,7 @@ drain:
 // peer — and closes the socket on exit either way.
 func (c *conn) writeLoop() {
 	defer c.srv.connWG.Done()
-	defer c.nc.Close()
+	defer c.closeNC()
 	w := bufio.NewWriterSize(c.nc, 32<<10)
 	discard := false
 	for {

@@ -18,16 +18,20 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/wire"
 )
 
-// Wire opcodes (request) — one byte on the wire.
+// Wire opcodes (request) — one byte on the wire. The update opcodes are
+// the shared wire.Kind* bytes: the WAL serializes the same op records,
+// so an op's kind byte means the same thing on disk and on the wire.
 const (
-	opInsert byte = iota + 1
-	opDelete
-	opContains
-	opPredecessor
-	opSuccessor
-	opRange
+	opInsert           = wire.KindInsert
+	opDelete           = wire.KindDelete
+	opContains    byte = 3
+	opPredecessor byte = 4
+	opSuccessor   byte = 5
+	opRange       byte = 6
 )
 
 // Wire statuses (response) — one byte on the wire.
@@ -65,35 +69,14 @@ type request struct {
 }
 
 // readFrame reads one length-prefixed frame into buf (grown as needed)
-// and returns the payload.
+// and returns the payload (the shared wire codec).
 func readFrame(r io.Reader, buf []byte, limit int) ([]byte, error) {
-	var lb [4]byte
-	if _, err := io.ReadFull(r, lb[:]); err != nil {
-		return nil, err
-	}
-	n := int(binary.BigEndian.Uint32(lb[:]))
-	if n == 0 || n > limit {
-		return nil, fmt.Errorf("server: frame length %d outside (0, %d]", n, limit)
-	}
-	if cap(buf) < n {
-		buf = make([]byte, n)
-	}
-	buf = buf[:n]
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
+	return wire.ReadFrame(r, buf, limit)
 }
 
 // writeFrame writes one length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {
-	var lb [4]byte
-	binary.BigEndian.PutUint32(lb[:], uint32(len(payload)))
-	if _, err := w.Write(lb[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+	return wire.WriteFrame(w, payload)
 }
 
 // decodeRequest parses a request payload.

@@ -86,3 +86,50 @@ func TestConcurrentSameKey(t *testing.T) {
 		t.Fatalf("Predecessor(8) = %d, want 7", got)
 	}
 }
+
+// TestSnapshotImmutable: a captured snapshot keeps its keys (ascending)
+// and count while the live trie moves on.
+func TestSnapshotImmutable(t *testing.T) {
+	tr, err := versioned.New(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 7, 64, 200}
+	for _, k := range want {
+		tr.Insert(k)
+	}
+	snap := tr.Snapshot()
+	// Mutate the live trie after the capture.
+	tr.Delete(7)
+	tr.Insert(100)
+	if got := snap.Count(); got != int64(len(want)) {
+		t.Fatalf("Count = %d, want %d", got, len(want))
+	}
+	var got []int64
+	snap.ForEach(func(k int64) { got = append(got, k) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach emitted %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach emitted %v, want %v (ascending)", got, want)
+		}
+	}
+	// The live trie reflects the post-capture updates.
+	if tr.Search(7) || !tr.Search(100) {
+		t.Fatal("live trie does not reflect post-snapshot updates")
+	}
+}
+
+// TestSnapshotEmpty: the zero-state snapshot is empty and walkable.
+func TestSnapshotEmpty(t *testing.T) {
+	tr, err := versioned.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	if snap.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", snap.Count())
+	}
+	snap.ForEach(func(k int64) { t.Fatalf("emitted %d from empty snapshot", k) })
+}

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestFrameRoundTrip: WriteFrame then ReadFrame returns the payload,
+// reusing the caller's buffer when it is big enough.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{1}, []byte("hello"), bytes.Repeat([]byte{0xab}, 300)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	scratch := make([]byte, 0, 8)
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, scratch, 4096)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("payload = %q, want %q", got, want)
+		}
+		scratch = got[:0]
+	}
+	if _, err := ReadFrame(&buf, scratch, 4096); err != io.EOF {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+// TestFrameLimits: zero-length and over-limit frames are rejected.
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // zero length
+	if _, err := ReadFrame(&buf, nil, 16); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	buf.Reset()
+	if err := WriteFrame(&buf, make([]byte, 17)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, nil, 16); err == nil {
+		t.Fatal("over-limit frame accepted")
+	}
+}
+
+// TestAppendFrameHeader matches WriteFrame's prefix.
+func TestAppendFrameHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	hdr := AppendFrameHeader(nil, 3)
+	if !bytes.Equal(hdr, buf.Bytes()[:4]) {
+		t.Fatalf("header %v, want %v", hdr, buf.Bytes()[:4])
+	}
+}
+
+// TestOpRoundTrip: AppendOp/DecodeOp over both kinds and edge keys.
+func TestOpRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		key int64
+		del bool
+	}{{0, false}, {1, true}, {1<<32 - 1, false}, {42, true}} {
+		rec := AppendOp(nil, tc.del, tc.key)
+		if len(rec) != OpBytes {
+			t.Fatalf("record %d bytes, want %d", len(rec), OpBytes)
+		}
+		key, del, err := DecodeOp(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != tc.key || del != tc.del {
+			t.Fatalf("decoded (%d, %v), want (%d, %v)", key, del, tc.key, tc.del)
+		}
+	}
+}
+
+// TestOpDecodeErrors: short and unknown-kind records are rejected.
+func TestOpDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeOp([]byte{KindInsert, 0}); err == nil {
+		t.Fatal("short record accepted")
+	}
+	bad := AppendOp(nil, false, 7)
+	bad[0] = 99
+	if _, _, err := DecodeOp(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

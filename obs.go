@@ -316,15 +316,24 @@ func (t *Trie) registerObsGauges() {
 // with internal/obs/export. Empty (schema header only) under
 // WithoutObservability.
 func (t *Trie) MetricsSnapshot() obs.Snapshot {
+	var snap obs.Snapshot
 	if t.obs == nil {
-		return obs.Snapshot{
+		snap = obs.Snapshot{
 			Schema:    obs.SchemaName,
 			Version:   obs.SchemaVersion,
 			UnixNanos: time.Now().UnixNano(),
 			Counters:  map[string]int64{},
 		}
+	} else {
+		snap = t.obs.reg.Snapshot()
 	}
-	return t.obs.reg.Snapshot()
+	// Durability keeps its own registry (the log outlives no trie, and
+	// WithoutObservability must not silence the wal.* counters the crash
+	// smoke asserts on); merge it over the trie's.
+	if t.wal != nil {
+		snap = snap.Merge(t.wal.Registry().Snapshot())
+	}
+	return snap
 }
 
 // TraceEvent is one drained control-plane event, decoded for consumers:

@@ -86,6 +86,9 @@ func NewRelaxed(universe int64, opts ...Option) (*Relaxed, error) {
 	if err := cfg.validatePlacement(); err != nil {
 		return nil, err
 	}
+	if cfg.dur != nil {
+		return nil, fmt.Errorf("lockfreetrie: WithDurability is incompatible with NewRelaxed (no batch entrypoint to seed recovery through)")
+	}
 	if cfg.adaptiveShards {
 		initial, err := cfg.resizeBounds()
 		if err != nil {

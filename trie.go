@@ -56,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/resize"
 	"repro/internal/sharded"
+	"repro/internal/wal"
 )
 
 // MaxUniverse bounds the universe size (space is Θ(u)).
@@ -90,6 +91,8 @@ type config struct {
 	obsOff       bool
 	latEvery     int64
 	descentStats bool
+	// Durability (durability.go); nil = in-memory only.
+	dur *durConfig
 }
 
 // Option configures New and NewRelaxed.
@@ -411,6 +414,8 @@ type Trie struct {
 	placement []int       // WithPlacementHint copy; nil when unplaced
 	rz        *resize.Set // non-nil under WithAdaptiveShards
 	obs       *obsState   // nil under WithoutObservability
+	wal       *wal.Log    // non-nil under WithDurability
+	recovery  RecoveryStats
 }
 
 // resizeBounds validates the WithAdaptiveShards bounds against the other
@@ -484,12 +489,20 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 	if !cfg.obsOff {
 		o = newObsState(&cfg)
 	}
-	finish := func(t *Trie) *Trie {
+	finish := func(t *Trie) (*Trie, error) {
+		// Durability wraps the assembled backend before anything reads
+		// it: recovery seeds the unwrapped set (not re-logged), then the
+		// write-ahead wrapper interposes on every later update.
+		if cfg.dur != nil {
+			if err := t.attachDurability(cfg.dur); err != nil {
+				return nil, err
+			}
+		}
 		t.obs = o
 		if o != nil {
 			t.registerObsGauges()
 		}
-		return t
+		return t, nil
 	}
 	if cfg.adaptiveShards {
 		initial, err := cfg.resizeBounds()
@@ -519,7 +532,7 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 			rz.SetEvents(o.ring)
 		}
 		return finish(&Trie{set: rz, shards: initial,
-			combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive, rz: rz}), nil
+			combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive, rz: rz})
 	}
 	// A placed k=1 trie still needs the sharded machinery (arena carve,
 	// sticky combiner), so placement always routes through the factory.
@@ -554,7 +567,7 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 			shards:    1,
 			combining: cfg.combining || cfg.adaptive,
 			adaptive:  cfg.adaptive,
-		}), nil
+		})
 	}
 	st, err := cfg.shardedFactory(universe)(cfg.shards)
 	if err != nil {
@@ -565,7 +578,7 @@ func New(universe int64, opts ...Option) (*Trie, error) {
 	}
 	return finish(&Trie{set: st, shards: cfg.shards,
 		combining: cfg.combining || cfg.adaptive, adaptive: cfg.adaptive,
-		placement: cfg.placement}), nil
+		placement: cfg.placement})
 }
 
 // PlacementHint returns a copy of the WithPlacementHint owners slice, or
